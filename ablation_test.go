@@ -1,0 +1,134 @@
+package fpgauv_test
+
+// Ablation benchmarks for the calibrated mechanisms DESIGN.md documents.
+// Each one disables a single model component and reports how a headline
+// paper number moves, quantifying how much of the reproduction each
+// mechanism carries:
+//
+//   - critical-region activity droop  → the >3x total efficiency gain
+//   - static leakage share            → the 2.6x guardband gain
+//   - ITD healing                     → the Fig. 10 temperature effect
+//   - stall-cycle activity floor      → the Table 2 power staircase
+//   - path-population tail exponent   → the Fig. 6 collapse sharpness
+
+import (
+	"testing"
+
+	"fpgauv/internal/power"
+	"fpgauv/internal/silicon"
+)
+
+// gainAt evaluates total on-chip power gain (Vnom → v) under a given
+// power model, applying the critical-region droop when faultDroop is set.
+func gainAt(m *power.Model, vMV float64, faultDroop bool) float64 {
+	base := m.TotalW(power.DefaultOperatingPoint())
+	op := power.DefaultOperatingPoint()
+	op.VCCINTmV = vMV
+	if faultDroop {
+		op.FaultActivityDroop = m.FaultDroop(vMV, 570, 540)
+	}
+	return base / m.TotalW(op)
+}
+
+// BenchmarkAblationActivityDroop shows that without the critical-region
+// pipeline-flush droop the total gain at Vcrash falls from ≈3.7x to the
+// ≈2.9x a plain CV²f+leakage model yields — the paper measured >3x.
+func BenchmarkAblationActivityDroop(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		m := power.NewModel()
+		with = gainAt(m, 540, true)
+		without = gainAt(m, 540, false)
+	}
+	b.ReportMetric(with, "gain_with_droop")
+	b.ReportMetric(without, "gain_without_droop")
+}
+
+// BenchmarkAblationLeakageShare shows that without a static-power share
+// the guardband-elimination gain drops to the pure-V² value of ≈2.2x
+// (the paper measured 2.6x).
+func BenchmarkAblationLeakageShare(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		m := power.NewModel()
+		with = gainAt(m, 570, false)
+		noLeak := power.NewModel()
+		noLeak.DynRefW = power.DynRefW + power.StaticRefW // same 12.59 W total
+		noLeak.StaticRefW = 1e-9
+		without = gainAt(noLeak, 570, false)
+	}
+	b.ReportMetric(with, "gain_with_leakage")
+	b.ReportMetric(without, "gain_pure_v2")
+}
+
+// BenchmarkAblationITD disables inverse thermal dependence and reports
+// the hot/cold fault-rate ratio at a critical-region voltage: with ITD
+// the hot die sees ≈4x fewer faults (Fig. 10's healing); without it the
+// ratio collapses to 1.
+func BenchmarkAblationITD(b *testing.B) {
+	var withITD, withoutITD float64
+	for i := 0; i < b.N; i++ {
+		die := silicon.NewSampleDie(1)
+		cold := die.FaultProb(silicon.PathData, 555, 34, silicon.DPUFreqMHz, 0)
+		hot := die.FaultProb(silicon.PathData, 555, 52, silicon.DPUFreqMHz, 0)
+		withITD = cold / hot
+
+		params := silicon.DefaultParams()
+		params.ITDHealPerC = 0
+		flat := silicon.NewDie(params, silicon.SampleProfiles()[1])
+		coldF := flat.FaultProb(silicon.PathData, 555, 34, silicon.DPUFreqMHz, 0)
+		hotF := flat.FaultProb(silicon.PathData, 555, 52, silicon.DPUFreqMHz, 0)
+		withoutITD = coldF / hotF
+	}
+	b.ReportMetric(withITD, "heal_ratio_itd")
+	b.ReportMetric(withoutITD, "heal_ratio_flat")
+}
+
+// BenchmarkAblationStallActivity brackets the stall-cycle activity floor
+// between its two limits. With perfect clock gating on DDR stalls, power
+// tracks throughput (≈0.78 of baseline at 200 MHz); with uniform toggling
+// regardless of stalls, it tracks frequency (≈0.69); the calibrated 0.3
+// floor lands between (≈0.74), reproducing the Table 2 power column's
+// sub-linear frequency scaling.
+func BenchmarkAblationStallActivity(b *testing.B) {
+	var floor, gated, uniform float64
+	eval := func(m *power.Model) float64 {
+		base := power.DefaultOperatingPoint()
+		op := base
+		op.FreqMHz = 200
+		return m.TotalW(op) / m.TotalW(base)
+	}
+	for i := 0; i < b.N; i++ {
+		floor = eval(power.NewModel())
+		g := power.NewModel()
+		g.StallAct = 1e-9
+		gated = eval(g)
+		u := power.NewModel()
+		u.StallAct = 1
+		uniform = eval(u)
+	}
+	b.ReportMetric(floor, "p200_calibrated")
+	b.ReportMetric(gated, "p200_clock_gated")
+	b.ReportMetric(uniform, "p200_uniform_toggle")
+}
+
+// BenchmarkAblationTailExponent reports how the path-population tail
+// exponent controls the width of the accuracy collapse: the fault-rate
+// ratio between the middle (555 mV) and the top (565 mV) of the critical
+// region for the calibrated TailQ=4 versus a linear tail (TailQ=1).
+func BenchmarkAblationTailExponent(b *testing.B) {
+	var calibrated, linear float64
+	for i := 0; i < b.N; i++ {
+		die := silicon.NewSampleDie(1)
+		calibrated = die.FaultProb(silicon.PathData, 555, 34, silicon.DPUFreqMHz, 0) /
+			die.FaultProb(silicon.PathData, 565, 34, silicon.DPUFreqMHz, 0)
+
+		params := silicon.DefaultParams()
+		params.TailQ = 1
+		lin := silicon.NewDie(params, silicon.SampleProfiles()[1])
+		linear = lin.FaultProb(silicon.PathData, 555, 34, silicon.DPUFreqMHz, 0) /
+			lin.FaultProb(silicon.PathData, 565, 34, silicon.DPUFreqMHz, 0)
+	}
+	b.ReportMetric(calibrated, "ratio_tailq4")
+	b.ReportMetric(linear, "ratio_tailq1")
+}

@@ -1,0 +1,272 @@
+package fpgauv
+
+import (
+	"fmt"
+	"io"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/core"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/exp"
+	"fpgauv/internal/models"
+	"fpgauv/internal/pmbus"
+	"fpgauv/internal/silicon"
+)
+
+// Re-exported result types (aliases keep the internal packages as the
+// single source of truth while making the types usable by downstream
+// code).
+type (
+	// SweepPoint is one voltage-sweep measurement.
+	SweepPoint = core.Point
+	// Regions is the guardband/critical/crash characterization.
+	Regions = core.Regions
+	// FmaxResult is one frequency-underscaling search outcome.
+	FmaxResult = core.FmaxResult
+	// Table is a rendered experiment artifact.
+	Table = exp.Table
+	// ExperimentOptions scales experiment protocols.
+	ExperimentOptions = exp.Options
+)
+
+// Nominal operating constants of the simulated ZCU102.
+const (
+	VnomMV     = silicon.VnomMV
+	DPUFreqMHz = silicon.DPUFreqMHz
+)
+
+// Benchmarks lists the five Table 1 benchmark names.
+func Benchmarks() []string { return models.Names() }
+
+// Platform is one simulated ZCU102 board sample with its DPU runtime.
+type Platform struct {
+	brd *board.ZCU102
+	rt  *dnndk.Runtime
+}
+
+// NewPlatform assembles board sample (0, 1 or 2 — the paper's three
+// "identical" platforms) with three B4096 DPU cores.
+func NewPlatform(sample int) (*Platform, error) {
+	if sample < 0 || sample > 2 {
+		return nil, fmt.Errorf("fpgauv: sample must be 0..2, got %d", sample)
+	}
+	brd, err := board.New(board.SampleID(sample))
+	if err != nil {
+		return nil, err
+	}
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{brd: brd, rt: rt}, nil
+}
+
+// Sample returns the platform's name ("platform-A"...).
+func (p *Platform) Sample() string { return p.brd.Sample().String() }
+
+// vccint returns the PMBus adapter for the VCCINT rail.
+func (p *Platform) vccint() *pmbus.Adapter {
+	return pmbus.NewAdapter(p.brd.Bus(), board.AddrVCCINT)
+}
+
+// SetVCCINTmV underscales (or restores) the VCCINT rail via PMBus.
+func (p *Platform) SetVCCINTmV(mv float64) error { return p.vccint().SetVoltageMV(mv) }
+
+// VCCINTmV reads the present VCCINT level.
+func (p *Platform) VCCINTmV() float64 { return p.brd.VCCINTmV() }
+
+// SetVCCBRAMmV underscales the separate BRAM rail (kept nominal in the
+// paper's main experiments).
+func (p *Platform) SetVCCBRAMmV(mv float64) error {
+	return pmbus.NewAdapter(p.brd.Bus(), board.AddrVCCBRAM).SetVoltageMV(mv)
+}
+
+// SetFrequencyMHz sets the DPU clock (the §5 frequency-underscaling knob).
+func (p *Platform) SetFrequencyMHz(f float64) error { return p.brd.SetFrequencyMHz(f) }
+
+// PowerW returns the present on-chip power: total, VCCINT and VCCBRAM.
+func (p *Platform) PowerW() (total, vccint, vccbram float64) {
+	b := p.brd.PowerBreakdown()
+	return b.TotalW, b.VCCINTW, b.VCCBRAMW
+}
+
+// DieTempC returns the present die temperature.
+func (p *Platform) DieTempC() float64 { return p.brd.DieTempC() }
+
+// HoldTemperatureC pins the die temperature within the fan-reachable
+// [34, 52] °C range (the §7 protocol) and returns the held value.
+func (p *Platform) HoldTemperatureC(t float64) float64 {
+	return p.brd.Thermal().HoldTemperature(t)
+}
+
+// ReleaseTemperature returns to open-loop fan control.
+func (p *Platform) ReleaseTemperature() { p.brd.Thermal().Release() }
+
+// Hung reports whether the board crashed (VCCINT below Vcrash).
+func (p *Platform) Hung() bool { return p.brd.Hung() }
+
+// Reboot power-cycles the board, restoring nominal rails and clock.
+func (p *Platform) Reboot() { p.brd.Reboot() }
+
+// Board exposes the underlying board model for advanced in-module use.
+func (p *Platform) Board() *board.ZCU102 { return p.brd }
+
+// Runtime exposes the DNNDK runtime for advanced in-module use.
+func (p *Platform) Runtime() *dnndk.Runtime { return p.rt }
+
+// DeployOptions configures Deploy.
+type DeployOptions struct {
+	// Tiny selects the test-scale model zoo (default: the Small preset).
+	Tiny bool
+	// Bits is the quantization precision (default 8; the paper's §6.1
+	// evaluates 8..4).
+	Bits int
+	// Sparsity applies DECENT magnitude pruning before quantization
+	// (§6.2).
+	Sparsity float64
+	// Images is the evaluation-set size (default 64).
+	Images int
+	// Seed derives the dataset and label planting (default 1).
+	Seed int64
+}
+
+// Deployment is a benchmark compiled, loaded and labeled on a platform.
+type Deployment struct {
+	p     *Platform
+	bench *models.Benchmark
+	task  *dnndk.Task
+	ds    *models.Dataset
+	seed  int64
+}
+
+// Deploy quantizes and loads one of the Table 1 benchmarks and plants
+// ground-truth labels so the fault-free accuracy equals the paper's
+// "our design @Vnom" value.
+func (p *Platform) Deploy(benchmark string, opts DeployOptions) (*Deployment, error) {
+	preset := models.Small
+	if opts.Tiny {
+		preset = models.Tiny
+	}
+	if opts.Images <= 0 {
+		opts.Images = 64
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	bench, err := models.New(benchmark, preset)
+	if err != nil {
+		return nil, err
+	}
+	qopts := dnndk.DefaultQuantizeOptions()
+	if opts.Bits != 0 {
+		qopts.Bits = opts.Bits
+	}
+	qopts.Sparsity = opts.Sparsity
+	k, err := dnndk.Quantize(bench, qopts)
+	if err != nil {
+		return nil, err
+	}
+	task, err := p.rt.LoadKernel(k)
+	if err != nil {
+		return nil, err
+	}
+	ds := bench.MakeDataset(opts.Images, opts.Seed)
+	if err := task.PlantLabels(ds, bench.TargetAccPct, opts.Seed^0x1ab); err != nil {
+		return nil, err
+	}
+	return &Deployment{p: p, bench: bench, task: task, ds: ds, seed: opts.Seed}, nil
+}
+
+// Benchmark returns the deployment's benchmark name.
+func (d *Deployment) Benchmark() string { return d.bench.Name }
+
+// GOp returns giga-operations per inference.
+func (d *Deployment) GOp() float64 { return d.bench.GOp() }
+
+// ClassifyStats summarizes one dataset pass.
+type ClassifyStats struct {
+	AccuracyPct float64
+	MACFaults   int64
+	BRAMFaults  int64
+}
+
+// Classify runs the evaluation set at the present operating point.
+func (d *Deployment) Classify() (ClassifyStats, error) {
+	res, err := d.task.Classify(d.ds, newRng(d.seed))
+	if err != nil {
+		return ClassifyStats{}, err
+	}
+	return ClassifyStats{
+		AccuracyPct: res.AccuracyPct,
+		MACFaults:   res.MACFaults,
+		BRAMFaults:  res.BRAMFaults,
+	}, nil
+}
+
+// ProfileStats reports throughput and efficiency at the present point.
+type ProfileStats struct {
+	GOPs     float64
+	PowerW   float64
+	GOPsPerW float64
+}
+
+// Profile measures the deployment at the present operating point.
+func (d *Deployment) Profile() ProfileStats {
+	pr := d.task.Profile()
+	return ProfileStats{GOPs: pr.GOPs, PowerW: pr.PowerW, GOPsPerW: pr.GOPsPerW}
+}
+
+// campaign builds the core campaign for this deployment.
+func (d *Deployment) campaign(repeats int) *core.Campaign {
+	c := core.NewCampaign(d.task, d.ds)
+	if repeats > 0 {
+		c.Config.Repeats = repeats
+	}
+	c.Config.Seed = d.seed
+	return c
+}
+
+// Sweep runs the downward voltage sweep protocol (repeats per point;
+// the paper uses 10) and returns the per-voltage measurements ending at
+// the crash point. The board is rebooted afterwards.
+func (d *Deployment) Sweep(repeats int) ([]SweepPoint, error) {
+	return d.campaign(repeats).Run()
+}
+
+// DetectRegions characterizes Vmin/Vcrash for this deployment.
+func (d *Deployment) DetectRegions(repeats int) (Regions, []SweepPoint, error) {
+	c := d.campaign(repeats)
+	c.Config.VStartMV = 620
+	return c.DetectRegions()
+}
+
+// FmaxSearch finds the maximum fault-free DPU clock at the given VCCINT
+// level on the default 25 MHz grid (§5).
+func (d *Deployment) FmaxSearch(vMV float64, repeats int) (FmaxResult, error) {
+	return d.campaign(repeats).FmaxSearch(vMV, silicon.DefaultFmaxGridMHz())
+}
+
+// RunExperiment regenerates one of the paper's tables/figures by id
+// (table1, power, fig3..fig10, table2, variability).
+func RunExperiment(id string, opts ExperimentOptions) (*Table, error) {
+	g, err := exp.GeneratorByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return g.Run(opts)
+}
+
+// ExperimentIDs lists the regenerable artifacts in paper order.
+func ExperimentIDs() []string {
+	gens := exp.Generators()
+	ids := make([]string, len(gens))
+	for i, g := range gens {
+		ids[i] = g.ID
+	}
+	return ids
+}
+
+// RunAllExperiments writes every regenerated table/figure to w.
+func RunAllExperiments(opts ExperimentOptions, w io.Writer) error {
+	return exp.RunAll(opts, w)
+}

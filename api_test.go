@@ -1,0 +1,203 @@
+package fpgauv
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"fpgauv/internal/board"
+)
+
+func newTinyDeployment(t *testing.T) (*Platform, *Deployment) {
+	t.Helper()
+	p, err := NewPlatform(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Deploy("VGGNet", DeployOptions{Tiny: true, Images: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+func TestNewPlatformValidation(t *testing.T) {
+	if _, err := NewPlatform(5); err == nil {
+		t.Fatal("sample out of range must fail")
+	}
+	p, err := NewPlatform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sample() != "platform-A" {
+		t.Fatalf("sample = %s", p.Sample())
+	}
+	if p.VCCINTmV() != VnomMV {
+		t.Fatalf("fresh platform VCCINT = %.0f", p.VCCINTmV())
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	p, d := newTinyDeployment(t)
+
+	stats, err := d.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAcc := stats.AccuracyPct
+	if math.Abs(baseAcc-86) > 3 {
+		t.Fatalf("accuracy @Vnom = %.1f", baseAcc)
+	}
+	baseProf := d.Profile()
+	if baseProf.GOPs <= 0 || baseProf.PowerW <= 0 {
+		t.Fatal("profile")
+	}
+
+	// Eliminate the guardband: same accuracy, ≈2.6x efficiency.
+	if err := p.SetVCCINTmV(570); err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := d.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.AccuracyPct != baseAcc {
+		t.Fatalf("guardband elimination changed accuracy: %.1f vs %.1f", stats2.AccuracyPct, baseAcc)
+	}
+	gain := d.Profile().GOPsPerW / baseProf.GOPsPerW
+	if math.Abs(gain-2.6) > 0.15 {
+		t.Fatalf("efficiency gain = %.2f, want ≈2.6", gain)
+	}
+}
+
+func TestCrashAndRebootThroughFacade(t *testing.T) {
+	p, d := newTinyDeployment(t)
+	if err := p.SetVCCINTmV(530); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Classify()
+	if !errors.Is(err, board.ErrHung) {
+		t.Fatalf("expected hang, got %v", err)
+	}
+	if !p.Hung() {
+		t.Fatal("hung state")
+	}
+	p.Reboot()
+	if p.Hung() || p.VCCINTmV() != VnomMV {
+		t.Fatal("reboot should restore the platform")
+	}
+	if _, err := d.Classify(); err != nil {
+		t.Fatalf("after reboot: %v", err)
+	}
+}
+
+func TestDetectRegionsThroughFacade(t *testing.T) {
+	_, d := newTinyDeployment(t)
+	reg, points, err := d.DetectRegions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	if math.Abs(reg.VminMV-570) > 5 {
+		t.Fatalf("Vmin = %.0f", reg.VminMV)
+	}
+	if reg.GuardbandPct() < 31 || reg.GuardbandPct() > 35 {
+		t.Fatalf("guardband = %.1f%%", reg.GuardbandPct())
+	}
+}
+
+func TestFmaxSearchThroughFacade(t *testing.T) {
+	p, d := newTinyDeployment(t)
+	res, err := d.FmaxSearch(555, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FmaxMHz != 250 {
+		t.Fatalf("Fmax(555) = %.0f, want 250", res.FmaxMHz)
+	}
+	p.Reboot()
+}
+
+func TestDeployValidation(t *testing.T) {
+	p, err := NewPlatform(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Deploy("NotANet", DeployOptions{Tiny: true}); err == nil {
+		t.Fatal("unknown benchmark must fail")
+	}
+	if _, err := p.Deploy("VGGNet", DeployOptions{Tiny: true, Bits: 1}); err == nil {
+		t.Fatal("bad precision must fail")
+	}
+}
+
+func TestBenchmarksAndExperimentIDs(t *testing.T) {
+	if len(Benchmarks()) != 5 {
+		t.Fatal("benchmark list")
+	}
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("experiment ids: %v", ids)
+	}
+	joined := strings.Join(ids, ",")
+	for _, want := range []string{"table1", "table2", "fig6", "fig10", "variability", "mitigation", "dvfs"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing experiment %q in %v", want, ids)
+		}
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestTemperatureControlThroughFacade(t *testing.T) {
+	p, d := newTinyDeployment(t)
+	if got := p.HoldTemperatureC(46); got != 46 {
+		t.Fatalf("hold = %.1f", got)
+	}
+	if p.DieTempC() != 46 {
+		t.Fatal("die temp should follow hold")
+	}
+	// ITD: at a critical-region voltage, hotter runs are more accurate
+	// on average.
+	if err := p.SetVCCINTmV(558); err != nil {
+		t.Fatal(err)
+	}
+	p.HoldTemperatureC(34)
+	cold, err := d.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.HoldTemperatureC(52)
+	hot, err := d.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.MACFaults >= cold.MACFaults {
+		t.Fatalf("ITD should reduce faults: hot %d vs cold %d", hot.MACFaults, cold.MACFaults)
+	}
+	p.ReleaseTemperature()
+	p.Reboot()
+}
+
+func TestVCCBRAMUndervolting(t *testing.T) {
+	p, d := newTinyDeployment(t)
+	// BRAM rail faults are separate from VCCINT faults; deep VCCBRAM
+	// underscaling flips stored weight bits.
+	if err := p.SetVCCBRAMmV(520); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BRAMFaults == 0 {
+		t.Fatal("expected BRAM bit flips at 520 mV VCCBRAM")
+	}
+	if stats.MACFaults != 0 {
+		t.Fatal("VCCINT is nominal; no MAC faults expected")
+	}
+}

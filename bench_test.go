@@ -1,0 +1,287 @@
+package fpgauv_test
+
+import (
+	"io"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fpgauv"
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/exp"
+	"fpgauv/internal/fabric"
+	"fpgauv/internal/models"
+	"fpgauv/internal/pmbus"
+	"fpgauv/internal/power"
+	"fpgauv/internal/quant"
+	"fpgauv/internal/tensor"
+)
+
+// benchOptions is the reduced protocol used by the per-figure benches:
+// single platform, tiny preset, small evaluation sets. The full protocol
+// lives in cmd/uvolt-repro.
+func benchOptions() exp.Options {
+	o := exp.QuickOptions()
+	o.Images = 16
+	o.Repeats = 2
+	o.Samples = []board.SampleID{board.SampleB}
+	return o
+}
+
+// runGenerator executes one table/figure generator per iteration.
+func runGenerator(b *testing.B, id string, opts exp.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		g, err := exp.GeneratorByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (benchmarks + accuracy @Vnom).
+func BenchmarkTable1(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"VGGNet", "GoogleNet"}
+	runGenerator(b, "table1", o)
+}
+
+// BenchmarkPowerBreakdownSec41 regenerates the §4.1 power breakdown and
+// reports the measured cross-benchmark average (paper: 12.59 W).
+func BenchmarkPowerBreakdownSec41(b *testing.B) {
+	o := benchOptions()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.PowerBreakdownSec41(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		avg, _ = strconv.ParseFloat(last[3], 64)
+	}
+	b.ReportMetric(avg, "W_at_Vnom")
+}
+
+// BenchmarkFig3 regenerates the voltage-region characterization.
+func BenchmarkFig3(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"VGGNet"}
+	runGenerator(b, "fig3", o)
+}
+
+// BenchmarkFig4 regenerates the overall voltage-behaviour sweep.
+func BenchmarkFig4(b *testing.B) {
+	runGenerator(b, "fig4", benchOptions())
+}
+
+// BenchmarkFig5 regenerates the power-efficiency gains and reports the
+// measured Vmin/Vcrash gains (paper: 2.6x / ≈3.7x).
+func BenchmarkFig5(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"VGGNet"}
+	var gainMin, gainCrash float64
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := tab.Rows[0]
+		gainMin, _ = strconv.ParseFloat(row[4], 64)
+		gainCrash, _ = strconv.ParseFloat(row[5], 64)
+	}
+	b.ReportMetric(gainMin, "gain_at_Vmin")
+	b.ReportMetric(gainCrash, "gain_at_Vcrash")
+}
+
+// BenchmarkFig6 regenerates the per-benchmark accuracy-vs-voltage series.
+func BenchmarkFig6(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"VGGNet", "ResNet50"}
+	runGenerator(b, "fig6", o)
+}
+
+// BenchmarkTable2 regenerates the frequency-underscaling table.
+func BenchmarkTable2(b *testing.B) {
+	runGenerator(b, "table2", benchOptions())
+}
+
+// BenchmarkFig7 regenerates the quantization-interaction study.
+func BenchmarkFig7(b *testing.B) {
+	runGenerator(b, "fig7", benchOptions())
+}
+
+// BenchmarkFig8 regenerates the pruning-interaction study.
+func BenchmarkFig8(b *testing.B) {
+	runGenerator(b, "fig8", benchOptions())
+}
+
+// BenchmarkFig9 regenerates the temperature-vs-power study.
+func BenchmarkFig9(b *testing.B) {
+	runGenerator(b, "fig9", benchOptions())
+}
+
+// BenchmarkFig10 regenerates the temperature-vs-accuracy (ITD) study.
+func BenchmarkFig10(b *testing.B) {
+	runGenerator(b, "fig10", benchOptions())
+}
+
+// BenchmarkVariability regenerates the three-platform ΔVmin/ΔVcrash
+// analysis.
+func BenchmarkVariability(b *testing.B) {
+	o := benchOptions()
+	o.Samples = []board.SampleID{board.SampleA, board.SampleB, board.SampleC}
+	o.Benchmarks = []string{"VGGNet"}
+	runGenerator(b, "variability", o)
+}
+
+// BenchmarkFullReport regenerates every artifact (the uvolt-repro run).
+func BenchmarkFullReport(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"VGGNet"}
+	for i := 0; i < b.N; i++ {
+		if err := exp.RunAll(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the substrate hot paths ---
+
+// BenchmarkConv2DInt8 measures the quantized convolution kernel.
+func BenchmarkConv2DInt8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(8, 32, 32)
+	x.FillRandn(rng, 1)
+	w := tensor.New(16, 8, 3, 3)
+	w.FillRandn(rng, 0.2)
+	xq, _ := quant.Quantize(x, 8)
+	wq, _ := quant.Quantize(w, 8)
+	bias := make([]int32, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := quant.Conv2DInt8(xq, wq, bias, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(x.Size()))
+}
+
+// BenchmarkDPUInference measures one fault-free inference through the
+// full DPU executor (VGGNet tiny).
+func BenchmarkDPUInference(b *testing.B) {
+	brd := board.MustNew(board.SampleB)
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, _ := models.New("VGGNet", models.Tiny)
+	k, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := bench.MakeDataset(4, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Run(ds.Inputs[i%4], rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPUInferenceWithFaults measures inference in the critical
+// region with live fault sampling and injection.
+func BenchmarkDPUInferenceWithFaults(b *testing.B) {
+	brd := board.MustNew(board.SampleB)
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, _ := models.New("VGGNet", models.Tiny)
+	k, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT).SetVoltageMV(550); err != nil {
+		b.Fatal(err)
+	}
+	ds := bench.MakeDataset(4, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Run(ds.Inputs[i%4], rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPMBusTransaction measures a voltage set + telemetry read pair.
+func BenchmarkPMBusTransaction(b *testing.B) {
+	brd := board.MustNew(board.SampleB)
+	brd.SetWorkload(board.Workload{UtilScale: 1})
+	a := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.SetVoltageMV(570 + float64(i%10)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.PowerW(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerModel measures a single operating-point evaluation.
+func BenchmarkPowerModel(b *testing.B) {
+	m := power.NewModel()
+	op := power.DefaultOperatingPoint()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.VCCINTmV = 540 + float64(i%310)
+		_ = m.Breakdown(op)
+	}
+}
+
+// BenchmarkFaultSampling measures the binomial fault sampler in the
+// sparse regime the executor lives in.
+func BenchmarkFaultSampling(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fabric.SampleFaults(rng, 10_000_000, 1e-6)
+	}
+}
+
+// BenchmarkGuardbandEfficiencyGain measures the end-to-end headline
+// number through the public API and reports it.
+func BenchmarkGuardbandEfficiencyGain(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		p, err := fpgauv.NewPlatform(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := p.Deploy("VGGNet", fpgauv.DeployOptions{Tiny: true, Images: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := d.Profile()
+		if err := p.SetVCCINTmV(570); err != nil {
+			b.Fatal(err)
+		}
+		gain = d.Profile().GOPsPerW / base.GOPsPerW
+	}
+	b.ReportMetric(gain, "x_gain_at_Vmin")
+}

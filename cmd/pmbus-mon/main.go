@@ -1,0 +1,188 @@
+// Command pmbus-mon is the PMBus monitor/regulation tool for the
+// simulated ZCU102 — the role the Maxim PowerTool adapter plays in the
+// paper's setup (§3.3.2). It can dump all 26 rails, read telemetry from
+// one rail, command a new voltage, and drive the fan.
+//
+// Usage:
+//
+//	pmbus-mon dump    [-sample 1]
+//	pmbus-mon read    [-sample 1] -addr 0x13
+//	pmbus-mon set     [-sample 1] -addr 0x13 -mv 570
+//	pmbus-mon fan     [-sample 1] -rpm 1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/pmbus"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: pmbus-mon <dump|read|set|fan> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "read":
+		err = cmdRead(os.Args[2:])
+	case "set":
+		err = cmdSet(os.Args[2:])
+	case "fan":
+		err = cmdFan(os.Args[2:])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pmbus-mon <dump|read|set|fan> [flags]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbus-mon:", err)
+		os.Exit(1)
+	}
+}
+
+func newBoard(sample int) (*board.ZCU102, error) {
+	b, err := board.New(board.SampleID(sample))
+	if err != nil {
+		return nil, err
+	}
+	// A representative PL load so telemetry is non-trivial.
+	b.SetWorkload(board.Workload{UtilScale: 1})
+	return b, nil
+}
+
+func parseAddr(s string) (uint8, error) {
+	v, err := strconv.ParseUint(s, 0, 8)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q: %w", s, err)
+	}
+	return uint8(v), nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	sample := fs.Int("sample", 1, "board sample 0..2")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := newBoard(*sample)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s PMBus rails:\n", b.Sample())
+	for _, reg := range b.Regulators() {
+		fmt.Printf("%s:\n", reg.Name())
+		for _, rail := range reg.Rails() {
+			a := pmbus.NewAdapter(b.Bus(), rail.Address())
+			mv, err := a.VoltageMV()
+			if err != nil {
+				return err
+			}
+			w, err := a.PowerW()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  0x%02X %-10s %8.1f mV %9.4f W\n", rail.Address(), rail.Name(), mv, w)
+		}
+	}
+	return nil
+}
+
+func cmdRead(args []string) error {
+	fs := flag.NewFlagSet("read", flag.ExitOnError)
+	sample := fs.Int("sample", 1, "board sample 0..2")
+	addr := fs.String("addr", "0x13", "rail PMBus address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := newBoard(*sample)
+	if err != nil {
+		return err
+	}
+	a8, err := parseAddr(*addr)
+	if err != nil {
+		return err
+	}
+	a := pmbus.NewAdapter(b.Bus(), a8)
+	mv, err := a.VoltageMV()
+	if err != nil {
+		return err
+	}
+	w, err := a.PowerW()
+	if err != nil {
+		return err
+	}
+	i, err := a.CurrentA()
+	if err != nil {
+		return err
+	}
+	temp, err := a.TemperatureC()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("0x%02X: VOUT=%.1f mV  POUT=%.4f W  IOUT=%.3f A  TEMP=%.1f C\n", a8, mv, w, i, temp)
+	return nil
+}
+
+func cmdSet(args []string) error {
+	fs := flag.NewFlagSet("set", flag.ExitOnError)
+	sample := fs.Int("sample", 1, "board sample 0..2")
+	addr := fs.String("addr", "0x13", "rail PMBus address")
+	mv := fs.Float64("mv", 850, "target millivolts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := newBoard(*sample)
+	if err != nil {
+		return err
+	}
+	a8, err := parseAddr(*addr)
+	if err != nil {
+		return err
+	}
+	a := pmbus.NewAdapter(b.Bus(), a8)
+	if err := a.SetVoltageMV(*mv); err != nil {
+		return err
+	}
+	got, err := a.VoltageMV()
+	if err != nil {
+		return err
+	}
+	w, err := a.PowerW()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("0x%02X: VOUT_COMMAND %.1f mV -> READ_VOUT %.1f mV, POUT %.4f W\n", a8, *mv, got, w)
+	if b.Die().Crashed(got, b.DieTempC(), false) && a8 == board.AddrVCCINT {
+		fmt.Println("warning: below Vcrash — a running design would hang at this level")
+	}
+	return nil
+}
+
+func cmdFan(args []string) error {
+	fs := flag.NewFlagSet("fan", flag.ExitOnError)
+	sample := fs.Int("sample", 1, "board sample 0..2")
+	rpm := fs.Float64("rpm", 5000, "fan speed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := newBoard(*sample)
+	if err != nil {
+		return err
+	}
+	a := pmbus.NewAdapter(b.Bus(), board.AddrVCC3V3)
+	if err := a.SetFanRPM(*rpm); err != nil {
+		return err
+	}
+	got, err := a.FanRPM()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fan: %.0f rpm, die temperature %.1f C at the present load\n", got, b.DieTempC())
+	return nil
+}

@@ -1,0 +1,186 @@
+// Command uvolt drives the undervolting methodology on the simulated
+// ZCU102 platform: region detection, voltage sweeps, frequency
+// underscaling and single-experiment regeneration.
+//
+// Usage:
+//
+//	uvolt regions   [-bench VGGNet] [-sample 1] [-repeats 3] [-images 32]
+//	uvolt sweep     [-bench VGGNet] [-sample 1] [-step 10]
+//	uvolt freq      [-bench VGGNet] [-sample 1] [-mv 555]
+//	uvolt exp       -id table1|power|fig3..fig10|table2|variability
+//	uvolt list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgauv"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "regions":
+		err = cmdRegions(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "freq":
+		err = cmdFreq(args)
+	case "exp":
+		err = cmdExp(args)
+	case "list":
+		err = cmdList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uvolt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: uvolt <regions|sweep|freq|exp|list> [flags]
+  regions  detect Vmin/Vcrash for a benchmark on a board sample
+  sweep    run the downward voltage sweep and print per-point metrics
+  freq     search the maximum fault-free DPU clock at a voltage (Table 2)
+  exp      regenerate one of the paper's tables/figures
+  list     list benchmarks and experiment ids`)
+}
+
+// commonFlags returns a flag set with the shared deployment options.
+func commonFlags(name string) (*flag.FlagSet, *string, *int, *int, *int, *bool) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	bench := fs.String("bench", "VGGNet", "benchmark name (see 'uvolt list')")
+	sample := fs.Int("sample", 1, "board sample 0..2")
+	repeats := fs.Int("repeats", 3, "repeats per measurement")
+	images := fs.Int("images", 32, "evaluation images")
+	tiny := fs.Bool("tiny", true, "use the tiny model preset")
+	return fs, bench, sample, repeats, images, tiny
+}
+
+func deploy(bench string, sample, images int, tiny bool) (*fpgauv.Platform, *fpgauv.Deployment, error) {
+	p, err := fpgauv.NewPlatform(sample)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := p.Deploy(bench, fpgauv.DeployOptions{Tiny: tiny, Images: images})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, d, nil
+}
+
+func cmdRegions(args []string) error {
+	fs, bench, sample, repeats, images, tiny := commonFlags("regions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, d, err := deploy(*bench, *sample, *images, *tiny)
+	if err != nil {
+		return err
+	}
+	reg, _, err := d.DetectRegions(*repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s: %s\n", p.Sample(), *bench, reg)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs, bench, sample, repeats, images, tiny := commonFlags("sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, d, err := deploy(*bench, *sample, *images, *tiny)
+	if err != nil {
+		return err
+	}
+	points, err := d.Sweep(*repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-12s %-10s %-9s %-10s\n", "V(mV)", "Accuracy(%)", "Power(W)", "GOPs/W", "Faults")
+	for _, pt := range points {
+		if pt.Crashed {
+			fmt.Printf("%-10.0f CRASH\n", pt.VCCINTmV)
+			break
+		}
+		fmt.Printf("%-10.0f %-12.1f %-10.2f %-9.1f %-10d\n",
+			pt.VCCINTmV, pt.AccuracyPct, pt.PowerW, pt.GOPsPerW, pt.MACFaults)
+	}
+	return nil
+}
+
+func cmdFreq(args []string) error {
+	fs, bench, sample, repeats, images, tiny := commonFlags("freq")
+	mv := fs.Float64("mv", 555, "VCCINT level to search at")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, d, err := deploy(*bench, *sample, *images, *tiny)
+	if err != nil {
+		return err
+	}
+	res, err := d.FmaxSearch(*mv, *repeats)
+	if err != nil {
+		return err
+	}
+	if res.FmaxMHz == 0 {
+		fmt.Printf("%s %s at %.0f mV: board crashes (below Vcrash)\n", p.Sample(), *bench, *mv)
+		return nil
+	}
+	fmt.Printf("%s %s at %.0f mV: Fmax = %.0f MHz (no accuracy loss)\n",
+		p.Sample(), *bench, *mv, res.FmaxMHz)
+	return nil
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	id := fs.String("id", "", "experiment id (see 'uvolt list')")
+	images := fs.Int("images", 24, "evaluation images")
+	repeats := fs.Int("repeats", 3, "repeats per measurement")
+	small := fs.Bool("small", false, "use the Small model preset (slower, the repro default)")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	opts := fpgauv.ExperimentOptions{Images: *images, Repeats: *repeats}
+	if *small {
+		opts.Preset = 1 // models.Small
+	}
+	tab, err := fpgauv.RunExperiment(*id, opts)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Print(tab.CSV())
+		return nil
+	}
+	fmt.Print(tab.Render())
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("benchmarks:")
+	for _, b := range fpgauv.Benchmarks() {
+		fmt.Println("  ", b)
+	}
+	fmt.Println("experiments:")
+	for _, id := range fpgauv.ExperimentIDs() {
+		fmt.Println("  ", id)
+	}
+	return nil
+}

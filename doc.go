@@ -1,0 +1,22 @@
+// Package fpgauv is a full-system reproduction, in pure Go, of
+// "An Experimental Study of Reduced-Voltage Operation in Modern FPGAs for
+// Neural Network Acceleration" (Salami et al., DSN 2020).
+//
+// The paper is a hardware measurement study: three Xilinx ZCU102 boards,
+// the DNNDK/DPU CNN stack, and PMBus-driven underscaling of the VCCINT
+// rail. This library substitutes the hardware with a calibrated platform
+// simulator (silicon timing/fault model, PMBus power tree, thermal model,
+// DPU accelerator model, INT8..INT4 CNN inference) and exposes the
+// paper's experimental methodology as a reusable API:
+//
+//	p, _ := fpgauv.NewPlatform(1)             // ZCU102 sample B
+//	d, _ := p.Deploy("VGGNet", fpgauv.DeployOptions{})
+//	_ = p.SetVCCINTmV(570)                    // eliminate the guardband
+//	stats, _ := d.Classify()                  // still 86% accurate
+//	prof := d.Profile()                       // ≈2.6x GOPs/W vs nominal
+//
+// Every table and figure of the paper's evaluation can be regenerated
+// with RunExperiment or the cmd/uvolt-repro binary; see DESIGN.md for the
+// substitution rationale and EXPERIMENTS.md for paper-vs-measured
+// results.
+package fpgauv

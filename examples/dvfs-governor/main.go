@@ -1,0 +1,72 @@
+// DVFS governor: the paper's §9 future-work item implemented — a
+// closed-loop controller that walks VCCINT to the deepest fault-free
+// level under the current thermal conditions and re-settles when the
+// environment changes. Run it to watch the governor exploit ITD headroom
+// on a hot die and back off when the fan recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgauv"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/dvfs"
+	"fpgauv/internal/models"
+)
+
+func main() {
+	platform, err := fpgauv.NewPlatform(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := models.New("GoogleNet", models.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := platform.Runtime().LoadKernel(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	governor := dvfs.New(task, bench, dvfs.DefaultConfig())
+
+	show := func(phase string, settled float64) {
+		total, _, _ := platform.PowerW()
+		fmt.Printf("%-36s settled at %.0f mV, %.2f W, die %.1f C\n",
+			phase, settled, total, platform.DieTempC())
+	}
+
+	// Phase 1: cold die (full fan).
+	platform.HoldTemperatureC(34)
+	v, err := governor.Settle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("cold die (34 C):", v)
+
+	// Phase 2: fan slows, die heats: ITD gives extra headroom.
+	platform.HoldTemperatureC(52)
+	v, err = governor.Adjust()
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("hot die (52 C), ITD headroom:", v)
+
+	// Phase 3: fan recovers; the governor backs off safely.
+	platform.HoldTemperatureC(34)
+	v, err = governor.Adjust()
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("cooled again (34 C):", v)
+
+	fmt.Println("\ngovernor trace:")
+	for _, s := range governor.Trace() {
+		fmt.Printf("  %6.0f mV  %4.1f C  %5d faults  %5.2f W  %s\n",
+			s.VCCINTmV, s.TempC, s.Faults, s.PowerW, s.Action)
+	}
+}

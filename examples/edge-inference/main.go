@@ -1,0 +1,79 @@
+// Edge inference under a power budget: the drone/battery scenario from
+// the paper's introduction. Given a hard on-chip power cap, pick the
+// deepest safe operating voltage — and, if the cap forces operation below
+// Vmin, recover accuracy with frequency underscaling (§5) instead of
+// accepting classification errors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgauv"
+)
+
+// powerCapW is the platform power budget of the hypothetical edge device.
+const powerCapW = 4.2
+
+func main() {
+	platform, err := fpgauv.NewPlatform(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deployment, err := platform.Deploy("ResNet50", fpgauv.DeployOptions{Tiny: true, Images: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("power cap: %.1f W\n\n", powerCapW)
+
+	// Walk the voltage down until the cap is met, checking accuracy at
+	// every step (the paper's sweep protocol).
+	chosen := 0.0
+	for v := fpgauv.VnomMV; v >= 540; v -= 5 {
+		if err := platform.SetVCCINTmV(v); err != nil {
+			log.Fatal(err)
+		}
+		prof := deployment.Profile()
+		if prof.PowerW <= powerCapW {
+			chosen = v
+			fmt.Printf("first voltage under the cap: %.0f mV (%.2f W)\n", v, prof.PowerW)
+			break
+		}
+	}
+	if chosen == 0 {
+		log.Fatal("power cap unreachable even at Vcrash")
+	}
+
+	stats, err := deployment.Classify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy at %.0f mV, 333 MHz: %.1f%% (%d fault events)\n",
+		chosen, stats.AccuracyPct, stats.MACFaults)
+
+	if stats.MACFaults > 0 {
+		// Below Vmin: recover with frequency underscaling.
+		res, err := deployment.FmaxSearch(chosen, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.FmaxMHz == 0 {
+			log.Fatal("no safe frequency at this voltage")
+		}
+		if err := platform.SetFrequencyMHz(res.FmaxMHz); err != nil {
+			log.Fatal(err)
+		}
+		if err := platform.SetVCCINTmV(chosen); err != nil {
+			log.Fatal(err)
+		}
+		stats, err = deployment.Classify()
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := deployment.Profile()
+		fmt.Printf("after frequency underscaling to %.0f MHz: accuracy %.1f%%, %.2f W, %.1f GOPs/W\n",
+			res.FmaxMHz, stats.AccuracyPct, prof.PowerW, prof.GOPsPerW)
+		fmt.Println("(performance traded for error-free operation under the cap, per §5)")
+	}
+}

@@ -1,0 +1,58 @@
+// Fault characterization campaign: probe the raw voltage-dependent fault
+// behaviour of the two PL resource classes the paper studies — DSP/LUT
+// datapaths on VCCINT and BRAM cells on VCCBRAM — independent of any CNN,
+// using the fabric fault model directly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgauv"
+	"fpgauv/internal/fabric"
+)
+
+func main() {
+	platform, err := fpgauv.NewPlatform(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab := platform.Board().Fabric()
+
+	fmt.Println("DSP/LUT datapath fault probability per MAC-cycle (VCCINT sweep, 333 MHz, 34 C)")
+	fmt.Printf("%-12s %-14s\n", "VCCINT(mV)", "P(fault)")
+	for v := 600.0; v >= 540; v -= 5 {
+		p := fab.MACFaultProb(fabric.Conditions{
+			VCCINTmV: v, VCCBRAMmV: 850, TempC: 34, FreqMHz: 333,
+		})
+		bar := ""
+		for i := 0.0; i < p*2e5 && len(bar) < 48; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%-12.0f %-14.3g %s\n", v, p, bar)
+	}
+
+	fmt.Println("\nBRAM cell bit-flip probability per read (VCCBRAM sweep, VCCINT nominal)")
+	fmt.Printf("%-12s %-14s\n", "VCCBRAM(mV)", "P(bit flip)")
+	for v := 580.0; v >= 500; v -= 10 {
+		p := fab.BRAMBitFaultProb(fabric.Conditions{
+			VCCINTmV: 850, VCCBRAMmV: v, TempC: 34,
+		})
+		fmt.Printf("%-12.0f %-14.3g\n", v, p)
+	}
+
+	// End-to-end: BRAM-only undervolting corrupts weights, not MACs.
+	deployment, err := platform.Deploy("VGGNet", fpgauv.DeployOptions{Tiny: true, Images: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.SetVCCBRAMmV(515); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := deployment.Classify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nVGGNet with VCCBRAM at 515 mV (VCCINT nominal): accuracy %.1f%%, %d weight-bit flips, %d MAC faults\n",
+		stats.AccuracyPct, stats.BRAMFaults, stats.MACFaults)
+}

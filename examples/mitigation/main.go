@@ -1,0 +1,62 @@
+// Fault mitigation in the critical region (the paper's §9 future-work
+// item): compare running unprotected at 560 mV against temporal
+// redundancy (majority vote) and Razor-style detect-and-replay, trading
+// performance for restored accuracy at full clock frequency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpgauv"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/mitigate"
+	"fpgauv/internal/models"
+)
+
+func main() {
+	platform, err := fpgauv.NewPlatform(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := models.New("VGGNet", models.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := platform.Runtime().LoadKernel(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := bench.MakeDataset(48, 21)
+	if err := task.PlantLabels(ds, bench.TargetAccPct, 9); err != nil {
+		log.Fatal(err)
+	}
+
+	// Operate deep in the critical region at the full 333 MHz clock.
+	if err := platform.SetVCCINTmV(562); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("VGGNet at VCCINT = 562 mV, 333 MHz (critical region)")
+	fmt.Printf("%-26s %-14s %-14s %-10s\n", "strategy", "baseline(%)", "mitigated(%)", "perf cost")
+
+	strategies := []mitigate.Strategy{
+		mitigate.TemporalRedundancy{N: 3},
+		mitigate.TemporalRedundancy{N: 5},
+		mitigate.RazorReplay{Coverage: 0.90},
+		mitigate.RazorReplay{Coverage: 0.99},
+	}
+	for i, s := range strategies {
+		ev, err := mitigate.Evaluate(s, task, ds, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %-14.1f %-14.1f %.2fx\n",
+			ev.Strategy, ev.BaselinePct, ev.MitigatedPct, ev.PerfCost)
+	}
+	fmt.Println("\nRazor-style detection restores accuracy almost for free;")
+	fmt.Println("temporal redundancy needs no hardware but costs N-fold throughput.")
+}

@@ -1,0 +1,224 @@
+package board
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fpgauv/internal/pmbus"
+)
+
+func TestBoardAssembly(t *testing.T) {
+	b := MustNew(SampleB)
+	addrs := b.Bus().Addresses()
+	if len(addrs) != 26 {
+		t.Fatalf("ZCU102 should expose 26 PMBus rails, got %d", len(addrs))
+	}
+	if b.VCCINTmV() != 850 || b.VCCBRAMmV() != 850 {
+		t.Fatalf("rails should come up at 850 mV: %.0f, %.0f", b.VCCINTmV(), b.VCCBRAMmV())
+	}
+	if got := len(b.Regulators()); got != 3 {
+		t.Fatalf("three PMICs expected, got %d", got)
+	}
+}
+
+func TestUndervoltViaPMBus(t *testing.T) {
+	b := MustNew(SampleB)
+	vccint := pmbus.NewAdapter(b.Bus(), AddrVCCINT)
+	if err := vccint.SetVoltageMV(570); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.VCCINTmV()-570) > 0.2 {
+		t.Fatalf("VCCINT = %.2f, want 570", b.VCCINTmV())
+	}
+	// VCCBRAM must be untouched (separate rail, paper §3.3.2).
+	if b.VCCBRAMmV() != 850 {
+		t.Fatalf("VCCBRAM = %.2f, want 850", b.VCCBRAMmV())
+	}
+}
+
+func TestPowerTelemetryAtNominal(t *testing.T) {
+	b := MustNew(SampleB)
+	b.SetWorkload(Workload{UtilScale: 1.0})
+	vccint := pmbus.NewAdapter(b.Bus(), AddrVCCINT)
+	p, err := vccint.PowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-12.59) > 0.35 {
+		t.Fatalf("VCCINT power at Vnom = %.3f W, want ≈12.59 (§4.1)", p)
+	}
+	vccbram := pmbus.NewAdapter(b.Bus(), AddrVCCBRAM)
+	pb, err := vccbram.PowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb <= 0 || pb > 0.02 {
+		t.Fatalf("VCCBRAM power = %.4f W, want a few mW (<0.1%% of on-chip)", pb)
+	}
+	if share := p / (p + pb); share < 0.999 {
+		t.Fatalf("VCCINT share = %.5f, want >99.9%%", share)
+	}
+}
+
+func TestCrashAndRebootProtocol(t *testing.T) {
+	b := MustNew(SampleB)
+	b.SetWorkload(Workload{UtilScale: 1})
+	vccint := pmbus.NewAdapter(b.Bus(), AddrVCCINT)
+	if err := vccint.SetVoltageMV(545); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckAlive(); err != nil {
+		t.Fatalf("board should be alive at 545 mV (Vcrash=538 for sample B): %v", err)
+	}
+	if err := vccint.SetVoltageMV(535); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckAlive(); !errors.Is(err, ErrHung) {
+		t.Fatalf("board should hang at 535 mV, got %v", err)
+	}
+	if !b.Hung() {
+		t.Fatal("hung state should latch")
+	}
+	// Even after raising the voltage the board stays hung until a
+	// power cycle, like real crashed hardware.
+	if err := vccint.SetVoltageMV(850); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckAlive(); !errors.Is(err, ErrHung) {
+		t.Fatalf("crash must latch until reboot, got %v", err)
+	}
+	b.Reboot()
+	if b.Hung() {
+		t.Fatal("reboot should clear the hung state")
+	}
+	if b.VCCINTmV() != 850 {
+		t.Fatalf("reboot should restore nominal rails, got %.1f", b.VCCINTmV())
+	}
+	if b.Reboots() != 1 {
+		t.Fatalf("reboot count = %d", b.Reboots())
+	}
+}
+
+func TestSampleCrashVariation(t *testing.T) {
+	// Sample A crashes at 532, B at 538, C at 550 (ΔVcrash = 18 mV).
+	cases := []struct {
+		id      SampleID
+		aliveAt float64
+		deadAt  float64
+	}{
+		{SampleA, 535, 530},
+		{SampleB, 540, 536},
+		{SampleC, 552, 548},
+	}
+	for _, c := range cases {
+		b := MustNew(c.id)
+		b.SetWorkload(Workload{UtilScale: 1})
+		a := pmbus.NewAdapter(b.Bus(), AddrVCCINT)
+		if err := a.SetVoltageMV(c.aliveAt); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CheckAlive(); err != nil {
+			t.Errorf("%v should be alive at %.0f mV: %v", c.id, c.aliveAt, err)
+		}
+		if err := a.SetVoltageMV(c.deadAt); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CheckAlive(); !errors.Is(err, ErrHung) {
+			t.Errorf("%v should crash at %.0f mV", c.id, c.deadAt)
+		}
+	}
+}
+
+func TestFrequencyControl(t *testing.T) {
+	b := MustNew(SampleB)
+	if err := b.SetFrequencyMHz(250); err != nil {
+		t.Fatal(err)
+	}
+	if b.FrequencyMHz() != 250 {
+		t.Fatal("frequency not applied")
+	}
+	if err := b.SetFrequencyMHz(-1); err == nil {
+		t.Fatal("negative frequency must be rejected")
+	}
+	b.Reboot()
+	if b.FrequencyMHz() != 333 {
+		t.Fatalf("reboot should restore the default clock, got %.0f", b.FrequencyMHz())
+	}
+}
+
+func TestDieTempConvergesAndTracksFan(t *testing.T) {
+	b := MustNew(SampleB)
+	b.SetWorkload(Workload{UtilScale: 1})
+	b.Thermal().SetFanRPM(5000)
+	fast := b.DieTempC()
+	if math.Abs(fast-34) > 1.5 {
+		t.Errorf("full-fan die temp = %.2f, want ≈34 °C", fast)
+	}
+	b.Thermal().SetFanRPM(1000)
+	slow := b.DieTempC()
+	if math.Abs(slow-52) > 1.5 {
+		t.Errorf("min-fan die temp = %.2f, want ≈52 °C", slow)
+	}
+	if slow <= fast {
+		t.Error("slower fan must run hotter")
+	}
+}
+
+func TestFanViaPMBus(t *testing.T) {
+	b := MustNew(SampleB)
+	a := pmbus.NewAdapter(b.Bus(), AddrVCC3V3)
+	if err := a.SetFanRPM(1000); err != nil {
+		t.Fatal(err)
+	}
+	rpm, err := a.FanRPM()
+	if err != nil || math.Abs(rpm-1000) > 5 {
+		t.Fatalf("fan rpm = %.1f, %v", rpm, err)
+	}
+}
+
+func TestIdleVersusRunningPower(t *testing.T) {
+	b := MustNew(SampleB)
+	b.SetIdle(true)
+	idle := b.PowerBreakdown().TotalW
+	b.SetWorkload(Workload{UtilScale: 1})
+	busy := b.PowerBreakdown().TotalW
+	if idle >= busy {
+		t.Fatalf("idle %.2f W should be below busy %.2f W", idle, busy)
+	}
+}
+
+func TestCriticalRegionActivityDroop(t *testing.T) {
+	b := MustNew(SampleB)
+	b.SetWorkload(Workload{UtilScale: 1})
+	a := pmbus.NewAdapter(b.Bus(), AddrVCCINT)
+	// At 570 mV (Vmin) no droop; at 545 mV faults cause pipeline
+	// flushes that reduce power superquadratically.
+	if err := a.SetVoltageMV(570); err != nil {
+		t.Fatal(err)
+	}
+	p570 := b.PowerBreakdown().TotalW
+	if err := a.SetVoltageMV(545); err != nil {
+		t.Fatal(err)
+	}
+	p545 := b.PowerBreakdown().TotalW
+	pureV2 := p570 * (545.0 * 545.0) / (570.0 * 570.0)
+	if p545 >= pureV2 {
+		t.Fatalf("critical-region power %.3f should drop below pure V² scaling %.3f", p545, pureV2)
+	}
+}
+
+func TestWorkloadDefaultsSanitized(t *testing.T) {
+	b := MustNew(SampleB)
+	b.SetWorkload(Workload{UtilScale: -3, ComputeFrac: 2})
+	w := b.Workload()
+	if w.UtilScale != 1 || w.ComputeFrac <= 0 || w.ComputeFrac > 1 {
+		t.Fatalf("workload not sanitized: %+v", w)
+	}
+}
+
+func TestSampleIDString(t *testing.T) {
+	if SampleA.String() != "platform-A" || SampleID(7).String() != "platform-7" {
+		t.Fatal("SampleID string")
+	}
+}

@@ -1,0 +1,64 @@
+package board
+
+import (
+	"sync"
+	"testing"
+
+	"fpgauv/internal/pmbus"
+)
+
+// The host monitor thread polls telemetry while the experiment controller
+// regulates voltage — the board and bus must tolerate that concurrency
+// (run with -race).
+func TestConcurrentTelemetryAndRegulation(t *testing.T) {
+	b := MustNew(SampleB)
+	b.SetWorkload(Workload{UtilScale: 1})
+	var wg sync.WaitGroup
+
+	// Regulator: walks VCCINT down and back up.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a := pmbus.NewAdapter(b.Bus(), AddrVCCINT)
+		for i := 0; i < 50; i++ {
+			mv := 850 - float64(i%30)*5
+			if err := a.SetVoltageMV(mv); err != nil {
+				t.Errorf("set: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Monitor: reads power and temperature continuously.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := pmbus.NewAdapter(b.Bus(), AddrVCCINT)
+			for i := 0; i < 50; i++ {
+				if _, err := a.PowerW(); err != nil {
+					t.Errorf("power: %v", err)
+					return
+				}
+				if _, err := a.TemperatureC(); err != nil {
+					t.Errorf("temp: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Runtime: toggles workload and checks liveness.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			b.SetIdle(i%2 == 0)
+			b.SetWorkload(Workload{UtilScale: 1})
+			_ = b.CheckAlive()
+			_ = b.DieTempC()
+		}
+	}()
+
+	wg.Wait()
+}

@@ -1,0 +1,122 @@
+package board
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DDR4 models the ZCU102's 8 GB 64-bit DDR4 off-chip memory (paper
+// §3.3.1): an allocation-based content store for CNN parameters and input
+// images plus the bandwidth figure the DPU performance model charges
+// memory traffic against. Contents are stored sparsely; only written
+// regions consume host memory.
+type DDR4 struct {
+	mu     sync.Mutex
+	next   uint64
+	allocs map[uint64][]byte
+	names  map[string]uint64
+}
+
+// DDR4 geometry.
+const (
+	DDRCapacityBytes = 8 << 30
+	// DDRBandwidthBps is the effective bandwidth of the 64-bit DDR4-2400
+	// interface after controller efficiency.
+	DDRBandwidthBps = 19.2e9
+)
+
+// NewDDR4 returns an empty memory.
+func NewDDR4() *DDR4 {
+	return &DDR4{
+		next:   0x1000,
+		allocs: make(map[uint64][]byte),
+		names:  make(map[string]uint64),
+	}
+}
+
+// Alloc reserves size bytes under a name (e.g. a kernel's weight region)
+// and returns its base address.
+func (d *DDR4) Alloc(name string, size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("ddr: invalid allocation size %d", size)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.next+uint64(size) > DDRCapacityBytes {
+		return 0, fmt.Errorf("ddr: out of memory allocating %d bytes", size)
+	}
+	if _, exists := d.names[name]; exists {
+		return 0, fmt.Errorf("ddr: allocation %q already exists", name)
+	}
+	base := d.next
+	d.next += uint64(size)
+	// Align subsequent allocations to 4 KiB pages like the DNNDK loader.
+	if rem := d.next % 4096; rem != 0 {
+		d.next += 4096 - rem
+	}
+	d.allocs[base] = make([]byte, size)
+	d.names[name] = base
+	return base, nil
+}
+
+// Base returns the base address of a named allocation.
+func (d *DDR4) Base(name string) (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	base, ok := d.names[name]
+	return base, ok
+}
+
+// Write copies data into an allocation at the given offset.
+func (d *DDR4) Write(base uint64, offset int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	buf, ok := d.allocs[base]
+	if !ok {
+		return fmt.Errorf("ddr: no allocation at 0x%X", base)
+	}
+	if offset < 0 || offset+len(data) > len(buf) {
+		return fmt.Errorf("ddr: write [%d, %d) outside allocation of %d bytes", offset, offset+len(data), len(buf))
+	}
+	copy(buf[offset:], data)
+	return nil
+}
+
+// Read copies from an allocation into p.
+func (d *DDR4) Read(base uint64, offset int, p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	buf, ok := d.allocs[base]
+	if !ok {
+		return fmt.Errorf("ddr: no allocation at 0x%X", base)
+	}
+	if offset < 0 || offset+len(p) > len(buf) {
+		return fmt.Errorf("ddr: read [%d, %d) outside allocation of %d bytes", offset, offset+len(p), len(buf))
+	}
+	copy(p, buf[offset:])
+	return nil
+}
+
+// Free releases a named allocation.
+func (d *DDR4) Free(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	base, ok := d.names[name]
+	if !ok {
+		return fmt.Errorf("ddr: no allocation named %q", name)
+	}
+	delete(d.names, name)
+	delete(d.allocs, base)
+	return nil
+}
+
+// UsedBytes returns the number of bytes currently allocated.
+func (d *DDR4) UsedBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := 0
+	for _, b := range d.allocs {
+		total += len(b)
+	}
+	return total
+}

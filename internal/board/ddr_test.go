@@ -1,0 +1,75 @@
+package board
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDDRAllocWriteRead(t *testing.T) {
+	d := NewDDR4()
+	base, err := d.Alloc("weights", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 5}
+	if err := d.Write(base, 100, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := d.Read(base, 100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %v", got)
+	}
+	if b, ok := d.Base("weights"); !ok || b != base {
+		t.Fatal("base lookup")
+	}
+	if d.UsedBytes() != 1024 {
+		t.Fatalf("used = %d", d.UsedBytes())
+	}
+}
+
+func TestDDRBoundsAndErrors(t *testing.T) {
+	d := NewDDR4()
+	if _, err := d.Alloc("x", 0); err == nil {
+		t.Fatal("zero-size alloc must fail")
+	}
+	base, err := d.Alloc("x", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc("x", 16); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+	if err := d.Write(base, 12, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-bounds write must fail")
+	}
+	if err := d.Read(base, -1, make([]byte, 2)); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+	if err := d.Write(base+1, 0, []byte{1}); err == nil {
+		t.Fatal("unknown base must fail")
+	}
+	if err := d.Free("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free("x"); err == nil {
+		t.Fatal("double free must fail")
+	}
+	if d.UsedBytes() != 0 {
+		t.Fatal("free should release bytes")
+	}
+}
+
+func TestDDRAllocationAlignment(t *testing.T) {
+	d := NewDDR4()
+	a, _ := d.Alloc("a", 10)
+	b, _ := d.Alloc("b", 10)
+	if b <= a {
+		t.Fatal("allocations must not overlap")
+	}
+	if b%4096 != 0 {
+		t.Fatalf("allocation base 0x%X not page aligned", b)
+	}
+}

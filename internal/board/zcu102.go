@@ -1,0 +1,388 @@
+// Package board assembles the simulated Xilinx ZCU102 evaluation platform:
+// the XCZU9EG MPSoC die, the programmable-logic fabric, three PMBus voltage
+// regulators exposing 26 rails (paper Fig. 2), the chassis fan/thermal
+// model, the DDR4 off-chip memory, and the crash/reboot semantics observed
+// when VCCINT is underscaled past Vcrash.
+//
+// The board is the integration point of the substrate packages: regulators
+// pull live rail power from the calibrated power model, the thermal model
+// closes the power→temperature loop, and the DPU executor queries the
+// fabric for fault rates at the present electrical conditions.
+package board
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fpgauv/internal/fabric"
+	"fpgauv/internal/pmbus"
+	"fpgauv/internal/power"
+	"fpgauv/internal/regulator"
+	"fpgauv/internal/silicon"
+	"fpgauv/internal/thermal"
+)
+
+// Well-known PMBus rail addresses on the ZCU102 (paper §3.3.2).
+const (
+	AddrVCCINT  uint8 = 0x13
+	AddrVCCBRAM uint8 = 0x14
+	AddrVCCAUX  uint8 = 0x15
+	AddrVCC3V3  uint8 = 0x17
+)
+
+// ErrHung is returned by accelerator operations after the board crashed
+// (VCCINT below Vcrash): "the FPGA does not respond to requests and it is
+// not functional" (§4.2). Reboot clears it.
+var ErrHung = errors.New("board: FPGA not responding (crashed below Vcrash); power cycle required")
+
+// SampleID selects one of the three "identical" board samples the paper
+// evaluates.
+type SampleID int
+
+// The three ZCU102 samples.
+const (
+	SampleA SampleID = iota
+	SampleB
+	SampleC
+)
+
+// String implements fmt.Stringer.
+func (s SampleID) String() string {
+	switch s {
+	case SampleA:
+		return "platform-A"
+	case SampleB:
+		return "platform-B"
+	case SampleC:
+		return "platform-C"
+	default:
+		return fmt.Sprintf("platform-%d", int(s))
+	}
+}
+
+// Workload describes the accelerator activity the power model and fault
+// model need: set by the DPU runtime when a network is loaded/running.
+type Workload struct {
+	// UtilScale scales dynamic power for this workload (1.0 = average).
+	UtilScale float64
+	// ComputeFrac is the compute-bound time share at the default clock.
+	ComputeFrac float64
+	// Stress is the critical-path stress factor (see silicon).
+	Stress float64
+	// Pruned marks the sparse-decode DPU configuration (raises Vcrash).
+	Pruned bool
+}
+
+// ZCU102 is one simulated board sample.
+type ZCU102 struct {
+	mu sync.Mutex
+
+	sample  SampleID
+	die     *silicon.Die
+	fab     *fabric.Fabric
+	therm   *thermal.Model
+	pwr     *power.Model
+	bus     *pmbus.Bus
+	regs    []*regulator.Regulator
+	ddr     *DDR4
+	vccint  *regulator.Rail
+	vccbram *regulator.Rail
+
+	freqMHz  float64
+	workload Workload
+	idle     bool
+	hung     bool
+	reboots  int
+}
+
+// New assembles board sample id with the default calibration.
+func New(id SampleID) (*ZCU102, error) {
+	die := silicon.NewSampleDie(int(id))
+	b := &ZCU102{
+		sample:  id,
+		die:     die,
+		fab:     fabric.New(die),
+		therm:   thermal.New(),
+		pwr:     power.NewModel(),
+		bus:     pmbus.NewBus(),
+		ddr:     NewDDR4(),
+		freqMHz: silicon.DPUFreqMHz,
+		workload: Workload{
+			UtilScale:   1.0,
+			ComputeFrac: power.BaseComputeFrac,
+		},
+		idle: true,
+	}
+
+	pl := regulator.New("PMIC-A", b,
+		regulator.RailConfig{Name: "VCCINT", Addr: AddrVCCINT, NomMV: 850, MinMV: 450, MaxMV: 900},
+		regulator.RailConfig{Name: "VCCBRAM", Addr: AddrVCCBRAM, NomMV: 850, MinMV: 450, MaxMV: 900},
+		regulator.RailConfig{Name: "VCCAUX", Addr: AddrVCCAUX, NomMV: 1800, MinMV: 1700, MaxMV: 1900},
+		regulator.RailConfig{Name: "VCC1V2", Addr: 0x16, NomMV: 1200, MinMV: 1100, MaxMV: 1300},
+		regulator.RailConfig{Name: "VCC3V3", Addr: AddrVCC3V3, NomMV: 3300, Fixed: true},
+		regulator.RailConfig{Name: "VADJ_FMC", Addr: 0x18, NomMV: 1800, MinMV: 1200, MaxMV: 3300},
+		regulator.RailConfig{Name: "MGTRAVCC", Addr: 0x19, NomMV: 850, Fixed: true},
+		regulator.RailConfig{Name: "MGTRAVTT", Addr: 0x1A, NomMV: 1800, Fixed: true},
+	)
+	ps := regulator.New("PMIC-B", b,
+		regulator.RailConfig{Name: "PSINTFP", Addr: 0x20, NomMV: 850, Fixed: true},
+		regulator.RailConfig{Name: "PSINTLP", Addr: 0x21, NomMV: 850, Fixed: true},
+		regulator.RailConfig{Name: "PSAUX", Addr: 0x22, NomMV: 1800, Fixed: true},
+		regulator.RailConfig{Name: "PSPLL", Addr: 0x23, NomMV: 1200, Fixed: true},
+		regulator.RailConfig{Name: "PSDDR", Addr: 0x24, NomMV: 1200, Fixed: true},
+		regulator.RailConfig{Name: "DDR4_VTT", Addr: 0x25, NomMV: 600, Fixed: true},
+		regulator.RailConfig{Name: "PSIO", Addr: 0x26, NomMV: 1800, Fixed: true},
+		regulator.RailConfig{Name: "VCCO_HP", Addr: 0x27, NomMV: 1200, Fixed: true},
+		regulator.RailConfig{Name: "VCCO_HD", Addr: 0x28, NomMV: 3300, Fixed: true},
+	)
+	util := regulator.New("PMIC-C", b,
+		regulator.RailConfig{Name: "UTIL_1V8", Addr: 0x30, NomMV: 1800, Fixed: true},
+		regulator.RailConfig{Name: "UTIL_2V5", Addr: 0x31, NomMV: 2500, Fixed: true},
+		regulator.RailConfig{Name: "UTIL_5V0", Addr: 0x32, NomMV: 5000, Fixed: true},
+		regulator.RailConfig{Name: "MGTYAVCC", Addr: 0x33, NomMV: 900, Fixed: true},
+		regulator.RailConfig{Name: "MGTYAVTT", Addr: 0x34, NomMV: 1200, Fixed: true},
+		regulator.RailConfig{Name: "VCC1V8", Addr: 0x35, NomMV: 1800, Fixed: true},
+		regulator.RailConfig{Name: "VCCO_1V2", Addr: 0x36, NomMV: 1200, Fixed: true},
+		regulator.RailConfig{Name: "SYS_1V0", Addr: 0x37, NomMV: 1000, Fixed: true},
+		regulator.RailConfig{Name: "BATT_3V0", Addr: 0x38, NomMV: 3000, Fixed: true},
+	)
+	b.regs = []*regulator.Regulator{pl, ps, util}
+	for _, r := range b.regs {
+		if err := r.AttachAll(b.bus); err != nil {
+			return nil, err
+		}
+	}
+	b.vccint = pl.Rail("VCCINT")
+	b.vccbram = pl.Rail("VCCBRAM")
+	// The chassis fan is commanded through the VCC3V3 controller.
+	pl.Rail("VCC3V3").AttachFan(b.therm)
+	return b, nil
+}
+
+// MustNew is New for tests and examples where assembly cannot fail.
+func MustNew(id SampleID) *ZCU102 {
+	b, err := New(id)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Sample returns the board sample identity.
+func (b *ZCU102) Sample() SampleID { return b.sample }
+
+// Bus returns the board's PMBus segment (what the external adapter plugs
+// into).
+func (b *ZCU102) Bus() *pmbus.Bus { return b.bus }
+
+// Die returns the board's silicon die.
+func (b *ZCU102) Die() *silicon.Die { return b.die }
+
+// Fabric returns the PL fabric.
+func (b *ZCU102) Fabric() *fabric.Fabric { return b.fab }
+
+// Thermal returns the board thermal model.
+func (b *ZCU102) Thermal() *thermal.Model { return b.therm }
+
+// PowerModel returns the calibrated PL power model.
+func (b *ZCU102) PowerModel() *power.Model { return b.pwr }
+
+// DDR returns the off-chip memory model.
+func (b *ZCU102) DDR() *DDR4 { return b.ddr }
+
+// Regulators returns the three on-board PMICs.
+func (b *ZCU102) Regulators() []*regulator.Regulator {
+	out := make([]*regulator.Regulator, len(b.regs))
+	copy(out, b.regs)
+	return out
+}
+
+// VCCINTmV returns the present VCCINT set-point in millivolts.
+func (b *ZCU102) VCCINTmV() float64 { return b.vccint.SetMV() }
+
+// VCCBRAMmV returns the present VCCBRAM set-point in millivolts.
+func (b *ZCU102) VCCBRAMmV() float64 { return b.vccbram.SetMV() }
+
+// SetFrequencyMHz sets the DPU clock (the §5 frequency-underscaling knob).
+func (b *ZCU102) SetFrequencyMHz(f float64) error {
+	if f <= 0 {
+		return fmt.Errorf("board: invalid DPU frequency %.1f MHz", f)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.freqMHz = f
+	return nil
+}
+
+// FrequencyMHz returns the DPU clock.
+func (b *ZCU102) FrequencyMHz() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.freqMHz
+}
+
+// SetWorkload installs the running workload's power/fault descriptors.
+func (b *ZCU102) SetWorkload(w Workload) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w.UtilScale <= 0 {
+		w.UtilScale = 1
+	}
+	if w.ComputeFrac <= 0 || w.ComputeFrac > 1 {
+		w.ComputeFrac = power.BaseComputeFrac
+	}
+	b.workload = w
+	b.idle = false
+}
+
+// Workload returns the installed workload descriptor.
+func (b *ZCU102) Workload() Workload {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.workload
+}
+
+// SetIdle marks the accelerator idle (between tasks).
+func (b *ZCU102) SetIdle(idle bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.idle = idle
+}
+
+// Conditions returns the present electrical/thermal conditions the fault
+// model needs.
+func (b *ZCU102) Conditions() fabric.Conditions {
+	b.mu.Lock()
+	freq := b.freqMHz
+	stress := b.workload.Stress
+	b.mu.Unlock()
+	return fabric.Conditions{
+		VCCINTmV:  b.VCCINTmV(),
+		VCCBRAMmV: b.VCCBRAMmV(),
+		TempC:     b.DieTempC(),
+		FreqMHz:   freq,
+		Stress:    stress,
+	}
+}
+
+// operatingPoint builds the power-model operating point for the current
+// board state. Caller must not hold b.mu.
+func (b *ZCU102) operatingPoint(tempC float64) power.OperatingPoint {
+	b.mu.Lock()
+	w := b.workload
+	freq := b.freqMHz
+	idle := b.idle
+	b.mu.Unlock()
+
+	vint := b.VCCINTmV()
+	droop := 0.0
+	if !idle {
+		// Fault-induced pipeline flushes only occur when the DPU runs
+		// with timing faults: at the current frequency, below the
+		// frequency-dependent safe voltage.
+		vmin := b.die.VminMV(tempC, freq, w.Stress)
+		vcrash := b.die.CrashMV(tempC, w.Pruned)
+		droop = b.pwr.FaultDroop(vint, vmin, vcrash)
+	}
+	return power.OperatingPoint{
+		VCCINTmV:           vint,
+		VCCBRAMmV:          b.VCCBRAMmV(),
+		FreqMHz:            freq,
+		TempC:              tempC,
+		UtilScale:          w.UtilScale,
+		ComputeFrac:        w.ComputeFrac,
+		FaultActivityDroop: droop,
+		Idle:               idle,
+	}
+}
+
+// DieTempC solves the power↔temperature fixed point: leakage depends on
+// temperature, temperature depends on dissipated power.
+func (b *ZCU102) DieTempC() float64 {
+	t := power.RefTempC
+	for i := 0; i < 6; i++ {
+		p := b.pwr.TotalW(b.operatingPoint(t))
+		t = b.therm.DieTempC(p)
+	}
+	return t
+}
+
+// PowerBreakdown returns the present on-chip power decomposition at the
+// converged die temperature.
+func (b *ZCU102) PowerBreakdown() power.Breakdown {
+	return b.pwr.Breakdown(b.operatingPoint(b.DieTempC()))
+}
+
+// RailPowerW implements regulator.Telemetry: live load per rail.
+func (b *ZCU102) RailPowerW(rail string) float64 {
+	switch rail {
+	case "VCCINT":
+		return b.PowerBreakdown().VCCINTW
+	case "VCCBRAM":
+		return b.PowerBreakdown().VCCBRAMW
+	case "PSINTFP":
+		return 1.9 // quad-core Cortex-A53 host (not part of on-chip PL power)
+	case "PSDDR", "DDR4_VTT":
+		return 0.8
+	case "VCCAUX":
+		return 0.35
+	default:
+		return 0.12
+	}
+}
+
+// TemperatureC implements regulator.Telemetry.
+func (b *ZCU102) TemperatureC() float64 { return b.DieTempC() }
+
+// CheckAlive latches the hung state if the present conditions are below
+// the die's crash threshold. The DPU runtime calls this before and after
+// every task, mirroring how the paper's host detects a non-responsive
+// board.
+func (b *ZCU102) CheckAlive() error {
+	b.mu.Lock()
+	pruned := b.workload.Pruned
+	hung := b.hung
+	b.mu.Unlock()
+	if hung {
+		return ErrHung
+	}
+	c := b.Conditions()
+	if b.fab.Crashed(c, pruned) {
+		b.mu.Lock()
+		b.hung = true
+		b.mu.Unlock()
+		return ErrHung
+	}
+	return nil
+}
+
+// Hung reports whether the board is in the crashed state.
+func (b *ZCU102) Hung() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hung
+}
+
+// Reboot power-cycles the board: rails return to nominal, the DPU clock
+// returns to default, and the hung state clears. The experiment protocol
+// calls this after every crash, exactly as the paper does.
+func (b *ZCU102) Reboot() {
+	b.mu.Lock()
+	b.hung = false
+	b.idle = true
+	b.freqMHz = silicon.DPUFreqMHz
+	b.reboots++
+	b.mu.Unlock()
+	for _, r := range b.regs {
+		r.ResetAll()
+	}
+}
+
+// Reboots returns how many times the board was power-cycled (diagnostic
+// for campaign reports).
+func (b *ZCU102) Reboots() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reboots
+}

@@ -1,0 +1,291 @@
+// Package core implements the paper's primary contribution: the
+// experimental undervolting methodology for FPGA-based CNN accelerators.
+// It drives VCCINT through the PMBus exactly as the authors do, runs
+// classification workloads at each operating point, and characterizes
+//
+//   - the voltage guardband (Vnom → Vmin): no faults, pure power savings;
+//   - the critical region (Vmin → Vcrash): exponentially growing accuracy
+//     loss traded for further power-efficiency;
+//   - the crash point (Vcrash): the board stops responding and must be
+//     power cycled;
+//   - the frequency-underscaling recovery strategy (§5): the maximum
+//     fault-free clock at each sub-guardband voltage;
+//
+// with the crash/reboot protocol, multi-sample aggregation and the
+// power-efficiency metrics (GOPs/W, GOPs/J) the paper reports.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/models"
+	"fpgauv/internal/pmbus"
+	"fpgauv/internal/silicon"
+)
+
+// Point is one sweep measurement: the paper's per-voltage observation.
+type Point struct {
+	// VCCINTmV is the commanded rail level.
+	VCCINTmV float64
+	// AccuracyPct is the mean classification accuracy across repeats.
+	AccuracyPct float64
+	// MinAccuracyPct is the worst repeat (used for Vmin detection).
+	MinAccuracyPct float64
+	// PowerW is the measured on-chip power (VCCINT + VCCBRAM).
+	PowerW float64
+	// GOPs is the modeled throughput at the operating clock.
+	GOPs float64
+	// GOPsPerW is the power-efficiency metric of Fig. 5.
+	GOPsPerW float64
+	// MACFaults is the total number of injected fault events across all
+	// repeats and images.
+	MACFaults int64
+	// TempC is the die temperature during the measurement.
+	TempC float64
+	// Crashed marks the point at which the board hung.
+	Crashed bool
+}
+
+// Config parameterizes a sweep campaign.
+type Config struct {
+	// VStartMV, VEndMV, VStepMV define the downward sweep
+	// (defaults: 850 → 500 in 5 mV steps, the paper's granularity).
+	VStartMV float64
+	VEndMV   float64
+	VStepMV  float64
+	// Repeats is the number of experiment repetitions averaged per
+	// point (the paper uses 10).
+	Repeats int
+	// Seed derives per-repeat fault-injection randomness.
+	Seed int64
+	// HoldTempC, when non-zero, pins the die temperature (the §7
+	// protocol); otherwise the fan runs at maximum (ambient ≈ 34 °C
+	// at nominal load).
+	HoldTempC float64
+}
+
+// DefaultConfig returns the paper's sweep protocol.
+func DefaultConfig() Config {
+	return Config{
+		VStartMV: silicon.VnomMV,
+		VEndMV:   500,
+		VStepMV:  5,
+		Repeats:  10,
+		Seed:     1,
+	}
+}
+
+// sanitize fills config defaults.
+func (c Config) sanitize() Config {
+	if c.VStartMV == 0 {
+		c.VStartMV = silicon.VnomMV
+	}
+	if c.VEndMV == 0 {
+		c.VEndMV = 500
+	}
+	if c.VStepMV <= 0 {
+		c.VStepMV = 5
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 10
+	}
+	return c
+}
+
+// Campaign runs voltage sweeps for one loaded task/dataset pair on one
+// board sample.
+type Campaign struct {
+	Task    *dnndk.Task
+	Dataset *models.Dataset
+	Config  Config
+}
+
+// NewCampaign builds a campaign with defaults.
+func NewCampaign(task *dnndk.Task, ds *models.Dataset) *Campaign {
+	return &Campaign{Task: task, Dataset: ds, Config: DefaultConfig()}
+}
+
+// vccint returns the campaign's PMBus adapter for the VCCINT rail.
+func (c *Campaign) vccint() *pmbus.Adapter {
+	return pmbus.NewAdapter(c.Task.Board().Bus(), board.AddrVCCINT)
+}
+
+// Board is a convenience accessor.
+func (c *Campaign) Board() *board.ZCU102 { return c.Task.Board() }
+
+// measure evaluates one operating point with the configured repeats.
+func (c *Campaign) measure(vMV float64, cfg Config) (Point, error) {
+	pt := Point{VCCINTmV: vMV, MinAccuracyPct: math.Inf(1)}
+	if err := c.vccint().SetVoltageMV(vMV); err != nil {
+		return pt, err
+	}
+	for r := 0; r < cfg.Repeats; r++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729 + int64(vMV)*31))
+		res, err := c.Task.Classify(c.Dataset, rng)
+		if err != nil {
+			if errors.Is(err, board.ErrHung) {
+				pt.Crashed = true
+				return pt, nil
+			}
+			return pt, err
+		}
+		pt.AccuracyPct += res.AccuracyPct / float64(cfg.Repeats)
+		pt.MinAccuracyPct = math.Min(pt.MinAccuracyPct, res.AccuracyPct)
+		pt.MACFaults += res.MACFaults
+	}
+	prof := c.Task.Profile()
+	pt.PowerW = prof.PowerW
+	pt.GOPs = prof.GOPs
+	pt.GOPsPerW = prof.GOPsPerW
+	pt.TempC = c.Board().DieTempC()
+	return pt, nil
+}
+
+// Measure evaluates a single operating point with the campaign's
+// configured repeats (no reboot; callers manage the crash protocol).
+func (c *Campaign) Measure(vMV float64) (Point, error) {
+	return c.measure(vMV, c.Config.sanitize())
+}
+
+// Run sweeps VCCINT downward, recording one Point per step. The sweep
+// stops at the first crash (recorded with Crashed=true); the board is
+// then power cycled and restored to nominal, per the paper's protocol.
+func (c *Campaign) Run() ([]Point, error) {
+	cfg := c.Config.sanitize()
+	if cfg.HoldTempC != 0 {
+		c.Board().Thermal().HoldTemperature(cfg.HoldTempC)
+	}
+	var points []Point
+	for v := cfg.VStartMV; v >= cfg.VEndMV-1e-9; v -= cfg.VStepMV {
+		pt, err := c.measure(v, cfg)
+		if err != nil {
+			return points, fmt.Errorf("core: sweep at %.0f mV: %w", v, err)
+		}
+		points = append(points, pt)
+		if pt.Crashed {
+			break
+		}
+	}
+	c.Board().Reboot()
+	return points, nil
+}
+
+// Regions is the Fig. 3 characterization of one board/benchmark pair.
+type Regions struct {
+	VnomMV float64
+	// VminMV is the minimum safe voltage: the lowest level with no
+	// accuracy loss in any repeat.
+	VminMV float64
+	// VcrashMV is the level at which the board hung.
+	VcrashMV float64
+}
+
+// GuardbandMV returns the voltage guardband size (paper avg: 280 mV).
+func (r Regions) GuardbandMV() float64 { return r.VnomMV - r.VminMV }
+
+// CriticalMV returns the critical-region size (paper avg: 30 mV).
+func (r Regions) CriticalMV() float64 { return r.VminMV - r.VcrashMV }
+
+// GuardbandPct returns the guardband as a fraction of Vnom (paper: 33%).
+func (r Regions) GuardbandPct() float64 {
+	return 100 * r.GuardbandMV() / r.VnomMV
+}
+
+// String implements fmt.Stringer.
+func (r Regions) String() string {
+	return fmt.Sprintf("Vnom=%.0fmV Vmin=%.0fmV (guardband %.0fmV, %.1f%%) Vcrash=%.0fmV (critical %.0fmV)",
+		r.VnomMV, r.VminMV, r.GuardbandMV(), r.GuardbandPct(), r.VcrashMV, r.CriticalMV())
+}
+
+// DetectRegions runs the sweep and derives the voltage regions. Vmin is
+// the lowest voltage whose worst-repeat accuracy matches the fault-free
+// baseline with zero fault events; Vcrash is the crash step.
+func (c *Campaign) DetectRegions() (Regions, []Point, error) {
+	points, err := c.Run()
+	if err != nil {
+		return Regions{}, points, err
+	}
+	if len(points) == 0 {
+		return Regions{}, points, fmt.Errorf("core: empty sweep")
+	}
+	baseline := points[0]
+	reg := Regions{VnomMV: silicon.VnomMV, VminMV: points[0].VCCINTmV}
+	for _, pt := range points {
+		if pt.Crashed {
+			reg.VcrashMV = pt.VCCINTmV
+			break
+		}
+		if pt.MACFaults == 0 && pt.MinAccuracyPct >= baseline.AccuracyPct-1e-9 {
+			reg.VminMV = pt.VCCINTmV
+			continue
+		}
+		// First faulty point: Vmin stays at the previous step.
+	}
+	if reg.VcrashMV == 0 {
+		return reg, points, fmt.Errorf("core: sweep ended at %.0f mV without crash; extend VEndMV",
+			points[len(points)-1].VCCINTmV)
+	}
+	return reg, points, nil
+}
+
+// FmaxResult is one row of the paper's Table 2 search.
+type FmaxResult struct {
+	VCCINTmV float64
+	// FmaxMHz is the highest grid frequency with no accuracy loss
+	// (0 if the board crashes at this voltage).
+	FmaxMHz float64
+}
+
+// FmaxSearch finds, for the given voltage, the maximum frequency from the
+// grid at which classification shows no accuracy loss across repeats
+// (§5). The board is left at the found frequency.
+func (c *Campaign) FmaxSearch(vMV float64, gridMHz []float64) (FmaxResult, error) {
+	cfg := c.Config.sanitize()
+	out := FmaxResult{VCCINTmV: vMV}
+	if err := c.vccint().SetVoltageMV(vMV); err != nil {
+		return out, err
+	}
+	// Establish the fault-free baseline accuracy at nominal conditions.
+	if err := c.Board().SetFrequencyMHz(silicon.DPUFreqMHz); err != nil {
+		return out, err
+	}
+	ref, err := c.Task.ReferencePreds(c.Dataset)
+	if err != nil {
+		return out, err
+	}
+	baseAcc, err := c.Dataset.Accuracy(ref)
+	if err != nil {
+		return out, err
+	}
+	for _, f := range gridMHz {
+		if err := c.Board().SetFrequencyMHz(f); err != nil {
+			return out, err
+		}
+		ok := true
+		for r := 0; r < cfg.Repeats; r++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7561 + int64(f)*17 + int64(vMV)))
+			res, err := c.Task.Classify(c.Dataset, rng)
+			if errors.Is(err, board.ErrHung) {
+				c.Board().Reboot()
+				return out, nil // crashed at this voltage: Fmax = 0
+			}
+			if err != nil {
+				return out, err
+			}
+			if res.MACFaults > 0 || res.AccuracyPct < baseAcc-1e-9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.FmaxMHz = f
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package dnndk
+
+import (
+	"math"
+
+	"fpgauv/internal/dpu"
+	"fpgauv/internal/models"
+	"fpgauv/internal/nn"
+)
+
+// compileProgram lowers a benchmark graph to the DPU instruction stream
+// with per-instruction cost metadata (the DNNC role).
+func compileProgram(b *models.Benchmark, bits int, sparsity float64) dpu.Program {
+	var p dpu.Program
+	bytesPerWeight := float64(bits) / 8
+
+	in := b.InputShape
+	p.Instrs = append(p.Instrs, dpu.Instr{
+		Kind:     dpu.InstrLoad,
+		Node:     nn.InputID,
+		Label:    "load_input",
+		ActBytes: int64(in.Elems()),
+	})
+	p.ActBytes += int64(in.Elems())
+
+	for _, n := range b.Graph.Nodes() {
+		inShapes := b.Graph.InputShapesOf(n)
+		outShape, _ := b.Graph.NodeShape(n.ID)
+		macs := n.Op.MACs(inShapes)
+		ops := 2 * macs
+		var inElems int64
+		for _, s := range inShapes {
+			inElems += int64(s.Elems())
+		}
+		act := inElems + int64(outShape.Elems())
+
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			eff := 0.75
+			if op.Kernel == 1 {
+				// 1x1 convolutions underfill the MAC array rows.
+				eff = 0.60
+			}
+			p.Instrs = append(p.Instrs, dpu.Instr{
+				Kind: dpu.InstrConv, Node: n.ID, Label: n.Label,
+				Ops:         ops,
+				WeightBytes: int64(math.Ceil(float64(op.ParamCount()) * bytesPerWeight)),
+				ActBytes:    act,
+				Efficiency:  eff,
+			})
+		case *nn.Dense:
+			p.Instrs = append(p.Instrs, dpu.Instr{
+				Kind: dpu.InstrFC, Node: n.ID, Label: n.Label,
+				Ops:         ops,
+				WeightBytes: int64(math.Ceil(float64(op.ParamCount()) * bytesPerWeight)),
+				ActBytes:    act,
+				// FC layers reuse no weights across the MAC array.
+				Efficiency: 0.25,
+			})
+		case *nn.Pool2D:
+			p.Instrs = append(p.Instrs, dpu.Instr{
+				Kind: dpu.InstrPool, Node: n.ID, Label: n.Label, ActBytes: act,
+			})
+		case nn.ReLU, nn.Sigmoid, *nn.BatchNorm, *nn.LRN, nn.Softmax:
+			p.Instrs = append(p.Instrs, dpu.Instr{
+				Kind: dpu.InstrAct, Node: n.ID, Label: n.Label, ActBytes: act,
+			})
+		case nn.Add:
+			p.Instrs = append(p.Instrs, dpu.Instr{
+				Kind: dpu.InstrEltwise, Node: n.ID, Label: n.Label, ActBytes: act,
+			})
+		case nn.Concat:
+			p.Instrs = append(p.Instrs, dpu.Instr{
+				Kind: dpu.InstrConcat, Node: n.ID, Label: n.Label, ActBytes: act,
+			})
+		case nn.Flatten:
+			// Pure address remapping; free on the DPU.
+			continue
+		}
+	}
+
+	out := b.Graph.OutputShape()
+	p.Instrs = append(p.Instrs, dpu.Instr{
+		Kind:     dpu.InstrSave,
+		Node:     b.Graph.Output(),
+		Label:    "save_output",
+		ActBytes: int64(out.Elems()),
+	})
+
+	for _, in := range p.Instrs {
+		p.OpsPerImage += in.Ops
+		p.WeightBytes += in.WeightBytes
+		p.ActBytes += in.ActBytes
+	}
+	// Sparse decode skips pruned MACs with ~60% efficiency.
+	const sparseSkipEff = 0.6
+	p.EffectiveOps = int64(float64(p.OpsPerImage) * (1 - sparsity*sparseSkipEff))
+	return p
+}

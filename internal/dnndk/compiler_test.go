@@ -1,0 +1,117 @@
+package dnndk
+
+import (
+	"testing"
+
+	"fpgauv/internal/dpu"
+	"fpgauv/internal/models"
+)
+
+func compileFor(t *testing.T, name string, opts QuantizeOptions) *dpu.Kernel {
+	t.Helper()
+	bench, err := models.New(name, models.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Quantize(bench, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestProgramStructure(t *testing.T) {
+	k := compileFor(t, "VGGNet", DefaultQuantizeOptions())
+	instrs := k.Program.Instrs
+	if instrs[0].Kind != dpu.InstrLoad {
+		t.Fatalf("program must start with LOAD, got %v", instrs[0].Kind)
+	}
+	if instrs[len(instrs)-1].Kind != dpu.InstrSave {
+		t.Fatalf("program must end with SAVE, got %v", instrs[len(instrs)-1].Kind)
+	}
+	kinds := map[dpu.InstrKind]int{}
+	for _, in := range instrs {
+		kinds[in.Kind]++
+	}
+	// VGGNet: 4 convs, 2 FCs, 2 pools; flatten compiles away.
+	if kinds[dpu.InstrConv] != 4 || kinds[dpu.InstrFC] != 2 || kinds[dpu.InstrPool] != 2 {
+		t.Fatalf("instruction mix: %v", kinds)
+	}
+}
+
+func TestProgramOpsMatchGraph(t *testing.T) {
+	for _, name := range models.Names() {
+		bench, err := models.New(name, models.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOps := 2 * bench.MACs()
+		k, err := Quantize(bench, DefaultQuantizeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Program.OpsPerImage != wantOps {
+			t.Errorf("%s: program ops %d != graph 2*MACs %d", name, k.Program.OpsPerImage, wantOps)
+		}
+		if k.Program.EffectiveOps != wantOps {
+			t.Errorf("%s: dense kernel effective ops must equal total", name)
+		}
+	}
+}
+
+func TestWeightBytesScaleWithPrecision(t *testing.T) {
+	k8 := compileFor(t, "VGGNet", DefaultQuantizeOptions())
+	opts4 := DefaultQuantizeOptions()
+	opts4.Bits = 4
+	k4 := compileFor(t, "VGGNet", opts4)
+	if k4.Program.WeightBytes >= k8.Program.WeightBytes {
+		t.Fatalf("INT4 weights (%d B) must be smaller than INT8 (%d B)",
+			k4.Program.WeightBytes, k8.Program.WeightBytes)
+	}
+	ratio := float64(k4.Program.WeightBytes) / float64(k8.Program.WeightBytes)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("INT4/INT8 weight ratio = %.3f, want ≈0.5", ratio)
+	}
+}
+
+func TestOneByOneConvEfficiencyPenalty(t *testing.T) {
+	k := compileFor(t, "GoogleNet", DefaultQuantizeOptions())
+	var saw1x1, saw3x3 bool
+	for _, in := range k.Program.Instrs {
+		if in.Kind != dpu.InstrConv {
+			continue
+		}
+		switch in.Efficiency {
+		case 0.60:
+			saw1x1 = true
+		case 0.75:
+			saw3x3 = true
+		}
+	}
+	if !saw1x1 || !saw3x3 {
+		t.Fatal("GoogleNet should compile both 1x1 (eff 0.60) and 3x3 (eff 0.75) convs")
+	}
+}
+
+func TestPrunedProgramSkipsOps(t *testing.T) {
+	opts := DefaultQuantizeOptions()
+	opts.Sparsity = 0.5
+	k := compileFor(t, "VGGNet", opts)
+	want := float64(k.Program.OpsPerImage) * (1 - 0.5*0.6)
+	got := float64(k.Program.EffectiveOps)
+	if got/want < 0.98 || got/want > 1.02 {
+		t.Fatalf("effective ops %d, want ≈%.0f (50%% sparsity, 60%% skip efficiency)",
+			k.Program.EffectiveOps, want)
+	}
+}
+
+func TestKernelGOPsWithinPeak(t *testing.T) {
+	cfg := dpu.B4096()
+	for _, name := range models.Names() {
+		k := compileFor(t, name, DefaultQuantizeOptions())
+		gops := k.GOPs(3, 333)
+		if gops <= 0 || gops > cfg.PeakGOPs(3, 333) {
+			t.Errorf("%s: %.0f GOPs outside (0, %.0f]", name, gops, cfg.PeakGOPs(3, 333))
+		}
+	}
+}

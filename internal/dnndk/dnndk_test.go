@@ -1,0 +1,331 @@
+package dnndk
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/models"
+	"fpgauv/internal/nn"
+	"fpgauv/internal/pmbus"
+)
+
+// rig builds a loaded INT8 VGGNet task on a sample-B board with planted
+// labels — the standard experimental setup.
+func rig(t *testing.T, images int) (*Runtime, *Task, *models.Dataset) {
+	t.Helper()
+	brd := board.MustNew(board.SampleB)
+	rt, err := NewRuntime(brd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := models.New("VGGNet", models.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Quantize(bench, DefaultQuantizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := bench.MakeDataset(images, 99)
+	if err := task.PlantLabels(ds, bench.TargetAccPct, 5); err != nil {
+		t.Fatal(err)
+	}
+	return rt, task, ds
+}
+
+func setVCCINT(t *testing.T, rt *Runtime, mv float64) {
+	t.Helper()
+	a := pmbus.NewAdapter(rt.Board().Bus(), board.AddrVCCINT)
+	if err := a.SetVoltageMV(mv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeProducesValidKernel(t *testing.T) {
+	bench, _ := models.New("GoogleNet", models.Tiny)
+	k, err := Quantize(bench, DefaultQuantizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Bits != 8 || k.Classes != 10 {
+		t.Fatalf("kernel meta: %+v", k)
+	}
+	if k.Program.OpsPerImage != 2*bench.MACs() {
+		t.Fatalf("program ops %d != 2*MACs %d", k.Program.OpsPerImage, 2*bench.MACs())
+	}
+	if k.Program.WeightBytes == 0 || k.Program.ActBytes == 0 {
+		t.Fatal("program traffic accounting empty")
+	}
+}
+
+func TestQuantizeRejectsBadOptions(t *testing.T) {
+	bench, _ := models.New("VGGNet", models.Tiny)
+	if _, err := Quantize(bench, QuantizeOptions{Bits: 1}); err == nil {
+		t.Fatal("INT1 must be rejected")
+	}
+	if _, err := Quantize(bench, QuantizeOptions{Bits: 8, Sparsity: 1.5}); err == nil {
+		t.Fatal("bad sparsity must be rejected")
+	}
+}
+
+func TestBatchNormFolding(t *testing.T) {
+	bench, _ := models.New("ResNet50", models.Tiny)
+	// Find the stem BN before folding: it has non-identity parameters.
+	var bn *nn.BatchNorm
+	for _, n := range bench.Graph.Nodes() {
+		if b, ok := n.Op.(*nn.BatchNorm); ok {
+			bn = b
+		}
+	}
+	if bn == nil {
+		t.Fatal("ResNet stem should carry a BatchNorm")
+	}
+	if bn.Scale[0] == 1 {
+		t.Fatal("stem BN should be non-identity before folding")
+	}
+	if _, err := Quantize(bench, DefaultQuantizeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if bn.Scale[0] != 1 || bn.Shift[0] != 0 {
+		t.Fatal("DECENT must fold BN into the preceding conv")
+	}
+}
+
+func TestAccuracyAtNominalMatchesTable1(t *testing.T) {
+	_, task, ds := rig(t, 60)
+	res, err := task.Classify(ds, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AccuracyPct-86.0) > 1.0 {
+		t.Fatalf("accuracy @Vnom = %.2f%%, want 86%% (Table 1)", res.AccuracyPct)
+	}
+	if res.MACFaults != 0 {
+		t.Fatalf("no faults expected at Vnom, got %d", res.MACFaults)
+	}
+}
+
+func TestGuardbandPreservesAccuracy(t *testing.T) {
+	rt, task, ds := rig(t, 60)
+	base, err := task.Classify(ds, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range []float64{750, 650, 575, 570} {
+		setVCCINT(t, rt, mv)
+		res, err := task.Classify(ds, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("at %.0f mV: %v", mv, err)
+		}
+		if res.AccuracyPct != base.AccuracyPct {
+			t.Fatalf("accuracy changed inside guardband at %.0f mV: %.2f vs %.2f",
+				mv, res.AccuracyPct, base.AccuracyPct)
+		}
+	}
+}
+
+func TestCriticalRegionDegradesAccuracy(t *testing.T) {
+	rt, task, ds := rig(t, 60)
+	base, err := task.Classify(ds, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average a few repeats mid-critical-region.
+	accAt := func(mv float64) float64 {
+		setVCCINT(t, rt, mv)
+		var sum float64
+		const reps = 3
+		for r := 0; r < reps; r++ {
+			res, err := task.Classify(ds, rand.New(rand.NewSource(int64(100+r))))
+			if err != nil {
+				t.Fatalf("at %.0f mV: %v", mv, err)
+			}
+			sum += res.AccuracyPct
+		}
+		return sum / reps
+	}
+	at555 := accAt(555)
+	at545 := accAt(545)
+	if at555 >= base.AccuracyPct {
+		t.Fatalf("accuracy must degrade below Vmin: %.2f vs %.2f", at555, base.AccuracyPct)
+	}
+	if at545 >= at555 {
+		t.Fatalf("degradation must deepen: %.2f at 545 vs %.2f at 555", at545, at555)
+	}
+	// Near Vcrash the classifier approaches random guessing (10%).
+	if at545 > 45 {
+		t.Fatalf("accuracy near Vcrash = %.2f%%, expected collapse toward 10%%", at545)
+	}
+}
+
+func TestCrashBelowVcrash(t *testing.T) {
+	rt, task, ds := rig(t, 10)
+	setVCCINT(t, rt, 535)
+	_, err := task.Classify(ds, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, board.ErrHung) {
+		t.Fatalf("expected board hang at 535 mV, got %v", err)
+	}
+	rt.Board().Reboot()
+	if _, err := task.Classify(ds, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatalf("after reboot: %v", err)
+	}
+}
+
+func TestLowerPrecisionLowersNominalAccuracy(t *testing.T) {
+	// Fig. 7a: INT4 baseline accuracy is below INT8's. Plant labels
+	// with the INT8 reference, then evaluate an INT4 kernel of the
+	// same float model.
+	brd := board.MustNew(board.SampleB)
+	rt, err := NewRuntime(brd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench8, _ := models.New("VGGNet", models.Tiny)
+	k8, err := Quantize(bench8, DefaultQuantizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := rt.LoadKernel(k8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := bench8.MakeDataset(80, 99)
+	if err := t8.PlantLabels(ds, 86, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	bench4, _ := models.New("VGGNet", models.Tiny) // same weights (deterministic)
+	opts := DefaultQuantizeOptions()
+	opts.Bits = 4
+	k4, err := Quantize(bench4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := rt.LoadKernel(k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := t8.Classify(ds, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := t4.Classify(ds, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.AccuracyPct >= r8.AccuracyPct {
+		t.Fatalf("INT4 accuracy %.2f should fall below INT8 %.2f (Fig. 7a)",
+			r4.AccuracyPct, r8.AccuracyPct)
+	}
+	// Untrained scaled models lose more to aggressive quantization than
+	// the paper's trained nets; "well above the 10% chance level" is the
+	// invariant that must hold (see EXPERIMENTS.md, Fig. 7 notes).
+	if r4.AccuracyPct < 22 {
+		t.Fatalf("INT4 should still classify well above chance, got %.2f", r4.AccuracyPct)
+	}
+}
+
+func TestPrunedKernelMetadata(t *testing.T) {
+	bench, _ := models.New("VGGNet", models.Tiny)
+	opts := DefaultQuantizeOptions()
+	opts.Sparsity = 0.5
+	k, err := Quantize(bench, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k.Sparsity-0.5) > 0.02 {
+		t.Fatalf("kernel sparsity = %.3f", k.Sparsity)
+	}
+	if !k.Workload.Pruned {
+		t.Fatal("pruned workload flag must be set (raises Vcrash)")
+	}
+	if k.VulnScale <= 1 {
+		t.Fatal("pruned kernel must amplify fault impact")
+	}
+	if k.Program.EffectiveOps >= k.Program.OpsPerImage {
+		t.Fatal("pruned kernel must skip MACs")
+	}
+}
+
+func TestProfileReportsThroughputAndPower(t *testing.T) {
+	rt, task, _ := rig(t, 4)
+	p := task.Profile()
+	if p.GOPs <= 0 || p.GOPs > 4092 {
+		t.Fatalf("GOPs = %.1f outside (0, peak]", p.GOPs)
+	}
+	if math.Abs(p.PowerW-12.59) > 0.4 {
+		t.Fatalf("power at Vnom = %.2f", p.PowerW)
+	}
+	if p.GOPsPerW <= 0 {
+		t.Fatal("GOPs/W")
+	}
+	// Undervolting to Vmin must improve GOPs/W ≈2.6x (Fig. 5).
+	setVCCINT(t, rt, 570)
+	p2 := task.Profile()
+	gain := p2.GOPsPerW / p.GOPsPerW
+	if math.Abs(gain-2.6) > 0.15 {
+		t.Fatalf("GOPs/W gain at Vmin = %.2f, want ≈2.6", gain)
+	}
+}
+
+func TestLoadKernelStagesWeightsInDDR(t *testing.T) {
+	rt, task, _ := rig(t, 4)
+	used := rt.Board().DDR().UsedBytes()
+	if used <= 0 {
+		t.Fatal("kernel weights should be staged in DDR")
+	}
+	if err := task.Unload(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Board().DDR().UsedBytes() != 0 {
+		t.Fatal("unload should free DDR")
+	}
+}
+
+func TestQuantizedArgmaxMatchesFloatMostly(t *testing.T) {
+	// INT8 quantization should agree with the float reference on the
+	// large majority of inputs (Table 1: INT8 "does not incur any
+	// significant accuracy loss").
+	brd := board.MustNew(board.SampleB)
+	rt, err := NewRuntime(brd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, _ := models.New("VGGNet", models.Tiny)
+	k, err := Quantize(bench, DefaultQuantizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := bench.MakeDataset(40, 123)
+	preds, err := task.ReferencePreds(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i, img := range ds.Inputs {
+		ref, err := bench.Graph.Forward(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.ArgMax() == preds[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(ds.Len()); frac < 0.85 {
+		t.Fatalf("INT8/float argmax agreement = %.2f, want ≥0.85", frac)
+	}
+}

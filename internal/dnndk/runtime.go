@@ -1,0 +1,217 @@
+package dnndk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dpu"
+	"fpgauv/internal/models"
+	"fpgauv/internal/tensor"
+)
+
+// Runtime is the N2Cube-style host runtime: it owns the DPU cores on a
+// board, stages kernel weights in DDR, runs classification tasks, and
+// caches fault-free reference predictions (the basis of the planted-label
+// accuracy protocol).
+type Runtime struct {
+	brd *board.ZCU102
+	dp  *dpu.DPU
+	// refCache maps kernel+dataset identity to fault-free predictions.
+	refCache map[string][]int
+	loads    int
+}
+
+// NewRuntime programs nCores B4096 cores (the paper's baseline is 3) and
+// returns the runtime.
+func NewRuntime(brd *board.ZCU102, nCores int) (*Runtime, error) {
+	dp, err := dpu.New(brd, dpu.B4096(), nCores)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{brd: brd, dp: dp, refCache: make(map[string][]int)}, nil
+}
+
+// Board returns the underlying board.
+func (r *Runtime) Board() *board.ZCU102 { return r.brd }
+
+// DPU returns the programmed accelerator.
+func (r *Runtime) DPU() *dpu.DPU { return r.dp }
+
+// Task is a loaded kernel ready to classify.
+type Task struct {
+	rt     *Runtime
+	Kernel *dpu.Kernel
+	ddrKey string
+}
+
+// LoadKernel validates the kernel, stages its weights in DDR and installs
+// the workload descriptor on the board.
+func (r *Runtime) LoadKernel(k *dpu.Kernel) (*Task, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	r.loads++
+	key := fmt.Sprintf("%s#%d@%d", k.Name, k.Bits, r.loads)
+	size := int(k.Program.WeightBytes)
+	if size <= 0 {
+		size = 1
+	}
+	base, err := r.brd.DDR().Alloc(key, size)
+	if err != nil {
+		return nil, fmt.Errorf("dnndk: staging weights: %w", err)
+	}
+	// Stream the quantized weights into DDR (the loader's job); the
+	// content matters for DDR accounting, not for execution, which
+	// reads the kernel's own tensors.
+	off := 0
+	for _, kn := range k.Nodes {
+		if kn.WQ == nil {
+			continue
+		}
+		chunk := make([]byte, len(kn.WQ.Data))
+		for i, v := range kn.WQ.Data {
+			chunk[i] = byte(v)
+		}
+		if off+len(chunk) > size {
+			chunk = chunk[:size-off]
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		if err := r.brd.DDR().Write(base, off, chunk); err != nil {
+			return nil, err
+		}
+		off += len(chunk)
+	}
+	r.brd.SetWorkload(k.Workload)
+	return &Task{rt: r, Kernel: k, ddrKey: key}, nil
+}
+
+// Unload frees the task's DDR staging area.
+func (t *Task) Unload() error {
+	return t.rt.brd.DDR().Free(t.ddrKey)
+}
+
+// Board returns the board the task's kernel is loaded on.
+func (t *Task) Board() *board.ZCU102 { return t.rt.brd }
+
+// Run classifies one image at the present board conditions.
+func (t *Task) Run(img *tensor.Tensor, rng *rand.Rand) (*dpu.Result, error) {
+	t.rt.brd.SetWorkload(t.Kernel.Workload)
+	return t.rt.dp.Run(t.Kernel, img, rng)
+}
+
+// refKey identifies a kernel+dataset pair for the reference cache.
+func (t *Task) refKey(ds *models.Dataset) string {
+	return fmt.Sprintf("%s/%p", t.ddrKey, ds)
+}
+
+// ReferencePreds returns the kernel's fault-free predictions on the
+// dataset, computing and caching them on first use. These are the
+// predictions used to plant ground-truth labels at the Table 1 accuracy.
+func (t *Task) ReferencePreds(ds *models.Dataset) ([]int, error) {
+	key := t.refKey(ds)
+	if preds, ok := t.rt.refCache[key]; ok {
+		return preds, nil
+	}
+	preds := make([]int, ds.Len())
+	for i, img := range ds.Inputs {
+		res, err := t.rt.dp.RunClean(t.Kernel, img)
+		if err != nil {
+			return nil, fmt.Errorf("dnndk: reference inference: %w", err)
+		}
+		preds[i] = res.Pred
+	}
+	t.rt.refCache[key] = preds
+	return preds, nil
+}
+
+// PlantLabels plants the dataset's ground-truth labels so the fault-free
+// accuracy equals targetAccPct (the Table 1 "our design @Vnom" value).
+func (t *Task) PlantLabels(ds *models.Dataset, targetAccPct float64, seed int64) error {
+	preds, err := t.ReferencePreds(ds)
+	if err != nil {
+		return err
+	}
+	return ds.PlantLabels(preds, targetAccPct, seed)
+}
+
+// ClassifyResult aggregates one dataset pass.
+type ClassifyResult struct {
+	Preds       []int
+	AccuracyPct float64
+	MACFaults   int64
+	BRAMFaults  int64
+}
+
+// Classify runs the dataset at the present board conditions and scores
+// accuracy against the planted labels. When the electrical conditions are
+// fault-free the cached reference predictions are reused, which makes
+// guardband-region sweep points (no faults by definition) cheap.
+func (t *Task) Classify(ds *models.Dataset, rng *rand.Rand) (*ClassifyResult, error) {
+	if err := t.rt.brd.CheckAlive(); err != nil {
+		return nil, err
+	}
+	t.rt.brd.SetWorkload(t.Kernel.Workload)
+
+	cond := t.rt.brd.Conditions()
+	cond.Stress = t.Kernel.Workload.Stress
+	fab := t.rt.brd.Fabric()
+	out := &ClassifyResult{}
+
+	if fab.MACFaultProb(cond) == 0 && fab.BRAMBitFaultProb(cond) == 0 {
+		preds, err := t.ReferencePreds(ds)
+		if err != nil {
+			return nil, err
+		}
+		out.Preds = append([]int(nil), preds...)
+	} else {
+		out.Preds = make([]int, ds.Len())
+		for i, img := range ds.Inputs {
+			res, err := t.Run(img, rng)
+			if err != nil {
+				return nil, err
+			}
+			out.Preds[i] = res.Pred
+			out.MACFaults += res.MACFaults
+			out.BRAMFaults += res.BRAMFaults
+		}
+	}
+
+	if ds.Labels != nil {
+		acc, err := ds.Accuracy(out.Preds)
+		if err != nil {
+			return nil, err
+		}
+		out.AccuracyPct = acc
+	}
+	return out, nil
+}
+
+// Profile reports the modeled performance and measured power of the task
+// at the present board conditions.
+type Profile struct {
+	GOPs       float64
+	ImageTimeS float64
+	PowerW     float64
+	GOPsPerW   float64
+}
+
+// Profile evaluates the task's throughput/power at the present operating
+// point.
+func (t *Task) Profile() Profile {
+	t.rt.brd.SetWorkload(t.Kernel.Workload)
+	f := t.rt.brd.FrequencyMHz()
+	gops := t.Kernel.GOPs(t.rt.dp.Cores(), f)
+	pw := t.rt.brd.PowerBreakdown().TotalW
+	p := Profile{
+		GOPs:       gops,
+		ImageTimeS: t.Kernel.ImageTimeS(f),
+		PowerW:     pw,
+	}
+	if pw > 0 {
+		p.GOPsPerW = gops / pw
+	}
+	return p
+}

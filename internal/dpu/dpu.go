@@ -1,0 +1,371 @@
+package dpu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/fabric"
+	"fpgauv/internal/nn"
+	"fpgauv/internal/quant"
+	"fpgauv/internal/tensor"
+)
+
+// DPU is a set of DPU cores programmed into a board's fabric.
+type DPU struct {
+	brd    *board.ZCU102
+	cfg    Config
+	nCores int
+}
+
+// New programs nCores instances of the given variant into the board's
+// fabric, validating resource capacity.
+func New(brd *board.ZCU102, cfg Config, nCores int) (*DPU, error) {
+	if nCores <= 0 {
+		return nil, fmt.Errorf("dpu: need at least one core")
+	}
+	total := fabric.Utilization{}
+	for i := 0; i < nCores; i++ {
+		total = total.Add(cfg.Util)
+	}
+	if err := brd.Fabric().Configure(total); err != nil {
+		return nil, fmt.Errorf("dpu: %d x %s does not fit: %w", nCores, cfg.Arch, err)
+	}
+	return &DPU{brd: brd, cfg: cfg, nCores: nCores}, nil
+}
+
+// Board returns the board the DPU is programmed on.
+func (d *DPU) Board() *board.ZCU102 { return d.brd }
+
+// Config returns the core variant.
+func (d *DPU) Config() Config { return d.cfg }
+
+// Cores returns the instantiated core count.
+func (d *DPU) Cores() int { return d.nCores }
+
+// Result is the outcome of one inference on the DPU.
+type Result struct {
+	// Probs is the host-side softmax output.
+	Probs *tensor.Tensor
+	// Pred is the argmax class.
+	Pred int
+	// MACFaults and BRAMFaults count injected corruption events.
+	MACFaults  int64
+	BRAMFaults int64
+}
+
+// Run executes one image through a compiled kernel at the board's present
+// electrical conditions, injecting timing faults per the fabric model.
+// It returns board.ErrHung if the board is (or becomes) crashed.
+func (d *DPU) Run(k *Kernel, img *tensor.Tensor, rng *rand.Rand) (*Result, error) {
+	if err := d.brd.CheckAlive(); err != nil {
+		return nil, err
+	}
+	cond := d.brd.Conditions()
+	cond.Stress = k.Workload.Stress
+	fab := d.brd.Fabric()
+	pMAC := fab.MACFaultProb(cond) * k.VulnScale
+	if pMAC > 0.5 {
+		pMAC = 0.5
+	}
+	pBRAM := fab.BRAMBitFaultProb(cond)
+	res, err := d.run(k, img, rng, pMAC, pBRAM)
+	if err != nil {
+		return nil, err
+	}
+	// A fault storm near Vcrash can also hang the board mid-task.
+	if err := d.brd.CheckAlive(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunClean executes one image with fault injection disabled and without
+// consulting the board's electrical state — the fault-free reference path
+// used to plant ground-truth labels.
+func (d *DPU) RunClean(k *Kernel, img *tensor.Tensor) (*Result, error) {
+	return d.run(k, img, nil, 0, 0)
+}
+
+// run is the shared execution core. rng may be nil when both fault
+// probabilities are zero.
+func (d *DPU) run(k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM float64) (*Result, error) {
+	res := &Result{}
+	nodes := k.Graph.Nodes()
+	acts := make([]*quant.QTensor, len(nodes))
+	var final *tensor.Tensor
+
+	// Quantize the input once with the calibrated scale.
+	inQ, err := quant.QuantizeWithScale(img, k.InScale, k.Bits)
+	if err != nil {
+		return nil, fmt.Errorf("dpu: input quantization: %w", err)
+	}
+
+	fetch := func(id nn.NodeID) (*quant.QTensor, error) {
+		if id == nn.InputID {
+			return inQ, nil
+		}
+		if int(id) >= len(acts) || acts[id] == nil {
+			return nil, fmt.Errorf("dpu: missing activation for node %d", id)
+		}
+		return acts[id], nil
+	}
+
+	for i, n := range nodes {
+		kn := k.Nodes[i]
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			wq, bflips := d.readWeights(kn.WQ, pBRAM, rng)
+			res.BRAMFaults += bflips
+			acc, dims, err := quant.Conv2DInt8(x, wq, kn.BiasQ, op.Stride, op.Pad)
+			if err != nil {
+				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
+			}
+			res.MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
+			q, err := quant.Requantize(acc, dims, kn.AccScale, kn.OutScale, k.Bits)
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = q
+		case *nn.Dense:
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			wq, bflips := d.readWeights(kn.WQ, pBRAM, rng)
+			res.BRAMFaults += bflips
+			acc, dims, err := quant.DenseInt8(x, wq, kn.BiasQ)
+			if err != nil {
+				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
+			}
+			res.MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
+			q, err := quant.Requantize(acc, dims, kn.AccScale, kn.OutScale, k.Bits)
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = q
+		case *nn.Pool2D:
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			var q *quant.QTensor
+			if op.Kind == nn.MaxPool {
+				q, err = quant.MaxPoolQ(x, op.Kernel, op.Stride, op.Global)
+			} else {
+				q, err = quant.AvgPoolQ(x, op.Kernel, op.Stride, op.Global)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
+			}
+			acts[i] = q
+		case nn.ReLU:
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = quant.ReLUQ(x.Clone())
+		case nn.Sigmoid:
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = d.sigmoidQ(x, kn.OutScale, k.Bits)
+		case *nn.LRN:
+			// Host-side op (like softmax): dequantize, normalize,
+			// requantize at the calibrated scale.
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			f, err := op.Forward([]*tensor.Tensor{x.Dequantize()})
+			if err != nil {
+				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
+			}
+			q, err := quant.QuantizeWithScale(f, kn.OutScale, k.Bits)
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = q
+		case *nn.BatchNorm:
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = d.batchNormQ(x, op, kn.OutScale, k.Bits)
+		case nn.Flatten:
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			flat := x.Clone()
+			flat.Dims = []int{x.Size()}
+			acts[i] = flat
+		case nn.Add:
+			a, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			sum := a
+			for _, id := range n.Inputs[1:] {
+				b, err := fetch(id)
+				if err != nil {
+					return nil, err
+				}
+				sum, err = quant.AddQ(sum, b, kn.OutScale, k.Bits)
+				if err != nil {
+					return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
+				}
+			}
+			acts[i] = sum
+		case nn.Concat:
+			ins := make([]*quant.QTensor, len(n.Inputs))
+			for j, id := range n.Inputs {
+				x, err := fetch(id)
+				if err != nil {
+					return nil, err
+				}
+				ins[j] = x
+			}
+			q, err := quant.ConcatQ(ins, kn.OutScale, k.Bits)
+			if err != nil {
+				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
+			}
+			acts[i] = q
+		case nn.Softmax:
+			// DNNDK computes softmax on the ARM host, in float.
+			x, err := fetch(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			logits := x.Dequantize()
+			out, err := (nn.Softmax{}).Forward([]*tensor.Tensor{logits})
+			if err != nil {
+				return nil, err
+			}
+			final = out
+			// Keep a quantized copy in case the graph continues.
+			q, err := quant.QuantizeWithScale(out, kn.OutScale, k.Bits)
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = q
+		default:
+			return nil, fmt.Errorf("dpu: node %q: unsupported op %T", n.Label, n.Op)
+		}
+	}
+
+	if final == nil {
+		out, err := fetch(k.Graph.Output())
+		if err != nil {
+			return nil, err
+		}
+		final = out.Dequantize()
+	}
+	res.Probs = final
+	res.Pred = final.ArgMax()
+	return res, nil
+}
+
+// readWeights streams weights from BRAM tiles, flipping bits when VCCBRAM
+// is underscaled into its fault region. The kernel's stored weights are
+// never mutated (flips are transient read errors).
+func (d *DPU) readWeights(w *quant.QTensor, pBit float64, rng *rand.Rand) (*quant.QTensor, int64) {
+	if pBit <= 0 {
+		return w, 0
+	}
+	bits := int64(len(w.Data)) * int64(w.Bits)
+	k := fabric.SampleFaults(rng, bits, pBit)
+	if k == 0 {
+		return w, 0
+	}
+	out := w.Clone()
+	for i := int64(0); i < k; i++ {
+		idx := rng.Intn(len(out.Data))
+		bit := uint(rng.Intn(w.Bits))
+		out.Data[idx] ^= 1 << bit
+	}
+	return out, k
+}
+
+// faultTileSpan is the blast radius of one timing-fault event. The B4096
+// MAC array computes a channel-parallel tile of outputs per cycle; a
+// timing violation on a shared partial-sum path corrupts the whole tile,
+// not a single accumulator.
+const faultTileSpan = 4
+
+// faultBitRange bounds the flipped accumulator bit: most flips land in the
+// low-order noise range, a minority in the catastrophic high bits, which
+// matches observed undervolting fault severity distributions.
+const faultBitRange = 20
+
+// injectMACFaults corrupts sampled accumulator tiles with single-bit
+// flips, modeling timing faults in the DSP datapath. The number of events
+// is Binomial(MACs, p); each event flips one bit per accumulator of a
+// small output tile, producing the realistic spread
+// from negligible to catastrophic logit perturbations.
+func injectMACFaults(acc []int32, macs int64, p float64, rng *rand.Rand) int64 {
+	if p <= 0 || len(acc) == 0 {
+		return 0
+	}
+	k := fabric.SampleFaults(rng, macs, p)
+	for i := int64(0); i < k; i++ {
+		start := rng.Intn(len(acc))
+		for j := 0; j < faultTileSpan && start+j < len(acc); j++ {
+			bit := uint(rng.Intn(faultBitRange))
+			acc[start+j] ^= 1 << bit
+		}
+	}
+	return k
+}
+
+// sigmoidQ computes sigmoid through the host float path (the DPU lacks a
+// native sigmoid; DNNDK falls back to the CPU).
+func (d *DPU) sigmoidQ(x *quant.QTensor, outScale float32, bits int) *quant.QTensor {
+	f := x.Dequantize()
+	data := f.Data()
+	for i, v := range data {
+		data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	q, err := quant.QuantizeWithScale(f, outScale, bits)
+	if err != nil {
+		// outScale is validated at compile time; reaching this is a bug.
+		panic(fmt.Sprintf("dpu: sigmoid requantize: %v", err))
+	}
+	return q
+}
+
+// batchNormQ applies a (possibly folded-to-identity) batch norm in the
+// quantized domain.
+func (d *DPU) batchNormQ(x *quant.QTensor, bn *nn.BatchNorm, outScale float32, bits int) *quant.QTensor {
+	c := len(bn.Scale)
+	hw := len(x.Data) / c
+	out := &quant.QTensor{
+		Data:  make([]int8, len(x.Data)),
+		Dims:  append([]int(nil), x.Dims...),
+		Scale: outScale,
+		Bits:  bits,
+	}
+	qmax := float64(quant.QMax(bits))
+	for ch := 0; ch < c; ch++ {
+		sc := float64(bn.Scale[ch])
+		sh := float64(bn.Shift[ch])
+		for i := ch * hw; i < (ch+1)*hw; i++ {
+			real := float64(x.Data[i])*float64(x.Scale)*sc + sh
+			code := math.RoundToEven(real / float64(outScale))
+			if code > qmax {
+				code = qmax
+			}
+			if code < -qmax {
+				code = -qmax
+			}
+			out.Data[i] = int8(code)
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package dpu
+
+import (
+	"fmt"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/nn"
+	"fpgauv/internal/quant"
+)
+
+// InstrKind classifies DPU instructions.
+type InstrKind int
+
+// Instruction kinds (mirroring the DPU's coarse-grained ISA).
+const (
+	InstrLoad InstrKind = iota
+	InstrConv
+	InstrFC
+	InstrPool
+	InstrAct
+	InstrEltwise
+	InstrConcat
+	InstrSave
+)
+
+// String implements fmt.Stringer.
+func (k InstrKind) String() string {
+	switch k {
+	case InstrLoad:
+		return "LOAD"
+	case InstrConv:
+		return "CONV"
+	case InstrFC:
+		return "FC"
+	case InstrPool:
+		return "POOL"
+	case InstrAct:
+		return "ACT"
+	case InstrEltwise:
+		return "ELTW"
+	case InstrConcat:
+		return "CONCAT"
+	case InstrSave:
+		return "SAVE"
+	default:
+		return fmt.Sprintf("INSTR(%d)", int(k))
+	}
+}
+
+// Instr is one coarse-grained DPU instruction with its cost metadata.
+type Instr struct {
+	Kind  InstrKind
+	Node  nn.NodeID
+	Label string
+	// Ops is 2*MACs for compute instructions.
+	Ops int64
+	// WeightBytes and ActBytes are the DDR traffic charged to the
+	// instruction.
+	WeightBytes int64
+	ActBytes    int64
+	// Efficiency is the MAC-array utilization for this instruction
+	// (conv tiles map well; FC layers underuse the array).
+	Efficiency float64
+}
+
+// Program is a compiled instruction sequence plus per-image totals.
+type Program struct {
+	Instrs []Instr
+	// OpsPerImage is total operations (2*MACs, dense).
+	OpsPerImage int64
+	// EffectiveOps accounts for pruning (sparse-skipped MACs removed).
+	EffectiveOps int64
+	// WeightBytes and ActBytes are per-image DDR totals.
+	WeightBytes int64
+	ActBytes    int64
+}
+
+// Kernel is a compiled, quantized, deployable network — the output of the
+// DNNDK compiler and the unit the runtime loads onto the DPU.
+type Kernel struct {
+	// Name is the benchmark name.
+	Name string
+	// Graph is the (possibly BN-folded, possibly pruned) topology.
+	Graph *nn.Graph
+	// Bits is the quantization precision (8..2).
+	Bits int
+	// Classes is the classifier width.
+	Classes int
+	// InScale is the calibrated input quantization scale.
+	InScale float32
+	// Nodes is per-graph-node compiled state, indexed by nn.NodeID.
+	Nodes []KernelNode
+	// Program is the instruction stream with cost metadata.
+	Program Program
+	// Workload is what the board's power/fault models need while this
+	// kernel runs.
+	Workload board.Workload
+	// ComputeFrac is the compute-bound time share at the default clock
+	// (calibrated per benchmark; see DESIGN.md).
+	ComputeFrac float64
+	// Sparsity is the pruned-away weight fraction (0 = dense).
+	Sparsity float64
+	// VulnScale amplifies fault counts for pruned kernels (see
+	// prune.VulnerabilityScale).
+	VulnScale float64
+}
+
+// KernelNode is the compiled form of one graph node.
+type KernelNode struct {
+	// WQ/BiasQ are set for conv and FC nodes.
+	WQ    *quant.QTensor
+	BiasQ []int32
+	// OutScale is the calibrated activation scale of this node's
+	// output; AccScale is the int32 accumulator scale (inScale*wScale).
+	OutScale float32
+	AccScale float32
+	// MACs is the dense multiply-accumulate count of this node.
+	MACs int64
+}
+
+// Validate checks internal consistency of a compiled kernel.
+func (k *Kernel) Validate() error {
+	if k.Graph == nil {
+		return fmt.Errorf("dpu: kernel %q has no graph", k.Name)
+	}
+	if len(k.Nodes) != len(k.Graph.Nodes()) {
+		return fmt.Errorf("dpu: kernel %q has %d node records for %d graph nodes",
+			k.Name, len(k.Nodes), len(k.Graph.Nodes()))
+	}
+	if k.Bits < quant.MinBits || k.Bits > quant.MaxBits {
+		return fmt.Errorf("dpu: kernel %q precision INT%d unsupported", k.Name, k.Bits)
+	}
+	if k.InScale <= 0 {
+		return fmt.Errorf("dpu: kernel %q input scale %g", k.Name, k.InScale)
+	}
+	if k.ComputeFrac <= 0 || k.ComputeFrac > 1 {
+		return fmt.Errorf("dpu: kernel %q compute fraction %g", k.Name, k.ComputeFrac)
+	}
+	for i, n := range k.Graph.Nodes() {
+		kn := k.Nodes[i]
+		switch n.Op.(type) {
+		case *nn.Conv2D, *nn.Dense:
+			if kn.WQ == nil || kn.BiasQ == nil {
+				return fmt.Errorf("dpu: kernel %q node %q missing quantized weights", k.Name, n.Label)
+			}
+			if kn.AccScale <= 0 || kn.OutScale <= 0 {
+				return fmt.Errorf("dpu: kernel %q node %q has invalid scales", k.Name, n.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// ImageTimeS returns the modeled per-image execution time on one core at
+// the given DPU clock.
+//
+// Compute time scales inversely with the clock; DDR-bound time does not.
+// The split at the default clock is the calibrated ComputeFrac — this is
+// exactly the model that reproduces the paper's Table 2 GOPs column
+// (0.94/0.83/0.70 at 300/250/200 MHz ⇒ ≈58% compute-bound at 333 MHz).
+func (k *Kernel) ImageTimeS(freqMHz float64) float64 {
+	if freqMHz <= 0 {
+		freqMHz = 333
+	}
+	cfg := B4096()
+	eff := k.arrayEfficiency()
+	opsEff := float64(k.Program.EffectiveOps)
+	tcDefault := opsEff / (float64(cfg.OpsPerCycle) * eff * cfg.DefaultFreqMHz * 1e6)
+	tc := tcDefault * (cfg.DefaultFreqMHz / freqMHz)
+	tm := tcDefault * (1 - k.ComputeFrac) / k.ComputeFrac
+	return tc + tm
+}
+
+// arrayEfficiency is the ops-weighted MAC-array efficiency of the program.
+func (k *Kernel) arrayEfficiency() float64 {
+	var num, den float64
+	for _, in := range k.Program.Instrs {
+		if in.Ops > 0 {
+			num += float64(in.Ops) * in.Efficiency
+			den += float64(in.Ops)
+		}
+	}
+	if den == 0 {
+		return 0.7
+	}
+	return num / den
+}
+
+// GOPs returns the modeled throughput (giga-ops/s, dense-op convention)
+// of nCores at the given clock.
+func (k *Kernel) GOPs(nCores int, freqMHz float64) float64 {
+	t := k.ImageTimeS(freqMHz)
+	if t <= 0 {
+		return 0
+	}
+	return float64(nCores) * float64(k.Program.OpsPerImage) / t / 1e9
+}

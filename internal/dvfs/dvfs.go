@@ -1,0 +1,181 @@
+// Package dvfs implements the paper's second future-work item (§9):
+// dynamic voltage adjustment considering temperature, accuracy, power and
+// performance. The Governor closes the loop the paper leaves open: it
+// monitors a canary error signal (fault events on a small probe set) and
+// the die temperature, and walks VCCINT to the deepest level that keeps
+// the error signal at zero — automatically exploiting ITD headroom when
+// the die runs hot and backing off when it cools.
+package dvfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/models"
+	"fpgauv/internal/pmbus"
+	"fpgauv/internal/silicon"
+)
+
+// Config tunes the governor.
+type Config struct {
+	// StepMV is the voltage adjustment granularity (default 5 mV, the
+	// paper's measurement step).
+	StepMV float64
+	// MarginMV is the safety margin kept above the last level that
+	// showed faults (default 5 mV).
+	MarginMV float64
+	// FloorMV bounds the descent (default 540 mV — the mean Vcrash;
+	// the governor must never walk into a crash).
+	FloorMV float64
+	// ProbeImages is the canary-set size checked per step.
+	ProbeImages int
+	// Seed derives probe fault-injection randomness.
+	Seed int64
+}
+
+// DefaultConfig returns conservative governor settings.
+func DefaultConfig() Config {
+	return Config{
+		StepMV:      5,
+		MarginMV:    5,
+		FloorMV:     545,
+		ProbeImages: 16,
+		Seed:        1,
+	}
+}
+
+func (c Config) sanitize() Config {
+	d := DefaultConfig()
+	if c.StepMV <= 0 {
+		c.StepMV = d.StepMV
+	}
+	if c.MarginMV < 0 {
+		c.MarginMV = d.MarginMV
+	}
+	if c.FloorMV <= 0 {
+		c.FloorMV = d.FloorMV
+	}
+	if c.ProbeImages <= 0 {
+		c.ProbeImages = d.ProbeImages
+	}
+	return c
+}
+
+// Step records one governor decision.
+type Step struct {
+	VCCINTmV float64
+	TempC    float64
+	Faults   int64
+	PowerW   float64
+	Action   string
+}
+
+// Governor walks VCCINT toward the minimum safe level under the present
+// thermal conditions.
+type Governor struct {
+	cfg     Config
+	task    *dnndk.Task
+	probe   *models.Dataset
+	adapter *pmbus.Adapter
+	trace   []Step
+}
+
+// New builds a governor for a loaded task. The probe set is a small
+// dedicated canary dataset (it needs no labels: the error signal is the
+// fault-event count).
+func New(task *dnndk.Task, bench *models.Benchmark, cfg Config) *Governor {
+	cfg = cfg.sanitize()
+	return &Governor{
+		cfg:     cfg,
+		task:    task,
+		probe:   bench.MakeDataset(cfg.ProbeImages, cfg.Seed^0xd1f5),
+		adapter: pmbus.NewAdapter(task.Board().Bus(), board.AddrVCCINT),
+	}
+}
+
+// Trace returns the decision history.
+func (g *Governor) Trace() []Step {
+	out := make([]Step, len(g.trace))
+	copy(out, g.trace)
+	return out
+}
+
+// probeFaults classifies the canary set and returns observed fault
+// events.
+func (g *Governor) probeFaults(seed int64) (int64, error) {
+	res, err := g.task.Classify(g.probe, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return 0, err
+	}
+	return res.MACFaults, nil
+}
+
+// record appends a trace step at the current state.
+func (g *Governor) record(action string, faults int64) {
+	brd := g.task.Board()
+	g.trace = append(g.trace, Step{
+		VCCINTmV: brd.VCCINTmV(),
+		TempC:    brd.DieTempC(),
+		Faults:   faults,
+		PowerW:   brd.PowerBreakdown().TotalW,
+		Action:   action,
+	})
+}
+
+// Settle walks VCCINT downward from its present level until the canary
+// reports faults or the floor is reached, then backs off by the margin.
+// It returns the settled voltage. Settle never crosses the configured
+// floor, so it cannot crash the board.
+func (g *Governor) Settle() (float64, error) {
+	cfg := g.cfg
+	brd := g.task.Board()
+	v := brd.VCCINTmV()
+	step := 0
+	for v-cfg.StepMV >= cfg.FloorMV {
+		next := v - cfg.StepMV
+		if err := g.adapter.SetVoltageMV(next); err != nil {
+			return v, err
+		}
+		faults, err := g.probeFaults(cfg.Seed + int64(step))
+		if err != nil {
+			if errors.Is(err, board.ErrHung) {
+				// Defensive: floor should prevent this.
+				brd.Reboot()
+				return 0, fmt.Errorf("dvfs: crashed at %.0f mV despite floor %.0f", next, cfg.FloorMV)
+			}
+			return v, err
+		}
+		step++
+		if faults > 0 {
+			safe := next + cfg.StepMV + cfg.MarginMV
+			if err := g.adapter.SetVoltageMV(safe); err != nil {
+				return v, err
+			}
+			g.record(fmt.Sprintf("faults at %.0f mV; backed off", next), faults)
+			// Report the rail's actual (LINEAR16-quantized) level.
+			return brd.VCCINTmV(), nil
+		}
+		v = brd.VCCINTmV()
+		g.record("stepped down", 0)
+	}
+	g.record("floor reached", 0)
+	return v, nil
+}
+
+// Adjust re-settles after an environmental change (e.g. the fan slowed
+// and the die heated up, creating ITD headroom). It first returns to a
+// safe level Vnom-side of the current point, then settles again.
+func (g *Governor) Adjust() (float64, error) {
+	resetMV := g.task.Board().VCCINTmV() + 3*g.cfg.StepMV
+	if resetMV > silicon.VnomMV {
+		resetMV = silicon.VnomMV
+	}
+	if err := g.adapter.SetVoltageMV(resetMV); err != nil {
+		return 0, err
+	}
+	g.record("reset for re-settle", 0)
+	return g.Settle()
+}

@@ -1,0 +1,125 @@
+package dvfs
+
+import (
+	"testing"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/models"
+)
+
+func governorRig(t *testing.T) (*Governor, *board.ZCU102) {
+	t.Helper()
+	brd := board.MustNew(board.SampleB)
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := models.New("GoogleNet", models.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ProbeImages = 12
+	return New(task, bench, cfg), brd
+}
+
+func TestSettleFindsSafeDeepVoltage(t *testing.T) {
+	g, brd := governorRig(t)
+	settled, err := g.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The governor should descend deep below nominal but stay at or
+	// above the fault onset minus margin (sample B Vmin = 570).
+	if settled > 585 {
+		t.Fatalf("settled too shallow: %.0f mV", settled)
+	}
+	if settled < 560 {
+		t.Fatalf("settled dangerously deep: %.0f mV", settled)
+	}
+	if brd.Hung() {
+		t.Fatal("governor must never crash the board")
+	}
+	if diff := brd.VCCINTmV() - settled; diff > 0.3 || diff < -0.3 {
+		t.Fatalf("board not left at settled level: %.2f vs %.2f", brd.VCCINTmV(), settled)
+	}
+	if len(g.Trace()) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestHotterDieSettlesDeeper(t *testing.T) {
+	gCold, brdCold := governorRig(t)
+	brdCold.Thermal().HoldTemperature(34)
+	cold, err := gCold.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gHot, brdHot := governorRig(t)
+	brdHot.Thermal().HoldTemperature(52)
+	hot, err := gHot.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ITD: the hot die sees fewer marginal faults, so the canary stays
+	// clean deeper (§7.3: "a lower voltage can be applied at higher
+	// temperatures").
+	if hot > cold+0.3 {
+		t.Fatalf("hot settle %.0f mV should be at or below cold settle %.0f mV", hot, cold)
+	}
+}
+
+func TestAdjustResettlesAfterThermalChange(t *testing.T) {
+	g, brd := governorRig(t)
+	brd.Thermal().HoldTemperature(52)
+	deep, err := g.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fan recovers; the die cools; the deep point may now be
+	// marginal. Adjust must re-settle to a safe level without a crash.
+	brd.Thermal().HoldTemperature(34)
+	readj, err := g.Adjust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brd.Hung() {
+		t.Fatal("adjust crashed the board")
+	}
+	if readj < deep-0.3 {
+		t.Fatalf("cooling should not allow a deeper point: %.2f vs %.2f", readj, deep)
+	}
+}
+
+func TestGovernorRespectsFloor(t *testing.T) {
+	g, brd := governorRig(t)
+	g.cfg.FloorMV = 800 // artificially high floor
+	settled, err := g.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if settled < 800 {
+		t.Fatalf("floor violated: %.0f", settled)
+	}
+	if brd.Hung() {
+		t.Fatal("hung")
+	}
+}
+
+func TestConfigSanitize(t *testing.T) {
+	c := Config{}.sanitize()
+	d := DefaultConfig()
+	if c.StepMV != d.StepMV || c.FloorMV != d.FloorMV || c.ProbeImages != d.ProbeImages {
+		t.Fatalf("sanitize: %+v", c)
+	}
+}

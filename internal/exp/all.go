@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Generator names one reproducible artifact and its generator function.
+type Generator struct {
+	ID   string
+	Name string
+	Run  func(Options) (*Table, error)
+}
+
+// Generators returns every table/figure generator in paper order.
+func Generators() []Generator {
+	return []Generator{
+		{"table1", "Table 1: benchmarks", Table1},
+		{"power", "Sec 4.1: power breakdown at Vnom", PowerBreakdownSec41},
+		{"fig3", "Fig 3: voltage regions", Fig3},
+		{"fig4", "Fig 4: overall voltage behaviour", Fig4},
+		{"fig5", "Fig 5: power-efficiency gains", Fig5},
+		{"fig6", "Fig 6: accuracy vs voltage", Fig6},
+		{"table2", "Table 2: frequency underscaling", Table2},
+		{"fig7", "Fig 7: quantization x undervolting", Fig7},
+		{"fig8", "Fig 8: pruning x undervolting", Fig8},
+		{"fig9", "Fig 9: temperature x power", Fig9},
+		{"fig10", "Fig 10: temperature x accuracy", Fig10},
+		{"variability", "Platform variability", Variability},
+		{"mitigation", "Extension: critical-region fault mitigation (§9)", MitigationStudy},
+		{"dvfs", "Extension: closed-loop DVFS governor (§9)", DVFSStudy},
+	}
+}
+
+// GeneratorByID looks up a generator.
+func GeneratorByID(id string) (Generator, error) {
+	for _, g := range Generators() {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// RunAll regenerates every table and figure into w.
+func RunAll(opts Options, w io.Writer) error {
+	for _, g := range Generators() {
+		t, err := g.Run(opts)
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", g.ID, err)
+		}
+		if _, err := io.WriteString(w, t.Render()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fpgauv/internal/board"
+)
+
+// quick returns a minimal-cost protocol for unit tests.
+func quick() Options {
+	o := QuickOptions()
+	o.Images = 16
+	o.Repeats = 2
+	o.Samples = []board.SampleID{board.SampleB}
+	return o
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"== demo ==", "long-column", "333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1QuickProtocol(t *testing.T) {
+	o := quick()
+	o.Benchmarks = []string{"VGGNet", "GoogleNet"}
+	tab, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// VGGNet row: accuracy @Vnom must be the planted 86%.
+	acc, err := strconv.ParseFloat(tab.Rows[0][8], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-86.0) > 3.2 { // 16-image grid quantizes to 6.25% steps
+		t.Fatalf("VGGNet accuracy @Vnom = %.1f, want ≈86", acc)
+	}
+	if tab.Rows[0][4] != "6" || tab.Rows[1][4] != "21" {
+		t.Fatalf("layer counts wrong: %v / %v", tab.Rows[0][4], tab.Rows[1][4])
+	}
+}
+
+func TestPowerBreakdownQuick(t *testing.T) {
+	o := quick()
+	o.Benchmarks = []string{"VGGNet", "GoogleNet", "AlexNet", "ResNet50", "Inception"}
+	tab, err := PowerBreakdownSec41(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last row is the average; paper: 12.59 W.
+	avgRow := tab.Rows[len(tab.Rows)-1]
+	avg, err := strconv.ParseFloat(avgRow[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-12.59) > 0.35 {
+		t.Fatalf("average on-chip power = %.2f, want ≈12.59 (§4.1)", avg)
+	}
+	// Every benchmark's VCCINT share must exceed 99.9%.
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		share, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if share < 99.9 {
+			t.Fatalf("%s VCCINT share = %.3f%%", row[0], share)
+		}
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	o := quick()
+	o.Benchmarks = []string{"VGGNet"}
+	tab, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single benchmark + average row.
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	vmin, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	vcrash, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	if math.Abs(vmin-570) > 5 || math.Abs(vcrash-535) > 5 {
+		t.Fatalf("regions: Vmin=%.0f Vcrash=%.0f", vmin, vcrash)
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	o := quick()
+	tab, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("Table 2 rows: %d", len(tab.Rows))
+	}
+	// First row is the baseline: everything normalized to 1.00.
+	first := tab.Rows[0]
+	if first[0] != "570" || first[1] != "333" {
+		t.Fatalf("baseline row: %v", first)
+	}
+	for col := 2; col <= 5; col++ {
+		if first[col] != "1.00" {
+			t.Fatalf("baseline normalization: %v", first)
+		}
+	}
+	// Monotone staircase: Fmax non-increasing; GOPs and power fall;
+	// GOPs/W rises toward the bottom (paper: up to 1.25x).
+	prevF, prevG, prevP := math.Inf(1), math.Inf(1), math.Inf(1)
+	for _, row := range tab.Rows {
+		f, _ := strconv.ParseFloat(row[1], 64)
+		g, _ := strconv.ParseFloat(row[2], 64)
+		p, _ := strconv.ParseFloat(row[3], 64)
+		if f > prevF || g > prevG+1e-9 || p > prevP+1e-9 {
+			t.Fatalf("staircase violated at %v", row)
+		}
+		prevF, prevG, prevP = f, g, p
+	}
+	lastEff, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][4], 64)
+	if lastEff <= 1.0 {
+		t.Fatalf("GOPs/W at the lowest point = %.2f, want > 1", lastEff)
+	}
+	// GOPs/J must peak at the baseline (paper's key §5 finding).
+	for _, row := range tab.Rows[1:] {
+		j, _ := strconv.ParseFloat(row[5], 64)
+		if j > 1.0 {
+			t.Fatalf("GOPs/J exceeds baseline at %v", row)
+		}
+	}
+}
+
+func TestFig10ITDHealing(t *testing.T) {
+	o := quick()
+	tab, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the critical region, the hottest column must be at least as
+	// accurate as the coldest on average.
+	var coldSum, hotSum float64
+	var n int
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[0], 64)
+		if v >= 570 || row[1] == "CRASH" || row[len(row)-1] == "CRASH" {
+			continue
+		}
+		cold, err1 := strconv.ParseFloat(row[1], 64)
+		hot, err2 := strconv.ParseFloat(row[len(row)-1], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		coldSum += cold
+		hotSum += hot
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no critical-region rows")
+	}
+	if hotSum < coldSum {
+		t.Fatalf("ITD healing absent: hot avg %.1f < cold avg %.1f", hotSum/float64(n), coldSum/float64(n))
+	}
+}
+
+func TestGeneratorRegistry(t *testing.T) {
+	gens := Generators()
+	if len(gens) != 14 {
+		t.Fatalf("expected 14 generators, got %d", len(gens))
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		if seen[g.ID] {
+			t.Fatalf("duplicate generator id %q", g.ID)
+		}
+		seen[g.ID] = true
+		if g.Run == nil || g.Name == "" {
+			t.Fatalf("incomplete generator %q", g.ID)
+		}
+	}
+	if _, err := GeneratorByID("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GeneratorByID("nope"); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+}
+
+func TestSingleGeneratorViaRegistry(t *testing.T) {
+	g, err := GeneratorByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quick()
+	tab, err := g.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(tab.Render())
+	if !strings.Contains(buf.String(), "CRASH") {
+		t.Fatal("Fig 4 sweep should reach the crash point")
+	}
+	if !strings.Contains(buf.String(), "guardband") {
+		t.Fatal("Fig 4 should label the guardband region")
+	}
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/dvfs"
+	"fpgauv/internal/mitigate"
+	"fpgauv/internal/pmbus"
+)
+
+// MitigationStudy is a beyond-paper artifact implementing §9's first
+// future-work item: fault mitigation inside the critical region at full
+// clock frequency. It compares unprotected operation against temporal
+// (softmax-ensemble) redundancy and Razor-style detect-and-replay.
+func MitigationStudy(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	const name = "VGGNet"
+	const operatingMV = 562
+	r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		return nil, fmt.Errorf("exp: mitigation: %w", err)
+	}
+	if err := pmbus.NewAdapter(r.task.Board().Bus(), board.AddrVCCINT).SetVoltageMV(operatingMV); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Extension (paper §9): fault mitigation at %d mV, 333 MHz (%s)", operatingMV, name),
+		Header: []string{"Strategy", "Baseline acc(%)", "Mitigated acc(%)", "Perf cost(x)"},
+		Notes: []string{
+			"beyond-paper artifact: implements the paper's first future-work item",
+		},
+	}
+	strategies := []mitigate.Strategy{
+		mitigate.TemporalRedundancy{N: 3},
+		mitigate.TemporalRedundancy{N: 5},
+		mitigate.RazorReplay{Coverage: 0.90},
+		mitigate.RazorReplay{Coverage: 0.99},
+	}
+	for i, s := range strategies {
+		ev, err := mitigate.Evaluate(s, r.task, r.ds, opts.Seed+int64(i)*97)
+		if err != nil {
+			return nil, fmt.Errorf("exp: mitigation %s: %w", s.Name(), err)
+		}
+		t.Rows = append(t.Rows, []string{
+			ev.Strategy, f1(ev.BaselinePct), f1(ev.MitigatedPct), f2(ev.PerfCost),
+		})
+	}
+	r.task.Board().Reboot()
+	return t, nil
+}
+
+// DVFSStudy is a beyond-paper artifact implementing §9's second
+// future-work item: closed-loop dynamic voltage adjustment. The governor
+// settles at the deepest canary-clean VCCINT under cold and hot thermal
+// conditions and reports the resulting power saving.
+func DVFSStudy(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	const name = "GoogleNet"
+	t := &Table{
+		Title:  "Extension (paper §9): closed-loop DVFS governor (GoogleNet, platform-B)",
+		Header: []string{"Condition", "Settled VCCINT(mV)", "Power(W)", "Saving vs Vnom(%)"},
+		Notes: []string{
+			"beyond-paper artifact: implements the paper's second future-work item",
+		},
+	}
+	for _, cond := range []struct {
+		label string
+		tempC float64
+	}{
+		{"cold die (34 C)", 34},
+		{"hot die (52 C, ITD headroom)", 52},
+	} {
+		r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+		if err != nil {
+			return nil, fmt.Errorf("exp: dvfs: %w", err)
+		}
+		brd := r.task.Board()
+		cfg := dvfs.DefaultConfig()
+		cfg.ProbeImages = opts.Images / 2
+		cfg.Seed = opts.Seed
+		gov := dvfs.New(r.task, r.bench, cfg)
+
+		nominalPower := brd.PowerBreakdown().TotalW
+		brd.Thermal().HoldTemperature(cond.tempC)
+		settled, err := gov.Settle()
+		if err != nil {
+			return nil, fmt.Errorf("exp: dvfs %s: %w", cond.label, err)
+		}
+		power := brd.PowerBreakdown().TotalW
+		t.Rows = append(t.Rows, []string{
+			cond.label, f0(settled), f2(power),
+			f1(100 * (1 - power/nominalPower)),
+		})
+		brd.Thermal().Release()
+		brd.Reboot()
+	}
+	return t, nil
+}

@@ -1,0 +1,245 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/core"
+	"fpgauv/internal/dnndk"
+)
+
+// Fig3 reproduces Figure 3: the voltage regions (guardband, critical,
+// crash) per benchmark, averaged across the board samples.
+func Fig3(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	t := &Table{
+		Title: "Fig 3: Voltage regions per benchmark (averaged across platforms)",
+		Header: []string{
+			"Model", "Vnom(mV)", "Vmin(mV)", "Vcrash(mV)",
+			"Guardband(mV)", "Guardband(%)", "Critical(mV)",
+		},
+		Notes: []string{"paper: guardband avg 280 mV (33%), critical region avg 30 mV"},
+	}
+	var gbSum, critSum float64
+	for _, name := range opts.Benchmarks {
+		var vmin, vcrash float64
+		for _, sample := range opts.Samples {
+			r, err := buildRig(sample, name, opts, dnndk.DefaultQuantizeOptions())
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig3 %s/%v: %w", name, sample, err)
+			}
+			c := r.campaign(opts)
+			c.Config.VStartMV = 620 // regions live below 620 mV; guardband above is fault-free by construction
+			reg, _, err := c.DetectRegions()
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig3 %s/%v: %w", name, sample, err)
+			}
+			vmin += reg.VminMV / float64(len(opts.Samples))
+			vcrash += reg.VcrashMV / float64(len(opts.Samples))
+		}
+		reg := core.Regions{VnomMV: 850, VminMV: vmin, VcrashMV: vcrash}
+		gbSum += reg.GuardbandMV()
+		critSum += reg.CriticalMV()
+		t.Rows = append(t.Rows, []string{
+			name, f0(reg.VnomMV), f0(reg.VminMV), f0(reg.VcrashMV),
+			f0(reg.GuardbandMV()), f1(reg.GuardbandPct()), f0(reg.CriticalMV()),
+		})
+	}
+	n := float64(len(opts.Benchmarks))
+	t.Rows = append(t.Rows, []string{
+		"AVERAGE", "850", "", "", f0(gbSum / n),
+		f1(100 * gbSum / n / 850), f0(critSum / n),
+	})
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: the overall voltage behaviour curve
+// (power-efficiency and accuracy versus VCCINT) for one benchmark on one
+// platform — the conceptual picture of guardband, critical region and
+// crash.
+func Fig4(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	name := opts.Benchmarks[0]
+	r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4: %w", err)
+	}
+	c := r.campaign(opts)
+	c.Config.VStepMV = 10
+	points, err := c.Run()
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4: %w", err)
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 4: Overall voltage behaviour (%s, platform-B)", name),
+		Header: []string{"VCCINT(mV)", "Accuracy(%)", "Power(W)", "GOPs/W", "Gain(x)", "Region"},
+	}
+	base := points[0]
+	vminSeen := false
+	for _, pt := range points {
+		region := "guardband"
+		switch {
+		case pt.Crashed:
+			region = "CRASH"
+		case pt.MACFaults > 0:
+			region = "critical"
+			vminSeen = true
+		case vminSeen:
+			region = "critical"
+		}
+		row := []string{f0(pt.VCCINTmV)}
+		if pt.Crashed {
+			row = append(row, "-", "-", "-", "-", region)
+		} else {
+			row = append(row, f1(pt.AccuracyPct), f2(pt.PowerW), f1(pt.GOPsPerW),
+				f2(pt.GOPsPerW/base.GOPsPerW), region)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: power-efficiency (GOPs/W) per benchmark at
+// Vnom, Vmin and the last functional point above Vcrash, averaged across
+// platforms, with the 2.6x / >3x gains.
+func Fig5(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	t := &Table{
+		Title: "Fig 5: Power-efficiency improvement via undervolting (averaged across platforms)",
+		Header: []string{
+			"Model", "GOPs/W @Vnom", "GOPs/W @Vmin", "GOPs/W @Vcrash",
+			"Gain @Vmin(x)", "Gain @Vcrash(x)",
+		},
+		Notes: []string{"paper: 2.6x at Vmin, >3x (≈3.7x) at Vcrash"},
+	}
+	var gainMinSum, gainCrashSum float64
+	for _, name := range opts.Benchmarks {
+		var atNom, atMin, atCrash float64
+		for _, sample := range opts.Samples {
+			r, err := buildRig(sample, name, opts, dnndk.DefaultQuantizeOptions())
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig5 %s/%v: %w", name, sample, err)
+			}
+			c := r.campaign(opts)
+			c.Config.VStartMV = 850
+			c.Config.VStepMV = 5
+			points, err := c.Run()
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig5 %s/%v: %w", name, sample, err)
+			}
+			reg, err := regionsFromPoints(points)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig5 %s/%v: %w", name, sample, err)
+			}
+			n := float64(len(opts.Samples))
+			atNom += points[0].GOPsPerW / n
+			atMin += findPoint(points, reg.VminMV).GOPsPerW / n
+			atCrash += lastFunctional(points).GOPsPerW / n
+		}
+		t.Rows = append(t.Rows, []string{
+			name, f1(atNom), f1(atMin), f1(atCrash),
+			f2(atMin / atNom), f2(atCrash / atNom),
+		})
+		gainMinSum += atMin / atNom
+		gainCrashSum += atCrash / atNom
+	}
+	n := float64(len(opts.Benchmarks))
+	t.Rows = append(t.Rows, []string{
+		"AVERAGE", "", "", "", f2(gainMinSum / n), f2(gainCrashSum / n),
+	})
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: accuracy versus supply voltage per benchmark,
+// separately for the three platforms, across the critical region.
+func Fig6(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	t := &Table{
+		Title:  "Fig 6: Accuracy vs VCCINT per benchmark per platform",
+		Header: []string{"Model", "Platform", "V(mV)", "Accuracy(%)", "Faults/img"},
+		Notes: []string{
+			"paper: exponential decay below Vmin; ResNet/Inception most vulnerable; random behaviour at Vcrash",
+		},
+	}
+	for _, name := range opts.Benchmarks {
+		for _, sample := range opts.Samples {
+			r, err := buildRig(sample, name, opts, dnndk.DefaultQuantizeOptions())
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig6 %s/%v: %w", name, sample, err)
+			}
+			c := r.campaign(opts)
+			c.Config.VStartMV = 600
+			c.Config.VStepMV = 5
+			points, err := c.Run()
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig6 %s/%v: %w", name, sample, err)
+			}
+			for _, pt := range points {
+				if pt.Crashed {
+					t.Rows = append(t.Rows, []string{name, sample.String(), f0(pt.VCCINTmV), "CRASH", "-"})
+					break
+				}
+				// Only report from just above the fault onset
+				// downward to keep the series readable.
+				if pt.VCCINTmV > 595 {
+					continue
+				}
+				perImg := float64(pt.MACFaults) / float64(opts.Repeats) / float64(opts.Images)
+				t.Rows = append(t.Rows, []string{
+					name, sample.String(), f0(pt.VCCINTmV), f1(pt.AccuracyPct), f1(perImg),
+				})
+			}
+		}
+	}
+	return t, nil
+}
+
+// regionsFromPoints derives regions from an existing sweep (avoiding a
+// second sweep when the caller already has the points).
+func regionsFromPoints(points []core.Point) (core.Regions, error) {
+	if len(points) == 0 {
+		return core.Regions{}, fmt.Errorf("empty sweep")
+	}
+	base := points[0]
+	reg := core.Regions{VnomMV: 850, VminMV: points[0].VCCINTmV}
+	for _, pt := range points {
+		if pt.Crashed {
+			reg.VcrashMV = pt.VCCINTmV
+			break
+		}
+		if pt.MACFaults == 0 && pt.MinAccuracyPct >= base.AccuracyPct-1e-9 {
+			reg.VminMV = pt.VCCINTmV
+		}
+	}
+	if reg.VcrashMV == 0 {
+		return reg, fmt.Errorf("sweep did not reach Vcrash")
+	}
+	return reg, nil
+}
+
+// findPoint returns the sweep point nearest the requested voltage.
+func findPoint(points []core.Point, vMV float64) core.Point {
+	best := points[0]
+	for _, pt := range points {
+		if pt.Crashed {
+			continue
+		}
+		if math.Abs(pt.VCCINTmV-vMV) < math.Abs(best.VCCINTmV-vMV) {
+			best = pt
+		}
+	}
+	return best
+}
+
+// lastFunctional returns the last non-crashed point of a sweep.
+func lastFunctional(points []core.Point) core.Point {
+	last := points[0]
+	for _, pt := range points {
+		if pt.Crashed {
+			break
+		}
+		last = pt
+	}
+	return last
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFig7QuantizationInteraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-precision rigs")
+	}
+	o := quick()
+	tab, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect accuracy and GOPs/W at Vnom per precision.
+	accAtNom := map[string]float64{}
+	effAtNom := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[1] != "850" || row[2] == "CRASH" {
+			continue
+		}
+		acc, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accAtNom[row[0]] = acc
+		effAtNom[row[0]] = eff
+	}
+	if len(accAtNom) != 5 {
+		t.Fatalf("expected INT8..INT4 rows, got %v", accAtNom)
+	}
+	// Fig 7a: INT8 baseline accuracy must exceed INT4's.
+	if accAtNom["INT8"] <= accAtNom["INT4"] {
+		t.Errorf("INT8 acc %.1f should exceed INT4 %.1f", accAtNom["INT8"], accAtNom["INT4"])
+	}
+	// Fig 7b: lower precision must be more power-efficient.
+	if effAtNom["INT4"] <= effAtNom["INT8"] {
+		t.Errorf("INT4 GOPs/W %.1f should exceed INT8 %.1f", effAtNom["INT4"], effAtNom["INT8"])
+	}
+}
+
+func TestFig8PruningInteraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pruned rig sweep")
+	}
+	o := quick()
+	tab, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pruned model must crash earlier (higher Vcrash: 555 vs 540).
+	crashAt := map[string]float64{}
+	effAtNom := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[2] == "CRASH" {
+			v, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashAt[row[0]] = v
+			continue
+		}
+		if row[1] == "850" {
+			eff, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			effAtNom[row[0]] = eff
+		}
+	}
+	if crashAt["pruned50"] == 0 {
+		t.Fatalf("pruned model should crash within the measured range: %v", crashAt)
+	}
+	if base, ok := crashAt["baseline"]; ok && crashAt["pruned50"] <= base {
+		t.Errorf("pruned Vcrash %.0f should be above baseline %.0f (Fig. 8)",
+			crashAt["pruned50"], base)
+	}
+	// Fig 8b: pruned model is more power-efficient (fewer ops).
+	if effAtNom["pruned50"] <= effAtNom["baseline"] {
+		t.Errorf("pruned GOPs/W %.1f should exceed baseline %.1f",
+			effAtNom["pruned50"], effAtNom["baseline"])
+	}
+	if !strings.Contains(tab.Title, "pruning") {
+		t.Error("title")
+	}
+}
+
+func TestVariabilityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-board sweep")
+	}
+	o := quick()
+	o.Samples = nil // default: all three
+	tab, err := Variability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := tab.Rows[len(tab.Rows)-1]
+	dVmin, err := strconv.ParseFloat(spread[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dVcrash, err := strconv.ParseFloat(spread[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dVmin < 25 || dVmin > 40 {
+		t.Errorf("ΔVmin = %.0f, want ≈31 (paper)", dVmin)
+	}
+	if dVcrash < 10 || dVcrash > 25 {
+		t.Errorf("ΔVcrash = %.0f, want ≈18 (paper)", dVcrash)
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+)
+
+// fig9Temps is the paper's §7 temperature range, reachable via fan
+// control on the ZCU102.
+var fig9Temps = []float64{34, 40, 46, 52}
+
+// fig9Voltages spans nominal down through the critical region.
+var fig9Voltages = []float64{850, 800, 750, 700, 650, 600, 570, 560, 550}
+
+// Fig9 reproduces Figure 9: power consumption versus VCCINT at different
+// die temperatures (GoogleNet). The key observations: power rises with
+// temperature, and the temperature effect shrinks at lower voltage
+// (0.46% at 850 mV vs ≈0.15% at 650 mV over 34→52 °C).
+func Fig9(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	const name = "GoogleNet"
+	r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig9: %w", err)
+	}
+	c := r.campaign(opts)
+	brd := r.task.Board()
+
+	t := &Table{
+		Title:  "Fig 9: Power vs VCCINT at different temperatures (GoogleNet, platform-B)",
+		Header: []string{"V(mV)"},
+		Notes: []string{
+			"paper: power change 34->52 C is ~0.46% at 850 mV and ~0.15% at 650 mV",
+		},
+	}
+	for _, temp := range fig9Temps {
+		t.Header = append(t.Header, fmt.Sprintf("P(W)@%.0fC", temp))
+	}
+	for _, v := range fig9Voltages {
+		row := []string{f0(v)}
+		crashed := false
+		for _, temp := range fig9Temps {
+			brd.Thermal().HoldTemperature(temp)
+			pt, err := c.Measure(v)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig9 %.0f mV @%.0f C: %w", v, temp, err)
+			}
+			if pt.Crashed {
+				row = append(row, "CRASH")
+				crashed = true
+				brd.Reboot()
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", pt.PowerW))
+		}
+		t.Rows = append(t.Rows, row)
+		if crashed {
+			break
+		}
+	}
+	brd.Thermal().Release()
+	brd.Reboot()
+	return t, nil
+}
+
+// fig10Voltages focuses on the critical region where the ITD healing is
+// visible.
+var fig10Voltages = []float64{575, 570, 565, 560, 555, 550, 545}
+
+// Fig10 reproduces Figure 10: accuracy versus VCCINT at different die
+// temperatures (GoogleNet). Higher temperature heals undervolting faults
+// (inverse thermal dependence) without moving Vmin.
+func Fig10(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	const name = "GoogleNet"
+	r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig10: %w", err)
+	}
+	c := r.campaign(opts)
+	brd := r.task.Board()
+
+	t := &Table{
+		Title:  "Fig 10: Accuracy vs VCCINT at different temperatures (GoogleNet, platform-B)",
+		Header: []string{"V(mV)"},
+		Notes: []string{
+			"paper: at a fixed critical-region voltage, higher temperature gives higher accuracy (ITD); guardband size unchanged",
+		},
+	}
+	for _, temp := range fig9Temps {
+		t.Header = append(t.Header, fmt.Sprintf("Acc(%%)@%.0fC", temp))
+	}
+	for _, v := range fig10Voltages {
+		row := []string{f0(v)}
+		for _, temp := range fig9Temps {
+			brd.Thermal().HoldTemperature(temp)
+			pt, err := c.Measure(v)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig10 %.0f mV @%.0f C: %w", v, temp, err)
+			}
+			if pt.Crashed {
+				row = append(row, "CRASH")
+				brd.Reboot()
+				continue
+			}
+			row = append(row, f1(pt.AccuracyPct))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	brd.Thermal().Release()
+	brd.Reboot()
+	return t, nil
+}
+
+// Variability reproduces the §1.1/§4.4 multi-board findings: per-sample
+// Vmin and Vcrash with the ΔVmin = 31 mV and ΔVcrash = 18 mV spreads.
+func Variability(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	name := opts.Benchmarks[0]
+	t := &Table{
+		Title:  fmt.Sprintf("Platform variability (%s)", name),
+		Header: []string{"Platform", "Vmin(mV)", "Vcrash(mV)", "Guardband(%)"},
+		Notes:  []string{"paper: ΔVmin = 31 mV, ΔVcrash = 18 mV across three identical boards"},
+	}
+	var minLo, minHi, crashLo, crashHi float64
+	for i, sample := range opts.Samples {
+		r, err := buildRig(sample, name, opts, dnndk.DefaultQuantizeOptions())
+		if err != nil {
+			return nil, fmt.Errorf("exp: variability %v: %w", sample, err)
+		}
+		c := r.campaign(opts)
+		c.Config.VStartMV = 620
+		reg, _, err := c.DetectRegions()
+		if err != nil {
+			return nil, fmt.Errorf("exp: variability %v: %w", sample, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			sample.String(), f0(reg.VminMV), f0(reg.VcrashMV), f1(reg.GuardbandPct()),
+		})
+		if i == 0 {
+			minLo, minHi = reg.VminMV, reg.VminMV
+			crashLo, crashHi = reg.VcrashMV, reg.VcrashMV
+		} else {
+			if reg.VminMV < minLo {
+				minLo = reg.VminMV
+			}
+			if reg.VminMV > minHi {
+				minHi = reg.VminMV
+			}
+			if reg.VcrashMV < crashLo {
+				crashLo = reg.VcrashMV
+			}
+			if reg.VcrashMV > crashHi {
+				crashHi = reg.VcrashMV
+			}
+		}
+	}
+	t.Rows = append(t.Rows, []string{"SPREAD", f0(minHi - minLo), f0(crashHi - crashLo), ""})
+	return t, nil
+}

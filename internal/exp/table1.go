@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/pmbus"
+)
+
+// Table1 reproduces the paper's Table 1: the evaluated CNN benchmarks
+// with dataset geometry, layer counts, parameter sizes and the measured
+// inference accuracy of the INT8 deployment at Vnom.
+func Table1(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	t := &Table{
+		Title: "Table 1: Evaluated CNN Benchmarks",
+		Header: []string{
+			"Model", "Dataset", "Inputs", "Outputs", "#Layers",
+			"Size(paper)", "Params(scaled)", "Acc lit.(%)", "Acc @Vnom(%)",
+		},
+		Notes: []string{
+			fmt.Sprintf("channel-scaled zoo (preset %v); paper sizes shown for reference", opts.Preset),
+		},
+	}
+	for _, name := range opts.Benchmarks {
+		r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+		if err != nil {
+			return nil, fmt.Errorf("exp: table1 %s: %w", name, err)
+		}
+		res, err := r.task.Classify(r.ds, nil)
+		if err != nil {
+			return nil, fmt.Errorf("exp: table1 %s: %w", name, err)
+		}
+		b := r.bench
+		t.Rows = append(t.Rows, []string{
+			b.Name,
+			b.DatasetName,
+			fmt.Sprintf("%dx%d", b.InputShape.H, b.InputShape.W),
+			fmt.Sprintf("%d", b.Classes),
+			fmt.Sprintf("%d", b.WeightLayers()),
+			fmt.Sprintf("%.1fMB", b.PaperParamsMB),
+			fmt.Sprintf("%d", b.ParamCount()),
+			f1(b.LitAccPct),
+			f1(res.AccuracyPct),
+		})
+	}
+	return t, nil
+}
+
+// PowerBreakdownSec41 reproduces §4.1: on-chip power at Vnom per
+// benchmark, the cross-benchmark average (paper: 12.59 W) and the VCCINT
+// rail share (paper: >99.9%), measured through the PMBus like the
+// original setup.
+func PowerBreakdownSec41(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	t := &Table{
+		Title:  "Sec 4.1: On-chip power at Vnom (850 mV)",
+		Header: []string{"Model", "VCCINT(W)", "VCCBRAM(W)", "Total(W)", "VCCINT share(%)"},
+	}
+	var sum float64
+	for _, name := range opts.Benchmarks {
+		r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+		if err != nil {
+			return nil, fmt.Errorf("exp: sec4.1 %s: %w", name, err)
+		}
+		brd := r.task.Board()
+		brd.SetWorkload(r.task.Kernel.Workload)
+		vccint := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT)
+		vccbram := pmbus.NewAdapter(brd.Bus(), board.AddrVCCBRAM)
+		pInt, err := vccint.PowerW()
+		if err != nil {
+			return nil, err
+		}
+		pBram, err := vccbram.PowerW()
+		if err != nil {
+			return nil, err
+		}
+		total := pInt + pBram
+		sum += total
+		t.Rows = append(t.Rows, []string{
+			name, f2(pInt), fmt.Sprintf("%.4f", pBram), f2(total),
+			fmt.Sprintf("%.3f", 100*pInt/total),
+		})
+	}
+	avg := sum / float64(len(opts.Benchmarks))
+	t.Rows = append(t.Rows, []string{"AVERAGE", "", "", f2(avg), ""})
+	t.Notes = append(t.Notes, "paper: average 12.59 W, VCCINT > 99.9% of on-chip power")
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/silicon"
+)
+
+// Table2 reproduces the paper's Table 2: frequency underscaling in the
+// critical region. For each voltage from Vmin down in 5 mV steps, it
+// searches the 25 MHz grid for the maximum fault-free frequency and
+// reports GOPs, power, GOPs/W and GOPs/J normalized to the
+// (570 mV, 333 MHz) baseline.
+func Table2(opts Options) (*Table, error) {
+	opts = opts.sanitize()
+	name := opts.Benchmarks[0]
+	r, err := buildRig(board.SampleB, name, opts, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		return nil, fmt.Errorf("exp: table2: %w", err)
+	}
+	c := r.campaign(opts)
+	grid := silicon.DefaultFmaxGridMHz()
+	brd := r.task.Board()
+
+	type row struct {
+		vMV, fmax, gops, power float64
+	}
+	var rows []row
+	for v := 570.0; v >= 540; v -= 5 {
+		res, err := c.FmaxSearch(v, grid)
+		if err != nil {
+			return nil, fmt.Errorf("exp: table2 at %.0f mV: %w", v, err)
+		}
+		if res.FmaxMHz == 0 {
+			break
+		}
+		// Hold the found operating point and measure.
+		if err := brd.SetFrequencyMHz(res.FmaxMHz); err != nil {
+			return nil, err
+		}
+		prof := r.task.Profile()
+		rows = append(rows, row{vMV: v, fmax: res.FmaxMHz, gops: prof.GOPs, power: prof.PowerW})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("exp: table2 produced no operating points")
+	}
+
+	base := rows[0]
+	t := &Table{
+		Title: fmt.Sprintf("Table 2: Frequency underscaling in the critical region (%s, platform-B)", name),
+		Header: []string{
+			"VCCINT(mV)", "Fmax(MHz)", "GOPs(norm)", "Power(norm)",
+			"GOPs/W(norm)", "GOPs/J(norm)",
+		},
+		Notes: []string{
+			"normalized to (570 mV, 333 MHz); paper: best GOPs/J at the baseline, best GOPs/W at the lowest point (up to 1.25x)",
+		},
+	}
+	for _, rw := range rows {
+		gopsN := rw.gops / base.gops
+		powerN := rw.power / base.power
+		effN := gopsN / powerN
+		// GOPs/J folds throughput into energy per workload:
+		// normalized as GOPs(norm) x GOPs/W(norm).
+		jouleN := gopsN * effN
+		t.Rows = append(t.Rows, []string{
+			f0(rw.vMV), f0(rw.fmax), f2(gopsN), f2(powerN), f2(effN), f2(jouleN),
+		})
+	}
+	brd.Reboot()
+	return t, nil
+}

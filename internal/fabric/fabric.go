@@ -1,0 +1,166 @@
+// Package fabric models the programmable-logic fabric of the Zynq
+// UltraScale+ XCZU9EG: the LUT/DSP/BRAM resource inventory, per-design
+// utilization accounting, and the voltage-dependent fault sampling the DPU
+// executor uses to corrupt computations in the critical voltage region.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpgauv/internal/silicon"
+)
+
+// XCZU9EG programmable-logic inventory (paper §3.3.1: "The PL part has
+// 32.1 Mbit of BRAMs, 600K LUTs, and 2520 DSPs").
+const (
+	TotalLUTs    = 600_000
+	TotalDSPs    = 2520
+	TotalBRAMKb  = 32_100
+	BRAMBlockKb  = 36
+	TotalBRAMs   = TotalBRAMKb / BRAMBlockKb // ≈891 36Kb blocks
+	DDRBytesPerS = 19.2e9                    // 64-bit DDR4-2400 off-chip memory
+)
+
+// Utilization tracks the fraction of each resource class a design uses.
+type Utilization struct {
+	LUTs  float64
+	DSPs  float64
+	BRAMs float64
+}
+
+// Add accumulates another design's utilization (e.g. a second DPU core).
+func (u Utilization) Add(v Utilization) Utilization {
+	return Utilization{
+		LUTs:  u.LUTs + v.LUTs,
+		DSPs:  u.DSPs + v.DSPs,
+		BRAMs: u.BRAMs + v.BRAMs,
+	}
+}
+
+// Validate reports an error if any resource class is oversubscribed.
+func (u Utilization) Validate() error {
+	if u.LUTs > 1 || u.DSPs > 1 || u.BRAMs > 1 {
+		return fmt.Errorf("fabric: utilization exceeds device capacity: LUT %.1f%%, DSP %.1f%%, BRAM %.1f%%",
+			u.LUTs*100, u.DSPs*100, u.BRAMs*100)
+	}
+	if u.LUTs < 0 || u.DSPs < 0 || u.BRAMs < 0 {
+		return fmt.Errorf("fabric: negative utilization")
+	}
+	return nil
+}
+
+// String formats the utilization as percentages.
+func (u Utilization) String() string {
+	return fmt.Sprintf("LUT %.1f%% DSP %.1f%% BRAM %.1f%%", u.LUTs*100, u.DSPs*100, u.BRAMs*100)
+}
+
+// Fabric binds a die sample to a configured design and answers fault-rate
+// queries for it.
+type Fabric struct {
+	die  *silicon.Die
+	util Utilization
+}
+
+// New returns a fabric on the given die with no design loaded.
+func New(die *silicon.Die) *Fabric {
+	return &Fabric{die: die}
+}
+
+// Die returns the underlying die.
+func (f *Fabric) Die() *silicon.Die { return f.die }
+
+// Configure loads a design's utilization (bitstream programming).
+func (f *Fabric) Configure(u Utilization) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	f.util = u
+	return nil
+}
+
+// Utilization returns the configured design's resource usage.
+func (f *Fabric) Utilization() Utilization { return f.util }
+
+// Conditions captures the electrical/thermal state fault rates depend on.
+type Conditions struct {
+	VCCINTmV  float64
+	VCCBRAMmV float64
+	TempC     float64
+	FreqMHz   float64
+	// Stress is the per-workload critical-path stress factor.
+	Stress float64
+}
+
+// MACFaultProb returns the per-MAC-per-cycle timing-fault probability for
+// DSP/LUT datapaths at the given conditions.
+func (f *Fabric) MACFaultProb(c Conditions) float64 {
+	return f.die.FaultProb(silicon.PathData, c.VCCINTmV, c.TempC, c.FreqMHz, c.Stress)
+}
+
+// BRAMBitFaultProb returns the per-bit-read flip probability at the given
+// VCCBRAM level.
+func (f *Fabric) BRAMBitFaultProb(c Conditions) float64 {
+	return f.die.FaultProb(silicon.PathBRAM, c.VCCBRAMmV, c.TempC, 0, 0)
+}
+
+// Crashed reports whether the fabric hangs at the given conditions.
+func (f *Fabric) Crashed(c Conditions, pruned bool) bool {
+	return f.die.Crashed(c.VCCINTmV, c.TempC, pruned)
+}
+
+// SampleFaults draws the number of faulty events among n independent
+// trials with per-trial probability p, using a Poisson approximation for
+// the sparse regime and a normal approximation for dense regimes. This is
+// how the executor decides how many MAC results to corrupt per layer
+// without iterating over millions of MACs.
+func SampleFaults(rng *rand.Rand, n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	switch {
+	case mean < 30:
+		return samplePoisson(rng, mean)
+	default:
+		// Normal approximation with continuity; variance np(1-p).
+		sd := math.Sqrt(mean * (1 - p))
+		k := int64(math.Round(rng.NormFloat64()*sd + mean))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+}
+
+// samplePoisson draws from Poisson(mean) with Knuth's method for small
+// means and a normal fallback for larger ones.
+func samplePoisson(rng *rand.Rand, mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 20 {
+		k := int64(math.Round(rng.NormFloat64()*math.Sqrt(mean) + mean))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-mean)
+	var k int64
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

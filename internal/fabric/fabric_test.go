@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgauv/internal/silicon"
+)
+
+func testFabric() *Fabric {
+	return New(silicon.NewSampleDie(1))
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	// One B4096 DPU uses 24.3% of BRAMs and 25.6% of DSPs (paper §3.1);
+	// three of them fit, a fourth would not (DSP would exceed 100%).
+	one := Utilization{LUTs: 0.18, DSPs: 0.256, BRAMs: 0.243}
+	three := one.Add(one).Add(one)
+	if err := three.Validate(); err != nil {
+		t.Fatalf("3 DPUs should fit: %v", err)
+	}
+	if three.DSPs < 0.75 || three.BRAMs < 0.72 {
+		t.Fatalf("3 DPUs should use ≈75%% of DSPs/BRAMs, got %v", three)
+	}
+	four := three.Add(one)
+	if err := four.Validate(); err == nil {
+		t.Fatal("4 DPUs must not fit")
+	}
+	if four.String() == "" {
+		t.Fatal("empty string")
+	}
+	if err := (Utilization{LUTs: -0.1}).Validate(); err == nil {
+		t.Fatal("negative utilization must fail")
+	}
+}
+
+func TestConfigureRejectsOversubscription(t *testing.T) {
+	f := testFabric()
+	if err := f.Configure(Utilization{DSPs: 1.2}); err == nil {
+		t.Fatal("oversubscribed configure must fail")
+	}
+	want := Utilization{LUTs: 0.5, DSPs: 0.768, BRAMs: 0.729}
+	if err := f.Configure(want); err != nil {
+		t.Fatal(err)
+	}
+	if f.Utilization() != want {
+		t.Fatal("utilization not stored")
+	}
+}
+
+func TestFaultProbesDelegateToDie(t *testing.T) {
+	f := testFabric()
+	safe := Conditions{VCCINTmV: 850, VCCBRAMmV: 850, TempC: 34, FreqMHz: 333}
+	if p := f.MACFaultProb(safe); p != 0 {
+		t.Fatalf("no MAC faults at nominal, got %g", p)
+	}
+	if p := f.BRAMBitFaultProb(safe); p != 0 {
+		t.Fatalf("no BRAM faults at nominal, got %g", p)
+	}
+	crit := safe
+	crit.VCCINTmV = 550
+	if p := f.MACFaultProb(crit); p <= 0 {
+		t.Fatal("expected MAC faults at 550 mV")
+	}
+	if f.Crashed(crit, false) {
+		t.Fatal("550 mV should not crash sample B")
+	}
+	crit.VCCINTmV = 535
+	if !f.Crashed(crit, false) {
+		t.Fatal("535 mV should crash sample B")
+	}
+}
+
+func TestSampleFaultsSparseRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 10_000_000
+	const p = 1e-6
+	const trials = 300
+	var total int64
+	for i := 0; i < trials; i++ {
+		total += SampleFaults(rng, n, p)
+	}
+	mean := float64(total) / trials
+	want := float64(n) * p // 10
+	if math.Abs(mean-want) > 1.0 {
+		t.Fatalf("sparse sampler mean = %.2f, want ≈%.1f", mean, want)
+	}
+}
+
+func TestSampleFaultsDenseRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 1_000_000
+	const p = 0.01
+	var total int64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		k := SampleFaults(rng, n, p)
+		if k < 0 || k > n {
+			t.Fatalf("sample out of range: %d", k)
+		}
+		total += k
+	}
+	mean := float64(total) / trials
+	want := float64(n) * p
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("dense sampler mean = %.0f, want ≈%.0f", mean, want)
+	}
+}
+
+func TestSampleFaultsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if SampleFaults(rng, 0, 0.5) != 0 {
+		t.Fatal("n=0")
+	}
+	if SampleFaults(rng, 100, 0) != 0 {
+		t.Fatal("p=0")
+	}
+	if SampleFaults(rng, 100, 1) != 100 {
+		t.Fatal("p=1")
+	}
+	if SampleFaults(rng, -5, 0.1) != 0 {
+		t.Fatal("negative n")
+	}
+}
+
+func TestSampleFaultsBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(nRaw uint32, pRaw uint16) bool {
+		n := int64(nRaw % 5_000_000)
+		p := float64(pRaw) / 65535.0
+		k := SampleFaults(rng, n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

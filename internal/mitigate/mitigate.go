@@ -1,0 +1,178 @@
+// Package mitigate implements fault-mitigation strategies for operating
+// CNN accelerators inside the critical voltage region at full frequency —
+// the paper's first future-work item (§9: "fault mitigation techniques
+// for very low-voltage regions even when the design operates at the
+// maximum frequency").
+//
+// Two strategies are provided:
+//
+//   - TemporalRedundancy: classify each input N times and take the
+//     majority vote. Undervolting faults are transient and independent
+//     across runs, so redundancy recovers accuracy at an N-fold
+//     throughput cost (no hardware changes).
+//   - RazorReplay: model Razor-style shadow-latch detection on the MAC
+//     datapath — a fraction (coverage) of timing faults is detected and
+//     the affected tile replayed. Detection shrinks the effective fault
+//     probability; replays add a small cycle overhead. This mirrors the
+//     §2.2 discussion of Razor [Ernst et al., MICRO'03].
+package mitigate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/models"
+)
+
+// Strategy mitigates faults around a classification task.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Classify runs the dataset with mitigation active and returns the
+	// predictions plus the relative performance cost (1.0 = no
+	// overhead; 3.0 = three times slower).
+	Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Rand) (preds []int, perfCost float64, err error)
+}
+
+// TemporalRedundancy votes over N independent executions per input.
+type TemporalRedundancy struct {
+	// N is the number of executions per input (odd values avoid ties;
+	// ties break toward the first-seen class).
+	N int
+}
+
+var _ Strategy = TemporalRedundancy{}
+
+// Name implements Strategy.
+func (t TemporalRedundancy) Name() string { return fmt.Sprintf("temporal-redundancy-%dx", t.n()) }
+
+func (t TemporalRedundancy) n() int {
+	if t.N <= 0 {
+		return 3
+	}
+	return t.N
+}
+
+// Classify implements Strategy. The N runs are combined by averaging
+// their softmax outputs (ensemble averaging) — strictly stronger than a
+// hard majority vote because transient fault perturbations on different
+// runs cancel in probability space even when each run's argmax flipped.
+func (t TemporalRedundancy) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Rand) ([]int, float64, error) {
+	n := t.n()
+	preds := make([]int, ds.Len())
+	for i, img := range ds.Inputs {
+		var sum []float64
+		for r := 0; r < n; r++ {
+			res, err := task.Run(img, rng)
+			if err != nil {
+				return nil, 0, err
+			}
+			probs := res.Probs.Data()
+			if sum == nil {
+				sum = make([]float64, len(probs))
+			}
+			for c, p := range probs {
+				sum[c] += float64(p)
+			}
+		}
+		best, bestVal := 0, -1.0
+		for c, v := range sum {
+			if v > bestVal {
+				best, bestVal = c, v
+			}
+		}
+		preds[i] = best
+	}
+	return preds, float64(n), nil
+}
+
+// RazorReplay models shadow-latch detection with the given coverage.
+type RazorReplay struct {
+	// Coverage is the fraction of timing faults detected and replayed
+	// (real Razor deployments reach 85-99% on instrumented paths).
+	Coverage float64
+	// ReplayOverhead is the per-detected-fault relative cycle cost.
+	ReplayOverhead float64
+}
+
+var _ Strategy = RazorReplay{}
+
+// Name implements Strategy.
+func (r RazorReplay) Name() string { return fmt.Sprintf("razor-replay-%.0f%%", r.coverage()*100) }
+
+func (r RazorReplay) coverage() float64 {
+	if r.Coverage <= 0 || r.Coverage > 1 {
+		return 0.95
+	}
+	return r.Coverage
+}
+
+// Classify implements Strategy. Detection is modeled by suppressing the
+// covered fraction of fault events: the executor's fault probability is
+// scaled via the kernel's VulnScale hook for the duration of the pass.
+func (r RazorReplay) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Rand) ([]int, float64, error) {
+	k := task.Kernel
+	saved := k.VulnScale
+	k.VulnScale = saved * (1 - r.coverage())
+	defer func() { k.VulnScale = saved }()
+
+	preds := make([]int, ds.Len())
+	var replays int64
+	overhead := r.ReplayOverhead
+	if overhead <= 0 {
+		overhead = 1e-5 // per-event tile replay, amortized per image
+	}
+	for i, img := range ds.Inputs {
+		res, err := task.Run(img, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		preds[i] = res.Pred
+		// Detected (suppressed) events would each have triggered a
+		// replay; estimate their count from the survivors.
+		if cov := r.coverage(); cov < 1 {
+			replays += int64(float64(res.MACFaults) * cov / (1 - cov))
+		}
+	}
+	cost := 1 + overhead*float64(replays)/float64(ds.Len())
+	return preds, cost, nil
+}
+
+// Evaluation compares accuracy with and without a strategy at the
+// present operating point.
+type Evaluation struct {
+	Strategy     string
+	BaselinePct  float64
+	MitigatedPct float64
+	PerfCost     float64
+}
+
+// Evaluate measures a strategy against the unprotected baseline. The
+// baseline is averaged over three passes so the comparison is not at the
+// mercy of one fault-sampling draw.
+func Evaluate(s Strategy, task *dnndk.Task, ds *models.Dataset, seed int64) (Evaluation, error) {
+	const basePasses = 3
+	var baseAcc float64
+	for r := 0; r < basePasses; r++ {
+		base, err := task.Classify(ds, rand.New(rand.NewSource(seed+int64(r)*211)))
+		if err != nil {
+			return Evaluation{}, err
+		}
+		baseAcc += base.AccuracyPct / basePasses
+	}
+	preds, cost, err := s.Classify(task, ds, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return Evaluation{}, err
+	}
+	acc, err := ds.Accuracy(preds)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{
+		Strategy:     s.Name(),
+		BaselinePct:  baseAcc,
+		MitigatedPct: acc,
+		PerfCost:     cost,
+	}, nil
+}

@@ -1,0 +1,110 @@
+package mitigate
+
+import (
+	"testing"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/models"
+	"fpgauv/internal/pmbus"
+)
+
+// criticalRig loads a VGGNet task at a mid-critical-region voltage where
+// unprotected accuracy is badly degraded.
+func criticalRig(t *testing.T) (*dnndk.Task, *models.Dataset) {
+	t.Helper()
+	brd := board.MustNew(board.SampleB)
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := models.New("VGGNet", models.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := bench.MakeDataset(40, 11)
+	if err := task.PlantLabels(ds, bench.TargetAccPct, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT).SetVoltageMV(560); err != nil {
+		t.Fatal(err)
+	}
+	return task, ds
+}
+
+func TestTemporalRedundancyRecoversAccuracy(t *testing.T) {
+	task, ds := criticalRig(t)
+	ev, err := Evaluate(TemporalRedundancy{N: 5}, task, ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MitigatedPct <= ev.BaselinePct {
+		t.Fatalf("redundancy should recover accuracy: %.1f vs baseline %.1f",
+			ev.MitigatedPct, ev.BaselinePct)
+	}
+	if ev.PerfCost != 5 {
+		t.Fatalf("5x redundancy cost = %.1f", ev.PerfCost)
+	}
+	if ev.Strategy != "temporal-redundancy-5x" {
+		t.Fatalf("name: %s", ev.Strategy)
+	}
+}
+
+func TestTemporalRedundancyDefaultN(t *testing.T) {
+	if (TemporalRedundancy{}).Name() != "temporal-redundancy-3x" {
+		t.Fatal("default N should be 3")
+	}
+}
+
+func TestRazorReplayRecoversAccuracy(t *testing.T) {
+	task, ds := criticalRig(t)
+	ev, err := Evaluate(RazorReplay{Coverage: 0.95}, task, ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MitigatedPct <= ev.BaselinePct {
+		t.Fatalf("razor should recover accuracy: %.1f vs baseline %.1f",
+			ev.MitigatedPct, ev.BaselinePct)
+	}
+	// Replay overhead is far below temporal redundancy's N-fold cost.
+	if ev.PerfCost >= 2 {
+		t.Fatalf("razor perf cost = %.2f, expected < 2x", ev.PerfCost)
+	}
+	// The kernel's fault scaling must be restored afterwards.
+	if task.Kernel.VulnScale != 1 {
+		t.Fatalf("VulnScale not restored: %g", task.Kernel.VulnScale)
+	}
+}
+
+func TestRazorCoverageDefaults(t *testing.T) {
+	if (RazorReplay{}).Name() != "razor-replay-95%" {
+		t.Fatalf("default coverage name: %s", RazorReplay{}.Name())
+	}
+	if (RazorReplay{Coverage: 2}).coverage() != 0.95 {
+		t.Fatal("out-of-range coverage should default")
+	}
+}
+
+func TestHigherCoverageRecoversMore(t *testing.T) {
+	task, ds := criticalRig(t)
+	low, err := Evaluate(RazorReplay{Coverage: 0.5}, task, ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Evaluate(RazorReplay{Coverage: 0.99}, task, ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MitigatedPct < low.MitigatedPct {
+		t.Fatalf("99%% coverage (%.1f) should beat 50%% (%.1f)",
+			high.MitigatedPct, low.MitigatedPct)
+	}
+}

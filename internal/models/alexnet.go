@@ -1,0 +1,60 @@
+package models
+
+import "fpgauv/internal/nn"
+
+// newAlexNet builds the Dogs-vs-Cats AlexNet-style benchmark: 5 conv +
+// 3 FC weight layers with the characteristic 11x11/stride-4 stem and
+// FC-dominated parameter budget (Table 1: 8 layers, 233.2 MB, 96%
+// literature / 92.5% @Vnom, 2 classes).
+func newAlexNet(p Preset) *Benchmark {
+	rng := rngFor("AlexNet", p)
+	edge := p.alexInput()
+	c1, c2, c3 := p.ch(12), p.ch(24), p.ch(36)
+	// AlexNet's parameter budget is dominated by its wide FC layers —
+	// that is what makes it the largest model in Table 1 (233 MB).
+	f1, f2 := p.ch(512), p.ch(32)
+
+	in := nn.Shape{C: 3, H: edge, W: edge}
+	g := nn.NewGraph(in)
+	g.Add("conv1", nn.NewConv2D(rng, 3, c1, 11, 4, 0))
+	g.Add("relu1", nn.ReLU{})
+	g.Add("norm1", nn.NewLRN())
+	g.Add("pool1", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 3, Stride: 2})
+	g.Add("conv2", nn.NewConv2D(rng, c1, c2, 5, 1, 2))
+	g.Add("relu2", nn.ReLU{})
+	g.Add("norm2", nn.NewLRN())
+	g.Add("pool2", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 3, Stride: 2})
+	g.Add("conv3", nn.NewConv2D(rng, c2, c3, 3, 1, 1))
+	g.Add("relu3", nn.ReLU{})
+	g.Add("conv4", nn.NewConv2D(rng, c3, c3, 3, 1, 1))
+	g.Add("relu4", nn.ReLU{})
+	g.Add("conv5", nn.NewConv2D(rng, c3, c2, 3, 1, 1))
+	g.Add("relu5", nn.ReLU{})
+	g.Add("pool5", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 3, Stride: 2})
+	g.Add("flatten", nn.Flatten{})
+
+	// Compute the flattened size from the graph itself to stay correct
+	// for every preset geometry.
+	flatShape := g.OutputShape()
+	g.Add("fc6", nn.NewDense(rng, flatShape.Elems(), f1))
+	g.Add("relu6", nn.ReLU{})
+	g.Add("fc7", nn.NewDense(rng, f1, f2))
+	g.Add("relu7", nn.ReLU{})
+	g.Add("fc8", nn.NewDense(rng, f2, 2))
+	g.Add("softmax", nn.Softmax{})
+
+	return &Benchmark{
+		Name:          "AlexNet",
+		DatasetName:   "Kaggle Dogs vs. Cats",
+		Classes:       2,
+		InputShape:    in,
+		Graph:         g,
+		PaperLayers:   8,
+		PaperParamsMB: 233.2,
+		LitAccPct:     96.0,
+		TargetAccPct:  92.5,
+		UtilScale:     1.05,
+		Stress:        0.008,
+		ComputeFrac:   0.50,
+	}
+}

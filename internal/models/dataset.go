@@ -1,0 +1,112 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgauv/internal/nn"
+	"fpgauv/internal/tensor"
+)
+
+// Dataset is a deterministic synthetic evaluation set. Inputs mix a
+// per-class prototype pattern with per-sample noise so that the model's
+// decision boundary is exercised with diverse logit margins. Labels are
+// *planted* after the fault-free reference predictions are known (see
+// PlantLabels), which pins the fault-free accuracy to the paper's Table 1
+// value while leaving the fault-induced degradation entirely mechanistic.
+type Dataset struct {
+	Name    string
+	Classes int
+	Shape   nn.Shape
+	Inputs  []*tensor.Tensor
+	// Labels is nil until PlantLabels is called.
+	Labels []int
+}
+
+// NewDataset generates n deterministic samples.
+func NewDataset(name string, classes int, shape nn.Shape, n int, seed int64) *Dataset {
+	d := &Dataset{
+		Name:    name,
+		Classes: classes,
+		Shape:   shape,
+		Inputs:  make([]*tensor.Tensor, n),
+	}
+	protoRng := rand.New(rand.NewSource(seed))
+	// A small bank of class prototypes; 1000-class sets reuse a bank of
+	// 32 prototypes — diversity of inputs is what matters, labels are
+	// planted.
+	bank := classes
+	if bank > 32 {
+		bank = 32
+	}
+	protos := make([]*tensor.Tensor, bank)
+	for i := range protos {
+		p := tensor.New(shape.C, shape.H, shape.W)
+		p.FillRandn(protoRng, 1.0)
+		protos[i] = p
+	}
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + 7919*int64(i+1)))
+		x := tensor.New(shape.C, shape.H, shape.W)
+		x.FillRandn(rng, 0.6)
+		if err := x.Add(protos[i%bank]); err != nil {
+			panic(err) // shapes match by construction
+		}
+		d.Inputs[i] = x
+	}
+	return d
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Inputs) }
+
+// PlantLabels assigns ground-truth labels so that exactly
+// round(len*targetAccPct/100) samples agree with the supplied fault-free
+// predictions; the rest get a different class. After planting, evaluating
+// the fault-free model yields targetAccPct by construction, and any
+// fault-induced prediction flip moves accuracy toward 1/Classes — the
+// paper's "classifier behaves randomly" end state at Vcrash.
+func (d *Dataset) PlantLabels(preds []int, targetAccPct float64, seed int64) error {
+	if len(preds) != len(d.Inputs) {
+		return fmt.Errorf("models: %d predictions for %d samples", len(preds), len(d.Inputs))
+	}
+	if targetAccPct < 0 || targetAccPct > 100 {
+		return fmt.Errorf("models: target accuracy %.1f%% out of range", targetAccPct)
+	}
+	n := len(preds)
+	agree := int(float64(n)*targetAccPct/100 + 0.5)
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	d.Labels = make([]int, n)
+	for rank, idx := range order {
+		if rank < agree || d.Classes < 2 {
+			d.Labels[idx] = preds[idx]
+			continue
+		}
+		// A wrong label, uniform over the other classes.
+		off := 1 + rng.Intn(d.Classes-1)
+		d.Labels[idx] = (preds[idx] + off) % d.Classes
+	}
+	return nil
+}
+
+// Accuracy returns the fraction (percent) of predictions matching the
+// planted labels.
+func (d *Dataset) Accuracy(preds []int) (float64, error) {
+	if d.Labels == nil {
+		return 0, fmt.Errorf("models: dataset %q has no planted labels", d.Name)
+	}
+	if len(preds) != len(d.Labels) {
+		return 0, fmt.Errorf("models: %d predictions for %d labels", len(preds), len(d.Labels))
+	}
+	if len(preds) == 0 {
+		return 0, fmt.Errorf("models: empty dataset")
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == d.Labels[i] {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(len(preds)), nil
+}

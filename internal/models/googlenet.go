@@ -1,0 +1,53 @@
+package models
+
+import "fpgauv/internal/nn"
+
+// newGoogleNet builds the Cifar-10 GoogleNet-style benchmark: a 2-conv
+// stem, three 6-conv Inception modules and a classifier FC — 21 weight
+// layers (Table 1: 21 layers, 6.6 MB, 91% literature / 91% @Vnom).
+func newGoogleNet(p Preset) *Benchmark {
+	rng := rngFor("GoogleNet", p)
+	s1 := p.ch(12)
+	s2 := p.ch(16)
+
+	in := nn.Shape{C: 3, H: 32, W: 32}
+	g := nn.NewGraph(in)
+	g.Add("stem1", nn.NewConv2D(rng, 3, s1, 3, 1, 1))
+	g.Add("stem1_relu", nn.ReLU{})
+	g.Add("stem2", nn.NewConv2D(rng, s1, s2, 3, 1, 1))
+	g.Add("stem2_relu", nn.ReLU{})
+	pool1 := g.Add("pool1", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2}) // 16x16
+
+	m1 := inceptionModule(g, rng, "inception_3a", pool1, s2,
+		p.ch(8), p.ch(6), p.ch(12), p.ch(2), p.ch(4), p.ch(4)) // out 28 base
+	m1C := p.ch(8) + p.ch(12) + p.ch(4) + p.ch(4)
+
+	pool2 := g.Add("pool2", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2}, m1) // 8x8
+	m2 := inceptionModule(g, rng, "inception_4a", pool2, m1C,
+		p.ch(12), p.ch(8), p.ch(16), p.ch(2), p.ch(6), p.ch(6))
+	m2C := p.ch(12) + p.ch(16) + p.ch(6) + p.ch(6)
+
+	m3 := inceptionModule(g, rng, "inception_4b", m2, m2C,
+		p.ch(16), p.ch(10), p.ch(20), p.ch(3), p.ch(8), p.ch(8))
+	m3C := p.ch(16) + p.ch(20) + p.ch(8) + p.ch(8)
+
+	g.Add("global_pool", &nn.Pool2D{Kind: nn.AvgPool, Global: true}, m3)
+	g.Add("flatten", nn.Flatten{})
+	g.Add("classifier", nn.NewDense(rng, m3C, 10))
+	g.Add("softmax", nn.Softmax{})
+
+	return &Benchmark{
+		Name:          "GoogleNet",
+		DatasetName:   "Cifar-10",
+		Classes:       10,
+		InputShape:    in,
+		Graph:         g,
+		PaperLayers:   21,
+		PaperParamsMB: 6.6,
+		LitAccPct:     91.0,
+		TargetAccPct:  91.0,
+		UtilScale:     0.96,
+		Stress:        0.002,
+		ComputeFrac:   0.62,
+	}
+}

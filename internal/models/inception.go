@@ -1,0 +1,56 @@
+package models
+
+import "fpgauv/internal/nn"
+
+// newInception builds the ILSVRC Inception-style benchmark: a 3-conv
+// stem, three 6-conv Inception modules and a 1000-way classifier — 22
+// weight layers (Table 1: 22 layers, 107.3 MB, 68.7% literature /
+// 65.1% @Vnom).
+func newInception(p Preset) *Benchmark {
+	rng := rngFor("Inception", p)
+	edge := p.ilsvrcInput()
+	s1, s2, s3 := p.ch(12), p.ch(16), p.ch(24)
+
+	in := nn.Shape{C: 3, H: edge, W: edge}
+	g := nn.NewGraph(in)
+	g.Add("stem1", nn.NewConv2D(rng, 3, s1, 3, 2, 1))
+	g.Add("stem1_relu", nn.ReLU{})
+	g.Add("stem2", nn.NewConv2D(rng, s1, s2, 3, 1, 1))
+	g.Add("stem2_relu", nn.ReLU{})
+	g.Add("stem3", nn.NewConv2D(rng, s2, s3, 3, 1, 1))
+	g.Add("stem3_relu", nn.ReLU{})
+	pool1 := g.Add("pool1", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2})
+
+	m1 := inceptionModule(g, rng, "mixed_5b", pool1, s3,
+		p.ch(12), p.ch(8), p.ch(16), p.ch(2), p.ch(6), p.ch(6))
+	m1C := p.ch(12) + p.ch(16) + p.ch(6) + p.ch(6)
+
+	pool2 := g.Add("pool2", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2}, m1)
+	m2 := inceptionModule(g, rng, "mixed_6a", pool2, m1C,
+		p.ch(16), p.ch(10), p.ch(24), p.ch(3), p.ch(8), p.ch(8))
+	m2C := p.ch(16) + p.ch(24) + p.ch(8) + p.ch(8)
+
+	m3 := inceptionModule(g, rng, "mixed_7a", m2, m2C,
+		p.ch(48), p.ch(16), p.ch(48), p.ch(6), p.ch(16), p.ch(16))
+	m3C := p.ch(48) + p.ch(48) + p.ch(16) + p.ch(16)
+
+	g.Add("global_pool", &nn.Pool2D{Kind: nn.AvgPool, Global: true}, m3)
+	g.Add("flatten", nn.Flatten{})
+	g.Add("classifier", nn.NewDense(rng, m3C, 1000))
+	g.Add("softmax", nn.Softmax{})
+
+	return &Benchmark{
+		Name:          "Inception",
+		DatasetName:   "ILSVRC2012",
+		Classes:       1000,
+		InputShape:    in,
+		Graph:         g,
+		PaperLayers:   22,
+		PaperParamsMB: 107.3,
+		LitAccPct:     68.7,
+		TargetAccPct:  65.1,
+		UtilScale:     0.97,
+		Stress:        0.010,
+		ComputeFrac:   0.60,
+	}
+}

@@ -1,0 +1,71 @@
+// Package models provides the five CNN benchmarks of the paper's Table 1
+// (VGGNet, GoogleNet, AlexNet, ResNet50, Inception) as architecture-
+// faithful nn graphs with deterministic seeded weights, plus the synthetic
+// datasets and the planted-reference labeling scheme that reproduces the
+// paper's baseline accuracies exactly (see DESIGN.md).
+//
+// The real benchmarks carry 6.6–233 MB of trained weights; scalar Go
+// inference over those at sweep scale is infeasible, so each architecture
+// is channel-scaled by a Preset while preserving layer counts, layer
+// types, dataset geometry, class counts and the relative parameter-size
+// ordering across the five networks — the properties the paper's
+// vulnerability results depend on.
+package models
+
+// Preset selects the channel/input scaling of the model zoo.
+type Preset int
+
+// Presets.
+const (
+	// Tiny is for unit tests: smallest inputs and channel counts.
+	Tiny Preset = iota
+	// Small is the default for benchmarks and the reproduction harness.
+	Small
+)
+
+// String implements fmt.Stringer.
+func (p Preset) String() string {
+	switch p {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	default:
+		return "preset?"
+	}
+}
+
+// chanScale returns the width multiplier applied to base channel counts.
+func (p Preset) chanScale() float64 {
+	if p == Tiny {
+		return 0.5
+	}
+	return 1.0
+}
+
+// ilsvrcInput returns the input edge for the ILSVRC-like dataset
+// (paper: 224; scaled for tractable scalar inference).
+func (p Preset) ilsvrcInput() int {
+	if p == Tiny {
+		return 32
+	}
+	return 64
+}
+
+// alexInput returns the input edge for the Dogs-vs-Cats dataset
+// (paper: 227).
+func (p Preset) alexInput() int {
+	if p == Tiny {
+		return 97
+	}
+	return 197
+}
+
+// ch scales a base channel count, keeping at least 2.
+func (p Preset) ch(base int) int {
+	n := int(float64(base) * p.chanScale())
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgauv/internal/nn"
+)
+
+// bottleneck appends a ResNet bottleneck block (1x1 reduce, 3x3, 1x1
+// expand, shortcut add) and returns the output node and the number of
+// shortcut projection convs added (excluded from the paper layer count).
+func bottleneck(g *nn.Graph, rng *rand.Rand, label string, in nn.NodeID, inC, midC, outC, stride int) (nn.NodeID, int) {
+	c1 := g.Add(label+"/1x1a", nn.NewConv2D(rng, inC, midC, 1, 1, 0), in)
+	r1 := g.Add(label+"/relu_a", nn.ReLU{}, c1)
+	c2 := g.Add(label+"/3x3", nn.NewConv2D(rng, midC, midC, 3, stride, 1), r1)
+	r2 := g.Add(label+"/relu_b", nn.ReLU{}, c2)
+	c3 := g.Add(label+"/1x1b", nn.NewConv2D(rng, midC, outC, 1, 1, 0), r2)
+
+	shortcut := in
+	proj := 0
+	if inC != outC || stride != 1 {
+		shortcut = g.Add(label+"/proj", nn.NewConv2D(rng, inC, outC, 1, stride, 0), in)
+		proj = 1
+	}
+	sum := g.Add(label+"/add", nn.Add{}, c3, shortcut)
+	out := g.Add(label+"/relu_out", nn.ReLU{}, sum)
+	return out, proj
+}
+
+// newResNet50 builds the ILSVRC ResNet-50-style benchmark: a 7x7/stride-2
+// stem, 16 bottleneck blocks in the canonical [3,4,6,3] arrangement
+// (48 convs) and a 1000-way FC — 50 weight layers under the paper's
+// counting convention (Table 1: 50 layers, 102.5 MB, 76% literature /
+// 68.8% @Vnom).
+func newResNet50(p Preset) *Benchmark {
+	rng := rngFor("ResNet50", p)
+	edge := p.ilsvrcInput()
+	stem := p.ch(16)
+
+	in := nn.Shape{C: 3, H: edge, W: edge}
+	g := nn.NewGraph(in)
+	g.Add("stem", nn.NewConv2D(rng, 3, stem, 7, 2, 3))
+	bn := nn.NewBatchNorm(stem)
+	// Non-identity folded BN parameters so DECENT's folding is
+	// actually exercised.
+	for i := range bn.Scale {
+		bn.Scale[i] = 1.05
+		bn.Shift[i] = 0.01
+	}
+	g.Add("stem_bn", bn)
+	g.Add("stem_relu", nn.ReLU{})
+	cur := g.Add("stem_pool", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2})
+
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, p.ch(4), p.ch(16), 1},
+		{4, p.ch(8), p.ch(32), 2},
+		{6, p.ch(16), p.ch(64), 2},
+		{3, p.ch(32), p.ch(128), 2},
+	}
+	inC := stem
+	projections := 0
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			label := fmt.Sprintf("stage%d/block%d", si+2, bi)
+			var proj int
+			cur, proj = bottleneck(g, rng, label, cur, inC, st.mid, st.out, stride)
+			projections += proj
+			inC = st.out
+		}
+	}
+
+	g.Add("global_pool", &nn.Pool2D{Kind: nn.AvgPool, Global: true}, cur)
+	g.Add("flatten", nn.Flatten{})
+	g.Add("classifier", nn.NewDense(rng, inC, 1000))
+	g.Add("softmax", nn.Softmax{})
+
+	return &Benchmark{
+		Name:             "ResNet50",
+		DatasetName:      "ILSVRC2012",
+		Classes:          1000,
+		InputShape:       in,
+		Graph:            g,
+		PaperLayers:      50,
+		PaperParamsMB:    102.5,
+		LitAccPct:        76.0,
+		TargetAccPct:     68.8,
+		ProjectionLayers: projections,
+		UtilScale:        1.00,
+		Stress:           0.012,
+		ComputeFrac:      0.58,
+	}
+}

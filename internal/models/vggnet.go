@@ -1,0 +1,45 @@
+package models
+
+import "fpgauv/internal/nn"
+
+// newVGGNet builds the Cifar-10 VGG-style benchmark: 4 conv + 2 FC weight
+// layers (Table 1: 6 layers, 8.7 MB, 87% literature / 86% @Vnom).
+func newVGGNet(p Preset) *Benchmark {
+	rng := rngFor("VGGNet", p)
+	c1 := p.ch(16)
+	c2 := p.ch(32)
+	fc := p.ch(48)
+
+	in := nn.Shape{C: 3, H: 32, W: 32}
+	g := nn.NewGraph(in)
+	g.Add("conv1_1", nn.NewConv2D(rng, 3, c1, 3, 1, 1))
+	g.Add("relu1_1", nn.ReLU{})
+	g.Add("conv1_2", nn.NewConv2D(rng, c1, c1, 3, 1, 1))
+	g.Add("relu1_2", nn.ReLU{})
+	g.Add("pool1", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2})
+	g.Add("conv2_1", nn.NewConv2D(rng, c1, c2, 3, 1, 1))
+	g.Add("relu2_1", nn.ReLU{})
+	g.Add("conv2_2", nn.NewConv2D(rng, c2, c2, 3, 1, 1))
+	g.Add("relu2_2", nn.ReLU{})
+	g.Add("pool2", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2})
+	g.Add("flatten", nn.Flatten{})
+	g.Add("fc1", nn.NewDense(rng, c2*8*8, fc))
+	g.Add("relu_fc1", nn.ReLU{})
+	g.Add("fc2", nn.NewDense(rng, fc, 10))
+	g.Add("softmax", nn.Softmax{})
+
+	return &Benchmark{
+		Name:          "VGGNet",
+		DatasetName:   "Cifar-10",
+		Classes:       10,
+		InputShape:    in,
+		Graph:         g,
+		PaperLayers:   6,
+		PaperParamsMB: 8.7,
+		LitAccPct:     87.0,
+		TargetAccPct:  86.0,
+		UtilScale:     1.02,
+		Stress:        0.004,
+		ComputeFrac:   0.60,
+	}
+}

@@ -1,0 +1,180 @@
+package models
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"fpgauv/internal/nn"
+)
+
+// Benchmark bundles one Table 1 entry: the network architecture, its
+// dataset geometry, the paper-reported metadata and the calibration
+// factors the platform model needs.
+type Benchmark struct {
+	// Name is the benchmark name as in Table 1.
+	Name string
+	// DatasetName is the evaluation dataset ("Cifar-10", ...).
+	DatasetName string
+	// Classes is the number of output classes.
+	Classes int
+	// InputShape is the network input geometry at this preset.
+	InputShape nn.Shape
+	// Graph is the network with deterministic seeded weights.
+	Graph *nn.Graph
+
+	// PaperLayers, PaperParamsMB, LitAccPct are the Table 1 reference
+	// values (layer count, trained-parameter size, literature accuracy).
+	PaperLayers   int
+	PaperParamsMB float64
+	LitAccPct     float64
+	// TargetAccPct is the "our design @Vnom" accuracy the planted
+	// labels reproduce.
+	TargetAccPct float64
+
+	// ProjectionLayers counts shortcut 1x1 convs excluded from the
+	// paper's layer-count convention.
+	ProjectionLayers int
+
+	// UtilScale and Stress feed the power and fault models: per-workload
+	// dynamic-power variation and critical-path stress.
+	UtilScale float64
+	Stress    float64
+	// ComputeFrac is the compute-bound share of DPU time at the default
+	// clock. Calibrated per benchmark so the zoo average is ≈0.58, the
+	// split implied by the paper's Table 2 GOPs column (channel-scaled
+	// models have unrealistically low DDR traffic, so this is pinned
+	// rather than derived; see DESIGN.md).
+	ComputeFrac float64
+}
+
+// WeightLayers returns the benchmark's layer count under the paper's
+// convention (conv + FC, excluding shortcut projections).
+func (b *Benchmark) WeightLayers() int {
+	return b.Graph.WeightLayers() - b.ProjectionLayers
+}
+
+// ParamCount returns the scaled model's parameter count.
+func (b *Benchmark) ParamCount() int64 { return b.Graph.TotalParams() }
+
+// MACs returns multiply-accumulates per inference.
+func (b *Benchmark) MACs() int64 { return b.Graph.TotalMACs() }
+
+// GOp returns giga-operations per inference (2 ops per MAC, the paper's
+// GOPs convention).
+func (b *Benchmark) GOp() float64 { return 2 * float64(b.MACs()) / 1e9 }
+
+// MakeDataset generates an n-sample evaluation set for this benchmark.
+func (b *Benchmark) MakeDataset(n int, seed int64) *Dataset {
+	return NewDataset(b.DatasetName, b.Classes, b.InputShape, n, seed^seedFor(b.Name))
+}
+
+// seedFor derives a stable seed from a benchmark name.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// rngFor returns the deterministic weight-init stream for a benchmark.
+func rngFor(name string, preset Preset) *rand.Rand {
+	return rand.New(rand.NewSource(seedFor(name) + int64(preset)))
+}
+
+// Names lists the five benchmarks in Table 1 order.
+func Names() []string {
+	return []string{"VGGNet", "GoogleNet", "AlexNet", "ResNet50", "Inception"}
+}
+
+// New constructs a benchmark by name at the given preset.
+func New(name string, preset Preset) (*Benchmark, error) {
+	var b *Benchmark
+	switch name {
+	case "VGGNet":
+		b = newVGGNet(preset)
+	case "GoogleNet":
+		b = newGoogleNet(preset)
+	case "AlexNet":
+		b = newAlexNet(preset)
+	case "ResNet50":
+		b = newResNet50(preset)
+	case "Inception":
+		b = newInception(preset)
+	default:
+		return nil, fmt.Errorf("models: unknown benchmark %q", name)
+	}
+	centerClassifier(b)
+	return b, nil
+}
+
+// All constructs the full Table 1 zoo at the given preset.
+func All(preset Preset) []*Benchmark {
+	out := make([]*Benchmark, 0, 5)
+	for _, n := range Names() {
+		b, err := New(n, preset)
+		if err != nil {
+			panic(err) // Names and New are maintained together
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// centerClassifier balances the final Dense layer's biases so that the
+// class-prediction distribution over a probe set is not dominated by one
+// class. Untrained random-weight networks are heavily argmax-skewed;
+// without centering, the planted-label protocol would score a fully
+// fault-corrupted (degenerate, constant-prediction) classifier far above
+// chance, breaking the paper's "behaves randomly at Vcrash" endpoint.
+func centerClassifier(b *Benchmark) {
+	var classifier *nn.Dense
+	var classifierID nn.NodeID
+	for _, n := range b.Graph.Nodes() {
+		if d, ok := n.Op.(*nn.Dense); ok {
+			classifier = d
+			classifierID = n.ID
+		}
+	}
+	if classifier == nil {
+		return
+	}
+	const probeN = 16
+	probe := NewDataset("probe", b.Classes, b.InputShape, probeN, seedFor(b.Name)^0x9e0be)
+	mean := make([]float64, classifier.Out)
+	for _, img := range probe.Inputs {
+		outs, err := b.Graph.ForwardAll(img)
+		if err != nil {
+			panic(fmt.Sprintf("models: %s probe inference: %v", b.Name, err))
+		}
+		logits := outs[classifierID]
+		for c, v := range logits.Data() {
+			mean[c] += float64(v) / probeN
+		}
+	}
+	for c := range classifier.Bias {
+		classifier.Bias[c] -= float32(mean[c])
+	}
+}
+
+// inceptionModule appends a 6-conv Inception module (1x1 / 1x1→3x3 /
+// 1x1→5x5 / 1x1 pool-projection branches, channel-concatenated) and
+// returns the join node. The widths are the per-branch output channels.
+func inceptionModule(g *nn.Graph, rng *rand.Rand, label string, in nn.NodeID, inC, b1, b3red, b3, b5red, b5, proj int) nn.NodeID {
+	c1 := g.Add(label+"/1x1", nn.NewConv2D(rng, inC, b1, 1, 1, 0), in)
+	r1 := g.Add(label+"/1x1_relu", nn.ReLU{}, c1)
+
+	c3r := g.Add(label+"/3x3_reduce", nn.NewConv2D(rng, inC, b3red, 1, 1, 0), in)
+	r3r := g.Add(label+"/3x3_reduce_relu", nn.ReLU{}, c3r)
+	c3 := g.Add(label+"/3x3", nn.NewConv2D(rng, b3red, b3, 3, 1, 1), r3r)
+	r3 := g.Add(label+"/3x3_relu", nn.ReLU{}, c3)
+
+	c5r := g.Add(label+"/5x5_reduce", nn.NewConv2D(rng, inC, b5red, 1, 1, 0), in)
+	r5r := g.Add(label+"/5x5_reduce_relu", nn.ReLU{}, c5r)
+	c5 := g.Add(label+"/5x5", nn.NewConv2D(rng, b5red, b5, 5, 1, 2), r5r)
+	r5 := g.Add(label+"/5x5_relu", nn.ReLU{}, c5)
+
+	cp := g.Add(label+"/pool_proj", nn.NewConv2D(rng, inC, proj, 1, 1, 0), in)
+	rp := g.Add(label+"/pool_proj_relu", nn.ReLU{}, cp)
+
+	return g.Add(label+"/concat", nn.Concat{}, r1, r3, r5, rp)
+}

@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fpgauv/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation (the benchmarks' default, §3.2).
+type ReLU struct{}
+
+var _ Op = (*ReLU)(nil)
+
+// Name implements Op.
+func (ReLU) Name() string { return "relu" }
+
+// OutShape implements Op.
+func (ReLU) OutShape(in []Shape) (Shape, error) { return one("relu", in) }
+
+// ParamCount implements Op.
+func (ReLU) ParamCount() int64 { return 0 }
+
+// MACs implements Op.
+func (ReLU) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (ReLU) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one("relu", in)
+	if err != nil {
+		return nil, err
+	}
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct{}
+
+var _ Op = (*Sigmoid)(nil)
+
+// Name implements Op.
+func (Sigmoid) Name() string { return "sigmoid" }
+
+// OutShape implements Op.
+func (Sigmoid) OutShape(in []Shape) (Shape, error) { return one("sigmoid", in) }
+
+// ParamCount implements Op.
+func (Sigmoid) ParamCount() int64 { return 0 }
+
+// MACs implements Op.
+func (Sigmoid) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (Sigmoid) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one("sigmoid", in)
+	if err != nil {
+		return nil, err
+	}
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out, nil
+}
+
+// Softmax converts class scores to probabilities (the classifier head).
+type Softmax struct{}
+
+var _ Op = (*Softmax)(nil)
+
+// Name implements Op.
+func (Softmax) Name() string { return "softmax" }
+
+// OutShape implements Op.
+func (Softmax) OutShape(in []Shape) (Shape, error) { return one("softmax", in) }
+
+// ParamCount implements Op.
+func (Softmax) ParamCount() int64 { return 0 }
+
+// MACs implements Op.
+func (Softmax) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (Softmax) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one("softmax", in)
+	if err != nil {
+		return nil, err
+	}
+	out := x.Clone()
+	d := out.Data()
+	maxv := float32(math.Inf(-1))
+	for _, v := range d {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range d {
+		e := math.Exp(float64(v - maxv))
+		d[i] = float32(e)
+		sum += e
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("nn: softmax degenerate input")
+	}
+	inv := float32(1 / sum)
+	for i := range d {
+		d[i] *= inv
+	}
+	return out, nil
+}
+
+// BatchNorm is inference-mode batch normalization with per-channel folded
+// scale/shift (y = x*Scale[c] + Shift[c]). DECENT folds these into the
+// preceding convolution during quantization, mirroring the real toolchain.
+type BatchNorm struct {
+	Scale []float32
+	Shift []float32
+}
+
+var _ Op = (*BatchNorm)(nil)
+
+// NewBatchNorm returns an identity batch-norm over c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{Scale: make([]float32, c), Shift: make([]float32, c)}
+	for i := range bn.Scale {
+		bn.Scale[i] = 1
+	}
+	return bn
+}
+
+// Name implements Op.
+func (bn *BatchNorm) Name() string { return "batchnorm" }
+
+// OutShape implements Op.
+func (bn *BatchNorm) OutShape(in []Shape) (Shape, error) {
+	s, err := one("batchnorm", in)
+	if err != nil {
+		return Shape{}, err
+	}
+	if s.C != len(bn.Scale) {
+		return Shape{}, fmt.Errorf("nn: batchnorm channels %d != %d", s.C, len(bn.Scale))
+	}
+	return s, nil
+}
+
+// ParamCount implements Op.
+func (bn *BatchNorm) ParamCount() int64 { return int64(2 * len(bn.Scale)) }
+
+// MACs implements Op.
+func (bn *BatchNorm) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (bn *BatchNorm) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one("batchnorm", in)
+	if err != nil {
+		return nil, err
+	}
+	s, err := shapeOf(x)
+	if err != nil {
+		return nil, err
+	}
+	if s.C != len(bn.Scale) {
+		return nil, fmt.Errorf("nn: batchnorm channels %d != %d", s.C, len(bn.Scale))
+	}
+	out := x.Clone()
+	d := out.Data()
+	hw := s.H * s.W
+	for c := 0; c < s.C; c++ {
+		sc, sh := bn.Scale[c], bn.Shift[c]
+		seg := d[c*hw : (c+1)*hw]
+		for i := range seg {
+			seg[i] = seg[i]*sc + sh
+		}
+	}
+	return out, nil
+}
+
+// Flatten reshapes a feature map into a vector.
+type Flatten struct{}
+
+var _ Op = (*Flatten)(nil)
+
+// Name implements Op.
+func (Flatten) Name() string { return "flatten" }
+
+// OutShape implements Op.
+func (Flatten) OutShape(in []Shape) (Shape, error) {
+	s, err := one("flatten", in)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Vector(s.Elems()), nil
+}
+
+// ParamCount implements Op.
+func (Flatten) ParamCount() int64 { return 0 }
+
+// MACs implements Op.
+func (Flatten) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (Flatten) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one("flatten", in)
+	if err != nil {
+		return nil, err
+	}
+	return x.Reshape(x.Size())
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+
+	"fpgauv/internal/tensor"
+)
+
+// Add is the element-wise residual addition (ResNet shortcut joins).
+type Add struct{}
+
+var _ Op = (*Add)(nil)
+
+// Name implements Op.
+func (Add) Name() string { return "add" }
+
+// OutShape implements Op.
+func (Add) OutShape(in []Shape) (Shape, error) {
+	if len(in) < 2 {
+		return Shape{}, errArity("add", 2, len(in))
+	}
+	for _, s := range in[1:] {
+		if s != in[0] {
+			return Shape{}, fmt.Errorf("nn: add shape mismatch %v vs %v", in[0], s)
+		}
+	}
+	return in[0], nil
+}
+
+// ParamCount implements Op.
+func (Add) ParamCount() int64 { return 0 }
+
+// MACs implements Op.
+func (Add) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (Add) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(in) < 2 {
+		return nil, errArity("add", 2, len(in))
+	}
+	out := in[0].Clone()
+	for _, x := range in[1:] {
+		if err := out.Add(x); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Concat concatenates feature maps along the channel axis (Inception
+// module joins). Spatial extents must match.
+type Concat struct{}
+
+var _ Op = (*Concat)(nil)
+
+// Name implements Op.
+func (Concat) Name() string { return "concat" }
+
+// OutShape implements Op.
+func (Concat) OutShape(in []Shape) (Shape, error) {
+	if len(in) < 2 {
+		return Shape{}, errArity("concat", 2, len(in))
+	}
+	out := in[0]
+	for _, s := range in[1:] {
+		if s.H != out.H || s.W != out.W {
+			return Shape{}, fmt.Errorf("nn: concat spatial mismatch %v vs %v", in[0], s)
+		}
+		out.C += s.C
+	}
+	return out, nil
+}
+
+// ParamCount implements Op.
+func (Concat) ParamCount() int64 { return 0 }
+
+// MACs implements Op.
+func (Concat) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (Concat) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(in) < 2 {
+		return nil, errArity("concat", 2, len(in))
+	}
+	shapes := make([]Shape, len(in))
+	for i, x := range in {
+		s, err := shapeOf(x)
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = s
+	}
+	os, err := Concat{}.OutShape(shapes)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(os.C, os.H, os.W)
+	od := out.Data()
+	off := 0
+	for _, x := range in {
+		n := x.Size()
+		copy(od[off:off+n], x.Data())
+		off += n
+	}
+	return out, nil
+}

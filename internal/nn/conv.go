@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpgauv/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution with square kernels, OIHW weights and
+// per-output-channel bias.
+type Conv2D struct {
+	InC, OutC int
+	Kernel    int
+	Stride    int
+	Pad       int
+	// Weights has dims [OutC, InC, Kernel, Kernel]; Bias has len OutC.
+	Weights *tensor.Tensor
+	Bias    []float32
+}
+
+var _ Op = (*Conv2D)(nil)
+
+// NewConv2D allocates a convolution with He-initialized weights drawn
+// from rng.
+func NewConv2D(rng *rand.Rand, inC, outC, kernel, stride, pad int) *Conv2D {
+	w := tensor.New(outC, inC, kernel, kernel)
+	std := math.Sqrt(2.0 / float64(inC*kernel*kernel))
+	w.FillRandn(rng, std)
+	return &Conv2D{
+		InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+		Weights: w,
+		Bias:    make([]float32, outC),
+	}
+}
+
+// Name implements Op.
+func (c *Conv2D) Name() string { return "conv" }
+
+// OutShape implements Op.
+func (c *Conv2D) OutShape(in []Shape) (Shape, error) {
+	s, err := one("conv", in)
+	if err != nil {
+		return Shape{}, err
+	}
+	if s.C != c.InC {
+		return Shape{}, fmt.Errorf("nn: conv input channels %d != %d", s.C, c.InC)
+	}
+	oh := (s.H+2*c.Pad-c.Kernel)/c.Stride + 1
+	ow := (s.W+2*c.Pad-c.Kernel)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return Shape{}, fmt.Errorf("nn: conv output collapses for input %v kernel %d stride %d", s, c.Kernel, c.Stride)
+	}
+	return Shape{C: c.OutC, H: oh, W: ow}, nil
+}
+
+// ParamCount implements Op.
+func (c *Conv2D) ParamCount() int64 {
+	return int64(c.OutC*c.InC*c.Kernel*c.Kernel) + int64(c.OutC)
+}
+
+// MACs implements Op.
+func (c *Conv2D) MACs(in []Shape) int64 {
+	out, err := c.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	return int64(out.H*out.W) * int64(c.OutC) * int64(c.InC*c.Kernel*c.Kernel)
+}
+
+// Forward implements Op (float32 reference path).
+func (c *Conv2D) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one("conv", in)
+	if err != nil {
+		return nil, err
+	}
+	s, err := shapeOf(x)
+	if err != nil {
+		return nil, err
+	}
+	os, err := c.OutShape([]Shape{s})
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(os.C, os.H, os.W)
+	xd, wd, od := x.Data(), c.Weights.Data(), out.Data()
+	k, st, pad := c.Kernel, c.Stride, c.Pad
+	for oc := 0; oc < os.C; oc++ {
+		bias := c.Bias[oc]
+		wBase := oc * c.InC * k * k
+		for oy := 0; oy < os.H; oy++ {
+			for ox := 0; ox < os.W; ox++ {
+				acc := bias
+				iy0 := oy*st - pad
+				ix0 := ox*st - pad
+				for ic := 0; ic < c.InC; ic++ {
+					xBase := ic * s.H * s.W
+					wcBase := wBase + ic*k*k
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						rowX := xBase + iy*s.W
+						rowW := wcBase + ky*k
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= s.W {
+								continue
+							}
+							acc += xd[rowX+ix] * wd[rowW+kx]
+						}
+					}
+				}
+				od[(oc*os.H+oy)*os.W+ox] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dense is a fully-connected layer. Input feature maps are flattened.
+type Dense struct {
+	In, Out int
+	// Weights has dims [Out, In]; Bias has len Out.
+	Weights *tensor.Tensor
+	Bias    []float32
+}
+
+var _ Op = (*Dense)(nil)
+
+// NewDense allocates a fully-connected layer with He-initialized weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	w := tensor.New(out, in)
+	w.FillRandn(rng, math.Sqrt(2.0/float64(in)))
+	return &Dense{In: in, Out: out, Weights: w, Bias: make([]float32, out)}
+}
+
+// Name implements Op.
+func (d *Dense) Name() string { return "fc" }
+
+// OutShape implements Op.
+func (d *Dense) OutShape(in []Shape) (Shape, error) {
+	s, err := one("fc", in)
+	if err != nil {
+		return Shape{}, err
+	}
+	if s.Elems() != d.In {
+		return Shape{}, fmt.Errorf("nn: fc input %v (%d elems) != %d", s, s.Elems(), d.In)
+	}
+	return Vector(d.Out), nil
+}
+
+// ParamCount implements Op.
+func (d *Dense) ParamCount() int64 { return int64(d.In*d.Out) + int64(d.Out) }
+
+// MACs implements Op.
+func (d *Dense) MACs(in []Shape) int64 { return int64(d.In) * int64(d.Out) }
+
+// Forward implements Op.
+func (d *Dense) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one("fc", in)
+	if err != nil {
+		return nil, err
+	}
+	if x.Size() != d.In {
+		return nil, fmt.Errorf("nn: fc input size %d != %d", x.Size(), d.In)
+	}
+	out := tensor.New(d.Out)
+	xd, wd, od := x.Data(), d.Weights.Data(), out.Data()
+	for o := 0; o < d.Out; o++ {
+		acc := d.Bias[o]
+		row := wd[o*d.In : (o+1)*d.In]
+		for i, v := range xd {
+			acc += v * row[i]
+		}
+		od[o] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgauv/internal/tensor"
+)
+
+func TestLRNKnownValue(t *testing.T) {
+	// Single channel: window covers just that channel.
+	l := &LRN{Size: 1, K: 1, Alpha: 1, Beta: 1}
+	in, _ := tensor.FromSlice([]float32{2}, 1, 1, 1)
+	out, err := l.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = 2 / (1 + 1/1 * 4)^1 = 0.4
+	if math.Abs(float64(out.At(0, 0, 0))-0.4) > 1e-6 {
+		t.Fatalf("lrn = %f, want 0.4", out.At(0, 0, 0))
+	}
+}
+
+func TestLRNPreservesShapeAndSign(t *testing.T) {
+	l := NewLRN()
+	in := tensor.New(8, 4, 4)
+	in.FillRandn(rand.New(rand.NewSource(3)), 2)
+	out, err := l.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != in.Size() {
+		t.Fatal("shape")
+	}
+	for i, v := range out.Data() {
+		x := in.Data()[i]
+		if (x > 0 && v <= 0) || (x < 0 && v >= 0) {
+			t.Fatalf("lrn must preserve sign: x=%f y=%f", x, v)
+		}
+		if math.Abs(float64(v)) > math.Abs(float64(x)) {
+			t.Fatalf("lrn must not amplify with K>=1: x=%f y=%f", x, v)
+		}
+	}
+	if l.ParamCount() != 0 || l.MACs(nil) != 0 {
+		t.Fatal("lrn accounting")
+	}
+}
+
+func TestLRNShapeValidation(t *testing.T) {
+	l := &LRN{Size: 0}
+	if _, err := l.OutShape([]Shape{{C: 4, H: 2, W: 2}}); err == nil {
+		t.Fatal("zero window must fail")
+	}
+	if _, err := NewLRN().OutShape(nil); err == nil {
+		t.Fatal("arity check")
+	}
+}
+
+// Property: LRN output magnitude is bounded by input/K^Beta and the
+// normalization is monotone — larger neighborhoods shrink values more.
+func TestLRNBoundedProperty(t *testing.T) {
+	l := NewLRN()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := tensor.New(6, 2, 2)
+		in.FillRandn(rng, 3)
+		out, err := l.Forward([]*tensor.Tensor{in})
+		if err != nil {
+			return false
+		}
+		bound := 1 / math.Pow(l.K, l.Beta)
+		for i, v := range out.Data() {
+			if math.Abs(float64(v)) > math.Abs(float64(in.Data()[i]))*bound+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpgauv/internal/tensor"
+)
+
+func TestConvShapeAndMACs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(rng, 3, 8, 3, 1, 1)
+	out, err := c.OutShape([]Shape{{C: 3, H: 32, W: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{C: 8, H: 32, W: 32}) {
+		t.Fatalf("out shape %v", out)
+	}
+	wantMACs := int64(32*32) * 8 * 3 * 9
+	if got := c.MACs([]Shape{{C: 3, H: 32, W: 32}}); got != wantMACs {
+		t.Fatalf("MACs = %d, want %d", got, wantMACs)
+	}
+	if c.ParamCount() != int64(8*3*9+8) {
+		t.Fatalf("params = %d", c.ParamCount())
+	}
+	if _, err := c.OutShape([]Shape{{C: 4, H: 32, W: 32}}); err == nil {
+		t.Fatal("channel mismatch must error")
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 1-channel 3x3 input, 1 output channel, 2x2 kernel of ones,
+	// stride 1, no pad: each output = sum of the 2x2 window.
+	c := &Conv2D{InC: 1, OutC: 1, Kernel: 2, Stride: 1, Pad: 0,
+		Weights: tensor.New(1, 1, 2, 2), Bias: []float32{0}}
+	c.Weights.Fill(1)
+	in, _ := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3)
+	out, err := c.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{12, 16, 24, 28}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("out[%d] = %f, want %f", i, out.Data()[i], w)
+		}
+	}
+}
+
+func TestConvPadding(t *testing.T) {
+	c := &Conv2D{InC: 1, OutC: 1, Kernel: 3, Stride: 1, Pad: 1,
+		Weights: tensor.New(1, 1, 3, 3), Bias: []float32{0.5}}
+	c.Weights.Set(1, 0, 0, 1, 1) // identity kernel
+	in, _ := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	out, err := c.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(1) != 2 || out.Dim(2) != 2 {
+		t.Fatalf("padded conv should preserve size, got %v", out.Dims())
+	}
+	if out.At(0, 0, 0) != 1.5 {
+		t.Fatalf("identity kernel + bias: got %f", out.At(0, 0, 0))
+	}
+}
+
+func TestDense(t *testing.T) {
+	d := &Dense{In: 3, Out: 2, Weights: tensor.New(2, 3), Bias: []float32{1, -1}}
+	w := d.Weights.Data()
+	copy(w, []float32{1, 0, 0, 0, 1, 0})
+	in, _ := tensor.FromSlice([]float32{5, 7, 9}, 3)
+	out, err := d.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0) != 6 || out.At(1) != 6 {
+		t.Fatalf("dense out = %v", out.Data())
+	}
+	if d.MACs(nil) != 6 {
+		t.Fatal("dense MACs")
+	}
+}
+
+func TestPooling(t *testing.T) {
+	in, _ := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 1, 4, 4)
+	mp := &Pool2D{Kind: MaxPool, Kernel: 2, Stride: 2}
+	out, err := mp.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("maxpool[%d] = %f, want %f", i, out.Data()[i], w)
+		}
+	}
+	ap := &Pool2D{Kind: AvgPool, Kernel: 2, Stride: 2}
+	out, err = ap.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 3.5 {
+		t.Fatalf("avgpool[0] = %f", out.Data()[0])
+	}
+	gp := &Pool2D{Kind: AvgPool, Global: true}
+	out, err = gp.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 1 || out.Data()[0] != 8.5 {
+		t.Fatalf("global avgpool = %v", out.Data())
+	}
+}
+
+func TestActivations(t *testing.T) {
+	in, _ := tensor.FromSlice([]float32{-1, 0, 2}, 3)
+	out, err := ReLU{}.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0) != 0 || out.At(2) != 2 {
+		t.Fatal("relu")
+	}
+	if in.At(0) != -1 {
+		t.Fatal("relu must not mutate input")
+	}
+	out, err = Sigmoid{}.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(out.At(1))-0.5) > 1e-6 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+	out, err = Softmax{}.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		if v < 0 {
+			t.Fatal("softmax negative")
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sum = %f", sum)
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	bn := NewBatchNorm(2)
+	bn.Scale[0] = 2
+	bn.Shift[1] = 1
+	in, _ := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 1, 2)
+	out, err := bn.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 4, 4, 5}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("bn[%d] = %f, want %f", i, out.Data()[i], w)
+		}
+	}
+	if _, err := bn.Forward([]*tensor.Tensor{tensor.New(3, 1, 1)}); err == nil {
+		t.Fatal("channel mismatch must error")
+	}
+}
+
+func TestAddAndConcat(t *testing.T) {
+	a, _ := tensor.FromSlice([]float32{1, 2}, 2, 1, 1)
+	b, _ := tensor.FromSlice([]float32{10, 20}, 2, 1, 1)
+	out, err := Add{}.Forward([]*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0) != 11 || out.At(1, 0, 0) != 22 {
+		t.Fatal("add values")
+	}
+	cat, err := Concat{}.Forward([]*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Dim(0) != 4 {
+		t.Fatalf("concat channels = %d", cat.Dim(0))
+	}
+	if _, err := (Add{}).OutShape([]Shape{{C: 1, H: 1, W: 1}}); err == nil {
+		t.Fatal("add arity")
+	}
+	if _, err := (Concat{}).OutShape([]Shape{{C: 1, H: 2, W: 2}, {C: 1, H: 3, W: 3}}); err == nil {
+		t.Fatal("concat spatial mismatch")
+	}
+}
+
+func buildTinyNet(t *testing.T) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraph(Shape{C: 1, H: 8, W: 8})
+	g.Add("conv1", NewConv2D(rng, 1, 4, 3, 1, 1))
+	g.Add("relu1", ReLU{})
+	g.Add("pool1", &Pool2D{Kind: MaxPool, Kernel: 2, Stride: 2})
+	g.Add("flatten", Flatten{})
+	g.Add("fc", NewDense(rng, 4*4*4, 3))
+	g.Add("softmax", Softmax{})
+	return g
+}
+
+func TestGraphForward(t *testing.T) {
+	g := buildTinyNet(t)
+	if g.WeightLayers() != 2 {
+		t.Fatalf("weight layers = %d", g.WeightLayers())
+	}
+	if g.OutputShape() != Vector(3) {
+		t.Fatalf("output shape %v", g.OutputShape())
+	}
+	in := tensor.New(1, 8, 8)
+	in.FillRandn(rand.New(rand.NewSource(2)), 1)
+	out, err := g.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 3 {
+		t.Fatalf("out size %d", out.Size())
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatal("softmax output should sum to 1")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	g := buildTinyNet(t)
+	in := tensor.New(1, 8, 8)
+	in.FillRandn(rand.New(rand.NewSource(9)), 1)
+	a, err := g.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("inference must be deterministic")
+		}
+	}
+}
+
+func TestGraphBranching(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewGraph(Shape{C: 2, H: 4, W: 4})
+	b1 := g.Add("branch1", NewConv2D(rng, 2, 3, 1, 1, 0), InputID)
+	b2 := g.Add("branch2", NewConv2D(rng, 2, 5, 1, 1, 0), InputID)
+	g.Add("join", Concat{}, b1, b2)
+	if g.OutputShape().C != 8 {
+		t.Fatalf("concat output C = %d", g.OutputShape().C)
+	}
+	in := tensor.New(2, 4, 4)
+	in.FillRandn(rng, 1)
+	out, err := g.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 8 {
+		t.Fatal("branch output")
+	}
+}
+
+func TestGraphResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewGraph(Shape{C: 4, H: 4, W: 4})
+	c1 := g.Add("conv1", NewConv2D(rng, 4, 4, 3, 1, 1), InputID)
+	g.Add("relu", ReLU{}, c1)
+	g.Add("residual", Add{}, NodeID(1), InputID)
+	in := tensor.New(4, 4, 4)
+	in.FillRandn(rng, 1)
+	if _, err := g.Forward(in); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalMACs() == 0 || g.TotalParams() == 0 {
+		t.Fatal("accounting")
+	}
+}
+
+func TestGraphSetOutput(t *testing.T) {
+	g := buildTinyNet(t)
+	if err := g.SetOutput(NodeID(99)); err == nil {
+		t.Fatal("bad output id must error")
+	}
+	if err := g.SetOutput(NodeID(4)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Output() != NodeID(4) {
+		t.Fatal("output not set")
+	}
+}
+
+func TestGraphBadWiringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on malformed graph")
+		}
+	}()
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph(Shape{C: 1, H: 4, W: 4})
+	g.Add("conv", NewConv2D(rng, 3, 4, 3, 1, 1)) // channel mismatch: 1 != 3
+}

@@ -1,0 +1,68 @@
+// Package nn implements the CNN layer graph: convolution, pooling,
+// fully-connected, activation, batch-normalization, residual-add and
+// concatenation operators composed into a DAG, with float32 reference
+// inference plus parameter/MAC accounting (the basis for the paper's GOPs
+// numbers). Feature maps are CHW tensors; weights are OIHW.
+package nn
+
+import (
+	"fmt"
+
+	"fpgauv/internal/tensor"
+)
+
+// Shape describes a feature-map (channels, height, width). Vectors use
+// C=len, H=W=1.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the element count of the shape.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Vector returns a rank-1 shape of n elements.
+func Vector(n int) Shape { return Shape{C: n, H: 1, W: 1} }
+
+// Op is a graph operator. Unary operators receive exactly one input;
+// combinators (Add, Concat) receive several.
+type Op interface {
+	// Name returns the operator's type name (e.g. "conv").
+	Name() string
+	// OutShape computes the output shape for the given input shapes.
+	OutShape(in []Shape) (Shape, error)
+	// Forward runs the float32 reference path.
+	Forward(in []*tensor.Tensor) (*tensor.Tensor, error)
+	// ParamCount returns the number of learnable parameters.
+	ParamCount() int64
+	// MACs returns the multiply-accumulate count for the given inputs.
+	MACs(in []Shape) int64
+}
+
+// errArity builds the canonical arity error.
+func errArity(op string, want, got int) error {
+	return fmt.Errorf("nn: %s expects %d input(s), got %d", op, want, got)
+}
+
+// one extracts the single input of a unary op.
+func one[T any](op string, in []T) (T, error) {
+	var zero T
+	if len(in) != 1 {
+		return zero, errArity(op, 1, len(in))
+	}
+	return in[0], nil
+}
+
+// shapeOf infers the Shape of a CHW or vector tensor.
+func shapeOf(t *tensor.Tensor) (Shape, error) {
+	switch t.Rank() {
+	case 1:
+		return Vector(t.Dim(0)), nil
+	case 3:
+		return Shape{C: t.Dim(0), H: t.Dim(1), W: t.Dim(2)}, nil
+	default:
+		return Shape{}, fmt.Errorf("nn: unsupported tensor rank %d", t.Rank())
+	}
+}

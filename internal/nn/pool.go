@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fpgauv/internal/tensor"
+)
+
+// PoolKind selects max or average pooling.
+type PoolKind int
+
+// Pooling kinds.
+const (
+	MaxPool PoolKind = iota
+	AvgPool
+)
+
+// Pool2D is a 2-D pooling layer with square windows.
+type Pool2D struct {
+	Kind   PoolKind
+	Kernel int
+	Stride int
+	// Global pools the whole spatial extent to 1×1, ignoring
+	// Kernel/Stride (used by GoogleNet/ResNet heads).
+	Global bool
+}
+
+var _ Op = (*Pool2D)(nil)
+
+// Name implements Op.
+func (p *Pool2D) Name() string {
+	if p.Kind == MaxPool {
+		return "maxpool"
+	}
+	return "avgpool"
+}
+
+// OutShape implements Op.
+func (p *Pool2D) OutShape(in []Shape) (Shape, error) {
+	s, err := one(p.Name(), in)
+	if err != nil {
+		return Shape{}, err
+	}
+	if p.Global {
+		return Shape{C: s.C, H: 1, W: 1}, nil
+	}
+	if p.Kernel <= 0 || p.Stride <= 0 {
+		return Shape{}, fmt.Errorf("nn: pool kernel/stride must be positive")
+	}
+	oh := (s.H-p.Kernel)/p.Stride + 1
+	ow := (s.W-p.Kernel)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return Shape{}, fmt.Errorf("nn: pool output collapses for input %v", s)
+	}
+	return Shape{C: s.C, H: oh, W: ow}, nil
+}
+
+// ParamCount implements Op.
+func (p *Pool2D) ParamCount() int64 { return 0 }
+
+// MACs implements Op. Pooling comparisons/adds are not MACs; the DPU
+// schedules them on dedicated units, so they contribute zero to GOPs
+// accounting (consistent with how DNNDK reports operations).
+func (p *Pool2D) MACs(in []Shape) int64 { return 0 }
+
+// Forward implements Op.
+func (p *Pool2D) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
+	x, err := one(p.Name(), in)
+	if err != nil {
+		return nil, err
+	}
+	s, err := shapeOf(x)
+	if err != nil {
+		return nil, err
+	}
+	os, err := p.OutShape([]Shape{s})
+	if err != nil {
+		return nil, err
+	}
+	k, st := p.Kernel, p.Stride
+	if p.Global {
+		k, st = s.H, 1
+		if s.W > k {
+			k = s.W
+		}
+	}
+	out := tensor.New(os.C, os.H, os.W)
+	xd, od := x.Data(), out.Data()
+	for c := 0; c < s.C; c++ {
+		for oy := 0; oy < os.H; oy++ {
+			for ox := 0; ox < os.W; ox++ {
+				var acc float64
+				best := math.Inf(-1)
+				count := 0
+				for ky := 0; ky < k; ky++ {
+					iy := oy*st + ky
+					if iy >= s.H {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*st + kx
+						if ix >= s.W {
+							continue
+						}
+						v := float64(xd[(c*s.H+iy)*s.W+ix])
+						acc += v
+						if v > best {
+							best = v
+						}
+						count++
+					}
+				}
+				var res float64
+				if p.Kind == MaxPool {
+					res = best
+				} else if count > 0 {
+					res = acc / float64(count)
+				}
+				od[(c*os.H+oy)*os.W+ox] = float32(res)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package pmbus
+
+import "fmt"
+
+// Adapter is the host-side convenience wrapper around a bus target — the
+// role the Maxim PowerTool USB adapter and its API play in the paper's
+// setup ("To access these voltage rails for monitoring and regulation, we
+// use a PMBus adapter and the provided API", §3.3.2). All values use
+// engineering units; encoding is handled internally.
+type Adapter struct {
+	bus  *Bus
+	addr uint8
+}
+
+// NewAdapter returns an adapter for the rail/device at the given address.
+func NewAdapter(bus *Bus, addr uint8) *Adapter {
+	return &Adapter{bus: bus, addr: addr}
+}
+
+// Address returns the target bus address.
+func (a *Adapter) Address() uint8 { return a.addr }
+
+// SetVoltageMV programs the rail's output voltage in millivolts via
+// VOUT_COMMAND.
+func (a *Adapter) SetVoltageMV(mv float64) error {
+	return a.bus.WriteWord(a.addr, CmdVoutCommand, EncodeLinear16(mv/1000))
+}
+
+// VoltageMV reads the rail's actual output voltage (millivolts) via
+// READ_VOUT.
+func (a *Adapter) VoltageMV() (float64, error) {
+	raw, err := a.bus.ReadWord(a.addr, CmdReadVout)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeLinear16(raw) * 1000, nil
+}
+
+// PowerW reads the rail's output power (watts) via READ_POUT.
+func (a *Adapter) PowerW() (float64, error) {
+	raw, err := a.bus.ReadWord(a.addr, CmdReadPout)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeLinear11(raw), nil
+}
+
+// CurrentA reads the rail's output current (amperes) via READ_IOUT.
+func (a *Adapter) CurrentA() (float64, error) {
+	raw, err := a.bus.ReadWord(a.addr, CmdReadIout)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeLinear11(raw), nil
+}
+
+// TemperatureC reads the regulator's temperature sensor (°C), which on
+// the simulated board tracks the die temperature.
+func (a *Adapter) TemperatureC() (float64, error) {
+	raw, err := a.bus.ReadWord(a.addr, CmdReadTemperature1)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeLinear11(raw), nil
+}
+
+// SetFanRPM programs the fan controller via FAN_COMMAND_1 — the mechanism
+// the paper uses to regulate board temperature in §7.
+func (a *Adapter) SetFanRPM(rpm float64) error {
+	return a.bus.WriteWord(a.addr, CmdFanCommand1, EncodeLinear11(rpm))
+}
+
+// FanRPM reads the current fan speed via READ_FAN_SPEED_1.
+func (a *Adapter) FanRPM() (float64, error) {
+	raw, err := a.bus.ReadWord(a.addr, CmdReadFanSpeed1)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeLinear11(raw), nil
+}
+
+// Status reads STATUS_BYTE.
+func (a *Adapter) Status() (uint8, error) {
+	return a.bus.ReadByteCmd(a.addr, CmdStatusByte)
+}
+
+// Describe returns a one-line description of the target for tooling.
+func (a *Adapter) Describe() string {
+	mv, err := a.VoltageMV()
+	if err != nil {
+		return fmt.Sprintf("0x%02X: <%v>", a.addr, err)
+	}
+	w, _ := a.PowerW()
+	return fmt.Sprintf("0x%02X: %7.1f mV %8.3f W", a.addr, mv, w)
+}

@@ -1,0 +1,92 @@
+package pmbus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Bus is an addressed PMBus segment. It routes word/byte transactions to
+// attached devices and is safe for concurrent use (the DNNDK host thread
+// polls telemetry while the experiment controller regulates voltage).
+type Bus struct {
+	mu      sync.RWMutex
+	devices map[uint8]Device
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{devices: make(map[uint8]Device)}
+}
+
+// Attach adds a device at its address. Attaching two devices at the same
+// address is a wiring error and returns an error.
+func (b *Bus) Attach(d Device) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	addr := d.Address()
+	if _, dup := b.devices[addr]; dup {
+		return fmt.Errorf("pmbus: address 0x%02X already in use", addr)
+	}
+	b.devices[addr] = d
+	return nil
+}
+
+// Device returns the device at addr.
+func (b *Bus) Device(addr uint8) (Device, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	d, ok := b.devices[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w 0x%02X", ErrNoDevice, addr)
+	}
+	return d, nil
+}
+
+// Addresses returns the attached addresses in ascending order.
+func (b *Bus) Addresses() []uint8 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]uint8, 0, len(b.devices))
+	for a := range b.devices {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadWord routes a word read to the device at addr.
+func (b *Bus) ReadWord(addr uint8, cmd Command) (uint16, error) {
+	d, err := b.Device(addr)
+	if err != nil {
+		return 0, err
+	}
+	return d.ReadWord(cmd)
+}
+
+// WriteWord routes a word write to the device at addr.
+func (b *Bus) WriteWord(addr uint8, cmd Command, v uint16) error {
+	d, err := b.Device(addr)
+	if err != nil {
+		return err
+	}
+	return d.WriteWord(cmd, v)
+}
+
+// ReadByteCmd routes a byte read to the device at addr.
+func (b *Bus) ReadByteCmd(addr uint8, cmd Command) (uint8, error) {
+	d, err := b.Device(addr)
+	if err != nil {
+		return 0, err
+	}
+	return d.ReadByteCmd(cmd)
+}
+
+// WriteByteCmd routes a byte write to the device at addr.
+func (b *Bus) WriteByteCmd(addr uint8, cmd Command, v uint8) error {
+	d, err := b.Device(addr)
+	if err != nil {
+		return err
+	}
+	return d.WriteByteCmd(cmd, v)
+}

@@ -1,0 +1,74 @@
+package pmbus
+
+import "math"
+
+// LINEAR11 packs a real value into an 11-bit two's-complement mantissa Y
+// and a 5-bit two's-complement exponent N, value = Y * 2^N. It is the
+// PMBus format for currents, powers, temperatures and fan speeds.
+//
+// LINEAR16 (the VOUT format) uses a 16-bit unsigned mantissa with a fixed
+// exponent published via VOUT_MODE; Xilinx/Maxim regulators on the ZCU102
+// use an exponent of -13 (resolution ≈ 0.122 mV), which is what this
+// package defaults to.
+
+// Vout16Exponent is the fixed LINEAR16 exponent advertised in VOUT_MODE.
+const Vout16Exponent = -13
+
+// EncodeLinear16 encodes volts into the LINEAR16 VOUT format.
+// Values are clamped to the representable range [0, 65535 * 2^-13) ≈ 8 V.
+func EncodeLinear16(volts float64) uint16 {
+	if volts <= 0 {
+		return 0
+	}
+	m := math.Round(volts * math.Exp2(-Vout16Exponent))
+	if m > 65535 {
+		m = 65535
+	}
+	return uint16(m)
+}
+
+// DecodeLinear16 decodes a LINEAR16 VOUT word into volts.
+func DecodeLinear16(raw uint16) float64 {
+	return float64(raw) * math.Exp2(Vout16Exponent)
+}
+
+// EncodeLinear11 encodes a real value into LINEAR11, choosing the smallest
+// exponent that fits the mantissa range [-1024, 1023] to maximize
+// resolution.
+func EncodeLinear11(value float64) uint16 {
+	if value == 0 {
+		return 0
+	}
+	exp := -16
+	mant := value * math.Exp2(16)
+	for (mant > 1023 || mant < -1024) && exp < 15 {
+		mant /= 2
+		exp++
+	}
+	if mant > 1023 {
+		mant = 1023
+	}
+	if mant < -1024 {
+		mant = -1024
+	}
+	m := int16(math.Round(mant))
+	// Rounding may push the mantissa just past the range; renormalize.
+	if m > 1023 && exp < 15 {
+		m /= 2
+		exp++
+	}
+	return uint16(exp&0x1F)<<11 | uint16(m)&0x07FF
+}
+
+// DecodeLinear11 decodes a LINEAR11 word.
+func DecodeLinear11(raw uint16) float64 {
+	exp := int8(raw>>11) & 0x1F
+	if exp > 15 { // sign-extend 5-bit exponent
+		exp -= 32
+	}
+	mant := int16(raw & 0x07FF)
+	if mant > 1023 { // sign-extend 11-bit mantissa
+		mant -= 2048
+	}
+	return float64(mant) * math.Exp2(float64(exp))
+}

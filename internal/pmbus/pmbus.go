@@ -1,0 +1,128 @@
+// Package pmbus implements the subset of the PMBus power-management
+// protocol that the paper's methodology depends on (§3.3.2): voltage
+// regulation and telemetry over an addressed bus, with the standard
+// LINEAR11 and LINEAR16 data formats. The ZCU102's three on-board
+// regulators expose 26 voltage rails through this interface; the paper
+// monitors and underscales VCCINT (address 0x13) and VCCBRAM (address
+// 0x14) with it, reads rail power, and drives the fan for the temperature
+// experiments.
+package pmbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Command is a PMBus command code.
+type Command uint8
+
+// The PMBus command subset used by the undervolting methodology. Codes
+// follow the PMBus 1.2 specification.
+const (
+	CmdPage             Command = 0x00
+	CmdOperation        Command = 0x01
+	CmdClearFaults      Command = 0x03
+	CmdVoutMode         Command = 0x20
+	CmdVoutCommand      Command = 0x21
+	CmdVoutMax          Command = 0x24
+	CmdVoutMarginHigh   Command = 0x25
+	CmdVoutMarginLow    Command = 0x26
+	CmdVoutOVFaultLimit Command = 0x40
+	CmdVoutUVFaultLimit Command = 0x44
+	CmdFanConfig12      Command = 0x3A
+	CmdFanCommand1      Command = 0x3B
+	CmdStatusByte       Command = 0x78
+	CmdStatusWord       Command = 0x79
+	CmdStatusVout       Command = 0x7A
+	CmdReadVin          Command = 0x88
+	CmdReadIin          Command = 0x89
+	CmdReadVout         Command = 0x8B
+	CmdReadIout         Command = 0x8C
+	CmdReadTemperature1 Command = 0x8D
+	CmdReadTemperature2 Command = 0x8E
+	CmdReadFanSpeed1    Command = 0x90
+	CmdReadPout         Command = 0x96
+	CmdReadPin          Command = 0x97
+	CmdMfrID            Command = 0x99
+	CmdMfrModel         Command = 0x9A
+)
+
+// String returns the conventional name of the command.
+func (c Command) String() string {
+	if s, ok := commandNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("CMD(0x%02X)", uint8(c))
+}
+
+var commandNames = map[Command]string{
+	CmdPage:             "PAGE",
+	CmdOperation:        "OPERATION",
+	CmdClearFaults:      "CLEAR_FAULTS",
+	CmdVoutMode:         "VOUT_MODE",
+	CmdVoutCommand:      "VOUT_COMMAND",
+	CmdVoutMax:          "VOUT_MAX",
+	CmdVoutMarginHigh:   "VOUT_MARGIN_HIGH",
+	CmdVoutMarginLow:    "VOUT_MARGIN_LOW",
+	CmdVoutOVFaultLimit: "VOUT_OV_FAULT_LIMIT",
+	CmdVoutUVFaultLimit: "VOUT_UV_FAULT_LIMIT",
+	CmdFanConfig12:      "FAN_CONFIG_1_2",
+	CmdFanCommand1:      "FAN_COMMAND_1",
+	CmdStatusByte:       "STATUS_BYTE",
+	CmdStatusWord:       "STATUS_WORD",
+	CmdStatusVout:       "STATUS_VOUT",
+	CmdReadVin:          "READ_VIN",
+	CmdReadIin:          "READ_IIN",
+	CmdReadVout:         "READ_VOUT",
+	CmdReadIout:         "READ_IOUT",
+	CmdReadTemperature1: "READ_TEMPERATURE_1",
+	CmdReadTemperature2: "READ_TEMPERATURE_2",
+	CmdReadFanSpeed1:    "READ_FAN_SPEED_1",
+	CmdReadPout:         "READ_POUT",
+	CmdReadPin:          "READ_PIN",
+	CmdMfrID:            "MFR_ID",
+	CmdMfrModel:         "MFR_MODEL",
+}
+
+// STATUS_BYTE flag bits (PMBus 1.2 part II §17.1).
+const (
+	StatusNoneOfTheAbove uint8 = 1 << 0
+	StatusCML            uint8 = 1 << 1
+	StatusTemperature    uint8 = 1 << 2
+	StatusVinUV          uint8 = 1 << 3
+	StatusIoutOC         uint8 = 1 << 4
+	StatusVoutOV         uint8 = 1 << 5
+	StatusOff            uint8 = 1 << 6
+	StatusBusy           uint8 = 1 << 7
+)
+
+// Errors returned by bus and device operations.
+var (
+	// ErrNoDevice indicates no device acknowledged the address.
+	ErrNoDevice = errors.New("pmbus: no device at address")
+	// ErrUnsupported indicates the device does not implement the command.
+	ErrUnsupported = errors.New("pmbus: unsupported command")
+	// ErrInvalidPage indicates a PAGE selection outside the device's range.
+	ErrInvalidPage = errors.New("pmbus: invalid page")
+	// ErrValueRange indicates a written value outside the device's limits.
+	ErrValueRange = errors.New("pmbus: value out of range")
+	// ErrBusHung indicates the bus target stopped responding (the board
+	// crashed below Vcrash; a power cycle is required).
+	ErrBusHung = errors.New("pmbus: target not responding (crashed)")
+)
+
+// Device is a PMBus-addressable component (a voltage regulator channel
+// group, a fan controller, ...). Word commands carry LINEAR11/LINEAR16
+// encoded payloads; byte commands carry raw bytes.
+type Device interface {
+	// Address returns the 7-bit bus address the device responds to.
+	Address() uint8
+	// ReadWord executes a word-read command.
+	ReadWord(cmd Command) (uint16, error)
+	// WriteWord executes a word-write command.
+	WriteWord(cmd Command, value uint16) error
+	// ReadByteCmd executes a byte-read command.
+	ReadByteCmd(cmd Command) (uint8, error)
+	// WriteByteCmd executes a byte-write command.
+	WriteByteCmd(cmd Command, value uint8) error
+}

@@ -1,0 +1,179 @@
+package pmbus
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinear16RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 0.54, 0.57, 0.85, 1.8, 3.3, 5.0} {
+		raw := EncodeLinear16(v)
+		got := DecodeLinear16(raw)
+		if math.Abs(got-v) > 0.0002 {
+			t.Errorf("LINEAR16 round trip %.4f -> %.4f", v, got)
+		}
+	}
+}
+
+func TestLinear16Clamps(t *testing.T) {
+	if EncodeLinear16(-1) != 0 {
+		t.Error("negative voltage should encode to 0")
+	}
+	if EncodeLinear16(100) != 65535 {
+		t.Error("huge voltage should clamp to max mantissa")
+	}
+}
+
+func TestLinear16RoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		return EncodeLinear16(DecodeLinear16(raw)) == raw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinear11RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 0.00052, 0.0125, 1, -1, 12.59, -33.5, 850, 2970, 5000, 12000} {
+		raw := EncodeLinear11(v)
+		got := DecodeLinear11(raw)
+		// Relative 0.2% or half a LINEAR11 LSB at the finest exponent.
+		tol := math.Max(math.Abs(v)*0.002, math.Exp2(-17))
+		if math.Abs(got-v) > tol {
+			t.Errorf("LINEAR11 round trip %g -> %g (tol %g)", v, got, tol)
+		}
+	}
+}
+
+func TestLinear11RelativeErrorProperty(t *testing.T) {
+	f := func(milli int32) bool {
+		v := float64(milli%30_000_000) / 1000.0 // up to ±30000 with mV steps
+		got := DecodeLinear11(EncodeLinear11(v))
+		tol := math.Max(math.Abs(v)*0.002, 1e-4)
+		return math.Abs(got-v) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	if CmdVoutCommand.String() != "VOUT_COMMAND" {
+		t.Errorf("got %q", CmdVoutCommand.String())
+	}
+	if Command(0xF0).String() != "CMD(0xF0)" {
+		t.Errorf("got %q", Command(0xF0).String())
+	}
+}
+
+// stubDevice is a minimal in-memory device for bus tests.
+type stubDevice struct {
+	addr  uint8
+	words map[Command]uint16
+	bytes map[Command]uint8
+}
+
+func newStub(addr uint8) *stubDevice {
+	return &stubDevice{addr: addr, words: map[Command]uint16{}, bytes: map[Command]uint8{}}
+}
+
+func (s *stubDevice) Address() uint8 { return s.addr }
+func (s *stubDevice) ReadWord(c Command) (uint16, error) {
+	v, ok := s.words[c]
+	if !ok {
+		return 0, ErrUnsupported
+	}
+	return v, nil
+}
+func (s *stubDevice) WriteWord(c Command, v uint16) error { s.words[c] = v; return nil }
+func (s *stubDevice) ReadByteCmd(c Command) (uint8, error) {
+	v, ok := s.bytes[c]
+	if !ok {
+		return 0, ErrUnsupported
+	}
+	return v, nil
+}
+func (s *stubDevice) WriteByteCmd(c Command, v uint8) error { s.bytes[c] = v; return nil }
+
+func TestBusRouting(t *testing.T) {
+	bus := NewBus()
+	d13 := newStub(0x13)
+	d14 := newStub(0x14)
+	if err := bus.Attach(d13); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(d14); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(newStub(0x13)); err == nil {
+		t.Fatal("duplicate address must fail to attach")
+	}
+	if err := bus.WriteWord(0x13, CmdVoutCommand, 1234); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bus.ReadWord(0x13, CmdVoutCommand)
+	if err != nil || got != 1234 {
+		t.Fatalf("read back %d, %v", got, err)
+	}
+	if _, err := bus.ReadWord(0x14, CmdVoutCommand); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+	if _, err := bus.ReadWord(0x77, CmdReadVout); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("want ErrNoDevice, got %v", err)
+	}
+	addrs := bus.Addresses()
+	if len(addrs) != 2 || addrs[0] != 0x13 || addrs[1] != 0x14 {
+		t.Fatalf("addresses = %v", addrs)
+	}
+}
+
+func TestAdapterAgainstStub(t *testing.T) {
+	bus := NewBus()
+	d := newStub(0x13)
+	if err := bus.Attach(d); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdapter(bus, 0x13)
+	if a.Address() != 0x13 {
+		t.Fatal("address mismatch")
+	}
+	if err := a.SetVoltageMV(570); err != nil {
+		t.Fatal(err)
+	}
+	// The stub stores the raw word; simulate READ_VOUT returning the
+	// same value the adapter wrote.
+	d.words[CmdReadVout] = d.words[CmdVoutCommand]
+	mv, err := a.VoltageMV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mv-570) > 0.2 {
+		t.Fatalf("voltage round trip = %.3f mV", mv)
+	}
+	d.words[CmdReadPout] = EncodeLinear11(12.59)
+	w, err := a.PowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-12.59) > 0.03 {
+		t.Fatalf("power = %.4f W", w)
+	}
+	d.words[CmdReadTemperature1] = EncodeLinear11(34)
+	temp, err := a.TemperatureC()
+	if err != nil || math.Abs(temp-34) > 0.1 {
+		t.Fatalf("temp = %.2f, %v", temp, err)
+	}
+	if err := a.SetFanRPM(2970); err != nil {
+		t.Fatal(err)
+	}
+	d.words[CmdReadFanSpeed1] = d.words[CmdFanCommand1]
+	rpm, err := a.FanRPM()
+	if err != nil || math.Abs(rpm-2970) > 6 {
+		t.Fatalf("fan rpm = %.1f, %v", rpm, err)
+	}
+	if desc := a.Describe(); desc == "" {
+		t.Fatal("empty describe")
+	}
+}

@@ -1,0 +1,176 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNominalPowerMatchesPaper(t *testing.T) {
+	m := NewModel()
+	b := m.Breakdown(DefaultOperatingPoint())
+	if math.Abs(b.TotalW-12.59) > 0.05 {
+		t.Fatalf("total on-chip power at Vnom = %.3f W, want ≈12.59 W (§4.1)", b.TotalW)
+	}
+	if share := b.VCCINTW / b.TotalW; share < 0.999 {
+		t.Fatalf("VCCINT share = %.5f, want >99.9%% (§4.1)", share)
+	}
+}
+
+func TestEfficiencyGainAtVmin(t *testing.T) {
+	m := NewModel()
+	base := m.TotalW(DefaultOperatingPoint())
+	op := DefaultOperatingPoint()
+	op.VCCINTmV = 570
+	op.VCCBRAMmV = 850 // paper keeps VCCBRAM nominal
+	atVmin := m.TotalW(op)
+	gain := base / atVmin
+	if math.Abs(gain-2.6) > 0.1 {
+		t.Fatalf("GOPs/W gain at Vmin = %.3f×, want ≈2.6× (Fig. 5)", gain)
+	}
+}
+
+func TestEfficiencyGainAtVcrash(t *testing.T) {
+	m := NewModel()
+	base := m.TotalW(DefaultOperatingPoint())
+	op := DefaultOperatingPoint()
+	op.VCCINTmV = 540
+	op.FaultActivityDroop = m.FaultDroop(540, 570, 540)
+	atCrash := m.TotalW(op)
+	gain := base / atCrash
+	if gain < 3.0 {
+		t.Fatalf("total gain at Vcrash = %.3f×, want >3× (abstract)", gain)
+	}
+	if math.Abs(gain-3.7) > 0.25 {
+		t.Errorf("total gain at Vcrash = %.3f×, want ≈3.7× (2.6×·1.43)", gain)
+	}
+	// The extra gain below the guardband should be ≈43%.
+	opVmin := DefaultOperatingPoint()
+	opVmin.VCCINTmV = 570
+	extra := m.TotalW(opVmin) / atCrash
+	if math.Abs(extra-1.43) > 0.07 {
+		t.Errorf("sub-guardband extra gain = %.3f, want ≈1.43", extra)
+	}
+}
+
+func TestTemperatureSensitivityShrinksAtLowVoltage(t *testing.T) {
+	m := NewModel()
+	rel := func(vMV float64) float64 {
+		op := DefaultOperatingPoint()
+		op.VCCINTmV = vMV
+		op.TempC = 34
+		p34 := m.TotalW(op)
+		op.TempC = 52
+		p52 := m.TotalW(op)
+		return (p52 - p34) / p34
+	}
+	at850 := rel(850)
+	at650 := rel(650)
+	if at850 <= 0 || at650 <= 0 {
+		t.Fatalf("power must increase with temperature: %g, %g", at850, at650)
+	}
+	if math.Abs(at850-0.0046) > 0.0015 {
+		t.Errorf("Δ34→52°C at 850 mV = %.4f, want ≈0.46%% (§7.1)", at850)
+	}
+	if at650 >= at850 {
+		t.Errorf("temperature effect should shrink at lower voltage: %.4f vs %.4f", at650, at850)
+	}
+}
+
+func TestFrequencyScalingIsSubLinear(t *testing.T) {
+	m := NewModel()
+	op := DefaultOperatingPoint()
+	base := m.TotalW(op)
+	op.FreqMHz = 200
+	slow := m.TotalW(op)
+	ratio := slow / base
+	// Pure linear-in-f dynamic power would give ≈0.64 (plus static);
+	// the stall-activity mix keeps measured power higher.
+	if ratio <= 200.0/333.0 {
+		t.Fatalf("power at 200 MHz = %.3f of base; should exceed pure f-scaling (%.3f)", ratio, 200.0/333.0)
+	}
+	if ratio >= 1 {
+		t.Fatalf("power must still fall when frequency falls (got %.3f)", ratio)
+	}
+}
+
+func TestIdleDropsDynamicPower(t *testing.T) {
+	m := NewModel()
+	op := DefaultOperatingPoint()
+	busy := m.Breakdown(op)
+	op.Idle = true
+	idle := m.Breakdown(op)
+	if idle.DynamicW >= busy.DynamicW {
+		t.Fatalf("idle dynamic %.3f should be below busy %.3f", idle.DynamicW, busy.DynamicW)
+	}
+	if idle.StaticW != busy.StaticW {
+		t.Fatalf("static power should not depend on activity")
+	}
+}
+
+func TestFaultDroopBounds(t *testing.T) {
+	m := NewModel()
+	if d := m.FaultDroop(600, 570, 540); d != 0 {
+		t.Fatalf("no droop above Vmin, got %g", d)
+	}
+	if d := m.FaultDroop(570, 570, 540); d != 0 {
+		t.Fatalf("no droop at Vmin, got %g", d)
+	}
+	if d := m.FaultDroop(540, 570, 540); math.Abs(d-CriticalActivityDroop) > 1e-12 {
+		t.Fatalf("full droop at Vcrash, got %g", d)
+	}
+	if d := m.FaultDroop(500, 570, 540); d > CriticalActivityDroop {
+		t.Fatalf("droop must clamp at max, got %g", d)
+	}
+}
+
+// Property: power is monotone in voltage, frequency, temperature and
+// utilization, and the breakdown always sums consistently.
+func TestPowerMonotonicityProperties(t *testing.T) {
+	m := NewModel()
+	f := func(vRaw, fRaw, tRaw uint16) bool {
+		op := DefaultOperatingPoint()
+		op.VCCINTmV = 540 + float64(vRaw%310)
+		op.FreqMHz = 100 + float64(fRaw%233)
+		op.TempC = 25 + float64(tRaw%40)
+		b := m.Breakdown(op)
+		if b.TotalW <= 0 || math.IsNaN(b.TotalW) {
+			return false
+		}
+		if math.Abs(b.VCCINTW-(b.DynamicW+b.StaticW)) > 1e-9 {
+			return false
+		}
+		if math.Abs(b.TotalW-(b.VCCINTW+b.VCCBRAMW)) > 1e-9 {
+			return false
+		}
+		up := op
+		up.VCCINTmV += 25
+		return m.TotalW(up) > b.TotalW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilScaleVariesPowerAcrossBenchmarks(t *testing.T) {
+	m := NewModel()
+	lo := DefaultOperatingPoint()
+	lo.UtilScale = 0.95
+	hi := DefaultOperatingPoint()
+	hi.UtilScale = 1.05
+	pl, ph := m.TotalW(lo), m.TotalW(hi)
+	if pl >= ph {
+		t.Fatalf("higher utilization must draw more power: %.3f vs %.3f", pl, ph)
+	}
+	// Both within a plausible band around the 12.59 W average.
+	if pl < 11.5 || ph > 13.7 {
+		t.Fatalf("benchmark power band [%.2f, %.2f] implausible", pl, ph)
+	}
+}
+
+func TestZeroValueModelUsesDefaults(t *testing.T) {
+	var m Model
+	if tw := m.TotalW(DefaultOperatingPoint()); math.Abs(tw-12.59) > 0.05 {
+		t.Fatalf("zero-value model total = %.3f, want default calibration", tw)
+	}
+}

@@ -1,0 +1,118 @@
+// Package prune implements magnitude-based weight pruning, the second
+// DECENT optimization the paper combines with undervolting (§6.2): the
+// smallest-magnitude fraction of each conv/FC layer's weights is zeroed,
+// shrinking the effective model and the DPU's MAC work at a small accuracy
+// cost — and, as the paper observes, increasing vulnerability to
+// undervolting faults because the surviving weights carry concentrated
+// signal.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fpgauv/internal/nn"
+)
+
+// Report summarizes what pruning removed.
+type Report struct {
+	// Sparsity is the requested zeroed fraction.
+	Sparsity float64
+	// LayersPruned counts conv/FC layers touched.
+	LayersPruned int
+	// WeightsBefore and WeightsZeroed count individual weights.
+	WeightsBefore int64
+	WeightsZeroed int64
+	// MACsBefore and MACsEffective give the dense and expected sparse
+	// MAC counts per inference.
+	MACsBefore    int64
+	MACsEffective int64
+}
+
+// EffectiveSparsity returns the realized zeroed fraction.
+func (r Report) EffectiveSparsity() float64 {
+	if r.WeightsBefore == 0 {
+		return 0
+	}
+	return float64(r.WeightsZeroed) / float64(r.WeightsBefore)
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	return fmt.Sprintf("pruned %d layers: %d/%d weights zeroed (%.1f%%), MACs %d -> %d",
+		r.LayersPruned, r.WeightsZeroed, r.WeightsBefore,
+		100*r.EffectiveSparsity(), r.MACsBefore, r.MACsEffective)
+}
+
+// Apply zeroes the smallest-magnitude sparsity fraction of every conv and
+// fully-connected layer's weights in g, in place. Biases are kept. It
+// returns a report of the reduction.
+func Apply(g *nn.Graph, sparsity float64) (Report, error) {
+	if sparsity < 0 || sparsity >= 1 {
+		return Report{}, fmt.Errorf("prune: sparsity %.3f outside [0, 1)", sparsity)
+	}
+	rep := Report{Sparsity: sparsity, MACsBefore: g.TotalMACs()}
+	for _, node := range g.Nodes() {
+		var weights []float32
+		switch op := node.Op.(type) {
+		case *nn.Conv2D:
+			weights = op.Weights.Data()
+		case *nn.Dense:
+			weights = op.Weights.Data()
+		default:
+			continue
+		}
+		rep.LayersPruned++
+		rep.WeightsBefore += int64(len(weights))
+		rep.WeightsZeroed += pruneSlice(weights, sparsity)
+	}
+	eff := 1 - rep.EffectiveSparsity()
+	rep.MACsEffective = int64(math.Round(float64(rep.MACsBefore) * eff))
+	return rep, nil
+}
+
+// pruneSlice zeroes the smallest-magnitude fraction of w and returns how
+// many entries were zeroed (already-zero entries count toward the quota).
+func pruneSlice(w []float32, sparsity float64) int64 {
+	n := len(w)
+	k := int(math.Floor(float64(n) * sparsity))
+	if k <= 0 {
+		return 0
+	}
+	mags := make([]float64, n)
+	for i, v := range w {
+		mags[i] = math.Abs(float64(v))
+	}
+	sorted := append([]float64(nil), mags...)
+	sort.Float64s(sorted)
+	threshold := sorted[k-1]
+	var zeroed int64
+	for i := range w {
+		if mags[i] <= threshold && zeroed < int64(k) {
+			w[i] = 0
+			zeroed++
+		}
+	}
+	return zeroed
+}
+
+// VulnerabilityScale returns the factor by which pruning amplifies
+// undervolting fault events. Two compounding mechanisms: the sparse-skip
+// decode path adds marginal control logic to every MAC (more fault
+// sites), and with redundancy removed each surviving MAC carries more of
+// the class-score signal. The scale is the squared inverse of the
+// surviving-weight fraction, capped at 6x; at the paper's operating
+// points this reproduces Fig. 8a's visibly earlier accuracy collapse for
+// the pruned model.
+func VulnerabilityScale(effectiveSparsity float64) float64 {
+	if effectiveSparsity <= 0 {
+		return 1
+	}
+	keep := 1 - effectiveSparsity
+	scale := 1 / (keep * keep)
+	if scale > 6 {
+		return 6
+	}
+	return scale
+}

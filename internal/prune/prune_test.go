@@ -1,0 +1,147 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpgauv/internal/nn"
+	"fpgauv/internal/tensor"
+)
+
+func buildNet() *nn.Graph {
+	rng := rand.New(rand.NewSource(21))
+	g := nn.NewGraph(nn.Shape{C: 1, H: 8, W: 8})
+	g.Add("conv1", nn.NewConv2D(rng, 1, 8, 3, 1, 1))
+	g.Add("relu1", nn.ReLU{})
+	g.Add("pool", &nn.Pool2D{Kind: nn.MaxPool, Kernel: 2, Stride: 2})
+	g.Add("flatten", nn.Flatten{})
+	g.Add("fc", nn.NewDense(rng, 8*4*4, 10))
+	return g
+}
+
+func countZeros(g *nn.Graph) (zeros, total int) {
+	for _, n := range g.Nodes() {
+		var w []float32
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			w = op.Weights.Data()
+		case *nn.Dense:
+			w = op.Weights.Data()
+		default:
+			continue
+		}
+		for _, v := range w {
+			if v == 0 {
+				zeros++
+			}
+			total++
+		}
+	}
+	return zeros, total
+}
+
+func TestApplyZeroesRequestedFraction(t *testing.T) {
+	g := buildNet()
+	rep, err := Apply(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros, total := countZeros(g)
+	frac := float64(zeros) / float64(total)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("zeroed fraction = %.3f, want ≈0.5", frac)
+	}
+	if rep.LayersPruned != 2 {
+		t.Fatalf("layers pruned = %d", rep.LayersPruned)
+	}
+	if math.Abs(rep.EffectiveSparsity()-0.5) > 0.02 {
+		t.Fatalf("report sparsity = %.3f", rep.EffectiveSparsity())
+	}
+	if rep.MACsEffective >= rep.MACsBefore {
+		t.Fatal("effective MACs should shrink")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestApplyKeepsLargestWeights(t *testing.T) {
+	g := buildNet()
+	// Record the largest-magnitude weight of the fc layer.
+	var fc *nn.Dense
+	for _, n := range g.Nodes() {
+		if d, ok := n.Op.(*nn.Dense); ok {
+			fc = d
+		}
+	}
+	var maxBefore float32
+	for _, v := range fc.Weights.Data() {
+		if a := float32(math.Abs(float64(v))); a > maxBefore {
+			maxBefore = a
+		}
+	}
+	if _, err := Apply(g, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	var maxAfter float32
+	for _, v := range fc.Weights.Data() {
+		if a := float32(math.Abs(float64(v))); a > maxAfter {
+			maxAfter = a
+		}
+	}
+	if maxAfter != maxBefore {
+		t.Fatal("pruning must keep the largest weights")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	g := buildNet()
+	if _, err := Apply(g, -0.1); err == nil {
+		t.Fatal("negative sparsity must fail")
+	}
+	if _, err := Apply(g, 1.0); err == nil {
+		t.Fatal("sparsity 1.0 must fail")
+	}
+	rep, err := Apply(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WeightsZeroed != 0 {
+		t.Fatal("sparsity 0 should be a no-op")
+	}
+}
+
+func TestPrunedModelStillInfers(t *testing.T) {
+	g := buildNet()
+	in := tensor.New(1, 8, 8)
+	in.FillRandn(rand.New(rand.NewSource(3)), 1)
+	if _, err := Apply(g, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 10 {
+		t.Fatal("pruned net broken")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVulnerabilityScale(t *testing.T) {
+	if VulnerabilityScale(0) != 1 {
+		t.Fatal("no pruning, no amplification")
+	}
+	if got := VulnerabilityScale(0.5); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("50%% sparsity should quadruple impact, got %.2f", got)
+	}
+	if VulnerabilityScale(0.9) != 6 {
+		t.Fatal("amplification must cap at 6x")
+	}
+	if VulnerabilityScale(-1) != 1 {
+		t.Fatal("negative sparsity treated as none")
+	}
+}

@@ -1,0 +1,247 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Conv2DInt8 runs an int8 convolution producing raw int32 accumulators
+// (bias already folded into the accumulator domain). x is CHW; w is OIHW.
+// The accumulator scale is x.Scale * w.Scale.
+func Conv2DInt8(x, w *QTensor, biasQ []int32, stride, pad int) (acc []int32, dims []int, err error) {
+	if len(x.Dims) != 3 {
+		return nil, nil, fmt.Errorf("quant: conv input must be CHW, got %v", x.Dims)
+	}
+	if len(w.Dims) != 4 {
+		return nil, nil, fmt.Errorf("quant: conv weights must be OIHW, got %v", w.Dims)
+	}
+	inC, inH, inW := x.Dims[0], x.Dims[1], x.Dims[2]
+	outC, wInC, k := w.Dims[0], w.Dims[1], w.Dims[2]
+	if wInC != inC {
+		return nil, nil, fmt.Errorf("quant: conv channels %d != %d", wInC, inC)
+	}
+	if len(biasQ) != outC {
+		return nil, nil, fmt.Errorf("quant: conv bias length %d != %d", len(biasQ), outC)
+	}
+	if stride <= 0 {
+		return nil, nil, fmt.Errorf("quant: conv stride must be positive")
+	}
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, nil, fmt.Errorf("quant: conv output collapses")
+	}
+	acc = make([]int32, outC*outH*outW)
+	xd, wd := x.Data, w.Data
+	for oc := 0; oc < outC; oc++ {
+		wBase := oc * inC * k * k
+		bias := biasQ[oc]
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*stride - pad
+				sum := bias
+				for ic := 0; ic < inC; ic++ {
+					xBase := ic * inH * inW
+					wcBase := wBase + ic*k*k
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						rowX := xBase + iy*inW
+						rowW := wcBase + ky*k
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							sum += int32(xd[rowX+ix]) * int32(wd[rowW+kx])
+						}
+					}
+				}
+				acc[(oc*outH+oy)*outW+ox] = sum
+			}
+		}
+	}
+	return acc, []int{outC, outH, outW}, nil
+}
+
+// DenseInt8 runs an int8 fully-connected layer producing int32
+// accumulators. The input is flattened.
+func DenseInt8(x, w *QTensor, biasQ []int32) (acc []int32, dims []int, err error) {
+	if len(w.Dims) != 2 {
+		return nil, nil, fmt.Errorf("quant: fc weights must be 2-D, got %v", w.Dims)
+	}
+	out, in := w.Dims[0], w.Dims[1]
+	if len(x.Data) != in {
+		return nil, nil, fmt.Errorf("quant: fc input %d != %d", len(x.Data), in)
+	}
+	if len(biasQ) != out {
+		return nil, nil, fmt.Errorf("quant: fc bias length %d != %d", len(biasQ), out)
+	}
+	acc = make([]int32, out)
+	for o := 0; o < out; o++ {
+		sum := biasQ[o]
+		row := w.Data[o*in : (o+1)*in]
+		for i, v := range x.Data {
+			sum += int32(v) * int32(row[i])
+		}
+		acc[o] = sum
+	}
+	return acc, []int{out}, nil
+}
+
+// ReLUQ clamps negative codes to zero in place and returns q.
+func ReLUQ(q *QTensor) *QTensor {
+	for i, v := range q.Data {
+		if v < 0 {
+			q.Data[i] = 0
+		}
+	}
+	return q
+}
+
+// MaxPoolQ applies max pooling in the quantized domain (scale preserved).
+// Global pools the full spatial extent.
+func MaxPoolQ(x *QTensor, kernel, stride int, global bool) (*QTensor, error) {
+	return poolQ(x, kernel, stride, global, true)
+}
+
+// AvgPoolQ applies average pooling with round-to-nearest integer division.
+func AvgPoolQ(x *QTensor, kernel, stride int, global bool) (*QTensor, error) {
+	return poolQ(x, kernel, stride, global, false)
+}
+
+func poolQ(x *QTensor, kernel, stride int, global, isMax bool) (*QTensor, error) {
+	if len(x.Dims) != 3 {
+		return nil, fmt.Errorf("quant: pool input must be CHW, got %v", x.Dims)
+	}
+	c, h, w := x.Dims[0], x.Dims[1], x.Dims[2]
+	if global {
+		kernel = h
+		if w > kernel {
+			kernel = w
+		}
+		stride = 1
+	}
+	if kernel <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("quant: pool kernel/stride must be positive")
+	}
+	var outH, outW int
+	if global {
+		outH, outW = 1, 1
+	} else {
+		outH = (h-kernel)/stride + 1
+		outW = (w-kernel)/stride + 1
+	}
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("quant: pool output collapses")
+	}
+	out := &QTensor{
+		Data:  make([]int8, c*outH*outW),
+		Dims:  []int{c, outH, outW},
+		Scale: x.Scale,
+		Bits:  x.Bits,
+	}
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := int32(math.MinInt32)
+				sum := int64(0)
+				count := 0
+				for ky := 0; ky < kernel; ky++ {
+					iy := oy*stride + ky
+					if iy >= h {
+						continue
+					}
+					for kx := 0; kx < kernel; kx++ {
+						ix := ox*stride + kx
+						if ix >= w {
+							continue
+						}
+						v := int32(x.Data[(ch*h+iy)*w+ix])
+						if v > best {
+							best = v
+						}
+						sum += int64(v)
+						count++
+					}
+				}
+				var res int32
+				if isMax {
+					res = best
+				} else if count > 0 {
+					// Round half away from zero like the DPU divider.
+					if sum >= 0 {
+						res = int32((sum + int64(count)/2) / int64(count))
+					} else {
+						res = int32((sum - int64(count)/2) / int64(count))
+					}
+				}
+				out.Data[(ch*outH+oy)*outW+ox] = int8(res)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AddQ adds quantized tensors element-wise, requantizing both operands to
+// outScale at the given precision (the DPU's eltwise unit).
+func AddQ(a, b *QTensor, outScale float32, bits int) (*QTensor, error) {
+	if err := validBits(bits); err != nil {
+		return nil, err
+	}
+	if len(a.Data) != len(b.Data) {
+		return nil, fmt.Errorf("quant: add size mismatch %v vs %v", a.Dims, b.Dims)
+	}
+	out := &QTensor{
+		Data:  make([]int8, len(a.Data)),
+		Dims:  append([]int(nil), a.Dims...),
+		Scale: outScale,
+		Bits:  bits,
+	}
+	ra := float64(a.Scale) / float64(outScale)
+	rb := float64(b.Scale) / float64(outScale)
+	qmax := QMax(bits)
+	for i := range a.Data {
+		v := math.RoundToEven(float64(a.Data[i])*ra + float64(b.Data[i])*rb)
+		out.Data[i] = clampToInt8(int32(v), qmax)
+	}
+	return out, nil
+}
+
+// ConcatQ concatenates along channels, requantizing every input to
+// outScale.
+func ConcatQ(inputs []*QTensor, outScale float32, bits int) (*QTensor, error) {
+	if err := validBits(bits); err != nil {
+		return nil, err
+	}
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("quant: concat needs at least 2 inputs")
+	}
+	h, w := inputs[0].Dims[1], inputs[0].Dims[2]
+	totalC := 0
+	for _, q := range inputs {
+		if len(q.Dims) != 3 || q.Dims[1] != h || q.Dims[2] != w {
+			return nil, fmt.Errorf("quant: concat spatial mismatch")
+		}
+		totalC += q.Dims[0]
+	}
+	out := &QTensor{
+		Data:  make([]int8, totalC*h*w),
+		Dims:  []int{totalC, h, w},
+		Scale: outScale,
+		Bits:  bits,
+	}
+	qmax := QMax(bits)
+	off := 0
+	for _, q := range inputs {
+		r := float64(q.Scale) / float64(outScale)
+		for _, v := range q.Data {
+			out.Data[off] = clampToInt8(int32(math.RoundToEven(float64(v)*r)), qmax)
+			off++
+		}
+	}
+	return out, nil
+}

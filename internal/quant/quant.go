@@ -1,0 +1,175 @@
+// Package quant implements the symmetric linear quantization used by the
+// DECENT tool (paper §3.1): INT8 down to INT1 weights/activations with
+// int32 accumulation. The integer kernels return raw int32 accumulators so
+// the DPU executor can inject undervolting faults exactly where real
+// timing faults strike — inside the MAC datapath — before requantization.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"fpgauv/internal/tensor"
+)
+
+// MinBits and MaxBits bound the supported precisions. The paper evaluates
+// INT8..INT4 and observes INT3 and below to be broken even at nominal
+// voltage; the library allows down to INT2 so that observation can be
+// reproduced.
+const (
+	MinBits = 2
+	MaxBits = 8
+)
+
+// QMax returns the maximum magnitude representable at the given precision
+// (2^(bits-1) - 1).
+func QMax(bits int) int32 {
+	return int32(1)<<(bits-1) - 1
+}
+
+// QTensor is a symmetric-quantized tensor: real = Data[i] * Scale.
+type QTensor struct {
+	Data  []int8
+	Dims  []int
+	Scale float32
+	Bits  int
+}
+
+// validBits reports an error for unsupported precisions.
+func validBits(bits int) error {
+	if bits < MinBits || bits > MaxBits {
+		return fmt.Errorf("quant: unsupported precision INT%d (supported INT%d..INT%d)", bits, MinBits, MaxBits)
+	}
+	return nil
+}
+
+// ScaleFor returns the quantization scale that maps maxAbs to the largest
+// code at the given precision.
+func ScaleFor(maxAbs float32, bits int) float32 {
+	if maxAbs <= 0 {
+		return 1
+	}
+	return maxAbs / float32(QMax(bits))
+}
+
+// Quantize converts a float tensor at the given precision using its own
+// max-abs scale.
+func Quantize(t *tensor.Tensor, bits int) (*QTensor, error) {
+	return QuantizeWithScale(t, ScaleFor(t.MaxAbs(), bits), bits)
+}
+
+// QuantizeWithScale converts a float tensor using a pre-calibrated scale.
+func QuantizeWithScale(t *tensor.Tensor, scale float32, bits int) (*QTensor, error) {
+	if err := validBits(bits); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("quant: scale must be positive, got %g", scale)
+	}
+	q := &QTensor{
+		Data:  make([]int8, t.Size()),
+		Dims:  t.Dims(),
+		Scale: scale,
+		Bits:  bits,
+	}
+	qmax := QMax(bits)
+	for i, v := range t.Data() {
+		q.Data[i] = clampToInt8(int32(math.RoundToEven(float64(v/scale))), qmax)
+	}
+	return q, nil
+}
+
+// Dequantize converts back to float32.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Dims...)
+	d := out.Data()
+	for i, v := range q.Data {
+		d[i] = float32(v) * q.Scale
+	}
+	return out
+}
+
+// Size returns the element count.
+func (q *QTensor) Size() int { return len(q.Data) }
+
+// Clone returns a deep copy.
+func (q *QTensor) Clone() *QTensor {
+	out := &QTensor{
+		Data:  make([]int8, len(q.Data)),
+		Dims:  append([]int(nil), q.Dims...),
+		Scale: q.Scale,
+		Bits:  q.Bits,
+	}
+	copy(out.Data, q.Data)
+	return out
+}
+
+// Requantize maps int32 accumulators with scale accScale to an int8
+// tensor with scale outScale at the given precision.
+func Requantize(acc []int32, dims []int, accScale, outScale float32, bits int) (*QTensor, error) {
+	if err := validBits(bits); err != nil {
+		return nil, err
+	}
+	if outScale <= 0 {
+		return nil, fmt.Errorf("quant: output scale must be positive, got %g", outScale)
+	}
+	q := &QTensor{
+		Data:  make([]int8, len(acc)),
+		Dims:  append([]int(nil), dims...),
+		Scale: outScale,
+		Bits:  bits,
+	}
+	ratio := float64(accScale) / float64(outScale)
+	qmax := QMax(bits)
+	for i, a := range acc {
+		q.Data[i] = clampToInt8(int32(math.RoundToEven(float64(a)*ratio)), qmax)
+	}
+	return q, nil
+}
+
+// QuantizeBias folds a float bias vector into the accumulator domain
+// (bias / accScale, rounded), the way DPU bias addition works.
+func QuantizeBias(bias []float32, accScale float32) []int32 {
+	out := make([]int32, len(bias))
+	for i, b := range bias {
+		out[i] = int32(math.RoundToEven(float64(b / accScale)))
+	}
+	return out
+}
+
+func clampToInt8(v, qmax int32) int8 {
+	if v > qmax {
+		v = qmax
+	}
+	if v < -qmax {
+		v = -qmax
+	}
+	return int8(v)
+}
+
+// Calibrator records per-key activation ranges over a calibration set;
+// DECENT uses it to fix activation scales before deployment.
+type Calibrator struct {
+	maxAbs map[string]float32
+}
+
+// NewCalibrator returns an empty calibrator.
+func NewCalibrator() *Calibrator {
+	return &Calibrator{maxAbs: make(map[string]float32)}
+}
+
+// Observe folds a tensor's range into the entry for key.
+func (c *Calibrator) Observe(key string, t *tensor.Tensor) {
+	if m := t.MaxAbs(); m > c.maxAbs[key] {
+		c.maxAbs[key] = m
+	}
+}
+
+// Scale returns the calibrated scale for key at the given precision.
+// Keys never observed get scale 1.
+func (c *Calibrator) Scale(key string, bits int) float32 {
+	return ScaleFor(c.maxAbs[key], bits)
+}
+
+// MaxAbs returns the recorded range for key.
+func (c *Calibrator) MaxAbs(key string) float32 { return c.maxAbs[key] }

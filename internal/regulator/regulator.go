@@ -1,0 +1,275 @@
+// Package regulator models the ZCU102's on-board programmable voltage
+// regulators (Infineon/Maxim parts behind the PMBus). A Regulator converts
+// the 12 V input into a set of output rails; every rail is individually
+// addressable on the PMBus, supports VOUT_COMMAND regulation within its
+// hardware limits, and reports voltage/current/power/temperature telemetry
+// (paper §3.3.2, Fig. 2).
+package regulator
+
+import (
+	"fmt"
+	"sync"
+
+	"fpgauv/internal/pmbus"
+)
+
+// InputVolts is the regulator input supply (the board's 12 V rail).
+const InputVolts = 12.0
+
+// Telemetry supplies live board state to rail devices: the electrical
+// load on a rail and the die temperature. The board wires this to the
+// power and thermal models, closing the monitor loop the paper uses.
+type Telemetry interface {
+	// RailPowerW returns the present load (watts) drawn from the rail.
+	RailPowerW(rail string) float64
+	// TemperatureC returns the die temperature.
+	TemperatureC() float64
+}
+
+// FanController is implemented by boards whose fan is driven through a
+// regulator's FAN_COMMAND_1 register.
+type FanController interface {
+	SetFanRPM(rpm float64) float64
+	FanRPM() float64
+}
+
+// RailConfig describes one output rail.
+type RailConfig struct {
+	// Name is the schematic net name (e.g. "VCCINT").
+	Name string
+	// Addr is the rail's PMBus address.
+	Addr uint8
+	// NomMV is the nominal output level in millivolts.
+	NomMV float64
+	// MinMV and MaxMV are the hardware regulation limits; VOUT_COMMAND
+	// outside them is rejected with pmbus.ErrValueRange.
+	MinMV float64
+	MaxMV float64
+	// Fixed rails (I/O supplies etc.) reject VOUT_COMMAND entirely.
+	Fixed bool
+}
+
+// Rail is one regulated output. It implements pmbus.Device.
+type Rail struct {
+	mu     sync.Mutex
+	cfg    RailConfig
+	setMV  float64
+	status uint8
+	tel    Telemetry
+	fan    FanController
+}
+
+var _ pmbus.Device = (*Rail)(nil)
+
+// NewRail returns a rail initialized to its nominal level.
+func NewRail(cfg RailConfig, tel Telemetry) *Rail {
+	return &Rail{cfg: cfg, setMV: cfg.NomMV, tel: tel}
+}
+
+// AttachFan routes FAN_COMMAND_1 / READ_FAN_SPEED_1 on this rail's
+// address to the board fan (the ZCU102 exposes the chassis fan through
+// one of the regulator controllers).
+func (r *Rail) AttachFan(f FanController) { r.fan = f }
+
+// Name returns the rail's net name.
+func (r *Rail) Name() string { return r.cfg.Name }
+
+// Config returns the rail configuration.
+func (r *Rail) Config() RailConfig { return r.cfg }
+
+// Address implements pmbus.Device.
+func (r *Rail) Address() uint8 { return r.cfg.Addr }
+
+// SetMV returns the programmed output level in millivolts.
+func (r *Rail) SetMV() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.setMV
+}
+
+// Reset restores the nominal output level and clears faults.
+func (r *Rail) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.setMV = r.cfg.NomMV
+	r.status = 0
+}
+
+// ReadWord implements pmbus.Device.
+//
+// Telemetry commands call back into the board, and the board may in turn
+// read rail set-points, so the rail mutex must not be held across those
+// calls; the method snapshots the state it needs and releases the lock
+// before invoking any callback.
+func (r *Rail) ReadWord(cmd pmbus.Command) (uint16, error) {
+	r.mu.Lock()
+	setMV, status := r.setMV, r.status
+	tel, fan := r.tel, r.fan
+	r.mu.Unlock()
+	switch cmd {
+	case pmbus.CmdReadVout, pmbus.CmdVoutCommand:
+		return pmbus.EncodeLinear16(setMV / 1000), nil
+	case pmbus.CmdVoutMax:
+		return pmbus.EncodeLinear16(r.cfg.MaxMV / 1000), nil
+	case pmbus.CmdVoutUVFaultLimit:
+		return pmbus.EncodeLinear16(r.cfg.MinMV / 1000), nil
+	case pmbus.CmdReadVin:
+		return pmbus.EncodeLinear11(InputVolts), nil
+	case pmbus.CmdReadPout:
+		return pmbus.EncodeLinear11(r.loadW()), nil
+	case pmbus.CmdReadIout:
+		v := setMV / 1000
+		if v <= 0 {
+			return pmbus.EncodeLinear11(0), nil
+		}
+		return pmbus.EncodeLinear11(r.loadW() / v), nil
+	case pmbus.CmdReadPin:
+		// Conversion efficiency ≈ 90% at these loads.
+		return pmbus.EncodeLinear11(r.loadW() / 0.9), nil
+	case pmbus.CmdReadTemperature1:
+		t := 25.0
+		if tel != nil {
+			t = tel.TemperatureC()
+		}
+		return pmbus.EncodeLinear11(t), nil
+	case pmbus.CmdReadFanSpeed1:
+		if fan == nil {
+			return 0, pmbus.ErrUnsupported
+		}
+		return pmbus.EncodeLinear11(fan.FanRPM()), nil
+	case pmbus.CmdStatusWord:
+		return uint16(status), nil
+	default:
+		return 0, fmt.Errorf("%w: %v", pmbus.ErrUnsupported, cmd)
+	}
+}
+
+// WriteWord implements pmbus.Device.
+func (r *Rail) WriteWord(cmd pmbus.Command, value uint16) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd {
+	case pmbus.CmdVoutCommand:
+		if r.cfg.Fixed {
+			return fmt.Errorf("%w: rail %s is fixed", pmbus.ErrUnsupported, r.cfg.Name)
+		}
+		mv := pmbus.DecodeLinear16(value) * 1000
+		if mv < r.cfg.MinMV || mv > r.cfg.MaxMV {
+			r.status |= pmbus.StatusVoutOV
+			return fmt.Errorf("%w: %s VOUT_COMMAND %.1f mV outside [%.0f, %.0f]",
+				pmbus.ErrValueRange, r.cfg.Name, mv, r.cfg.MinMV, r.cfg.MaxMV)
+		}
+		r.setMV = mv
+		return nil
+	case pmbus.CmdFanCommand1:
+		if r.fan == nil {
+			return fmt.Errorf("%w: %v", pmbus.ErrUnsupported, cmd)
+		}
+		r.fan.SetFanRPM(pmbus.DecodeLinear11(value))
+		return nil
+	default:
+		return fmt.Errorf("%w: %v", pmbus.ErrUnsupported, cmd)
+	}
+}
+
+// ReadByteCmd implements pmbus.Device.
+func (r *Rail) ReadByteCmd(cmd pmbus.Command) (uint8, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd {
+	case pmbus.CmdStatusByte:
+		return r.status, nil
+	case pmbus.CmdVoutMode:
+		// Linear mode, exponent -13 as a 5-bit two's-complement field.
+		return uint8((pmbus.Vout16Exponent + 32) & 0x1F), nil
+	case pmbus.CmdPage:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("%w: %v", pmbus.ErrUnsupported, cmd)
+	}
+}
+
+// WriteByteCmd implements pmbus.Device.
+func (r *Rail) WriteByteCmd(cmd pmbus.Command, value uint8) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd {
+	case pmbus.CmdClearFaults:
+		r.status = 0
+		return nil
+	case pmbus.CmdPage:
+		if value != 0 {
+			return pmbus.ErrInvalidPage
+		}
+		return nil
+	case pmbus.CmdOperation:
+		return nil // on/off not modeled; rails are always on
+	default:
+		return fmt.Errorf("%w: %v", pmbus.ErrUnsupported, cmd)
+	}
+}
+
+// loadW queries the board for the rail's live load. Must be called
+// without holding r.mu: the board may read rail set-points to evaluate
+// its power model.
+func (r *Rail) loadW() float64 {
+	r.mu.Lock()
+	tel := r.tel
+	r.mu.Unlock()
+	if tel == nil {
+		return 0
+	}
+	return tel.RailPowerW(r.cfg.Name)
+}
+
+// Regulator groups the rails produced by one physical controller chip.
+type Regulator struct {
+	name  string
+	rails []*Rail
+}
+
+// New builds a regulator with the given rails.
+func New(name string, tel Telemetry, cfgs ...RailConfig) *Regulator {
+	reg := &Regulator{name: name}
+	for _, c := range cfgs {
+		reg.rails = append(reg.rails, NewRail(c, tel))
+	}
+	return reg
+}
+
+// Name returns the controller's name.
+func (g *Regulator) Name() string { return g.name }
+
+// Rails returns the regulator's output rails.
+func (g *Regulator) Rails() []*Rail {
+	out := make([]*Rail, len(g.rails))
+	copy(out, g.rails)
+	return out
+}
+
+// Rail returns the output with the given net name, or nil.
+func (g *Regulator) Rail(name string) *Rail {
+	for _, r := range g.rails {
+		if r.cfg.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// AttachAll attaches every rail to the bus.
+func (g *Regulator) AttachAll(bus *pmbus.Bus) error {
+	for _, r := range g.rails {
+		if err := bus.Attach(r); err != nil {
+			return fmt.Errorf("regulator %s: %w", g.name, err)
+		}
+	}
+	return nil
+}
+
+// ResetAll restores all rails to nominal.
+func (g *Regulator) ResetAll() {
+	for _, r := range g.rails {
+		r.Reset()
+	}
+}

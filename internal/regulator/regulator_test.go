@@ -1,0 +1,191 @@
+package regulator
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fpgauv/internal/pmbus"
+)
+
+type fakeTel struct {
+	power map[string]float64
+	tempC float64
+}
+
+func (f *fakeTel) RailPowerW(rail string) float64 { return f.power[rail] }
+func (f *fakeTel) TemperatureC() float64          { return f.tempC }
+
+type fakeFan struct{ rpm float64 }
+
+func (f *fakeFan) SetFanRPM(rpm float64) float64 { f.rpm = rpm; return rpm }
+func (f *fakeFan) FanRPM() float64               { return f.rpm }
+
+func vccint() RailConfig {
+	return RailConfig{Name: "VCCINT", Addr: 0x13, NomMV: 850, MinMV: 450, MaxMV: 900}
+}
+
+func TestRailDefaultsToNominal(t *testing.T) {
+	r := NewRail(vccint(), nil)
+	if r.SetMV() != 850 {
+		t.Fatalf("rail should come up at nominal, got %.1f", r.SetMV())
+	}
+}
+
+func TestVoutCommandRegulatesWithinLimits(t *testing.T) {
+	r := NewRail(vccint(), nil)
+	if err := r.WriteWord(pmbus.CmdVoutCommand, pmbus.EncodeLinear16(0.570)); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.SetMV()-570) > 0.2 {
+		t.Fatalf("set level = %.2f mV", r.SetMV())
+	}
+	raw, err := r.ReadWord(pmbus.CmdReadVout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pmbus.DecodeLinear16(raw) * 1000; math.Abs(got-570) > 0.2 {
+		t.Fatalf("READ_VOUT = %.2f mV", got)
+	}
+}
+
+func TestVoutCommandRejectsOutOfRange(t *testing.T) {
+	r := NewRail(vccint(), nil)
+	err := r.WriteWord(pmbus.CmdVoutCommand, pmbus.EncodeLinear16(0.2))
+	if !errors.Is(err, pmbus.ErrValueRange) {
+		t.Fatalf("want ErrValueRange, got %v", err)
+	}
+	if r.SetMV() != 850 {
+		t.Fatal("failed write must not change the set level")
+	}
+	st, _ := r.ReadByteCmd(pmbus.CmdStatusByte)
+	if st&pmbus.StatusVoutOV == 0 {
+		t.Fatal("status should flag the rejected VOUT command")
+	}
+	if err := r.WriteByteCmd(pmbus.CmdClearFaults, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = r.ReadByteCmd(pmbus.CmdStatusByte)
+	if st != 0 {
+		t.Fatal("CLEAR_FAULTS should clear status")
+	}
+}
+
+func TestFixedRailRejectsRegulation(t *testing.T) {
+	r := NewRail(RailConfig{Name: "VCC3V3", Addr: 0x17, NomMV: 3300, Fixed: true}, nil)
+	err := r.WriteWord(pmbus.CmdVoutCommand, pmbus.EncodeLinear16(3.0))
+	if !errors.Is(err, pmbus.ErrUnsupported) {
+		t.Fatalf("fixed rail must reject VOUT_COMMAND, got %v", err)
+	}
+}
+
+func TestTelemetry(t *testing.T) {
+	tel := &fakeTel{power: map[string]float64{"VCCINT": 12.58}, tempC: 42.5}
+	r := NewRail(vccint(), tel)
+	raw, err := r.ReadWord(pmbus.CmdReadPout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pmbus.DecodeLinear11(raw); math.Abs(got-12.58) > 0.05 {
+		t.Fatalf("READ_POUT = %.3f W", got)
+	}
+	raw, err = r.ReadWord(pmbus.CmdReadIout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantI := 12.58 / 0.850
+	if got := pmbus.DecodeLinear11(raw); math.Abs(got-wantI) > 0.1 {
+		t.Fatalf("READ_IOUT = %.3f A, want ≈%.3f", got, wantI)
+	}
+	raw, err = r.ReadWord(pmbus.CmdReadTemperature1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pmbus.DecodeLinear11(raw); math.Abs(got-42.5) > 0.1 {
+		t.Fatalf("READ_TEMPERATURE_1 = %.2f", got)
+	}
+	raw, err = r.ReadWord(pmbus.CmdReadPin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pmbus.DecodeLinear11(raw); got <= 12.58 {
+		t.Fatalf("input power %.3f should exceed output (efficiency)", got)
+	}
+}
+
+func TestFanThroughRail(t *testing.T) {
+	r := NewRail(vccint(), nil)
+	if _, err := r.ReadWord(pmbus.CmdReadFanSpeed1); !errors.Is(err, pmbus.ErrUnsupported) {
+		t.Fatal("fan commands should be unsupported before AttachFan")
+	}
+	fan := &fakeFan{rpm: 5000}
+	r.AttachFan(fan)
+	if err := r.WriteWord(pmbus.CmdFanCommand1, pmbus.EncodeLinear11(2500)); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fan.rpm-2500) > 5 {
+		t.Fatalf("fan rpm = %.1f", fan.rpm)
+	}
+	raw, err := r.ReadWord(pmbus.CmdReadFanSpeed1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pmbus.DecodeLinear11(raw); math.Abs(got-2500) > 5 {
+		t.Fatalf("READ_FAN_SPEED_1 = %.1f", got)
+	}
+}
+
+func TestRegulatorGroupingAndBusAttach(t *testing.T) {
+	tel := &fakeTel{power: map[string]float64{}}
+	reg := New("PMIC-A", tel,
+		vccint(),
+		RailConfig{Name: "VCCBRAM", Addr: 0x14, NomMV: 850, MinMV: 450, MaxMV: 900},
+	)
+	if reg.Name() != "PMIC-A" {
+		t.Fatal("name")
+	}
+	if len(reg.Rails()) != 2 {
+		t.Fatal("rails")
+	}
+	if reg.Rail("VCCBRAM") == nil || reg.Rail("NOPE") != nil {
+		t.Fatal("rail lookup")
+	}
+	bus := pmbus.NewBus()
+	if err := reg.AttachAll(bus); err != nil {
+		t.Fatal(err)
+	}
+	a := pmbus.NewAdapter(bus, 0x13)
+	if err := a.SetVoltageMV(600); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := a.VoltageMV()
+	if err != nil || math.Abs(mv-600) > 0.2 {
+		t.Fatalf("adapter voltage = %.2f, %v", mv, err)
+	}
+	reg.ResetAll()
+	mv, _ = a.VoltageMV()
+	if math.Abs(mv-850) > 0.2 {
+		t.Fatalf("reset should restore nominal, got %.2f", mv)
+	}
+}
+
+func TestVoutModeExponent(t *testing.T) {
+	r := NewRail(vccint(), nil)
+	mode, err := r.ReadByteCmd(pmbus.CmdVoutMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != uint8((pmbus.Vout16Exponent+32)&0x1F) {
+		t.Fatalf("VOUT_MODE = 0x%02X", mode)
+	}
+}
+
+func TestPageHandling(t *testing.T) {
+	r := NewRail(vccint(), nil)
+	if err := r.WriteByteCmd(pmbus.CmdPage, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteByteCmd(pmbus.CmdPage, 3); !errors.Is(err, pmbus.ErrInvalidPage) {
+		t.Fatalf("want ErrInvalidPage, got %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package silicon
+
+// Calibration constants. Each value is chosen so a specific measurement in
+// Salami et al. (DSN 2020) is reproduced by the simulator; the targeted
+// number is noted next to each constant. EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by the bench harness.
+
+// Nominal operating conditions of the ZCU102 DPU design (paper §3).
+const (
+	// VnomMV is the nominal VCCINT/VCCBRAM level of the 16 nm
+	// UltraScale+ device (paper §2.2: 0.85 V at 16 nm).
+	VnomMV = 850.0
+	// DPUFreqMHz is the default B4096 DPU clock (paper §3.1: 333 MHz).
+	DPUFreqMHz = 333.0
+	// DSPFreqMHz is the double-rate DSP clock (paper §3.1: 666 MHz).
+	DSPFreqMHz = 666.0
+)
+
+// DefaultParams returns the shared process calibration.
+//
+// Delay law: with Alpha=1, VthVolts=0.5 and DelayK=0.367 the typical die's
+// critical path is 2.988 ns at 570 mV — just inside the 3.003 ns period of
+// the 333 MHz DPU clock — so the mean Vmin is 570 mV and the guardband
+// below the 850 mV nominal is 280 mV ≈ 33%, the paper's headline (§4.2).
+// At 850 mV the path is ~0.90 ns, i.e. the large vendor guardband.
+//
+// Tail: TailC/TailQ/Toggle shape the per-MAC fault probability so accuracy
+// decays "exponentially" across the 570→540 mV critical region (Fig. 6):
+// roughly 5e-7 at 565 mV (a handful of fault events per inference, slight
+// accuracy loss), 8e-6 at 560 mV, 4e-5 at 555 mV, and 4e-4 at 545 mV
+// (hundreds of fault events — the classifier "behaves randomly"
+// approaching Vcrash).
+//
+// ITD: ITDHealPerC=0.08 gives a ~4x fault-rate reduction from 34 °C to
+// 52 °C, matching the visible accuracy healing of Fig. 10 while leaving
+// the measured Vmin unchanged (§7.3 bullet 1).
+func DefaultParams() Params {
+	return Params{
+		VthVolts:           0.500,
+		Alpha:              1.0,
+		DelayK:             0.367,
+		TailC:              0.130,
+		TailQ:              4.0,
+		Toggle:             0.15,
+		ITDHealPerC:        0.08,
+		RefTempC:           34.0,
+		CrashDroopMVPerC:   0.15,
+		PrunedCrashShiftMV: 18.0, // pruned Vcrash ≈556 mV vs 538 mV on the typical die (Fig. 8: 555 vs 540)
+		BRAMVminMV:         560.0,
+		BRAMTailPerMV:      0.23,
+	}
+}
+
+// SampleProfiles returns the three die profiles standing in for the
+// paper's three "identical" ZCU102 samples. The DelayScale values put the
+// per-sample Vmin at 555 / 570 / 586 mV (mean 570.3, ΔVmin = 31 mV) and
+// the CrashMV values at 532 / 538 / 550 mV (mean 540, ΔVcrash = 18 mV),
+// matching §1.1 and §4.4.
+func SampleProfiles() [3]DieProfile {
+	return [3]DieProfile{
+		{Sample: 0, DelayScale: 0.8068, CrashMV: 532, ControlMargin: 0.607},
+		{Sample: 1, DelayScale: 1.0000, CrashMV: 538, ControlMargin: 0.575},
+		{Sample: 2, DelayScale: 1.1948, CrashMV: 550, ControlMargin: 0.619},
+	}
+}
+
+// NewSampleDie builds the die for board sample i (0..2) with the default
+// calibration.
+func NewSampleDie(i int) *Die {
+	profs := SampleProfiles()
+	return NewDie(DefaultParams(), profs[i%len(profs)])
+}
+
+// DefaultFmaxGridMHz is the §5 frequency search grid: the default 333 MHz
+// plus 25 MHz steps downward ("frequency and voltage steps of 25 MHz and
+// 5 mV").
+func DefaultFmaxGridMHz() []float64 {
+	return []float64{333, 300, 275, 250, 225, 200, 175, 150, 125, 100}
+}

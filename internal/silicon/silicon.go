@@ -1,0 +1,291 @@
+// Package silicon models the 16 nm FinFET process substrate of the Zynq
+// UltraScale+ XCZU9EG device on the ZCU102 board: path-delay scaling with
+// supply voltage and temperature, die-to-die process variation, the
+// voltage-dependent timing-fault rates that drive the paper's reliability
+// results, and the frequency-independent crash threshold (Vcrash).
+//
+// The model is deliberately simple — an alpha-power-law critical-path delay
+// curve plus a polynomial near-critical path-population tail — but it is
+// calibrated so that the phenomenology reported by Salami et al. (DSN 2020)
+// emerges from it: a ~280 mV voltage guardband below the 850 mV nominal
+// level, a ~30 mV critical region with exponentially growing fault rates,
+// a crash point around 540 mV, ±31 mV Vmin / ±18 mV Vcrash variation across
+// three die samples, and inverse-thermal-dependence (ITD) fault healing at
+// higher temperatures.
+package silicon
+
+import (
+	"fmt"
+	"math"
+)
+
+// PathClass identifies a population of timing paths in the programmable
+// logic. The classes differ in how much slack they were given at design
+// time and therefore in when they start failing as VCCINT is underscaled.
+type PathClass int
+
+const (
+	// PathData covers DSP48 MAC datapaths, LUT logic and routing on the
+	// VCCINT rail. These are the paths whose failures corrupt CNN
+	// arithmetic (observed as accuracy loss).
+	PathData PathClass = iota
+	// PathControl covers control/handshake logic (AXI interfaces, DPU
+	// instruction fetch). These paths have more design margin; their
+	// collapse corresponds to the board hanging.
+	PathControl
+	// PathBRAM covers block-RAM cell access paths supplied by VCCBRAM.
+	// They only matter when the separate VCCBRAM rail is underscaled.
+	PathBRAM
+)
+
+// String implements fmt.Stringer.
+func (c PathClass) String() string {
+	switch c {
+	case PathData:
+		return "data"
+	case PathControl:
+		return "control"
+	case PathBRAM:
+		return "bram"
+	default:
+		return fmt.Sprintf("PathClass(%d)", int(c))
+	}
+}
+
+// Params holds the process-level calibration constants shared by all dies.
+// See calib.go for the values and the paper numbers each one targets.
+type Params struct {
+	// VthVolts is the effective threshold voltage of the alpha-power
+	// delay law d(V) = DelayK * V / (V - VthVolts)^Alpha.
+	VthVolts float64
+	// Alpha is the velocity-saturation exponent of the delay law.
+	Alpha float64
+	// DelayK scales the delay law so that the typical die's critical
+	// path meets the 333 MHz DPU clock exactly at the mean Vmin
+	// (570 mV) reported by the paper.
+	DelayK float64
+
+	// TailC and TailQ parameterize the near-critical path population:
+	// the fraction of path-uses whose delay exceeds the clock period is
+	// TailC * (1-u)^TailQ where u = period/criticalDelay (u < 1 below
+	// Vmin). TailQ controls how "exponential" the accuracy collapse
+	// looks across the 30 mV critical region.
+	TailC float64
+	TailQ float64
+	// Toggle is the probability that a failing path is actually
+	// exercised with a fault-manifesting transition in a given cycle.
+	Toggle float64
+
+	// ITDHealPerC is the inverse-thermal-dependence healing coefficient:
+	// fault probability is multiplied by exp(-ITDHealPerC*(T-RefTempC)).
+	// Higher temperature speeds up marginal paths in contemporary nodes
+	// (the paper's §7.2), reducing fault counts at a fixed voltage
+	// without moving the Vmin onset.
+	ITDHealPerC float64
+	// RefTempC is the die temperature at which the delay law is
+	// calibrated (the paper's ambient-temperature runs, ~34 °C on-die).
+	RefTempC float64
+	// CrashDroopMVPerC raises the crash threshold as the die heats up
+	// ("the system crashes relatively earlier over temperature
+	// variation", §7.3), modeling supply droop from increased static
+	// current.
+	CrashDroopMVPerC float64
+	// PrunedCrashShiftMV raises the crash threshold when the sparse
+	// (pruned-model) DPU decode logic is enabled; the paper measured
+	// Vcrash = 555 mV for the pruned VGGNet versus 540 mV baseline.
+	PrunedCrashShiftMV float64
+
+	// BRAMVminMV is the voltage below which BRAM cell reads on the
+	// VCCBRAM rail begin to flip bits, and BRAMTailPerMV controls how
+	// fast the per-bit flip probability grows below that onset. These
+	// reproduce the qualitative behaviour of the authors' earlier
+	// MICRO'18 BRAM study and are exercised by the fault-injection
+	// example, not by the paper's main VCCINT experiments.
+	BRAMVminMV    float64
+	BRAMTailPerMV float64
+}
+
+// DieProfile captures per-sample process variation. The paper repeats every
+// experiment on three "identical" ZCU102 samples and observes ΔVmin = 31 mV
+// and ΔVcrash = 18 mV; the three stock profiles below reproduce that spread.
+type DieProfile struct {
+	// Sample is the board sample index (0, 1, 2 for the paper's three
+	// platforms).
+	Sample int
+	// DelayScale multiplies the delay law; >1 means a slower die with a
+	// higher Vmin.
+	DelayScale float64
+	// CrashMV is the frequency-independent VCCINT level at RefTempC
+	// below which the device stops responding (configuration and
+	// PS-PL interface logic runs on its own fixed clock domain, so
+	// underscaling the DPU clock does not rescue it).
+	CrashMV float64
+	// ControlMargin is the ratio of control-path delay to data-path
+	// critical delay; kept for diagnostics and the fault-injection
+	// example.
+	ControlMargin float64
+}
+
+// Die combines shared process parameters with one sample's profile.
+// The zero value is not usable; construct with NewDie.
+type Die struct {
+	params  Params
+	profile DieProfile
+}
+
+// NewDie returns a die with the given process parameters and profile.
+func NewDie(p Params, prof DieProfile) *Die {
+	return &Die{params: p, profile: prof}
+}
+
+// Params returns the process parameters the die was built with.
+func (d *Die) Params() Params { return d.params }
+
+// Profile returns the die's variation profile.
+func (d *Die) Profile() DieProfile { return d.profile }
+
+// rawDelayNS evaluates the alpha-power delay law for the typical die at
+// voltage v (volts). It grows without bound as v approaches VthVolts.
+func (d *Die) rawDelayNS(v float64) float64 {
+	p := d.params
+	if v <= p.VthVolts {
+		return math.Inf(1)
+	}
+	den := math.Pow(v-p.VthVolts, p.Alpha)
+	return p.DelayK * v / den
+}
+
+// CriticalPathNS returns the worst-case data-path delay of this die in
+// nanoseconds at the given VCCINT level (millivolts) and die temperature
+// (Celsius). stress is a per-workload factor in [0, ~0.02] modeling how
+// close a particular benchmark's exercised paths run to the true critical
+// path ("slight variation across benchmarks", Fig. 3).
+func (d *Die) CriticalPathNS(vMilli, tempC, stress float64) float64 {
+	v := vMilli / 1000.0
+	base := d.rawDelayNS(v) * d.profile.DelayScale * (1 + stress)
+	return base
+}
+
+// FaultProb returns the probability that a single use of a path of the
+// given class produces a timing fault, at VCCINT vMilli (mV), die
+// temperature tempC, DPU clock freqMHz and workload stress factor.
+//
+// For PathData this is the per-MAC-per-cycle fault probability the DPU
+// executor samples from. For PathBRAM, vMilli is interpreted as the
+// VCCBRAM level and the result is a per-bit-read flip probability.
+// The returned probability is clamped to [0, 0.5].
+func (d *Die) FaultProb(class PathClass, vMilli, tempC, freqMHz, stress float64) float64 {
+	p := d.params
+	switch class {
+	case PathBRAM:
+		if vMilli >= p.BRAMVminMV {
+			return 0
+		}
+		depth := (p.BRAMVminMV - vMilli) * p.BRAMTailPerMV
+		return clampProb(1e-9 * math.Exp(depth))
+	case PathData, PathControl:
+		if freqMHz <= 0 {
+			return 0
+		}
+		period := 1000.0 / freqMHz // ns
+		delay := d.CriticalPathNS(vMilli, tempC, stress)
+		if class == PathControl {
+			delay *= d.profile.ControlMargin
+		}
+		u := period / delay
+		if u >= 1 {
+			return 0
+		}
+		tail := p.TailC * math.Pow(1-u, p.TailQ) * p.Toggle
+		// Inverse thermal dependence: marginal paths speed up as the
+		// die heats, pulling tail mass back under the period without
+		// moving the onset voltage.
+		heal := math.Exp(-p.ITDHealPerC * (tempC - p.RefTempC))
+		return clampProb(tail * heal)
+	default:
+		return 0
+	}
+}
+
+// CrashMV returns the effective crash threshold (mV) at the given die
+// temperature, optionally with the pruned-mode decode logic enabled.
+func (d *Die) CrashMV(tempC float64, pruned bool) float64 {
+	v := d.profile.CrashMV
+	v += d.params.CrashDroopMVPerC * (tempC - d.params.RefTempC)
+	if pruned {
+		v += d.params.PrunedCrashShiftMV
+	}
+	return v
+}
+
+// Crashed reports whether the device hangs at the given VCCINT level and
+// temperature. The threshold is independent of the DPU clock frequency:
+// the configuration/interface logic that fails runs in its own fixed
+// clock domain.
+func (d *Die) Crashed(vMilli, tempC float64, pruned bool) bool {
+	return vMilli < d.CrashMV(tempC, pruned)
+}
+
+// VminMV returns the minimum safe VCCINT level (mV) for this die at the
+// given temperature, frequency and workload stress: the lowest voltage at
+// which FaultProb for the data class is still zero. It is computed by
+// inverting the delay law analytically for Alpha == 1 and by bisection
+// otherwise.
+func (d *Die) VminMV(tempC, freqMHz, stress float64) float64 {
+	if freqMHz <= 0 {
+		return 0
+	}
+	period := 1000.0 / freqMHz
+	target := period / (d.profile.DelayScale * (1 + stress))
+	p := d.params
+	if p.Alpha == 1 {
+		// DelayK*v/(v-Vth) = target  =>  v = target*Vth/(target-DelayK)
+		if target <= p.DelayK {
+			return math.Inf(1)
+		}
+		v := target * p.VthVolts / (target - p.DelayK)
+		return v * 1000
+	}
+	lo, hi := p.VthVolts+1e-6, 2.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if d.rawDelayNS(mid)*d.profile.DelayScale*(1+stress) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi * 1000
+}
+
+// FmaxMHz returns the highest frequency from the given candidate grid at
+// which the die is fault-free at VCCINT vMilli, temperature tempC and the
+// given stress. It returns 0 if no candidate is safe or the device has
+// crashed. This is the §5 frequency-underscaling primitive.
+func (d *Die) FmaxMHz(vMilli, tempC, stress float64, gridMHz []float64) float64 {
+	if d.Crashed(vMilli, tempC, false) {
+		return 0
+	}
+	delay := d.CriticalPathNS(vMilli, tempC, stress)
+	best := 0.0
+	for _, f := range gridMHz {
+		if f <= 0 {
+			continue
+		}
+		period := 1000.0 / f
+		if period >= delay && f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 0.5 {
+		return 0.5
+	}
+	return p
+}

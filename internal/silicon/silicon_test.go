@@ -1,0 +1,252 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func typicalDie() *Die { return NewSampleDie(1) }
+
+func TestCriticalPathMeetsClockAtVmin(t *testing.T) {
+	d := typicalDie()
+	period := 1000.0 / DPUFreqMHz
+	at570 := d.CriticalPathNS(570, 34, 0)
+	if at570 > period {
+		t.Fatalf("critical path at 570 mV = %.4f ns exceeds period %.4f ns", at570, period)
+	}
+	at565 := d.CriticalPathNS(565, 34, 0)
+	if at565 <= period {
+		t.Fatalf("critical path at 565 mV = %.4f ns should exceed period %.4f ns", at565, period)
+	}
+}
+
+func TestVminPerSampleMatchesPaperSpread(t *testing.T) {
+	want := [3]float64{555, 570, 586}
+	for i, w := range want {
+		d := NewSampleDie(i)
+		got := d.VminMV(34, DPUFreqMHz, 0)
+		if math.Abs(got-w) > 1.0 {
+			t.Errorf("sample %d: Vmin = %.2f mV, want %.0f±1 mV", i, got, w)
+		}
+	}
+	// ΔVmin across samples should be ~31 mV (paper §1.1).
+	d0 := NewSampleDie(0).VminMV(34, DPUFreqMHz, 0)
+	d2 := NewSampleDie(2).VminMV(34, DPUFreqMHz, 0)
+	if spread := d2 - d0; math.Abs(spread-31) > 2 {
+		t.Errorf("ΔVmin = %.2f mV, want ≈31 mV", spread)
+	}
+}
+
+func TestCrashThresholds(t *testing.T) {
+	want := [3]float64{532, 538, 550}
+	var sum, lo, hi float64
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i, w := range want {
+		d := NewSampleDie(i)
+		got := d.CrashMV(34, false)
+		if got != w {
+			t.Errorf("sample %d: Vcrash = %.1f, want %.1f", i, got, w)
+		}
+		sum += got
+		lo = math.Min(lo, got)
+		hi = math.Max(hi, got)
+	}
+	if avg := sum / 3; math.Abs(avg-540) > 1 {
+		t.Errorf("mean Vcrash = %.2f, want ≈540", avg)
+	}
+	if math.Abs((hi-lo)-18) > 1 {
+		t.Errorf("ΔVcrash = %.2f, want ≈18", hi-lo)
+	}
+}
+
+func TestCrashedFrequencyIndependent(t *testing.T) {
+	d := typicalDie()
+	for _, f := range []float64{333, 200, 100} {
+		_ = f
+		if !d.Crashed(530, 34, false) {
+			t.Fatalf("die should be crashed at 530 mV regardless of frequency")
+		}
+		if d.Crashed(545, 34, false) {
+			t.Fatalf("die should be functional at 545 mV")
+		}
+	}
+}
+
+func TestPrunedCrashShift(t *testing.T) {
+	d := typicalDie()
+	base := d.CrashMV(34, false)
+	pruned := d.CrashMV(34, true)
+	if pruned-base != DefaultParams().PrunedCrashShiftMV {
+		t.Fatalf("pruned crash shift = %.1f, want %.1f", pruned-base, DefaultParams().PrunedCrashShiftMV)
+	}
+}
+
+func TestFaultProbZeroAboveVmin(t *testing.T) {
+	d := typicalDie()
+	for v := 570.0; v <= 860; v += 10 {
+		if p := d.FaultProb(PathData, v, 34, DPUFreqMHz, 0); p != 0 {
+			t.Fatalf("fault prob at %.0f mV = %g, want 0 (inside guardband)", v, p)
+		}
+	}
+}
+
+func TestFaultProbGrowsBelowVmin(t *testing.T) {
+	d := typicalDie()
+	prev := 0.0
+	for v := 569.0; v >= 540; v -= 1 {
+		p := d.FaultProb(PathData, v, 34, DPUFreqMHz, 0)
+		if p < prev {
+			t.Fatalf("fault prob not monotone: p(%.0f)=%g < p(%.0f)=%g", v, p, v+1, prev)
+		}
+		prev = p
+	}
+	if prev < 1e-5 {
+		t.Fatalf("fault prob near Vcrash = %g, want noticeable (>1e-5)", prev)
+	}
+	// Roughly exponential growth: each 10 mV of undervolting should
+	// multiply the fault probability by a sizeable factor.
+	p560 := d.FaultProb(PathData, 560, 34, DPUFreqMHz, 0)
+	p550 := d.FaultProb(PathData, 550, 34, DPUFreqMHz, 0)
+	if p550 < 3*p560 {
+		t.Fatalf("expected super-linear growth: p(550)=%g vs p(560)=%g", p550, p560)
+	}
+}
+
+func TestITDHealsFaultsWithoutMovingOnset(t *testing.T) {
+	d := typicalDie()
+	cold := d.FaultProb(PathData, 555, 34, DPUFreqMHz, 0)
+	hot := d.FaultProb(PathData, 555, 52, DPUFreqMHz, 0)
+	if hot >= cold {
+		t.Fatalf("ITD should reduce faults at higher temperature: hot=%g cold=%g", hot, cold)
+	}
+	if ratio := cold / hot; ratio < 2 || ratio > 10 {
+		t.Errorf("ITD healing ratio over 18°C = %.2f, want ~4x", ratio)
+	}
+	// Onset (Vmin) must not move with temperature (§7.3 bullet 1).
+	if p := d.FaultProb(PathData, 570, 52, DPUFreqMHz, 0); p != 0 {
+		t.Errorf("fault prob at Vmin should stay 0 at 52°C, got %g", p)
+	}
+}
+
+func TestCrashRisesWithTemperature(t *testing.T) {
+	d := typicalDie()
+	if d.CrashMV(52, false) <= d.CrashMV(34, false) {
+		t.Fatalf("crash threshold should rise with temperature (earlier crash, §7.3)")
+	}
+}
+
+func TestFmaxStaircase(t *testing.T) {
+	d := typicalDie()
+	grid := DefaultFmaxGridMHz()
+	cases := []struct {
+		vMV  float64
+		want float64
+	}{
+		{570, 333},
+		{565, 300},
+		{560, 275},
+		{555, 250},
+		{550, 225},
+		{540, 200},
+	}
+	for _, c := range cases {
+		if got := d.FmaxMHz(c.vMV, 34, 0, grid); got != c.want {
+			t.Errorf("Fmax(%.0f mV) = %.0f MHz, want %.0f", c.vMV, got, c.want)
+		}
+	}
+	if got := d.FmaxMHz(530, 34, 0, grid); got != 0 {
+		t.Errorf("Fmax below Vcrash should be 0 (board hung), got %.0f", got)
+	}
+}
+
+func TestFmaxMonotoneInVoltage(t *testing.T) {
+	d := typicalDie()
+	grid := DefaultFmaxGridMHz()
+	prev := math.Inf(1)
+	for v := 600.0; v >= 540; v -= 5 {
+		f := d.FmaxMHz(v, 34, 0, grid)
+		if f > prev {
+			t.Fatalf("Fmax must not increase as voltage drops: Fmax(%.0f)=%.0f > %.0f", v, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestWorkloadStressShiftIsSlight(t *testing.T) {
+	d := typicalDie()
+	v0 := d.VminMV(34, DPUFreqMHz, 0)
+	v1 := d.VminMV(34, DPUFreqMHz, 0.02)
+	shift := v1 - v0
+	if shift <= 0 || shift > 5 {
+		t.Fatalf("workload stress shift = %.2f mV, want small positive (<5 mV, 'insignificant' per paper)", shift)
+	}
+}
+
+func TestBRAMFaults(t *testing.T) {
+	d := typicalDie()
+	if p := d.FaultProb(PathBRAM, 700, 34, 0, 0); p != 0 {
+		t.Fatalf("BRAM at 700 mV should be fault-free, got %g", p)
+	}
+	p1 := d.FaultProb(PathBRAM, 550, 34, 0, 0)
+	p2 := d.FaultProb(PathBRAM, 520, 34, 0, 0)
+	if p1 <= 0 || p2 <= p1 {
+		t.Fatalf("BRAM flip rate should grow with undervolting: p(550)=%g p(520)=%g", p1, p2)
+	}
+}
+
+// Property: fault probability is always a valid probability and is
+// monotonically non-increasing in voltage and frequency headroom.
+func TestFaultProbProperties(t *testing.T) {
+	d := typicalDie()
+	f := func(vRaw, tRaw uint16) bool {
+		v := 500 + float64(vRaw%400)  // 500..899 mV
+		temp := 20 + float64(tRaw%50) // 20..69 °C
+		p := d.FaultProb(PathData, v, temp, DPUFreqMHz, 0)
+		if p < 0 || p > 0.5 || math.IsNaN(p) {
+			return false
+		}
+		// Higher voltage can never increase fault probability.
+		pHigher := d.FaultProb(PathData, v+20, temp, DPUFreqMHz, 0)
+		return pHigher <= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Vmin inversion agrees with the forward fault model — just above
+// the reported Vmin there are no faults, just below there are some.
+func TestVminConsistentWithFaultModel(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		d := NewSampleDie(i)
+		vmin := d.VminMV(34, DPUFreqMHz, 0)
+		if p := d.FaultProb(PathData, vmin+0.5, 34, DPUFreqMHz, 0); p != 0 {
+			t.Errorf("sample %d: faults just above Vmin (%.2f): %g", i, vmin, p)
+		}
+		if p := d.FaultProb(PathData, vmin-1.5, 34, DPUFreqMHz, 0); p == 0 {
+			t.Errorf("sample %d: no faults just below Vmin (%.2f)", i, vmin)
+		}
+	}
+}
+
+func TestGuardbandIsRoughly33Percent(t *testing.T) {
+	var sum float64
+	for i := 0; i < 3; i++ {
+		sum += NewSampleDie(i).VminMV(34, DPUFreqMHz, 0)
+	}
+	vmin := sum / 3
+	guardband := (VnomMV - vmin) / VnomMV
+	if math.Abs(guardband-0.33) > 0.02 {
+		t.Fatalf("mean guardband fraction = %.3f, want ≈0.33", guardband)
+	}
+}
+
+func TestPathClassString(t *testing.T) {
+	if PathData.String() != "data" || PathControl.String() != "control" || PathBRAM.String() != "bram" {
+		t.Fatal("unexpected PathClass string values")
+	}
+	if PathClass(9).String() == "" {
+		t.Fatal("unknown class should still format")
+	}
+}

@@ -1,0 +1,175 @@
+// Package tensor provides the dense float32 tensor type the CNN inference
+// stack is built on: row-major storage, shape accounting, and the
+// arithmetic kernels (matmul, im2col-free convolution helpers) used by the
+// reference float path.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	dims []int
+	data []float32
+}
+
+// New allocates a zero tensor with the given dimensions.
+func New(dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d in %v", d, dims))
+		}
+		n *= d
+	}
+	return &Tensor{dims: append([]int(nil), dims...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data (not copied) with the given dimensions.
+func FromSlice(data []float32, dims ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: invalid dimension %d in %v", d, dims)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: %v needs %d elements, got %d", dims, n, len(data))
+	}
+	return &Tensor{dims: append([]int(nil), dims...), data: data}, nil
+}
+
+// Dims returns a copy of the tensor's dimensions.
+func (t *Tensor) Dims() []int { return append([]int(nil), t.dims...) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.dims[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.dims) }
+
+// Size returns the total element count.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data exposes the backing slice for kernel implementations. Mutating it
+// mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{dims: append([]int(nil), t.dims...), data: make([]float32, len(t.data))}
+	copy(out.data, t.data)
+	return out
+}
+
+// Reshape returns a view with new dimensions of the same total size.
+func (t *Tensor) Reshape(dims ...int) (*Tensor, error) {
+	return FromSlice(t.data, dims...)
+}
+
+// offset computes the flat index of idx.
+func (t *Tensor) offset(idx ...int) int {
+	if len(idx) != len(t.dims) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.dims)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.dims[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for %v", idx, t.dims))
+		}
+		off = off*t.dims[i] + x
+	}
+	return off
+}
+
+// At returns the element at idx.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx...)] }
+
+// Set stores v at idx.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx...)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// FillRandn fills with seeded Gaussian noise scaled by std.
+func (t *Tensor) FillRandn(rng *rand.Rand, std float64) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// MaxAbs returns the largest absolute element value.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.data {
+		if a := float32(math.Abs(float64(v))); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Add accumulates src into t element-wise. Shapes must match.
+func (t *Tensor) Add(src *Tensor) error {
+	if len(src.data) != len(t.data) {
+		return fmt.Errorf("tensor: add size mismatch %v vs %v", t.dims, src.dims)
+	}
+	for i, v := range src.data {
+		t.data[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// MatMul computes C = A·B for 2-D tensors (m×k)·(k×n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: matmul needs 2-D operands, got %v, %v", a.dims, b.dims)
+	}
+	m, k := a.dims[0], a.dims[1]
+	k2, n := b.dims[0], b.dims[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// ArgMax returns the index of the largest element of a rank-1 tensor.
+func (t *Tensor) ArgMax() int {
+	best, bestIdx := float32(math.Inf(-1)), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}

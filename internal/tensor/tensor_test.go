@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 || x.Rank() != 3 || x.Dim(1) != 3 {
+		t.Fatal("geometry")
+	}
+	x.Set(7.5, 1, 2, 3)
+	if x.At(1, 2, 3) != 7.5 {
+		t.Fatal("at/set")
+	}
+	dims := x.Dims()
+	dims[0] = 99
+	if x.Dim(0) != 2 {
+		t.Fatal("Dims must return a copy")
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	if _, err := FromSlice(make([]float32, 5), 2, 3); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+	if _, err := FromSlice(nil, 0); err == nil {
+		t.Fatal("zero dim must error")
+	}
+	x, err := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	if err != nil || x.At(1, 1) != 4 {
+		t.Fatal("from slice")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := New(4)
+	x.Fill(1)
+	y := x.Clone()
+	y.Set(9, 0)
+	if x.At(0) != 1 {
+		t.Fatal("clone must not alias")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := New(2, 6)
+	y, err := x.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y.Set(5, 0, 1)
+	if x.At(0, 1) != 5 {
+		t.Fatal("reshape should alias storage")
+	}
+	if _, err := x.Reshape(5); err == nil {
+		t.Fatal("bad reshape must error")
+	}
+}
+
+func TestAddScaleMaxAbs(t *testing.T) {
+	x, _ := FromSlice([]float32{1, -2, 3}, 3)
+	y, _ := FromSlice([]float32{1, 1, 1}, 3)
+	if err := x.Add(y); err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1) != -1 {
+		t.Fatal("add")
+	}
+	x.Scale(2)
+	if x.At(2) != 8 {
+		t.Fatal("scale")
+	}
+	if x.MaxAbs() != 8 {
+		t.Fatal("maxabs")
+	}
+	if err := x.Add(New(4)); err == nil {
+		t.Fatal("mismatched add must error")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, _ := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("c[%d] = %f, want %f", i, c.Data()[i], w)
+		}
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Fatal("inner dim mismatch must error")
+	}
+	if _, err := MatMul(New(2), b); err == nil {
+		t.Fatal("rank check must error")
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(r.Int31n(6))
+		a := New(n, n)
+		a.FillRandn(rng, 1)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(1, i, i)
+		}
+		c, err := MatMul(a, id)
+		if err != nil {
+			return false
+		}
+		for i, v := range a.Data() {
+			if math.Abs(float64(v-c.Data()[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x, _ := FromSlice([]float32{0.1, 0.9, 0.3}, 3)
+	if x.ArgMax() != 1 {
+		t.Fatal("argmax")
+	}
+}
+
+func TestFillRandnDeterministic(t *testing.T) {
+	a := New(16)
+	b := New(16)
+	a.FillRandn(rand.New(rand.NewSource(5)), 1)
+	b.FillRandn(rand.New(rand.NewSource(5)), 1)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("seeded fill must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package thermal models the ZCU102 board's thermal behaviour: die
+// temperature as a function of dissipated power and fan speed. The paper
+// (§7) regulates board temperature between 34 °C and 52 °C by driving the
+// fan through PMBus and reading the on-die sensor back; this package
+// provides both that open-loop fan mode and a closed-loop hold mode the
+// experiment harness uses to pin a curve to a target temperature.
+package thermal
+
+import "math"
+
+// Fan speed limits of the ZCU102 chassis fan.
+const (
+	MinRPM = 1000.0
+	MaxRPM = 5000.0
+)
+
+// Calibration: with the accelerator dissipating ≈12.6 W, the achievable
+// die-temperature range via fan control is [34, 52] °C (paper §7 footnote:
+// "[34°C, 52°C] is the temperature range that we could generate using the
+// fan speed").
+const (
+	// AmbientC is the lab ambient temperature.
+	AmbientC = 25.0
+	// RthMaxFan is the junction-to-ambient thermal resistance (°C/W)
+	// at full fan speed: 25 + 0.715*12.59 ≈ 34 °C.
+	RthMaxFan = 0.715
+	// RthMinFan is the thermal resistance at minimum fan speed:
+	// 25 + 2.145*12.59 ≈ 52 °C.
+	RthMinFan = 2.145
+)
+
+// Model computes steady-state die temperature. The zero value is a valid
+// model at maximum fan speed in open-loop mode.
+type Model struct {
+	fanRPM float64
+	// hold, when non-zero, pins the die temperature (closed loop).
+	holdC float64
+}
+
+// New returns a model with the fan at full speed.
+func New() *Model {
+	return &Model{fanRPM: MaxRPM}
+}
+
+// SetFanRPM sets the fan speed, clamped to the chassis limits, and
+// returns the clamped value. Setting a fan speed leaves hold mode.
+func (m *Model) SetFanRPM(rpm float64) float64 {
+	m.holdC = 0
+	m.fanRPM = math.Min(math.Max(rpm, MinRPM), MaxRPM)
+	return m.fanRPM
+}
+
+// FanRPM returns the current fan speed.
+func (m *Model) FanRPM() float64 {
+	if m.fanRPM == 0 {
+		return MaxRPM
+	}
+	return m.fanRPM
+}
+
+// HoldTemperature pins the die temperature to tC (closed-loop fan plus
+// chassis preheat, the way the paper holds each measured curve at a fixed
+// temperature). The value is clamped to the achievable [34, 52] range.
+func (m *Model) HoldTemperature(tC float64) float64 {
+	m.holdC = math.Min(math.Max(tC, 34), 52)
+	return m.holdC
+}
+
+// Release leaves hold mode and returns to open-loop fan control.
+func (m *Model) Release() { m.holdC = 0 }
+
+// Holding reports whether the model is in closed-loop hold mode and at
+// what temperature.
+func (m *Model) Holding() (bool, float64) { return m.holdC != 0, m.holdC }
+
+// rth interpolates thermal resistance between the fan-speed extremes.
+func (m *Model) rth() float64 {
+	rpm := m.FanRPM()
+	frac := (rpm - MinRPM) / (MaxRPM - MinRPM) // 0 = slowest, 1 = fastest
+	return RthMinFan + frac*(RthMaxFan-RthMinFan)
+}
+
+// DieTempC returns the steady-state die temperature for the given
+// dissipated power.
+func (m *Model) DieTempC(powerW float64) float64 {
+	if m.holdC != 0 {
+		return m.holdC
+	}
+	if powerW < 0 {
+		powerW = 0
+	}
+	return AmbientC + m.rth()*powerW
+}
+
+// RangeAtPower returns the achievable [min, max] die temperatures at the
+// given power level across the full fan range.
+func (m *Model) RangeAtPower(powerW float64) (minC, maxC float64) {
+	return AmbientC + RthMaxFan*powerW, AmbientC + RthMinFan*powerW
+}

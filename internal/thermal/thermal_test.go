@@ -1,0 +1,95 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperTemperatureRangeAtNominalPower(t *testing.T) {
+	m := New()
+	m.SetFanRPM(MaxRPM)
+	if got := m.DieTempC(12.59); math.Abs(got-34) > 0.5 {
+		t.Errorf("max fan at 12.59 W: %.2f °C, want ≈34", got)
+	}
+	m.SetFanRPM(MinRPM)
+	if got := m.DieTempC(12.59); math.Abs(got-52) > 0.5 {
+		t.Errorf("min fan at 12.59 W: %.2f °C, want ≈52", got)
+	}
+}
+
+func TestFanClamping(t *testing.T) {
+	m := New()
+	if got := m.SetFanRPM(99999); got != MaxRPM {
+		t.Errorf("clamp high: %.0f", got)
+	}
+	if got := m.SetFanRPM(-5); got != MinRPM {
+		t.Errorf("clamp low: %.0f", got)
+	}
+}
+
+func TestTemperatureMonotoneInPowerAndFan(t *testing.T) {
+	m := New()
+	m.SetFanRPM(3000)
+	prev := -1.0
+	for p := 0.0; p <= 15; p += 1 {
+		got := m.DieTempC(p)
+		if got <= prev {
+			t.Fatalf("temperature must rise with power: %.2f at %.0f W", got, p)
+		}
+		prev = got
+	}
+	m2 := New()
+	m2.SetFanRPM(MaxRPM)
+	fast := m2.DieTempC(10)
+	m2.SetFanRPM(MinRPM)
+	slow := m2.DieTempC(10)
+	if fast >= slow {
+		t.Fatalf("faster fan must cool more: %.2f vs %.2f", fast, slow)
+	}
+}
+
+func TestHoldTemperature(t *testing.T) {
+	m := New()
+	got := m.HoldTemperature(45)
+	if got != 45 {
+		t.Fatalf("hold = %.1f", got)
+	}
+	if temp := m.DieTempC(2.0); temp != 45 {
+		t.Fatalf("held temperature should ignore power: %.1f", temp)
+	}
+	if ok, tc := m.Holding(); !ok || tc != 45 {
+		t.Fatalf("holding state = %v, %.1f", ok, tc)
+	}
+	if got := m.HoldTemperature(90); got != 52 {
+		t.Fatalf("hold clamps to achievable range, got %.1f", got)
+	}
+	m.Release()
+	if ok, _ := m.Holding(); ok {
+		t.Fatal("release should leave hold mode")
+	}
+	m.SetFanRPM(2000)
+	if ok, _ := m.Holding(); ok {
+		t.Fatal("setting fan speed should leave hold mode")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Model
+	if m.FanRPM() != MaxRPM {
+		t.Fatal("zero value should default to max fan")
+	}
+	if temp := m.DieTempC(12.59); math.Abs(temp-34) > 0.5 {
+		t.Fatalf("zero value temp = %.2f", temp)
+	}
+}
+
+func TestRangeAtPower(t *testing.T) {
+	var m Model
+	lo, hi := m.RangeAtPower(12.59)
+	if math.Abs(lo-34) > 0.5 || math.Abs(hi-52) > 0.5 {
+		t.Fatalf("range = [%.1f, %.1f], want ≈[34, 52]", lo, hi)
+	}
+	if lo >= hi {
+		t.Fatal("range inverted")
+	}
+}

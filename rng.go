@@ -1,0 +1,9 @@
+package fpgauv
+
+import "math/rand"
+
+// newRng derives the deterministic fault-injection stream for a
+// deployment seed.
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
+}
