@@ -143,38 +143,17 @@ type Deployment struct {
 // ground-truth labels so the fault-free accuracy equals the paper's
 // "our design @Vnom" value.
 func (p *Platform) Deploy(benchmark string, opts DeployOptions) (*Deployment, error) {
-	preset := models.Small
-	if opts.Tiny {
-		preset = models.Tiny
-	}
-	if opts.Images <= 0 {
-		opts.Images = 64
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	bench, err := models.New(benchmark, preset)
+	dep, err := dnndk.DeployBenchmark(p.rt, benchmark, dnndk.DeployOptions{
+		Tiny:     opts.Tiny,
+		Bits:     opts.Bits,
+		Sparsity: opts.Sparsity,
+		Images:   opts.Images,
+		Seed:     opts.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	qopts := dnndk.DefaultQuantizeOptions()
-	if opts.Bits != 0 {
-		qopts.Bits = opts.Bits
-	}
-	qopts.Sparsity = opts.Sparsity
-	k, err := dnndk.Quantize(bench, qopts)
-	if err != nil {
-		return nil, err
-	}
-	task, err := p.rt.LoadKernel(k)
-	if err != nil {
-		return nil, err
-	}
-	ds := bench.MakeDataset(opts.Images, opts.Seed)
-	if err := task.PlantLabels(ds, bench.TargetAccPct, opts.Seed^0x1ab); err != nil {
-		return nil, err
-	}
-	return &Deployment{p: p, bench: bench, task: task, ds: ds, seed: opts.Seed}, nil
+	return &Deployment{p: p, bench: dep.Bench, task: dep.Task, ds: dep.Ds, seed: dep.Seed}, nil
 }
 
 // Benchmark returns the deployment's benchmark name.

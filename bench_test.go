@@ -1,6 +1,8 @@
 package fpgauv_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"strconv"
@@ -261,6 +263,41 @@ func BenchmarkFaultSampling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fabric.SampleFaults(rng, 10_000_000, 1e-6)
+	}
+}
+
+// BenchmarkFleetThroughput measures classified-images/sec through the
+// fleet scheduler for pool sizes 1, 3 and 9 — the perf baseline future
+// scheduling work is compared against. Characterizations are cached per
+// silicon sample, so bring-up cost is paid once per process.
+func BenchmarkFleetThroughput(b *testing.B) {
+	const images = 16
+	for _, boards := range []int{1, 3, 9} {
+		b.Run(fmt.Sprintf("boards=%d", boards), func(b *testing.B) {
+			pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+				Boards:      boards,
+				Tiny:        true,
+				Images:      images,
+				CharRepeats: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := pool.Classify(context.Background(), fpgauv.FleetRequest{}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)*images/secs, "images/s")
+			}
+		})
 	}
 }
 

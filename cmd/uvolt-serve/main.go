@@ -1,0 +1,98 @@
+// Command uvolt-serve runs an HTTP inference service on a fleet of
+// simulated reduced-voltage ZCU102 boards: every board is characterized,
+// parked inside its voltage guardband, and served classification traffic
+// with automatic crash recovery.
+//
+// Usage:
+//
+//	uvolt-serve [-addr :8090] [-boards 3] [-bench VGGNet] [-images 32]
+//	            [-margin 10] [-batch 8] [-batch-window 2ms]
+//
+// Endpoints:
+//
+//	POST /v1/classify      {"seed": 7}            one evaluation-set pass
+//	GET  /v1/fleet/status                         pool + per-board snapshot
+//	POST /v1/fleet/voltage {"board": 0, "mv": 500}  command a VCCINT rail
+//	GET  /metrics                                 Prometheus text metrics
+//	GET  /healthz                                 liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpgauv"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	boards := flag.Int("boards", 3, "pool size (boards cycle the three silicon samples)")
+	bench := flag.String("bench", "VGGNet", "Table 1 benchmark to serve")
+	tiny := flag.Bool("tiny", true, "use the tiny model preset")
+	images := flag.Int("images", 32, "evaluation images per request")
+	bits := flag.Int("bits", 0, "quantization bits (default 8)")
+	sparsity := flag.Float64("sparsity", 0, "DECENT pruning sparsity")
+	margin := flag.Float64("margin", 10, "mV of headroom above each board's Vmin")
+	target := flag.Float64("target", 0, "explicit operating point in mV (0 = Vmin+margin)")
+	batch := flag.Int("batch", 8, "max requests coalesced per accelerator pass")
+	window := flag.Duration("batch-window", 2*time.Millisecond, "batching window")
+	flag.Parse()
+
+	log.Printf("uvolt-serve: bringing up %d boards serving %s (characterizing Vmin/Vcrash)...", *boards, *bench)
+	t0 := time.Now()
+	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+		Boards:    *boards,
+		Benchmark: *bench,
+		Tiny:      *tiny,
+		Images:    *images,
+		Bits:      *bits,
+		Sparsity:  *sparsity,
+		MarginMV:  *margin,
+		TargetMV:  *target,
+	})
+	if err != nil {
+		log.Fatalf("uvolt-serve: %v", err)
+	}
+	for _, b := range pool.Status().Boards {
+		log.Printf("uvolt-serve: %s Vmin=%.0fmV Vcrash=%.0fmV -> operating at %.0f mV (guardband %.0f mV reclaimed)",
+			b.Board, b.VminMV, b.VcrashMV, b.OperatingMV, fpgauv.VnomMV-b.OperatingMV)
+	}
+	log.Printf("uvolt-serve: fleet ready in %s", time.Since(t0).Round(time.Millisecond))
+
+	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{BatchSize: *batch, BatchWindow: *window})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("uvolt-serve: listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("uvolt-serve: %v — draining", s)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("uvolt-serve: %v", err)
+		}
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight HTTP finish,
+	// flush the batcher, drain the fleet queue, restore nominal rails.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("uvolt-serve: http shutdown: %v", err)
+	}
+	srv.Close()
+	st := pool.Status()
+	fmt.Printf("served=%d crashes=%d reboots=%d redeploys=%d\n", st.Served, st.Crashes, st.Reboots, st.Redeploys)
+}

@@ -1,0 +1,103 @@
+// Fleet serving: three "identical" ZCU102 samples characterized and held
+// inside their voltage guardbands, serving 120 concurrent classification
+// requests over HTTP — while one board is deliberately crashed below
+// Vcrash and the pool reboots, re-deploys and keeps every request alive.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgauv"
+)
+
+func main() {
+	t0 := time.Now()
+	fmt.Println("characterizing three boards (Vmin/Vcrash sweep per silicon sample)...")
+	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+		Boards: 3,
+		Tiny:   true,
+		Images: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range pool.Status().Boards {
+		fmt.Printf("  %-13s Vmin=%3.0f mV  Vcrash=%3.0f mV  -> serving at %3.0f mV (%3.0f mV under nominal)\n",
+			b.Board, b.VminMV, b.VcrashMV, b.OperatingMV, fpgauv.VnomMV-b.OperatingMV)
+	}
+	fmt.Printf("fleet ready in %s\n\n", time.Since(t0).Round(time.Millisecond))
+
+	// The HTTP front-end with request batching; httptest stands in for a
+	// real listener so the example is self-contained.
+	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{BatchSize: 8, BatchWindow: 2 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// 120 concurrent clients; halfway through, board 1 is driven below
+	// Vcrash (a real crash: the FPGA stops responding and must be power
+	// cycled, re-programmed and re-underscaled).
+	const requests = 120
+	var wg sync.WaitGroup
+	var ok, failed atomic.Int64
+	for i := 0; i < requests; i++ {
+		if i == requests/2 {
+			body, _ := json.Marshal(map[string]any{"board": 1, "mv": 500})
+			resp, err := http.Post(ts.URL+"/v1/fleet/voltage", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			fmt.Println("!! injected crash: platform-B#1 driven to 500 mV (below Vcrash)")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Empty body = server-assigned seed, so concurrent requests
+			// may coalesce into shared accelerator passes.
+			resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader([]byte("{}")))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				failed.Add(1)
+				if resp != nil {
+					resp.Body.Close()
+				}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok.Add(1)
+		}()
+	}
+	wg.Wait()
+
+	st := pool.Status()
+	fmt.Printf("\n%d requests: %d served, %d dropped\n", requests, ok.Load(), failed.Load())
+	fmt.Printf("crash/reboot cycles: crashes=%d reboots=%d redeploys=%d requeues=%d\n",
+		st.Crashes, st.Reboots, st.Redeploys, st.Requeues)
+	for _, b := range st.Boards {
+		fmt.Printf("  %-13s state=%-9s served=%3d  VCCINT=%3.0f mV  %6.1f GOPs/W\n",
+			b.Board, b.State, b.Served, b.VCCINTmV, b.GOPsPerW)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\nmetrics excerpt:")
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("uvolt_fleet_")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}

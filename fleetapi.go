@@ -1,0 +1,41 @@
+package fpgauv
+
+import (
+	"fpgauv/internal/fleet"
+	"fpgauv/internal/serve"
+)
+
+// Re-exported fleet types: the multi-board scheduling and crash-aware
+// serving layer (see internal/fleet).
+type (
+	// Fleet is a pool of simulated boards held at underscaled operating
+	// points, serving classification traffic with crash recovery.
+	Fleet = fleet.Pool
+	// FleetConfig sizes and parameterizes a fleet.
+	FleetConfig = fleet.Config
+	// FleetRequest is one classification job.
+	FleetRequest = fleet.Request
+	// FleetResult reports one served request.
+	FleetResult = fleet.Result
+	// FleetStatus is a whole-pool snapshot.
+	FleetStatus = fleet.Status
+	// FleetBoardStatus is one board's health and telemetry snapshot.
+	FleetBoardStatus = fleet.BoardStatus
+	// ServeConfig parameterizes the HTTP front-end.
+	ServeConfig = serve.Config
+	// Server is the HTTP inference front-end of a fleet.
+	Server = serve.Server
+)
+
+// ErrFleetClosed is returned by Fleet.Classify after Close has begun.
+var ErrFleetClosed = fleet.ErrClosed
+
+// NewFleet assembles, characterizes and starts a pool of boards. Boards
+// cycle through the paper's three silicon samples; each is measured (or
+// recalls a cached measurement) for Vmin/Vcrash and then held at
+// Vmin+MarginMV inside the guardband.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// NewServer wires an HTTP front-end (JSON API, request batching, text
+// metrics) to a running fleet.
+func NewServer(pool *Fleet, cfg ServeConfig) *Server { return serve.New(pool, cfg) }

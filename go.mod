@@ -1,0 +1,3 @@
+module fpgauv
+
+go 1.21

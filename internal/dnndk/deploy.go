@@ -1,0 +1,77 @@
+package dnndk
+
+import (
+	"fpgauv/internal/models"
+)
+
+// DeployOptions configures DeployBenchmark (the single- and multi-board
+// deployment protocol).
+type DeployOptions struct {
+	// Tiny selects the test-scale model zoo (default: the Small preset).
+	Tiny bool
+	// Bits is the quantization precision (default 8; the paper's §6.1
+	// evaluates 8..4).
+	Bits int
+	// Sparsity applies DECENT magnitude pruning before quantization
+	// (§6.2).
+	Sparsity float64
+	// Images is the evaluation-set size (default 64).
+	Images int
+	// Seed derives the dataset and label planting (default 1).
+	Seed int64
+}
+
+// Deployed bundles a benchmark compiled, loaded and labeled on a runtime.
+type Deployed struct {
+	Bench *Benchmark
+	Task  *Task
+	Ds    *models.Dataset
+	// Seed is the effective deployment seed after defaulting.
+	Seed int64
+}
+
+// Benchmark aliases the model-zoo benchmark for Deployed's fields.
+type Benchmark = models.Benchmark
+
+// LabelSeed derives the label-planting seed from a deployment seed; every
+// (re-)deployment of the same seed must plant identical labels.
+func LabelSeed(seed int64) int64 { return seed ^ 0x1ab }
+
+// DeployBenchmark quantizes and loads one of the Table 1 benchmarks on
+// the runtime and plants ground-truth labels so the fault-free accuracy
+// equals the paper's "our design @Vnom" value. It is the one deployment
+// protocol shared by the single-platform API and the fleet.
+func DeployBenchmark(rt *Runtime, benchmark string, opts DeployOptions) (*Deployed, error) {
+	preset := models.Small
+	if opts.Tiny {
+		preset = models.Tiny
+	}
+	if opts.Images <= 0 {
+		opts.Images = 64
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	bench, err := models.New(benchmark, preset)
+	if err != nil {
+		return nil, err
+	}
+	qopts := DefaultQuantizeOptions()
+	if opts.Bits != 0 {
+		qopts.Bits = opts.Bits
+	}
+	qopts.Sparsity = opts.Sparsity
+	k, err := Quantize(bench, qopts)
+	if err != nil {
+		return nil, err
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		return nil, err
+	}
+	ds := bench.MakeDataset(opts.Images, opts.Seed)
+	if err := task.PlantLabels(ds, bench.TargetAccPct, LabelSeed(opts.Seed)); err != nil {
+		return nil, err
+	}
+	return &Deployed{Bench: bench, Task: task, Ds: ds, Seed: opts.Seed}, nil
+}

@@ -1,0 +1,390 @@
+// Package fleet scales the paper's single-board methodology to a pool of
+// reduced-voltage accelerators. The paper (§8) characterizes three
+// "identical" ZCU102 samples and finds per-board Vmin/Vcrash variability;
+// fleet treats that variability as an operations problem: each board is
+// characterized once, parked at its own energy-efficient point inside the
+// guardband, and served classification traffic through a shared work
+// queue with crash detection, automatic reboot/re-deploy, and retry — so
+// an induced crash below Vcrash costs availability on one board, never a
+// request.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/silicon"
+)
+
+// ErrClosed is returned by Classify after Close has begun.
+var ErrClosed = errors.New("fleet: pool is shut down")
+
+// Config sizes and parameterizes a pool.
+type Config struct {
+	// Boards is the pool size (default 3 — one of each silicon sample).
+	// Boards cycle through the paper's three samples: board i is
+	// sample i mod 3.
+	Boards int
+	// Benchmark is the Table 1 workload every board serves
+	// (default "VGGNet").
+	Benchmark string
+	// Tiny selects the test-scale model zoo (default: the Small preset).
+	Tiny bool
+	// Bits is the quantization precision (default 8).
+	Bits int
+	// Sparsity applies DECENT pruning before quantization.
+	Sparsity float64
+	// Images is the evaluation-set size classified per request
+	// (default 32).
+	Images int
+	// Seed derives datasets, planted labels and fault streams
+	// (default 1).
+	Seed int64
+	// MarginMV is the headroom held above each board's measured Vmin
+	// (default 10 mV): the operating point is Vmin+MarginMV, inside the
+	// guardband, fault-free, and far below nominal.
+	MarginMV float64
+	// TargetMV overrides the automatic operating point when non-zero.
+	TargetMV float64
+	// CharStepMV is the characterization sweep step (default 5 mV).
+	CharStepMV float64
+	// CharRepeats is the repeats per characterization point (default 2).
+	CharRepeats int
+	// MaxAttempts bounds how many boards a single request may visit
+	// before failing (default 3). Each visit already includes one
+	// reboot-and-retry on the same board.
+	MaxAttempts int
+	// MonitorInterval is the health-probe period for idle boards
+	// (default 50 ms; negative disables the monitor).
+	MonitorInterval time.Duration
+	// Cores is the DPU core count per board (default 3, the paper's
+	// baseline).
+	Cores int
+}
+
+// sanitize fills config defaults.
+func (c Config) sanitize() Config {
+	if c.Boards <= 0 {
+		c.Boards = 3
+	}
+	if c.Benchmark == "" {
+		c.Benchmark = "VGGNet"
+	}
+	if c.Images <= 0 {
+		c.Images = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MarginMV <= 0 {
+		c.MarginMV = 10
+	}
+	if c.CharStepMV <= 0 {
+		c.CharStepMV = 5
+	}
+	if c.CharRepeats <= 0 {
+		c.CharRepeats = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MonitorInterval == 0 {
+		c.MonitorInterval = 50 * time.Millisecond
+	}
+	if c.Cores <= 0 {
+		c.Cores = 3
+	}
+	return c
+}
+
+// Request is one classification job: a full pass over the deployment's
+// evaluation set.
+type Request struct {
+	// Seed derives the fault-injection stream for this pass; 0 draws a
+	// fresh deterministic seed from the pool's sequence.
+	Seed int64
+}
+
+// Result reports one served request.
+type Result struct {
+	// Board is the serving board's id ("platform-B#1").
+	Board string `json:"board"`
+	// VCCINTmV is the rail level the request ran at.
+	VCCINTmV float64 `json:"vccint_mv"`
+	// Images is the number of images classified.
+	Images int `json:"images"`
+	// AccuracyPct is the classification accuracy of the pass.
+	AccuracyPct float64 `json:"accuracy_pct"`
+	// MACFaults and BRAMFaults count injected fault events (zero inside
+	// the guardband).
+	MACFaults  int64 `json:"mac_faults"`
+	BRAMFaults int64 `json:"bram_faults"`
+	// Attempts is how many board visits the request needed (>1 means a
+	// crash/reboot cycle happened underneath it).
+	Attempts int `json:"attempts"`
+}
+
+// job is a queued request with its completion channel.
+type job struct {
+	req      Request
+	attempts int
+	done     chan jobOut
+}
+
+type jobOut struct {
+	res Result
+	err error
+}
+
+// Pool owns N simulated boards and schedules classification requests
+// across them.
+type Pool struct {
+	cfg     Config
+	members []*member
+	queue   *workQueue
+
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	closing atomic.Bool
+	closed  sync.Once
+	// admit fences Classify's check-then-push against Close: pushes
+	// hold the read side, Close takes the write side after setting
+	// closing, so no job can slip into the queue once the drain begins.
+	admit sync.RWMutex
+
+	seq      atomic.Int64
+	requests atomic.Int64
+	served   atomic.Int64
+	requeues atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+	macF     atomic.Int64
+	bramF    atomic.Int64
+}
+
+// New assembles, deploys, characterizes and starts a pool. On return
+// every board is held at its underscaled operating point and the workers
+// and health monitor are running.
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.sanitize()
+	p := &Pool{
+		cfg:   cfg,
+		queue: newWorkQueue(),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Boards; i++ {
+		m, err := newMember(i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.members = append(p.members, m)
+	}
+	for _, m := range p.members {
+		p.wg.Add(1)
+		go p.worker(m)
+	}
+	if cfg.MonitorInterval > 0 {
+		p.wg.Add(1)
+		go p.monitor(cfg.MonitorInterval)
+	}
+	return p, nil
+}
+
+// Size returns the number of boards.
+func (p *Pool) Size() int { return len(p.members) }
+
+// Benchmark returns the workload the pool serves.
+func (p *Pool) Benchmark() string { return p.cfg.Benchmark }
+
+// Classify enqueues one evaluation-set pass and blocks until a board
+// serves it, the context is canceled, or the pool is closed.
+func (p *Pool) Classify(ctx context.Context, req Request) (Result, error) {
+	if req.Seed == 0 {
+		req.Seed = p.cfg.Seed + p.seq.Add(1)*7919
+	}
+	j := &job{req: req, done: make(chan jobOut, 1)}
+	p.admit.RLock()
+	if p.closing.Load() {
+		p.admit.RUnlock()
+		p.rejected.Add(1)
+		return Result{}, ErrClosed
+	}
+	p.requests.Add(1)
+	p.queue.Push(j)
+	p.admit.RUnlock()
+	select {
+	case out := <-j.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// worker serially serves queued jobs on one board until the queue is
+// closed and drained.
+func (p *Pool) worker(m *member) {
+	defer p.wg.Done()
+	for {
+		j, ok := p.queue.Pop()
+		if !ok {
+			return
+		}
+		j.attempts++
+		res, err := p.serveOn(m, j)
+		if err == nil {
+			p.served.Add(1)
+			p.macF.Add(res.MACFaults)
+			p.bramF.Add(res.BRAMFaults)
+			j.done <- jobOut{res: res}
+			continue
+		}
+		// The board failed this job even after its local
+		// reboot-and-retry. Hand the job to another board unless the
+		// request has exhausted its visits or the pool is draining.
+		if j.attempts < p.cfg.MaxAttempts && !p.closing.Load() {
+			p.requeues.Add(1)
+			p.queue.Push(j)
+			continue
+		}
+		p.failed.Add(1)
+		j.done <- jobOut{err: fmt.Errorf("fleet: request failed after %d attempts: %w", j.attempts, err)}
+	}
+}
+
+// serveOn runs one job on one board, transparently recovering from a
+// crash (reboot → re-deploy → restore voltage → retry once).
+func (p *Pool) serveOn(m *member, j *job) (Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if m.brd.Hung() {
+		m.crashes.Add(1)
+		if err := m.recover(); err != nil {
+			return Result{}, err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		rng := rand.New(rand.NewSource(j.req.Seed*6364136223846793005 + 1442695040888963407))
+		cr, err := m.task.Classify(m.ds, rng)
+		if err == nil {
+			m.served.Add(1)
+			return Result{
+				Board:       m.id,
+				VCCINTmV:    m.brd.VCCINTmV(),
+				Images:      m.ds.Len(),
+				AccuracyPct: cr.AccuracyPct,
+				MACFaults:   cr.MACFaults,
+				BRAMFaults:  cr.BRAMFaults,
+				Attempts:    j.attempts,
+			}, nil
+		}
+		if !errors.Is(err, board.ErrHung) || attempt >= 1 {
+			return Result{}, err
+		}
+		m.crashes.Add(1)
+		m.retries.Add(1)
+		if rerr := m.recover(); rerr != nil {
+			return Result{}, rerr
+		}
+	}
+}
+
+// monitor probes idle boards so a crash is detected and healed even with
+// no traffic routed to the board (the paper's host-side liveness check,
+// run fleet-wide). A busy board is skipped: its worker handles crashes
+// in-line.
+func (p *Pool) monitor(interval time.Duration) {
+	defer p.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			for _, m := range p.members {
+				if !m.mu.TryLock() {
+					continue
+				}
+				if m.brd.CheckAlive() != nil {
+					m.crashes.Add(1)
+					_ = m.recover()
+				}
+				m.mu.Unlock()
+			}
+		}
+	}
+}
+
+// SetVCCINTmV commands the VCCINT rail of one board (or every board when
+// idx is negative). Setting a level below the board's Vcrash induces a
+// crash that the pool detects and heals — the fault-injection knob the
+// crash-recovery tests and the /v1/fleet/voltage endpoint use.
+func (p *Pool) SetVCCINTmV(idx int, mv float64) error {
+	if idx >= len(p.members) {
+		return fmt.Errorf("fleet: board %d out of range (pool has %d)", idx, len(p.members))
+	}
+	targets := p.members
+	if idx >= 0 {
+		targets = p.members[idx : idx+1]
+	}
+	for _, m := range targets {
+		if err := m.setVCCINT(mv); err != nil {
+			return fmt.Errorf("fleet: %s: %w", m.id, err)
+		}
+	}
+	return nil
+}
+
+// SetOperatingMV re-targets the steady-state operating point of one board
+// (or all, idx<0) and applies it immediately. The level must stay above
+// the board's measured Vcrash.
+func (p *Pool) SetOperatingMV(idx int, mv float64) error {
+	if idx >= len(p.members) {
+		return fmt.Errorf("fleet: board %d out of range (pool has %d)", idx, len(p.members))
+	}
+	targets := p.members
+	if idx >= 0 {
+		targets = p.members[idx : idx+1]
+	}
+	for _, m := range targets {
+		if mv <= m.regions.VcrashMV {
+			return fmt.Errorf("fleet: %s: %.0f mV is at/below Vcrash %.0f mV", m.id, mv, m.regions.VcrashMV)
+		}
+		m.mu.Lock()
+		m.setOpMV(mv)
+		err := m.setVCCINT(mv)
+		m.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("fleet: %s: %w", m.id, err)
+		}
+	}
+	return nil
+}
+
+// Close stops admission, drains every queued request, waits for the
+// workers and monitor to exit, and returns the boards to nominal rails.
+// It is idempotent.
+func (p *Pool) Close() {
+	p.closed.Do(func() {
+		p.closing.Store(true)
+		// Wait out any Classify that passed its closing check before
+		// the store; after this, no new job can enter the queue.
+		p.admit.Lock()
+		p.admit.Unlock() //nolint:staticcheck // empty critical section is the fence
+		p.queue.Close()
+		close(p.stop)
+		p.wg.Wait()
+		for _, m := range p.members {
+			m.mu.Lock()
+			_ = m.setVCCINT(silicon.VnomMV)
+			m.mu.Unlock()
+		}
+	})
+}

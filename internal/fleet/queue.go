@@ -1,0 +1,63 @@
+package fleet
+
+import "sync"
+
+// workQueue is the pool's unbounded FIFO of pending classification jobs.
+// Unbounded matters for the no-lost-work guarantee: a crashed board must
+// always be able to hand its in-flight job back to the queue without
+// blocking or dropping it.
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*job
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a job. Pushes are accepted even after Close so that a
+// worker can requeue a job it picked up during the drain; admission
+// control for *new* work lives in Pool.Classify.
+func (q *workQueue) Push(j *job) {
+	q.mu.Lock()
+	q.items = append(q.items, j)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Pop blocks until a job is available or the queue is closed and fully
+// drained. The second return is false only when no job will ever arrive.
+func (q *workQueue) Pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j, true
+}
+
+// Len reports the present backlog.
+func (q *workQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue as draining: Pop keeps returning queued jobs
+// until empty, then reports done.
+func (q *workQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

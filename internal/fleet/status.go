@@ -1,0 +1,114 @@
+package fleet
+
+// BoardStatus is one board's health and telemetry snapshot.
+type BoardStatus struct {
+	// Board is the pool-unique id ("platform-A#0").
+	Board string `json:"board"`
+	// Sample is the silicon sample ("platform-A").
+	Sample string `json:"sample"`
+	// State is "healthy", "recovering" or "hung".
+	State string `json:"state"`
+	// VCCINTmV is the live rail level; OperatingMV is the steady-state
+	// target inside the guardband.
+	VCCINTmV    float64 `json:"vccint_mv"`
+	OperatingMV float64 `json:"operating_mv"`
+	// VminMV/VcrashMV are the board's measured characterization.
+	VminMV   float64 `json:"vmin_mv"`
+	VcrashMV float64 `json:"vcrash_mv"`
+	// GuardbandMV is Vnom - Vmin (the paper's headline ~280 mV).
+	GuardbandMV float64 `json:"guardband_mv"`
+	// TempC is the present die temperature.
+	TempC float64 `json:"temp_c"`
+	// PowerW/VCCINTW/VCCBRAMW decompose the present on-chip power.
+	PowerW   float64 `json:"power_w"`
+	VCCINTW  float64 `json:"vccint_w"`
+	VCCBRAMW float64 `json:"vccbram_w"`
+	// GOPs and GOPsPerW are the modeled throughput and efficiency at
+	// the present operating point.
+	GOPs     float64 `json:"gops"`
+	GOPsPerW float64 `json:"gops_per_w"`
+	// Served/Retries/Crashes/Reboots/Redeploys are lifetime counters.
+	Served    int64 `json:"served"`
+	Retries   int64 `json:"retries"`
+	Crashes   int64 `json:"crashes"`
+	Reboots   int   `json:"reboots"`
+	Redeploys int64 `json:"redeploys"`
+}
+
+// Status is a whole-pool snapshot.
+type Status struct {
+	Benchmark string        `json:"benchmark"`
+	Boards    []BoardStatus `json:"boards"`
+	Queued    int           `json:"queued"`
+	Requests  int64         `json:"requests"`
+	Served    int64         `json:"served"`
+	Requeues  int64         `json:"requeues"`
+	Rejected  int64         `json:"rejected"`
+	Failed    int64         `json:"failed"`
+	Crashes   int64         `json:"crashes"`
+	Reboots   int           `json:"reboots"`
+	Redeploys int64         `json:"redeploys"`
+	MACFaults int64         `json:"mac_faults"`
+	// BRAMFaults counts injected BRAM bit flips across all served work.
+	BRAMFaults int64 `json:"bram_faults"`
+	// GOPs is the aggregate modeled throughput of all boards.
+	GOPs   float64 `json:"gops"`
+	Closed bool    `json:"closed"`
+}
+
+// Status snapshots the pool without blocking the serving path: counters
+// are atomics and board telemetry is internally synchronized, so a
+// snapshot can be taken while every board is mid-classification.
+func (p *Pool) Status() Status {
+	st := Status{
+		Benchmark:  p.cfg.Benchmark,
+		Queued:     p.queue.Len(),
+		Requests:   p.requests.Load(),
+		Served:     p.served.Load(),
+		Requeues:   p.requeues.Load(),
+		Rejected:   p.rejected.Load(),
+		Failed:     p.failed.Load(),
+		MACFaults:  p.macF.Load(),
+		BRAMFaults: p.bramF.Load(),
+		Closed:     p.closing.Load(),
+	}
+	for _, m := range p.members {
+		b := p.boardStatus(m)
+		st.Boards = append(st.Boards, b)
+		st.Crashes += b.Crashes
+		st.Reboots += b.Reboots
+		st.Redeploys += b.Redeploys
+		st.GOPs += b.GOPs
+	}
+	return st
+}
+
+// boardStatus snapshots one member.
+func (p *Pool) boardStatus(m *member) BoardStatus {
+	pb := m.brd.PowerBreakdown()
+	gops := m.kernel.GOPs(m.rt.DPU().Cores(), m.brd.FrequencyMHz())
+	b := BoardStatus{
+		Board:       m.id,
+		Sample:      m.brd.Sample().String(),
+		State:       m.stateName(),
+		VCCINTmV:    m.brd.VCCINTmV(),
+		OperatingMV: m.opMV(),
+		VminMV:      m.regions.VminMV,
+		VcrashMV:    m.regions.VcrashMV,
+		GuardbandMV: m.regions.GuardbandMV(),
+		TempC:       m.brd.DieTempC(),
+		PowerW:      pb.TotalW,
+		VCCINTW:     pb.VCCINTW,
+		VCCBRAMW:    pb.VCCBRAMW,
+		GOPs:        gops,
+		Served:      m.served.Load(),
+		Retries:     m.retries.Load(),
+		Crashes:     m.crashes.Load(),
+		Reboots:     m.brd.Reboots(),
+		Redeploys:   m.redeploy.Load(),
+	}
+	if pb.TotalW > 0 {
+		b.GOPsPerW = gops / pb.TotalW
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgauv/internal/fleet"
+)
+
+// ErrShutdown is returned to callers that arrive after Close.
+var ErrShutdown = errors.New("serve: server is shutting down")
+
+// batcher coalesces concurrent classify calls into shared accelerator
+// passes: one evaluation-set pass on one board answers every request in
+// the batch. Batches flush when they reach size or when the oldest
+// waiter has waited window. Only calls with a server-assigned seed
+// coalesce — a caller that pins its own seed is asking for a specific
+// fault stream and gets a dedicated pass.
+type batcher struct {
+	pool   *fleet.Pool
+	size   int
+	window time.Duration
+
+	mu      sync.Mutex
+	pending []*call
+	timer   *time.Timer
+	closed  bool
+	wg      sync.WaitGroup
+
+	batches   atomic.Int64
+	coalesced atomic.Int64
+}
+
+// call is one waiter and its result slot.
+type call struct {
+	ch chan callOut
+}
+
+type callOut struct {
+	res   fleet.Result
+	batch int
+	err   error
+}
+
+func newBatcher(pool *fleet.Pool, size int, window time.Duration) *batcher {
+	if size <= 0 {
+		size = 8
+	}
+	if window <= 0 {
+		window = 2 * time.Millisecond
+	}
+	return &batcher{pool: pool, size: size, window: window}
+}
+
+// Submit runs one classify call and blocks until it is served or ctx is
+// canceled. It reports the fleet result and the batch size the call was
+// amortized across. A non-zero seed bypasses coalescing: sharing a
+// batch-mate's pass would silently serve the caller a different fault
+// stream than the one it pinned.
+func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fleet.Result{}, 0, ErrShutdown
+	}
+	if seed != 0 {
+		b.mu.Unlock()
+		b.batches.Add(1)
+		res, err := b.pool.Classify(ctx, fleet.Request{Seed: seed})
+		return res, 1, err
+	}
+	c := &call{ch: make(chan callOut, 1)}
+	b.pending = append(b.pending, c)
+	if len(b.pending) >= b.size {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.run(batch)
+	} else {
+		if len(b.pending) == 1 {
+			b.timer = time.AfterFunc(b.window, b.flush)
+		}
+		b.mu.Unlock()
+	}
+	select {
+	case out := <-c.ch:
+		return out.res, out.batch, out.err
+	case <-ctx.Done():
+		return fleet.Result{}, 0, ctx.Err()
+	}
+}
+
+// flush is the window-expiry path.
+func (b *batcher) flush() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// takeLocked claims the pending batch. Caller holds b.mu.
+func (b *batcher) takeLocked() []*call {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// run serves one batch asynchronously: a single pool pass, fanned out to
+// every waiter. The batch context is independent of any one caller's, so
+// a canceled client cannot fail its batch-mates.
+func (b *batcher) run(batch []*call) {
+	if len(batch) == 0 {
+		return
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.batches.Add(1)
+		b.coalesced.Add(int64(len(batch) - 1))
+		res, err := b.pool.Classify(context.Background(), fleet.Request{})
+		for _, c := range batch {
+			c.ch <- callOut{res: res, batch: len(batch), err: err}
+		}
+	}()
+}
+
+// Close flushes the pending batch, waits for in-flight batches, and
+// rejects later submissions.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+	b.wg.Wait()
+}

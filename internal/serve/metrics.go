@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderMetrics emits the Prometheus text exposition of the fleet and
+// front-end state: throughput GOPs, per-rail watts, fault counters,
+// reboot counts and HTTP/batching counters.
+func (s *Server) renderMetrics() string {
+	st := s.pool.Status()
+	var b strings.Builder
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("uvolt_fleet_boards", "Boards in the pool.", len(st.Boards))
+	gauge("uvolt_fleet_queue_depth", "Requests waiting for a board.", st.Queued)
+	gauge("uvolt_fleet_throughput_gops", "Aggregate modeled throughput (GOPs).", fmt.Sprintf("%.2f", st.GOPs))
+	counter("uvolt_fleet_requests_total", "Classification requests admitted.", st.Requests)
+	counter("uvolt_fleet_served_total", "Classification requests completed.", st.Served)
+	counter("uvolt_fleet_requeues_total", "Requests handed to another board after a failure.", st.Requeues)
+	counter("uvolt_fleet_rejected_total", "Requests rejected after shutdown.", st.Rejected)
+	counter("uvolt_fleet_failed_total", "Requests failed after exhausting attempts.", st.Failed)
+	counter("uvolt_fleet_crashes_total", "Board crashes detected (VCCINT below Vcrash).", st.Crashes)
+	counter("uvolt_fleet_reboots_total", "Board power cycles.", int64(st.Reboots))
+	counter("uvolt_fleet_redeploys_total", "Kernel re-deployments after crashes.", st.Redeploys)
+	counter("uvolt_fleet_mac_faults_total", "Injected MAC fault events observed in served work.", st.MACFaults)
+	counter("uvolt_fleet_bram_faults_total", "Injected BRAM bit flips observed in served work.", st.BRAMFaults)
+
+	perBoard := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	perBoard("uvolt_board_vccint_millivolts", "Live VCCINT rail level.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_vccint_millivolts{board=%q} %.2f\n", bd.Board, bd.VCCINTmV)
+	}
+	perBoard("uvolt_board_vmin_millivolts", "Measured minimum safe voltage.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_vmin_millivolts{board=%q} %.1f\n", bd.Board, bd.VminMV)
+	}
+	perBoard("uvolt_board_vcrash_millivolts", "Measured crash voltage.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_vcrash_millivolts{board=%q} %.1f\n", bd.Board, bd.VcrashMV)
+	}
+	perBoard("uvolt_board_temp_celsius", "Die temperature.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_temp_celsius{board=%q} %.2f\n", bd.Board, bd.TempC)
+	}
+	perBoard("uvolt_board_power_watts", "On-chip power by rail.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_power_watts{board=%q,rail=\"total\"} %.3f\n", bd.Board, bd.PowerW)
+		fmt.Fprintf(&b, "uvolt_board_power_watts{board=%q,rail=\"vccint\"} %.3f\n", bd.Board, bd.VCCINTW)
+		fmt.Fprintf(&b, "uvolt_board_power_watts{board=%q,rail=\"vccbram\"} %.3f\n", bd.Board, bd.VCCBRAMW)
+	}
+	perBoard("uvolt_board_throughput_gops", "Modeled throughput at the present clock.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_throughput_gops{board=%q} %.2f\n", bd.Board, bd.GOPs)
+	}
+	perBoard("uvolt_board_gops_per_watt", "Power efficiency at the present operating point.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_gops_per_watt{board=%q} %.2f\n", bd.Board, bd.GOPsPerW)
+	}
+	perBoard("uvolt_board_served_total", "Requests served by board.", "counter")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_served_total{board=%q} %d\n", bd.Board, bd.Served)
+	}
+	perBoard("uvolt_board_reboots_total", "Power cycles by board.", "counter")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_reboots_total{board=%q} %d\n", bd.Board, bd.Reboots)
+	}
+
+	fmt.Fprintf(&b, "# HELP uvolt_http_requests_total HTTP requests by path.\n# TYPE uvolt_http_requests_total counter\n")
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/classify\"} %d\n", s.classifyReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/status\"} %d\n", s.statusReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/voltage\"} %d\n", s.voltageReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/metrics\"} %d\n", s.metricsReqs.Load())
+	counter("uvolt_http_errors_total", "HTTP error responses.", s.errorResps.Load())
+	counter("uvolt_batch_runs_total", "Accelerator passes run for HTTP traffic.", s.batch.batches.Load())
+	counter("uvolt_batch_coalesced_total", "Requests answered by a batch-mate's pass.", s.batch.coalesced.Load())
+	return b.String()
+}

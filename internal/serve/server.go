@@ -1,0 +1,195 @@
+// Package serve is the HTTP inference front-end of a fleet.Pool: a JSON
+// API for classification and fleet operations, request batching that
+// amortizes concurrent callers over shared accelerator passes, and
+// Prometheus-style text metrics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"fpgauv/internal/fleet"
+)
+
+// Config parameterizes the front-end.
+type Config struct {
+	// BatchSize is the maximum calls coalesced into one accelerator
+	// pass (default 8).
+	BatchSize int
+	// BatchWindow is how long the first call in a batch waits for
+	// company (default 2 ms).
+	BatchWindow time.Duration
+}
+
+// Server routes HTTP traffic onto a fleet pool.
+type Server struct {
+	pool  *fleet.Pool
+	batch *batcher
+	mux   *http.ServeMux
+
+	classifyReqs atomic.Int64
+	statusReqs   atomic.Int64
+	voltageReqs  atomic.Int64
+	metricsReqs  atomic.Int64
+	errorResps   atomic.Int64
+}
+
+// New wires a server to a running pool.
+func New(pool *fleet.Pool, cfg Config) *Server {
+	s := &Server{
+		pool:  pool,
+		batch: newBatcher(pool, cfg.BatchSize, cfg.BatchWindow),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/fleet/status", s.handleStatus)
+	s.mux.HandleFunc("/v1/fleet/voltage", s.handleVoltage)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler (for http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the batcher and shuts the pool down; queued work finishes
+// first. Call after the HTTP listener has stopped accepting.
+func (s *Server) Close() {
+	s.batch.Close()
+	s.pool.Close()
+}
+
+// classifyRequest is the /v1/classify body (all fields optional).
+type classifyRequest struct {
+	// Seed pins the fault-injection stream; 0 means server-assigned.
+	// Pinned-seed requests are served by a dedicated accelerator pass
+	// (never coalesced with batch-mates running other seeds).
+	Seed int64 `json:"seed"`
+}
+
+// classifyResponse wraps the fleet result with batching info.
+type classifyResponse struct {
+	fleet.Result
+	// BatchSize is how many concurrent requests shared this
+	// accelerator pass.
+	BatchSize int `json:"batch_size"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.classifyReqs.Add(1)
+	if r.Method != http.MethodPost {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req classifyRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.errorJSON(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	}
+	res, batchSize, err := s.batch.Submit(r.Context(), req.Seed)
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusOK, classifyResponse{Result: res, BatchSize: batchSize})
+	case errors.Is(err, ErrShutdown), errors.Is(err, fleet.ErrClosed):
+		s.errorJSON(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.errorJSON(w, 499, "client went away") // nginx's client-closed-request
+	default:
+		s.errorJSON(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.statusReqs.Add(1)
+	if r.Method != http.MethodGet {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.pool.Status())
+}
+
+// voltageRequest is the /v1/fleet/voltage body.
+type voltageRequest struct {
+	// Board is the target index; -1 targets every board. An omitted
+	// "board" key means board 0.
+	Board int `json:"board"`
+	// MV is the VCCINT level to command.
+	MV float64 `json:"mv"`
+	// Operating, when true, re-targets the board's steady-state point
+	// (validated against Vcrash); otherwise the rail is set raw — which
+	// below Vcrash deliberately induces a crash for the pool to heal.
+	Operating bool `json:"operating"`
+}
+
+func (s *Server) handleVoltage(w http.ResponseWriter, r *http.Request) {
+	s.voltageReqs.Add(1)
+	if r.Method != http.MethodPost {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req voltageRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.MV <= 0 {
+		s.errorJSON(w, http.StatusBadRequest, "mv must be positive")
+		return
+	}
+	var err error
+	if req.Operating {
+		err = s.pool.SetOperatingMV(req.Board, req.MV)
+	} else {
+		err = s.pool.SetVCCINTmV(req.Board, req.MV)
+	}
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "board": req.Board, "mv": req.MV, "operating": req.Operating,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metricsReqs.Add(1)
+	if r.Method != http.MethodGet {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.renderMetrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Status()
+	healthy := 0
+	for _, b := range st.Boards {
+		if b.State == "healthy" {
+			healthy++
+		}
+	}
+	code := http.StatusOK
+	if healthy == 0 || st.Closed {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{"healthy_boards": healthy, "boards": len(st.Boards), "closed": st.Closed})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) errorJSON(w http.ResponseWriter, code int, msg string) {
+	s.errorResps.Add(1)
+	s.writeJSON(w, code, map[string]any{"error": msg})
+}
