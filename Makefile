@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-governed
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full benchmark sweep (paper figures + substrate micro-benches).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The governed-fleet comparison: serving throughput must hold while
+# energy-per-request drops versus the static operating points.
+bench-governed:
+	$(GO) test -run '^$$' -bench BenchmarkGovernedFleet -benchtime 2s .

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"fpgauv"
 	"fpgauv/internal/board"
@@ -296,6 +297,94 @@ func BenchmarkFleetThroughput(b *testing.B) {
 			b.StopTimer()
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(b.N)*images/secs, "images/s")
+			}
+		})
+	}
+}
+
+// BenchmarkGovernedFleet compares serving a hot 3-board fleet at the
+// static startup points against the same fleet with the adaptive
+// voltage governor running: throughput (images/s) must hold while the
+// modeled energy-per-request (mJ/req, fleet power × wall time ÷
+// requests) drops, because every governed board settles below its
+// static point in the ITD headroom. The governor loops run live (4 ms
+// cadence) underneath the traffic, probing canaries under the member
+// locks.
+func BenchmarkGovernedFleet(b *testing.B) {
+	const images = 16
+	for _, governed := range []bool{false, true} {
+		name := "static"
+		if governed {
+			name = "governed"
+		}
+		b.Run(name, func(b *testing.B) {
+			pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+				Boards:      3,
+				Tiny:        true,
+				Images:      images,
+				CharRepeats: 1,
+				Governor: fpgauv.GovernorConfig{
+					Enabled:     governed,
+					Interval:    4 * time.Millisecond,
+					StepMV:      2,
+					MarginMV:    4,
+					ProbeImages: 48,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			// Hot dies: the regime where ITD headroom exists.
+			if err := pool.HoldTemperatureC(-1, 52); err != nil {
+				b.Fatal(err)
+			}
+			if governed {
+				// Measure the steady state the governor is designed
+				// around: every loop settled and quiesced (zero probe
+				// overhead until conditions move).
+				deadline := time.Now().Add(60 * time.Second)
+				for {
+					settled := 0
+					for _, bd := range pool.Status().Boards {
+						if bd.Governor != nil && bd.Governor.Settled {
+							settled++
+						}
+					}
+					if settled == 3 {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatal("governor never settled")
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := pool.Classify(context.Background(), fpgauv.FleetRequest{}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := pool.Status()
+			var fleetW float64
+			for _, bd := range st.Boards {
+				fleetW += bd.PowerW
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 && b.N > 0 {
+				b.ReportMetric(float64(b.N)*images/secs, "images/s")
+				b.ReportMetric(fleetW*secs*1000/float64(b.N), "mJ/req")
+			}
+			b.ReportMetric(fleetW, "fleet_W")
+			if st.Governor != nil {
+				b.ReportMetric(st.Governor.SavedW, "saved_W")
+			}
+			if st.MACFaults != 0 {
+				b.Fatalf("served traffic saw %d MAC faults", st.MACFaults)
 			}
 		})
 	}

@@ -7,12 +7,16 @@
 //
 //	uvolt-serve [-addr :8090] [-boards 3] [-bench VGGNet] [-images 32]
 //	            [-margin 10] [-batch 8] [-batch-window 2ms]
+//	            [-governor] [-governor-interval 25ms] [-governor-step 5]
+//	            [-governor-margin 5] [-governor-probe 12]
 //
 // Endpoints:
 //
 //	POST /v1/classify      {"seed": 7}            one evaluation-set pass
 //	GET  /v1/fleet/status                         pool + per-board snapshot
 //	POST /v1/fleet/voltage {"board": 0, "mv": 500}  command a VCCINT rail
+//	GET  /v1/fleet/governor                       adaptive-voltage state
+//	POST /v1/fleet/governor {"enabled": true}     toggle / tune the governor
 //	GET  /metrics                                 Prometheus text metrics
 //	GET  /healthz                                 liveness
 package main
@@ -44,6 +48,11 @@ func main() {
 	target := flag.Float64("target", 0, "explicit operating point in mV (0 = Vmin+margin)")
 	batch := flag.Int("batch", 8, "max requests coalesced per accelerator pass")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "batching window")
+	governor := flag.Bool("governor", false, "start the adaptive voltage governor enabled")
+	govInterval := flag.Duration("governor-interval", 25*time.Millisecond, "governor control period per board")
+	govStep := flag.Float64("governor-step", 5, "governor step in mV")
+	govMargin := flag.Float64("governor-margin", 5, "mV held above the deepest clean canary level")
+	govProbe := flag.Int("governor-probe", 12, "canary images classified per governor tick")
 	flag.Parse()
 
 	log.Printf("uvolt-serve: bringing up %d boards serving %s (characterizing Vmin/Vcrash)...", *boards, *bench)
@@ -57,6 +66,13 @@ func main() {
 		Sparsity:  *sparsity,
 		MarginMV:  *margin,
 		TargetMV:  *target,
+		Governor: fpgauv.GovernorConfig{
+			Enabled:     *governor,
+			Interval:    *govInterval,
+			StepMV:      *govStep,
+			MarginMV:    *govMargin,
+			ProbeImages: *govProbe,
+		},
 	})
 	if err != nil {
 		log.Fatalf("uvolt-serve: %v", err)
@@ -64,6 +80,9 @@ func main() {
 	for _, b := range pool.Status().Boards {
 		log.Printf("uvolt-serve: %s Vmin=%.0fmV Vcrash=%.0fmV -> operating at %.0f mV (guardband %.0f mV reclaimed)",
 			b.Board, b.VminMV, b.VcrashMV, b.OperatingMV, fpgauv.VnomMV-b.OperatingMV)
+	}
+	if *governor {
+		log.Printf("uvolt-serve: adaptive voltage governor enabled (interval %s, step %.0f mV)", *govInterval, *govStep)
 	}
 	log.Printf("uvolt-serve: fleet ready in %s", time.Since(t0).Round(time.Millisecond))
 
@@ -94,5 +113,12 @@ func main() {
 	}
 	srv.Close()
 	st := pool.Status()
-	fmt.Printf("served=%d crashes=%d reboots=%d redeploys=%d\n", st.Served, st.Crashes, st.Reboots, st.Redeploys)
+	fmt.Printf("served=%d crashes=%d reboots=%d redeploys=%d canceled=%d\n",
+		st.Served, st.Crashes, st.Reboots, st.Redeploys, st.Canceled)
+	if st.Governor != nil && st.Governor.Enabled {
+		// Rails are back at nominal after Close, so only the cumulative
+		// energy saving is meaningful here.
+		fmt.Printf("governor: probes=%d climbs=%d descents=%d saved=%.1f J\n",
+			st.Governor.Probes, st.Governor.Climbs, st.Governor.Descents, st.Governor.SavedJ)
+	}
 }

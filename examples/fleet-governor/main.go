@@ -1,0 +1,113 @@
+// Fleet-wide adaptive voltage governor: the paper's §9 future-work item
+// (dynamic voltage adjustment tracking temperature, accuracy, power and
+// performance) scaled from one board to a pool. Each board runs its own
+// control loop: a canary probe under the member lock, descent into ITD
+// headroom while the canary stays clean, climb when faults appear.
+//
+// The demo pins the three boards at different die temperatures and steps
+// the governors until they settle: the boards diverge to sample- and
+// temperature-specific operating points below their static startup
+// points. Then the hot board's fan recovers and its governor walks the
+// point back up — with serving traffic flowing the whole time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fpgauv"
+)
+
+func main() {
+	log.Println("fleet-governor: bringing up 3 boards (characterizing Vmin/Vcrash)...")
+	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+		Boards:      3,
+		Benchmark:   "VGGNet",
+		Tiny:        true,
+		Images:      16,
+		CharRepeats: 1,
+		Governor: fpgauv.GovernorConfig{
+			Interval: -1, // stepped explicitly below
+			StepMV:   2,
+			MarginMV: 4,
+			// A large canary sharpens the near-onset statistics: the
+			// ITD heal factor (~4x) separates hot from cold only when
+			// the expected fault count at the boundary level is O(1).
+			ProbeImages:   96,
+			ConfirmProbes: 3,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	show := func(phase string) {
+		st := pool.Status()
+		fmt.Printf("\n%s\n", phase)
+		fmt.Printf("  %-14s %8s %8s %8s %8s %8s %10s\n",
+			"board", "temp", "static", "governed", "Vcrash", "power", "saved")
+		for _, b := range st.Boards {
+			fmt.Printf("  %-14s %6.1f C %6.0f mV %6.0f mV %6.0f mV %6.2f W %8.3f W\n",
+				b.Board, b.TempC, b.Governor.BaselineMV, b.OperatingMV,
+				b.VcrashMV, b.PowerW, b.Governor.SavedW)
+		}
+		fmt.Printf("  fleet: saved %.2f W, %d probes, %d descents, %d climbs\n",
+			st.Governor.SavedW, st.Governor.Probes, st.Governor.Descents, st.Governor.Climbs)
+	}
+
+	serve := func(n int) {
+		for i := 0; i < n; i++ {
+			res, err := pool.Classify(context.Background(), fpgauv.FleetRequest{})
+			if err != nil {
+				log.Fatalf("classify: %v", err)
+			}
+			if res.MACFaults > 0 {
+				fmt.Printf("  (served with %d MAC faults on %s — governor will climb)\n",
+					res.MACFaults, res.Board)
+			}
+		}
+	}
+
+	show("phase 0 — static startup points (Vmin + margin, one per silicon sample):")
+
+	// Phase 1: all dies at lab ambient. Each governor settles at its own
+	// sample-specific point below the static one.
+	if err := pool.HoldTemperatureC(-1, 34); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		pool.GovernorTick()
+		serve(2)
+	}
+	show("phase 1 — governed at 34 C (sample-specific points below the static ones):")
+
+	// Phase 2: board 1's fan slows and its die heats to 52 C. ITD heals
+	// the marginal-path fault rates, so its canary stays clean deeper
+	// and its governor diverges below its cold point.
+	if err := pool.HoldTemperatureC(1, 52); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		pool.GovernorTick()
+		serve(2)
+	}
+	show("phase 2 — board 1 at 52 C: ITD headroom lets it run deeper than its cold point:")
+
+	// Phase 3: board 1's fan recovers. The marginal paths slow back
+	// down, the canary (or served traffic) catches faults, and the
+	// governor climbs back above the cold fault onset.
+	if err := pool.HoldTemperatureC(1, 34); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		pool.GovernorTick()
+		serve(2)
+	}
+	show("phase 3 — board 1 cooled to 34 C: its governor climbed back:")
+
+	st := pool.Status()
+	fmt.Printf("\nserved %d requests, %d MAC faults in served traffic, %d crashes, %d requeues\n",
+		st.Served, st.MACFaults, st.Crashes, st.Requeues)
+}

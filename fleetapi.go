@@ -21,6 +21,16 @@ type (
 	FleetStatus = fleet.Status
 	// FleetBoardStatus is one board's health and telemetry snapshot.
 	FleetBoardStatus = fleet.BoardStatus
+	// GovernorConfig tunes the fleet's per-board adaptive voltage
+	// loops (the paper's §9 dynamic-voltage-adjustment future work).
+	GovernorConfig = fleet.GovernorConfig
+	// GovernorTuning is a partial runtime re-configuration of the
+	// governor; zero-valued fields keep their present setting.
+	GovernorTuning = fleet.GovernorTuning
+	// GovernorStatus is the pool-wide adaptive-voltage snapshot.
+	GovernorStatus = fleet.GovernorStatus
+	// BoardGovernorStatus is one board's adaptive-voltage state.
+	BoardGovernorStatus = fleet.BoardGovernorStatus
 	// ServeConfig parameterizes the HTTP front-end.
 	ServeConfig = serve.Config
 	// Server is the HTTP inference front-end of a fleet.

@@ -314,6 +314,18 @@ func (b *ZCU102) PowerBreakdown() power.Breakdown {
 	return b.pwr.Breakdown(b.operatingPoint(b.DieTempC()))
 }
 
+// PowerBreakdownAt evaluates the power model as if VCCINT were at
+// vccintMV, keeping the present workload, clock and thermal state. The
+// hypothetical point is assumed fault-free (droop 0): its use is
+// comparing a governed operating point against the static guardband
+// point it replaced, and both sit where serving is fault-free.
+func (b *ZCU102) PowerBreakdownAt(vccintMV float64) power.Breakdown {
+	op := b.operatingPoint(b.DieTempC())
+	op.VCCINTmV = vccintMV
+	op.FaultActivityDroop = 0
+	return b.pwr.Breakdown(op)
+}
+
 // RailPowerW implements regulator.Telemetry: live load per rail.
 func (b *ZCU102) RailPowerW(rail string) float64 {
 	switch rail {

@@ -64,6 +64,57 @@ func (c Config) sanitize() Config {
 	return c
 }
 
+// Action is one kind of planned rail move.
+type Action int
+
+// The three moves the control law can plan.
+const (
+	// ActionHold keeps the present level: the canary is clean but the
+	// floor (or ceiling, when climbing) blocks further movement.
+	ActionHold Action = iota
+	// ActionDown steps one StepMV deeper: the canary was clean and
+	// there is room above the floor.
+	ActionDown
+	// ActionUp backs off above a faulting level by StepMV+MarginMV.
+	ActionUp
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionDown:
+		return "down"
+	case ActionUp:
+		return "up"
+	default:
+		return "hold"
+	}
+}
+
+// Plan is the pure control law shared by the single-board Governor and
+// the fleet's per-member governor loops: given the present VCCINT level
+// and the canary fault count observed there, it returns the next target
+// level and the action taken. A faulting canary climbs StepMV+MarginMV
+// (clamped to ceilMV); a clean canary descends StepMV unless that would
+// cross floorMV. Plan never returns a target below floorMV, which is how
+// every governor built on it guarantees it cannot crash the board.
+func Plan(curMV float64, faults int64, stepMV, marginMV, floorMV, ceilMV float64) (float64, Action) {
+	if faults > 0 {
+		next := curMV + stepMV + marginMV
+		if next > ceilMV {
+			next = ceilMV
+		}
+		if next <= curMV {
+			return curMV, ActionHold
+		}
+		return next, ActionUp
+	}
+	if curMV-stepMV < floorMV {
+		return curMV, ActionHold
+	}
+	return curMV - stepMV, ActionDown
+}
+
 // Step records one governor decision.
 type Step struct {
 	VCCINTmV float64
@@ -128,14 +179,19 @@ func (g *Governor) record(action string, faults int64) {
 // Settle walks VCCINT downward from its present level until the canary
 // reports faults or the floor is reached, then backs off by the margin.
 // It returns the settled voltage. Settle never crosses the configured
-// floor, so it cannot crash the board.
+// floor, so it cannot crash the board. Each iteration is one application
+// of the shared Plan control law: probe the candidate level, then move
+// where the plan says.
 func (g *Governor) Settle() (float64, error) {
 	cfg := g.cfg
 	brd := g.task.Board()
 	v := brd.VCCINTmV()
-	step := 0
-	for v-cfg.StepMV >= cfg.FloorMV {
-		next := v - cfg.StepMV
+	for step := 0; ; step++ {
+		next, act := Plan(v, 0, cfg.StepMV, cfg.MarginMV, cfg.FloorMV, silicon.VnomMV)
+		if act != ActionDown {
+			g.record("floor reached", 0)
+			return v, nil
+		}
 		if err := g.adapter.SetVoltageMV(next); err != nil {
 			return v, err
 		}
@@ -148,9 +204,8 @@ func (g *Governor) Settle() (float64, error) {
 			}
 			return v, err
 		}
-		step++
 		if faults > 0 {
-			safe := next + cfg.StepMV + cfg.MarginMV
+			safe, _ := Plan(next, faults, cfg.StepMV, cfg.MarginMV, cfg.FloorMV, silicon.VnomMV)
 			if err := g.adapter.SetVoltageMV(safe); err != nil {
 				return v, err
 			}
@@ -161,8 +216,6 @@ func (g *Governor) Settle() (float64, error) {
 		v = brd.VCCINTmV()
 		g.record("stepped down", 0)
 	}
-	g.record("floor reached", 0)
-	return v, nil
 }
 
 // Adjust re-settles after an environmental change (e.g. the fan slowed

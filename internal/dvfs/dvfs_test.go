@@ -116,6 +116,51 @@ func TestGovernorRespectsFloor(t *testing.T) {
 	}
 }
 
+// Plan is the shared control law: clean canaries descend by the step,
+// faulting canaries climb step+margin, and neither move crosses the
+// floor or the ceiling.
+func TestPlanControlLaw(t *testing.T) {
+	const step, margin, floor, ceil = 5.0, 5.0, 545.0, 850.0
+	cases := []struct {
+		name   string
+		cur    float64
+		faults int64
+		want   float64
+		act    Action
+	}{
+		{"clean descends", 600, 0, 595, ActionDown},
+		{"clean at floor holds", 548, 0, 548, ActionHold},
+		{"clean exactly one step above floor descends", 550, 0, 545, ActionDown},
+		{"faults climb step+margin", 600, 3, 610, ActionUp},
+		{"climb clamps at ceiling", 845, 1, 850, ActionUp},
+		{"faults at ceiling hold", 850, 9, 850, ActionHold},
+	}
+	for _, tc := range cases {
+		got, act := Plan(tc.cur, tc.faults, step, margin, floor, ceil)
+		if got != tc.want || act != tc.act {
+			t.Errorf("%s: Plan(%.0f, %d) = (%.0f, %v), want (%.0f, %v)",
+				tc.name, tc.cur, tc.faults, got, act, tc.want, tc.act)
+		}
+	}
+	// The guarantee every governor relies on: no planned target is ever
+	// below the floor.
+	for v := 540.0; v <= 620; v += 1 {
+		for _, f := range []int64{0, 1, 100} {
+			if got, _ := Plan(v, f, step, margin, floor, ceil); got < floor && got < v {
+				t.Fatalf("Plan(%.0f, %d) planned %.0f below floor %.0f", v, f, got, floor)
+			}
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{ActionHold: "hold", ActionDown: "down", ActionUp: "up"} {
+		if got := a.String(); got != want {
+			t.Errorf("Action(%d).String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
 func TestConfigSanitize(t *testing.T) {
 	c := Config{}.sanitize()
 	d := DefaultConfig()

@@ -1,0 +1,622 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dvfs"
+	"fpgauv/internal/models"
+)
+
+// GovernorConfig tunes the fleet's per-board adaptive voltage loops: the
+// paper's §9 future-work item (dynamic voltage adjustment tracking
+// temperature, accuracy, power and performance) run per member. Each
+// board's loop periodically probes a small canary set under the member
+// lock and walks the board's operating point down into ITD headroom when
+// the canary stays clean, or back up when faults appear — in the canary
+// or in served traffic.
+type GovernorConfig struct {
+	// Enabled starts the loops active. They can be toggled at runtime
+	// with SetGovernorEnabled or the /v1/fleet/governor endpoint; a
+	// disabled loop keeps ticking but takes no action.
+	Enabled bool
+	// Interval is the per-board control period (default 25 ms;
+	// negative builds the governor state but starts no background
+	// loops — GovernorTick then drives the control law explicitly).
+	Interval time.Duration
+	// StepMV is the descent/climb granularity (default 5 mV, the
+	// paper's measurement step).
+	StepMV float64
+	// MarginMV is the headroom the operating point keeps above the
+	// deepest canary-clean level (default 5 mV).
+	MarginMV float64
+	// FloorMarginMV is the minimum distance kept above the board's
+	// measured Vcrash (default 8 mV): probes and operating points never
+	// get closer, so the governor cannot crash a board even as the
+	// crash threshold drifts a few mV with die temperature.
+	FloorMarginMV float64
+	// ProbeImages is the canary-set size classified per tick
+	// (default 12).
+	ProbeImages int
+	// ConfirmProbes is how many consecutive clean canary probes a
+	// deeper candidate needs before the descent commits (default 2).
+	// Confirmation multiplies the canary's effective trial count, which
+	// exponentially suppresses lucky-sample descents below the fault
+	// onset — and exponentially widens the gap between what a hot die
+	// (ITD-healed fault rates) and a cool die can sustain.
+	ConfirmProbes int
+	// VerifyEvery makes every Nth seeking tick re-verify the present
+	// clean level instead of probing deeper (default 4), and is also
+	// how many verification ticks follow a faulting candidate probe
+	// before descent is re-attempted. Verification is how a cooling die
+	// is caught: the clean level starts faulting and the loop climbs.
+	VerifyEvery int
+	// RetestDeltaC is the settle gate: once a board has settled, its
+	// loop stops probing entirely (steady-state serving pays zero
+	// governor overhead) until the die temperature moves at least this
+	// far (default 1.5 °C) from the settle temperature — or served
+	// traffic reports faults. Either event re-opens the seek.
+	RetestDeltaC float64
+	// Seed derives the canary datasets and probe fault streams.
+	Seed int64
+}
+
+// sanitizeGovernor fills governor defaults.
+func (c GovernorConfig) sanitize() GovernorConfig {
+	if c.Interval == 0 {
+		c.Interval = 25 * time.Millisecond
+	}
+	if c.StepMV <= 0 {
+		c.StepMV = 5
+	}
+	if c.MarginMV < 0 {
+		c.MarginMV = 5
+	}
+	if c.MarginMV == 0 {
+		c.MarginMV = 5
+	}
+	if c.FloorMarginMV <= 0 {
+		c.FloorMarginMV = 8
+	}
+	if c.ProbeImages <= 0 {
+		c.ProbeImages = 12
+	}
+	if c.ConfirmProbes <= 0 {
+		c.ConfirmProbes = 2
+	}
+	if c.VerifyEvery <= 0 {
+		c.VerifyEvery = 4
+	}
+	if c.RetestDeltaC <= 0 {
+		c.RetestDeltaC = 1.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// governor is the pool-level side of the control loops: the shared
+// (tunable) configuration and the enable switch.
+type governor struct {
+	mu      sync.Mutex
+	cfg     GovernorConfig
+	enabled atomic.Bool
+}
+
+func (g *governor) config() GovernorConfig {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg
+}
+
+// memberGov is one board's control state. The plain fields are owned by
+// the board's governor tick, which runs under the member lock; the
+// atomics are telemetry read by status snapshots without the lock.
+type memberGov struct {
+	probe *models.Dataset
+
+	// cleanMV is the deepest level where the canary probed clean; the
+	// committed operating point is cleanMV+MarginMV (capped at the
+	// static startup point). Mirrored in cleanBits for lock-free
+	// status reads.
+	cleanMV   float64
+	cleanBits atomic.Uint64
+	// cleanStreak counts consecutive clean probes at the present
+	// descent candidate; a descent commits at ConfirmProbes.
+	cleanStreak int
+	// verifyFor forces the next N ticks to re-verify cleanMV instead of
+	// probing deeper (set after a faulting candidate probe).
+	verifyFor int
+	// boundCount accumulates strong-fault candidate probes since the
+	// last clean candidate draw; the descent boundary is declared (and
+	// pendingSettle raised) at ConfirmProbes of them — one unlucky
+	// draw at a mostly-clean level must not end the search.
+	boundCount int
+	// pendingSettle marks that descent hit its boundary; settleStreak
+	// then counts consecutive zero-fault verifications of cleanMV, and
+	// the loop settles at ConfirmProbes of them — the same evidence
+	// standard a descent needs.
+	pendingSettle bool
+	settleStreak  int
+	// settled means the loop has quiesced: no probes run until the die
+	// temperature leaves settleTempC ± RetestDeltaC or serving faults.
+	// Mirrored in settledFlag for lock-free status reads.
+	settled     bool
+	settleTempC float64
+	settledFlag atomic.Bool
+	ticks       int64
+
+	probes       atomic.Int64
+	climbs       atomic.Int64
+	descents     atomic.Int64
+	canaryFaults atomic.Int64
+	// savedJBits accumulates the modeled energy saved versus holding
+	// the static point, in joules (float bits; single writer).
+	savedJBits atomic.Uint64
+
+	snap struct {
+		sync.Mutex
+		action string
+	}
+}
+
+// probeDataset derives a member's canary set: a small dedicated
+// dataset, board-salted so members of the same sample do not share
+// probe inputs. It needs no labels — the error signal is the fault
+// count.
+func probeDataset(m *member, cfg GovernorConfig) *models.Dataset {
+	return m.bench.MakeDataset(cfg.ProbeImages, cfg.Seed^0x51ca9+int64(m.idx))
+}
+
+func newMemberGov(m *member, cfg GovernorConfig) *memberGov {
+	g := &memberGov{probe: probeDataset(m, cfg)}
+	g.setCleanMV(m.staticMV - cfg.MarginMV)
+	g.snap.action = "idle"
+	return g
+}
+
+func (g *memberGov) setCleanMV(mv float64) {
+	g.cleanMV = mv
+	g.cleanBits.Store(math.Float64bits(mv))
+}
+
+// settle quiesces the loop at the present clean level and temperature.
+func (g *memberGov) settle(tempC float64) {
+	g.settled, g.settleTempC, g.pendingSettle = true, tempC, false
+	g.cleanStreak, g.verifyFor, g.settleStreak, g.boundCount = 0, 0, 0, 0
+	g.settledFlag.Store(true)
+}
+
+// unsettle re-opens the seek.
+func (g *memberGov) unsettle() {
+	g.settled, g.pendingSettle = false, false
+	g.settleStreak, g.boundCount = 0, 0
+	g.settledFlag.Store(false)
+}
+
+func (g *memberGov) note(action string) {
+	g.snap.Lock()
+	g.snap.action = action
+	g.snap.Unlock()
+}
+
+func (g *memberGov) lastAction() string {
+	g.snap.Lock()
+	defer g.snap.Unlock()
+	return g.snap.action
+}
+
+func (g *memberGov) savedJ() float64 {
+	return math.Float64frombits(g.savedJBits.Load())
+}
+
+func (g *memberGov) addSavedJ(j float64) {
+	g.savedJBits.Store(math.Float64bits(g.savedJ() + j))
+}
+
+// startGovernor builds per-member control state and, when the interval is
+// positive, starts one control loop per board.
+func (p *Pool) startGovernor(cfg GovernorConfig) {
+	p.gov = &governor{cfg: cfg}
+	p.gov.enabled.Store(cfg.Enabled)
+	for _, m := range p.members {
+		m.gov = newMemberGov(m, cfg)
+	}
+	if cfg.Interval <= 0 {
+		return
+	}
+	for _, m := range p.members {
+		p.wg.Add(1)
+		go p.governLoop(m)
+	}
+}
+
+// governLoop is one board's background control loop. The interval is
+// re-read every lap so runtime tuning takes effect; a disabled governor
+// keeps the loop alive but skips the tick.
+func (p *Pool) governLoop(m *member) {
+	defer p.wg.Done()
+	for {
+		t := time.NewTimer(p.gov.config().Interval)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if p.gov.enabled.Load() {
+			p.governTick(m)
+		}
+	}
+}
+
+// GovernorEnabled reports whether the background loops act on their
+// ticks.
+func (p *Pool) GovernorEnabled() bool {
+	return p.gov != nil && p.gov.enabled.Load()
+}
+
+// SetGovernorEnabled switches the background loops on or off. Disabling
+// freezes every board at its present governed point; it does not restore
+// the static startup points.
+func (p *Pool) SetGovernorEnabled(on bool) {
+	if p.gov != nil {
+		p.gov.enabled.Store(on)
+	}
+}
+
+// GovernorTuning is a partial governor re-configuration: zero-valued
+// fields keep their present setting.
+type GovernorTuning struct {
+	Interval      time.Duration `json:"interval,omitempty"`
+	StepMV        float64       `json:"step_mv,omitempty"`
+	MarginMV      float64       `json:"margin_mv,omitempty"`
+	FloorMarginMV float64       `json:"floor_margin_mv,omitempty"`
+	ProbeImages   int           `json:"probe_images,omitempty"`
+	ConfirmProbes int           `json:"confirm_probes,omitempty"`
+	VerifyEvery   int           `json:"verify_every,omitempty"`
+	RetestDeltaC  float64       `json:"retest_delta_c,omitempty"`
+}
+
+// TuneGovernor applies a partial re-configuration to the running loops.
+// Probe-set size changes rebuild each board's canary dataset.
+func (p *Pool) TuneGovernor(tn GovernorTuning) error {
+	if p.gov == nil {
+		return errors.New("fleet: pool has no governor")
+	}
+	if tn.StepMV < 0 || tn.MarginMV < 0 || tn.FloorMarginMV < 0 || tn.ProbeImages < 0 ||
+		tn.Interval < 0 || tn.VerifyEvery < 0 || tn.ConfirmProbes < 0 || tn.RetestDeltaC < 0 {
+		return errors.New("fleet: governor tuning values must be positive")
+	}
+	p.gov.mu.Lock()
+	cfg := p.gov.cfg
+	if tn.Interval > 0 {
+		cfg.Interval = tn.Interval
+	}
+	if tn.StepMV > 0 {
+		cfg.StepMV = tn.StepMV
+	}
+	if tn.MarginMV > 0 {
+		cfg.MarginMV = tn.MarginMV
+	}
+	if tn.FloorMarginMV > 0 {
+		cfg.FloorMarginMV = tn.FloorMarginMV
+	}
+	if tn.ConfirmProbes > 0 {
+		cfg.ConfirmProbes = tn.ConfirmProbes
+	}
+	if tn.VerifyEvery > 0 {
+		cfg.VerifyEvery = tn.VerifyEvery
+	}
+	if tn.RetestDeltaC > 0 {
+		cfg.RetestDeltaC = tn.RetestDeltaC
+	}
+	rebuildProbe := tn.ProbeImages > 0 && tn.ProbeImages != cfg.ProbeImages
+	if tn.ProbeImages > 0 {
+		cfg.ProbeImages = tn.ProbeImages
+	}
+	p.gov.cfg = cfg
+	p.gov.mu.Unlock()
+	if rebuildProbe {
+		for _, m := range p.members {
+			probe := probeDataset(m, cfg)
+			m.mu.Lock()
+			m.gov.probe = probe
+			m.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// GovernorTick runs one synchronous control tick on every board,
+// regardless of the enable switch or loop interval — the deterministic
+// stepping mode tests and examples use.
+func (p *Pool) GovernorTick() {
+	if p.gov == nil {
+		return
+	}
+	for _, m := range p.members {
+		p.governTick(m)
+	}
+}
+
+// governFloorMV returns the deepest level the governor may command for a
+// member: FloorMarginMV above the measured crash threshold.
+func governFloorMV(m *member, cfg GovernorConfig) float64 {
+	return m.regions.VcrashMV + cfg.FloorMarginMV
+}
+
+// governClimbFaults is the verification climb threshold: a re-verified
+// clean level must show at least this many fault events before the loop
+// climbs. A single event in ~10⁸ canary trials is the marginal regime
+// ITD operation deliberately sits near (the margin above the clean level
+// is what protects serving); a cooling die multiplies the fault rate
+// several-fold and crosses this threshold within a verify or two. The
+// asymmetry matches the descent side, which demands ConfirmProbes
+// consecutive fully-clean probes.
+const governClimbFaults = 2
+
+// governTick is one application of the control law to one board. It
+// holds the member lock end to end: the canary probe and any rail moves
+// are serialized against serving, recovery and the monitor, exactly like
+// every other accelerator operation.
+func (p *Pool) governTick(m *member) {
+	cfg := p.gov.config()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	g := m.gov
+	g.ticks++
+
+	// A crashed board is healed first; the restored rail is the
+	// governed point (recover restores opMV), so no control action is
+	// needed beyond the heal.
+	if m.brd.Hung() {
+		m.crashes.Add(1)
+		if err := m.recover(); err != nil {
+			g.note("recover failed: " + err.Error())
+			return
+		}
+		g.note("healed crash; governed point restored")
+		return
+	}
+
+	tempC := m.brd.DieTempC()
+	floor := governFloorMV(m, cfg)
+	ceil := m.staticMV
+	op := m.opMV()
+
+	// Serving faults since the last tick climb immediately: live
+	// traffic found what the canary missed, and the canary runs a
+	// fraction of the serving trial count.
+	if sf := m.servedFaults.Swap(0); sf > 0 {
+		g.unsettle()
+		g.cleanStreak, g.verifyFor = 0, cfg.VerifyEvery
+		next, act := dvfs.Plan(op, sf, cfg.StepMV, cfg.MarginMV, floor, ceil)
+		switch {
+		case act != dvfs.ActionUp:
+			g.note(fmt.Sprintf("at ceiling %.0f mV despite %d served faults", op, sf))
+		case m.commitOp(next) != nil:
+			g.note(fmt.Sprintf("rail command to %.0f mV failed; holding %.0f mV", next, op))
+		default:
+			g.setCleanMV(next - cfg.MarginMV)
+			g.climbs.Add(1)
+			g.note(fmt.Sprintf("climbed to %.0f mV: %d faults in served traffic", next, sf))
+		}
+		p.accountSavings(m, cfg)
+		return
+	}
+
+	// The settle gate: a settled board pays zero probe overhead until
+	// its thermal conditions actually move (the ITD re-settle trigger)
+	// or serving faults (handled above).
+	if g.settled {
+		if math.Abs(tempC-g.settleTempC) < cfg.RetestDeltaC {
+			p.accountSavings(m, cfg)
+			return
+		}
+		g.unsettle()
+		g.note(fmt.Sprintf("re-seeking: die moved %.1f C -> %.1f C", g.settleTempC, tempC))
+	}
+
+	// Pick the probe level: normally the next deeper candidate, but
+	// every VerifyEvery-th tick — and for a few ticks after a faulting
+	// candidate — the present clean level is re-verified instead. The
+	// verification cadence is how a cooling die is caught (its clean
+	// level starts faulting); the post-fault cooldown keeps the loop
+	// from hammering a faulting level every tick.
+	candidate, act := dvfs.Plan(g.cleanMV, 0, cfg.StepMV, cfg.MarginMV, floor, ceil)
+	verify := act != dvfs.ActionDown || g.verifyFor > 0 || g.ticks%int64(cfg.VerifyEvery) == 0
+	if g.verifyFor > 0 {
+		g.verifyFor--
+	}
+	target := candidate
+	if verify {
+		target = g.cleanMV
+	}
+
+	faults, err := m.probeCanary(target, cfg.Seed+int64(m.idx)*1_000_003+g.ticks)
+	g.probes.Add(1)
+	if err != nil {
+		if errors.Is(err, board.ErrHung) {
+			m.crashes.Add(1)
+			if rerr := m.recover(); rerr != nil {
+				g.note("probe crash; recover failed: " + rerr.Error())
+				return
+			}
+			g.note(fmt.Sprintf("probe at %.0f mV crashed; healed", target))
+			return
+		}
+		g.note("probe error: " + err.Error())
+		return
+	}
+
+	switch {
+	case faults == 0 && verify:
+		if g.pendingSettle || act != dvfs.ActionDown {
+			// Descent is bounded (faulting candidate, floor or
+			// ceiling). Settling takes the same evidence a descent
+			// does: ConfirmProbes consecutive zero-fault verifies.
+			g.settleStreak++
+			if g.settleStreak >= cfg.ConfirmProbes {
+				g.settle(tempC)
+				g.note(fmt.Sprintf("settled at %.0f mV (clean %.0f mV, die %.1f C)",
+					m.opMV(), target, tempC))
+				break
+			}
+			g.verifyFor = 1
+			g.note(fmt.Sprintf("confirming settle at %.0f mV: clean %d/%d (die %.1f C)",
+				target, g.settleStreak, cfg.ConfirmProbes, tempC))
+			break
+		}
+		g.note(fmt.Sprintf("verified clean at %.0f mV (die %.1f C)", target, tempC))
+	case faults == 0:
+		g.boundCount = 0 // a clean draw contradicts a boundary
+		g.cleanStreak++
+		if g.cleanStreak < cfg.ConfirmProbes {
+			g.note(fmt.Sprintf("confirming %.0f mV: clean %d/%d (die %.1f C)",
+				target, g.cleanStreak, cfg.ConfirmProbes, tempC))
+			break
+		}
+		g.cleanStreak = 0
+		if err := m.commitOp(math.Min(target+cfg.MarginMV, ceil)); err != nil {
+			g.note("rail command failed: " + err.Error())
+			break
+		}
+		g.setCleanMV(target)
+		g.descents.Add(1)
+		g.note(fmt.Sprintf("descended: canary clean at %.0f mV (die %.1f C)", target, tempC))
+	case verify:
+		g.canaryFaults.Add(faults)
+		if faults < governClimbFaults {
+			// A stray event at the clean level is the marginal regime
+			// ITD operation sits near; the margin above it protects
+			// serving. It does not count toward settling, though —
+			// keep verifying.
+			g.settleStreak = 0
+			if g.pendingSettle || act != dvfs.ActionDown {
+				g.verifyFor = 1
+			}
+			g.note(fmt.Sprintf("tolerated %d fault event at clean %.0f mV (die %.1f C)", faults, target, tempC))
+			break
+		}
+		// The clean level itself faults repeatably (the die cooled):
+		// climb and keep seeking.
+		g.pendingSettle, g.settleStreak, g.boundCount = false, 0, 0
+		g.cleanStreak, g.verifyFor = 0, cfg.VerifyEvery
+		up, _ := dvfs.Plan(target, faults, cfg.StepMV, cfg.MarginMV, floor, ceil)
+		newClean := math.Min(up-cfg.MarginMV, ceil)
+		if err := m.commitOp(math.Min(newClean+cfg.MarginMV, ceil)); err != nil {
+			g.note("rail command failed: " + err.Error())
+			break
+		}
+		g.setCleanMV(newClean)
+		g.climbs.Add(1)
+		g.note(fmt.Sprintf("climbed to %.0f mV: %d canary faults at %.0f mV (die %.1f C)",
+			newClean+cfg.MarginMV, faults, target, tempC))
+	case faults < governClimbFaults:
+		// A single event at the candidate is ambiguous: not clean
+		// enough to confirm the descent, not faulty enough to declare
+		// the boundary. Reset the confirmation and probe again.
+		g.canaryFaults.Add(faults)
+		g.cleanStreak = 0
+		g.note(fmt.Sprintf("ambiguous: %d fault event at candidate %.0f mV (die %.1f C)", faults, target, tempC))
+	default:
+		// The deeper candidate faults strongly. Declare the boundary
+		// only after ConfirmProbes such draws (uninterrupted by a
+		// clean one); then ConfirmProbes clean verifications of the
+		// present level settle the loop.
+		g.canaryFaults.Add(faults)
+		g.cleanStreak, g.verifyFor = 0, 1
+		g.boundCount++
+		if g.boundCount >= cfg.ConfirmProbes {
+			g.pendingSettle = true
+		}
+		g.note(fmt.Sprintf("held: %d canary faults at %.0f mV, boundary %d/%d (die %.1f C)",
+			faults, target, g.boundCount, cfg.ConfirmProbes, tempC))
+	}
+	p.accountSavings(m, cfg)
+}
+
+// accountSavings integrates the modeled power saved versus parking at
+// the static point over one control interval. Caller holds m.mu.
+func (p *Pool) accountSavings(m *member, cfg GovernorConfig) {
+	iv := cfg.Interval
+	if iv <= 0 {
+		iv = 25 * time.Millisecond
+	}
+	if w := m.savedW(); w > 0 {
+		m.gov.addSavedJ(w * iv.Seconds())
+	}
+}
+
+// savedW is the modeled power saved by the present operating point
+// versus the static startup point (>= 0 when governed deeper).
+func (m *member) savedW() float64 {
+	return m.brd.PowerBreakdownAt(m.staticMV).TotalW - m.brd.PowerBreakdown().TotalW
+}
+
+// commitOp re-targets the member's steady-state operating point and
+// applies it to the rail, so a later crash recovery restores the
+// governed level. A failed rail command rolls the target back: opMV
+// must never claim a level the rail did not reach (status and recovery
+// both trust it). Caller holds m.mu.
+func (m *member) commitOp(mv float64) error {
+	prev := m.opMV()
+	m.setOpMV(mv)
+	if err := m.setVCCINT(mv); err != nil {
+		m.setOpMV(prev)
+		return err
+	}
+	return nil
+}
+
+// probeCanary classifies the canary set at targetMV and restores the
+// serving rail level before returning. Caller holds m.mu.
+func (m *member) probeCanary(targetMV float64, seed int64) (int64, error) {
+	if err := m.setVCCINT(targetMV); err != nil {
+		return 0, err
+	}
+	faults, err := m.canaryFaults(seed)
+	if rerr := m.setVCCINT(m.opMV()); rerr != nil && err == nil {
+		err = rerr
+	}
+	return faults, err
+}
+
+// canaryFaults scans the canary at the present conditions and returns
+// the observed fault events. The governor needs an error signal, not
+// accuracy, so the scan short-circuits twice: a fault-free electrical
+// region skips the pass entirely (probability is exactly zero there),
+// and a faulting scan stops once the climb threshold is reached.
+// Caller holds m.mu.
+func (m *member) canaryFaults(seed int64) (int64, error) {
+	if err := m.brd.CheckAlive(); err != nil {
+		return 0, err
+	}
+	cond := m.brd.Conditions()
+	fab := m.brd.Fabric()
+	if fab.MACFaultProb(cond) == 0 && fab.BRAMBitFaultProb(cond) == 0 {
+		return 0, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var faults int64
+	for _, img := range m.gov.probe.Inputs {
+		res, err := m.task.Run(img, rng)
+		if err != nil {
+			return faults, err
+		}
+		faults += res.MACFaults + res.BRAMFaults
+		if faults >= governClimbFaults {
+			break
+		}
+	}
+	return faults, nil
+}

@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// governorTestConfig is the deterministic stepping setup the governor
+// tests share: no background loops (ticks are driven explicitly), a
+// canary large enough that fault statistics near the onset are sharp,
+// and 2 mV steps so ITD headroom resolves to whole steps.
+func governorTestConfig(boards int) Config {
+	cfg := testConfig(boards)
+	cfg.MonitorInterval = -1
+	cfg.Governor = GovernorConfig{
+		Interval:    -1,
+		StepMV:      2,
+		MarginMV:    4,
+		ProbeImages: 32,
+	}
+	return cfg
+}
+
+// settle drives n governor ticks.
+func settle(p *Pool, n int) {
+	for i := 0; i < n; i++ {
+		p.GovernorTick()
+	}
+}
+
+// settleMember drives n control ticks on one board only (white-box),
+// keeping convergence tests cheap and focused.
+func settleMember(p *Pool, idx, n int) {
+	for i := 0; i < n; i++ {
+		p.governTick(p.members[idx])
+	}
+}
+
+// The governor must walk every board below its static startup point,
+// stay above the floor, keep the rail at the governed point, and report
+// power savings — while classification stays fault-free.
+func TestGovernorDescendsBelowStaticPoints(t *testing.T) {
+	p := newTestPool(t, governorTestConfig(3))
+	if err := p.HoldTemperatureC(-1, 34); err != nil {
+		t.Fatal(err)
+	}
+	settle(p, 24)
+
+	st := p.Status()
+	if st.Governor == nil {
+		t.Fatal("no governor status")
+	}
+	ops := map[float64]bool{}
+	for _, b := range st.Boards {
+		g := b.Governor
+		if g == nil {
+			t.Fatalf("%s: no per-board governor status", b.Board)
+		}
+		if b.OperatingMV >= g.BaselineMV {
+			t.Errorf("%s: governed point %.0f mV not below static %.0f mV", b.Board, b.OperatingMV, g.BaselineMV)
+		}
+		if b.OperatingMV <= g.FloorMV {
+			t.Errorf("%s: governed point %.0f mV at/below floor %.0f mV", b.Board, b.OperatingMV, g.FloorMV)
+		}
+		if !nearMV(b.VCCINTmV, b.OperatingMV) {
+			t.Errorf("%s: rail %.1f mV not at governed point %.0f mV", b.Board, b.VCCINTmV, b.OperatingMV)
+		}
+		if g.SavedW <= 0 {
+			t.Errorf("%s: saved %.3f W, want > 0", b.Board, g.SavedW)
+		}
+		if g.Descents < 1 {
+			t.Errorf("%s: no descents recorded", b.Board)
+		}
+		ops[b.OperatingMV] = true
+	}
+	// The three samples have different Vmin, so the governed points must
+	// be board-specific (§8 variability carried into operation).
+	if len(ops) != 3 {
+		t.Errorf("governed points not distinct per sample: %v", ops)
+	}
+	if st.Governor.SavedW <= 0 || st.Governor.SavedJ <= 0 {
+		t.Errorf("fleet savings not accounted: %+v", st.Governor)
+	}
+
+	// Serving at the governed points stays fault-free.
+	for i := 0; i < 6; i++ {
+		res, err := p.Classify(context.Background(), Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MACFaults != 0 || res.BRAMFaults != 0 {
+			t.Errorf("faults at governed point on %s: MAC=%d BRAM=%d", res.Board, res.MACFaults, res.BRAMFaults)
+		}
+	}
+}
+
+// ITD convergence: the same silicon sample held at elevated temperature
+// must settle at a deeper operating point than a cool one (marginal
+// paths speed up with temperature, so the canary stays clean deeper),
+// and must climb back above the hot point once the die cools.
+func TestGovernorConvergesWithTemperature(t *testing.T) {
+	// Two 2-board pools; board 1 (silicon sample B, the paper's typical
+	// die) is the subject and the only board ticked. A 64-image canary
+	// keeps the near-onset fault statistics sharp.
+	cfg := governorTestConfig(2)
+	cfg.Governor.ProbeImages = 64
+	cfg.Governor.ConfirmProbes = 3
+	cold := newTestPool(t, cfg)
+	hot := newTestPool(t, cfg)
+
+	if err := cold.HoldTemperatureC(1, 34); err != nil {
+		t.Fatal(err)
+	}
+	if err := hot.HoldTemperatureC(1, 52); err != nil {
+		t.Fatal(err)
+	}
+	settleMember(cold, 1, 40)
+	settleMember(hot, 1, 40)
+
+	coldMV := cold.Status().Boards[1].OperatingMV
+	hotMV := hot.Status().Boards[1].OperatingMV
+	if hotMV >= coldMV {
+		t.Fatalf("hot die settled at %.0f mV, want deeper than cold %.0f mV (ITD headroom)", hotMV, coldMV)
+	}
+
+	// The fan recovers: the governor must climb back above the deep hot
+	// point without the board ever crashing or dropping work.
+	if err := hot.HoldTemperatureC(1, 34); err != nil {
+		t.Fatal(err)
+	}
+	settleMember(hot, 1, 40)
+	cooledMV := hot.Status().Boards[1].OperatingMV
+	if cooledMV <= hotMV {
+		t.Fatalf("cooled die stayed at %.0f mV, want a climb above the hot point %.0f mV", cooledMV, hotMV)
+	}
+	if st := hot.Status(); st.Crashes != 0 {
+		t.Errorf("governor crashed the board %d times", st.Crashes)
+	}
+	// After cooling the board serves fault-free at the re-climbed point.
+	for i := 0; i < 4; i++ {
+		res, err := hot.Classify(context.Background(), Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Board == hot.Status().Boards[1].Board && res.MACFaults != 0 {
+			t.Errorf("faults after climb-back: %d", res.MACFaults)
+		}
+	}
+}
+
+// The acceptance scenario: a governed 3-board pool under thermal drift
+// serves concurrent traffic with zero dropped requests and zero
+// classification faults while the boards converge to distinct points
+// below their static ones.
+func TestGovernedFleetServesCleanUnderDrift(t *testing.T) {
+	p := newTestPool(t, governorTestConfig(3))
+	for i, tC := range []float64{34, 43, 52} {
+		if err := p.HoldTemperatureC(i, tC); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds, perRound = 20, 3
+	for i := 0; i < rounds; i++ {
+		p.GovernorTick()
+		for j := 0; j < perRound; j++ {
+			res, err := p.Classify(context.Background(), Request{})
+			if err != nil {
+				t.Fatalf("round %d: %v", i, err)
+			}
+			if res.MACFaults != 0 {
+				t.Fatalf("round %d: %d MAC faults served on %s at %.0f mV",
+					i, res.MACFaults, res.Board, res.VCCINTmV)
+			}
+		}
+	}
+	st := p.Status()
+	if st.Served != rounds*perRound {
+		t.Errorf("served = %d, want %d", st.Served, rounds*perRound)
+	}
+	if st.Failed != 0 || st.MACFaults != 0 {
+		t.Errorf("failed=%d mac_faults=%d, want 0/0", st.Failed, st.MACFaults)
+	}
+	for _, b := range st.Boards {
+		if b.OperatingMV >= b.Governor.BaselineMV {
+			t.Errorf("%s: did not descend below static point", b.Board)
+		}
+	}
+}
+
+// Crash recovery under a governed pool must restore the governed point,
+// not the static startup point: the whole value of the governor is that
+// the energy savings survive reboots.
+func TestGovernorCrashRecoveryRestoresGovernedPoint(t *testing.T) {
+	p := newTestPool(t, governorTestConfig(1))
+	if err := p.HoldTemperatureC(0, 34); err != nil {
+		t.Fatal(err)
+	}
+	settle(p, 16)
+	governed := p.Status().Boards[0].OperatingMV
+	static := p.Status().Boards[0].Governor.BaselineMV
+	if governed >= static {
+		t.Fatalf("governor never descended: %.0f vs %.0f", governed, static)
+	}
+
+	// Induce a crash below Vcrash; the next serving pass heals it.
+	if err := p.SetVCCINTmV(0, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify(context.Background(), Request{}); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Status()
+	if st.Crashes < 1 || st.Redeploys < 1 {
+		t.Fatalf("crash was not healed: %+v", st)
+	}
+	if !nearMV(st.Boards[0].VCCINTmV, governed) {
+		t.Errorf("recovery restored %.1f mV, want the governed point %.0f mV (static %.0f)",
+			st.Boards[0].VCCINTmV, governed, static)
+	}
+}
+
+// A governor tick that lands on a crashed idle board (e.g. after a raw
+// sub-Vcrash voltage command) heals it.
+func TestGovernorTickHealsCrashedBoard(t *testing.T) {
+	p := newTestPool(t, governorTestConfig(1))
+	if err := p.SetVCCINTmV(0, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Latch the hang via the board's own liveness check.
+	if err := p.members[0].brd.CheckAlive(); err == nil {
+		t.Fatal("board did not crash below Vcrash")
+	}
+	p.GovernorTick()
+	st := p.Status()
+	if st.Boards[0].State != "healthy" {
+		t.Fatalf("board not healed by governor tick: %+v", st.Boards[0])
+	}
+	if !nearMV(st.Boards[0].VCCINTmV, st.Boards[0].OperatingMV) {
+		t.Errorf("rail %.1f mV not restored to governed point %.0f mV",
+			st.Boards[0].VCCINTmV, st.Boards[0].OperatingMV)
+	}
+}
+
+// Runtime tuning and toggling through the Pool API.
+func TestGovernorTuneAndToggle(t *testing.T) {
+	cfg := governorTestConfig(1)
+	cfg.Governor.Interval = time.Hour // loops exist but never fire on their own
+	p := newTestPool(t, cfg)
+
+	if p.GovernorEnabled() {
+		t.Fatal("governor should start disabled")
+	}
+	p.SetGovernorEnabled(true)
+	if !p.GovernorEnabled() {
+		t.Fatal("enable did not take")
+	}
+
+	if err := p.TuneGovernor(GovernorTuning{StepMV: -1}); err == nil {
+		t.Error("negative tuning accepted")
+	}
+	if err := p.TuneGovernor(GovernorTuning{StepMV: 3, ProbeImages: 8, VerifyEvery: 7}); err != nil {
+		t.Fatal(err)
+	}
+	gs := p.GovernorStatus()
+	if gs.StepMV != 3 || gs.ProbeImages != 8 || gs.VerifyEvery != 7 {
+		t.Errorf("tuning not applied: %+v", gs)
+	}
+	// Untouched fields keep their values.
+	if gs.MarginMV != 4 {
+		t.Errorf("margin changed unexpectedly: %+v", gs)
+	}
+}
+
+// A manual SetOperatingMV on a governed pool re-bases the control loop
+// instead of fighting it.
+func TestGovernorRebasesOnManualRetarget(t *testing.T) {
+	p := newTestPool(t, governorTestConfig(1))
+	settle(p, 6)
+	target := p.Status().Boards[0].Governor.BaselineMV - 2
+	if err := p.SetOperatingMV(0, target); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Status().Boards[0]
+	if !nearMV(st.OperatingMV, target) {
+		t.Fatalf("operating point %.0f, want %.0f", st.OperatingMV, target)
+	}
+	if got := st.Governor.CleanMV; !nearMV(got, target-4) {
+		t.Errorf("clean level %.0f not re-based to %.0f", got, target-4)
+	}
+
+	// A re-target above the static point re-bases at the ceiling (no
+	// unverified plunge back down), and one barely above Vcrash clamps
+	// the clean level at the governor floor so the loop never probes
+	// below it.
+	if err := p.SetOperatingMV(0, 700); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Status().Boards[0].Governor; got.CleanMV > got.BaselineMV {
+		t.Errorf("clean level %.0f re-based above the ceiling %.0f", got.CleanMV, got.BaselineMV)
+	}
+	if err := p.SetOperatingMV(0, st.VcrashMV+3); err != nil {
+		t.Fatal(err)
+	}
+	settle(p, 8)
+	after := p.Status()
+	if after.Crashes != 0 {
+		t.Fatalf("governor crashed the board after a near-Vcrash re-target (%d crashes)", after.Crashes)
+	}
+	if g := after.Boards[0].Governor; g.CleanMV < g.FloorMV-0.5 {
+		t.Errorf("clean level %.0f below the governor floor %.0f", g.CleanMV, g.FloorMV)
+	}
+}

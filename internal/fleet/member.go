@@ -40,13 +40,25 @@ type member struct {
 	// opBits holds the operating point (mV) as float bits so status
 	// snapshots can read it without taking the serving lock.
 	opBits atomic.Uint64
-	seed   int64
+	// staticMV is the startup operating point (Vmin+margin or the
+	// configured target): the governor's ceiling and the baseline its
+	// power savings are measured against.
+	staticMV float64
+	seed     int64
 
 	state    atomic.Int32
 	served   atomic.Int64
 	retries  atomic.Int64
 	crashes  atomic.Int64
 	redeploy atomic.Int64
+	// servedFaults accumulates MAC fault events observed in served
+	// passes since the governor's last tick: the serving-path error
+	// signal that forces an immediate climb.
+	servedFaults atomic.Int64
+
+	// gov is this board's adaptive-voltage control state; nil until the
+	// pool starts governor loops.
+	gov *memberGov
 }
 
 // regionCache shares one measured characterization per (sample, workload)
@@ -95,6 +107,7 @@ func newMember(idx int, cfg Config) (*member, error) {
 		return nil, fmt.Errorf("fleet: %s: operating point %.0f mV is below Vcrash %.0f mV",
 			m.id, op, m.regions.VcrashMV)
 	}
+	m.staticMV = op
 	m.setOpMV(op)
 	if err := m.setVCCINT(op); err != nil {
 		return nil, fmt.Errorf("fleet: %s: %w", m.id, err)

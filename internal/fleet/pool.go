@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,10 @@ type Config struct {
 	// Cores is the DPU core count per board (default 3, the paper's
 	// baseline).
 	Cores int
+	// Governor tunes the per-board adaptive voltage loops (see
+	// GovernorConfig). The zero value builds the loops disabled at the
+	// default cadence; set Governor.Enabled to start them active.
+	Governor GovernorConfig
 }
 
 // sanitize fills config defaults.
@@ -100,6 +105,7 @@ func (c Config) sanitize() Config {
 	if c.Cores <= 0 {
 		c.Cores = 3
 	}
+	c.Governor = c.Governor.sanitize()
 	return c
 }
 
@@ -134,6 +140,10 @@ type Result struct {
 type job struct {
 	req      Request
 	attempts int
+	// canceled is set when the submitting Classify abandons the wait:
+	// workers skip the job instead of burning an evaluation-set pass
+	// for a caller that is gone.
+	canceled atomic.Bool
 	done     chan jobOut
 }
 
@@ -148,6 +158,7 @@ type Pool struct {
 	cfg     Config
 	members []*member
 	queue   *workQueue
+	gov     *governor
 
 	wg      sync.WaitGroup
 	stop    chan struct{}
@@ -164,6 +175,7 @@ type Pool struct {
 	requeues atomic.Int64
 	rejected atomic.Int64
 	failed   atomic.Int64
+	canceled atomic.Int64
 	macF     atomic.Int64
 	bramF    atomic.Int64
 }
@@ -193,6 +205,7 @@ func New(cfg Config) (*Pool, error) {
 		p.wg.Add(1)
 		go p.monitor(cfg.MonitorInterval)
 	}
+	p.startGovernor(cfg.Governor)
 	return p, nil
 }
 
@@ -222,6 +235,10 @@ func (p *Pool) Classify(ctx context.Context, req Request) (Result, error) {
 	case out := <-j.done:
 		return out.res, out.err
 	case <-ctx.Done():
+		// Mark the abandoned job so a worker that later pops it skips
+		// it instead of spending a full evaluation-set pass (and a
+		// served-count increment) on a caller that is gone.
+		j.canceled.Store(true)
 		return Result{}, ctx.Err()
 	}
 }
@@ -235,6 +252,10 @@ func (p *Pool) worker(m *member) {
 		if !ok {
 			return
 		}
+		if j.canceled.Load() {
+			p.canceled.Add(1)
+			continue
+		}
 		j.attempts++
 		res, err := p.serveOn(m, j)
 		if err == nil {
@@ -246,7 +267,12 @@ func (p *Pool) worker(m *member) {
 		}
 		// The board failed this job even after its local
 		// reboot-and-retry. Hand the job to another board unless the
-		// request has exhausted its visits or the pool is draining.
+		// caller is gone, the request has exhausted its visits, or the
+		// pool is draining.
+		if j.canceled.Load() {
+			p.canceled.Add(1)
+			continue
+		}
 		if j.attempts < p.cfg.MaxAttempts && !p.closing.Load() {
 			p.requeues.Add(1)
 			p.queue.Push(j)
@@ -255,6 +281,22 @@ func (p *Pool) worker(m *member) {
 		p.failed.Add(1)
 		j.done <- jobOut{err: fmt.Errorf("fleet: request failed after %d attempts: %w", j.attempts, err)}
 	}
+}
+
+// classifyRNG derives the fault-injection stream for one attempt of one
+// request. Attempt ordinal 0 reproduces the request's pinned stream
+// exactly — a caller that pins a seed is asking for a specific fault
+// stream. Every retry (the local post-crash retry, and each visit to
+// another board) salts the stream with the attempt ordinal: replaying
+// the exact fault stream that just wrecked a pass would make the retry
+// deterministically repeat the failure.
+func classifyRNG(seed, attempt int64) *rand.Rand {
+	s := seed*6364136223846793005 + 1442695040888963407
+	if attempt > 0 {
+		s ^= attempt * -0x61c8864680b583eb // golden-ratio odd constant
+		s = s*6364136223846793005 + 1442695040888963407
+	}
+	return rand.New(rand.NewSource(s))
 }
 
 // serveOn runs one job on one board, transparently recovering from a
@@ -270,10 +312,13 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		rng := rand.New(rand.NewSource(j.req.Seed*6364136223846793005 + 1442695040888963407))
-		cr, err := m.task.Classify(m.ds, rng)
+		// Global attempt ordinal across board visits: each visit gets
+		// at most two tries (initial + one local post-crash retry).
+		ordinal := int64(j.attempts-1)*2 + int64(attempt)
+		cr, err := m.task.Classify(m.ds, classifyRNG(j.req.Seed, ordinal))
 		if err == nil {
 			m.served.Add(1)
+			m.servedFaults.Add(cr.MACFaults + cr.BRAMFaults)
 			return Result{
 				Board:       m.id,
 				VCCINTmV:    m.brd.VCCINTmV(),
@@ -322,20 +367,36 @@ func (p *Pool) monitor(interval time.Duration) {
 	}
 }
 
+// targets resolves a board index to the members it addresses (idx < 0
+// addresses every board).
+func (p *Pool) targets(idx int) ([]*member, error) {
+	if idx >= len(p.members) {
+		return nil, fmt.Errorf("fleet: board %d out of range (pool has %d)", idx, len(p.members))
+	}
+	if idx >= 0 {
+		return p.members[idx : idx+1], nil
+	}
+	return p.members, nil
+}
+
 // SetVCCINTmV commands the VCCINT rail of one board (or every board when
 // idx is negative). Setting a level below the board's Vcrash induces a
 // crash that the pool detects and heals — the fault-injection knob the
-// crash-recovery tests and the /v1/fleet/voltage endpoint use.
+// crash-recovery tests and the /v1/fleet/voltage endpoint use. The rail
+// move happens under the member lock, like every other accelerator
+// operation: an unlocked move could interleave with a worker's
+// classify/recover sequence and land between its reboot and its
+// restore-voltage step.
 func (p *Pool) SetVCCINTmV(idx int, mv float64) error {
-	if idx >= len(p.members) {
-		return fmt.Errorf("fleet: board %d out of range (pool has %d)", idx, len(p.members))
-	}
-	targets := p.members
-	if idx >= 0 {
-		targets = p.members[idx : idx+1]
+	targets, err := p.targets(idx)
+	if err != nil {
+		return err
 	}
 	for _, m := range targets {
-		if err := m.setVCCINT(mv); err != nil {
+		m.mu.Lock()
+		err := m.setVCCINT(mv)
+		m.mu.Unlock()
+		if err != nil {
 			return fmt.Errorf("fleet: %s: %w", m.id, err)
 		}
 	}
@@ -346,12 +407,9 @@ func (p *Pool) SetVCCINTmV(idx int, mv float64) error {
 // (or all, idx<0) and applies it immediately. The level must stay above
 // the board's measured Vcrash.
 func (p *Pool) SetOperatingMV(idx int, mv float64) error {
-	if idx >= len(p.members) {
-		return fmt.Errorf("fleet: board %d out of range (pool has %d)", idx, len(p.members))
-	}
-	targets := p.members
-	if idx >= 0 {
-		targets = p.members[idx : idx+1]
+	targets, err := p.targets(idx)
+	if err != nil {
+		return err
 	}
 	for _, m := range targets {
 		if mv <= m.regions.VcrashMV {
@@ -359,11 +417,56 @@ func (p *Pool) SetOperatingMV(idx int, mv float64) error {
 		}
 		m.mu.Lock()
 		m.setOpMV(mv)
+		if m.gov != nil {
+			// A manual re-target re-bases the control loop: the new
+			// point is treated as clean and the loop re-seeks from it.
+			// The clean level is capped at the governor ceiling (the
+			// static startup point) so a re-target above it cannot
+			// seed an unverified plunge back down to the ceiling, and
+			// floored at the governor floor so a re-target barely
+			// above Vcrash cannot make the loop probe below it.
+			cfg := p.gov.config()
+			clean := math.Min(mv, m.staticMV) - cfg.MarginMV
+			if floor := governFloorMV(m, cfg); clean < floor {
+				clean = floor
+			}
+			m.gov.setCleanMV(clean)
+			m.gov.cleanStreak, m.gov.verifyFor = 0, 0
+			m.gov.unsettle()
+		}
 		err := m.setVCCINT(mv)
 		m.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("fleet: %s: %w", m.id, err)
 		}
+	}
+	return nil
+}
+
+// HoldTemperatureC pins one board's die temperature (idx < 0 pins all),
+// clamped to the fan-achievable [34, 52] °C range — the simulated
+// thermal-drift knob governor demos and tests use. The thermal model is
+// internally synchronized, so no serving pause is needed.
+func (p *Pool) HoldTemperatureC(idx int, tC float64) error {
+	targets, err := p.targets(idx)
+	if err != nil {
+		return err
+	}
+	for _, m := range targets {
+		m.brd.Thermal().HoldTemperature(tC)
+	}
+	return nil
+}
+
+// ReleaseTemperature returns one board (idx < 0: all) to open-loop fan
+// control.
+func (p *Pool) ReleaseTemperature(idx int) error {
+	targets, err := p.targets(idx)
+	if err != nil {
+		return err
+	}
+	for _, m := range targets {
+		m.brd.Thermal().Release()
 	}
 	return nil
 }

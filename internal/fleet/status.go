@@ -1,5 +1,56 @@
 package fleet
 
+import "math"
+
+// BoardGovernorStatus is one board's adaptive-voltage control state.
+type BoardGovernorStatus struct {
+	// Enabled mirrors the pool-wide governor switch.
+	Enabled bool `json:"enabled"`
+	// BaselineMV is the static startup operating point the governor
+	// descends from (and measures savings against).
+	BaselineMV float64 `json:"baseline_mv"`
+	// CleanMV is the deepest level where the canary probed clean; the
+	// operating point is CleanMV plus the configured margin.
+	CleanMV float64 `json:"clean_mv"`
+	// FloorMV is the deepest level the loop may command (Vcrash plus
+	// the floor margin).
+	FloorMV float64 `json:"floor_mv"`
+	// Settled reports that the loop has quiesced at its point and pays
+	// no probe overhead until the thermal conditions move.
+	Settled bool `json:"settled"`
+	// LastAction describes the loop's most recent decision.
+	LastAction string `json:"last_action"`
+	// Probes/Climbs/Descents/CanaryFaults are lifetime loop counters.
+	Probes       int64 `json:"probes"`
+	Climbs       int64 `json:"climbs"`
+	Descents     int64 `json:"descents"`
+	CanaryFaults int64 `json:"canary_faults"`
+	// SavedW is the modeled power saved right now versus parking at
+	// BaselineMV; SavedJ integrates it over the loop's lifetime.
+	SavedW float64 `json:"saved_w"`
+	SavedJ float64 `json:"saved_j"`
+}
+
+// GovernorStatus is the pool-wide governor snapshot.
+type GovernorStatus struct {
+	Enabled       bool    `json:"enabled"`
+	IntervalMS    float64 `json:"interval_ms"`
+	StepMV        float64 `json:"step_mv"`
+	MarginMV      float64 `json:"margin_mv"`
+	FloorMarginMV float64 `json:"floor_margin_mv"`
+	ProbeImages   int     `json:"probe_images"`
+	ConfirmProbes int     `json:"confirm_probes"`
+	VerifyEvery   int     `json:"verify_every"`
+	RetestDeltaC  float64 `json:"retest_delta_c"`
+	// Aggregates across all boards.
+	Probes       int64   `json:"probes"`
+	Climbs       int64   `json:"climbs"`
+	Descents     int64   `json:"descents"`
+	CanaryFaults int64   `json:"canary_faults"`
+	SavedW       float64 `json:"saved_w"`
+	SavedJ       float64 `json:"saved_j"`
+}
+
 // BoardStatus is one board's health and telemetry snapshot.
 type BoardStatus struct {
 	// Board is the pool-unique id ("platform-A#0").
@@ -33,6 +84,9 @@ type BoardStatus struct {
 	Crashes   int64 `json:"crashes"`
 	Reboots   int   `json:"reboots"`
 	Redeploys int64 `json:"redeploys"`
+	// Governor is the board's adaptive-voltage control state (nil when
+	// the pool has no governor).
+	Governor *BoardGovernorStatus `json:"governor,omitempty"`
 }
 
 // Status is a whole-pool snapshot.
@@ -45,15 +99,22 @@ type Status struct {
 	Requeues  int64         `json:"requeues"`
 	Rejected  int64         `json:"rejected"`
 	Failed    int64         `json:"failed"`
-	Crashes   int64         `json:"crashes"`
-	Reboots   int           `json:"reboots"`
-	Redeploys int64         `json:"redeploys"`
-	MACFaults int64         `json:"mac_faults"`
+	// Canceled counts jobs whose caller abandoned the wait before a
+	// worker picked them up; workers skip them without an accelerator
+	// pass.
+	Canceled  int64 `json:"canceled"`
+	Crashes   int64 `json:"crashes"`
+	Reboots   int   `json:"reboots"`
+	Redeploys int64 `json:"redeploys"`
+	MACFaults int64 `json:"mac_faults"`
 	// BRAMFaults counts injected BRAM bit flips across all served work.
 	BRAMFaults int64 `json:"bram_faults"`
 	// GOPs is the aggregate modeled throughput of all boards.
-	GOPs   float64 `json:"gops"`
-	Closed bool    `json:"closed"`
+	GOPs float64 `json:"gops"`
+	// Governor is the pool-wide adaptive-voltage snapshot (nil when
+	// the pool has no governor).
+	Governor *GovernorStatus `json:"governor,omitempty"`
+	Closed   bool            `json:"closed"`
 }
 
 // Status snapshots the pool without blocking the serving path: counters
@@ -68,6 +129,7 @@ func (p *Pool) Status() Status {
 		Requeues:   p.requeues.Load(),
 		Rejected:   p.rejected.Load(),
 		Failed:     p.failed.Load(),
+		Canceled:   p.canceled.Load(),
 		MACFaults:  p.macF.Load(),
 		BRAMFaults: p.bramF.Load(),
 		Closed:     p.closing.Load(),
@@ -80,7 +142,48 @@ func (p *Pool) Status() Status {
 		st.Redeploys += b.Redeploys
 		st.GOPs += b.GOPs
 	}
+	st.Governor = p.governorSummary(st.Boards)
 	return st
+}
+
+// governorSummary aggregates already-computed per-board governor
+// snapshots into the pool-wide view (nil when the pool has no
+// governor). Aggregating from the board snapshots keeps each Status
+// call down to one power-model evaluation pair per board.
+func (p *Pool) governorSummary(boards []BoardStatus) *GovernorStatus {
+	if p.gov == nil {
+		return nil
+	}
+	cfg := p.gov.config()
+	gs := &GovernorStatus{
+		Enabled:       p.gov.enabled.Load(),
+		IntervalMS:    float64(cfg.Interval.Microseconds()) / 1000,
+		StepMV:        cfg.StepMV,
+		MarginMV:      cfg.MarginMV,
+		FloorMarginMV: cfg.FloorMarginMV,
+		ProbeImages:   cfg.ProbeImages,
+		ConfirmProbes: cfg.ConfirmProbes,
+		VerifyEvery:   cfg.VerifyEvery,
+		RetestDeltaC:  cfg.RetestDeltaC,
+	}
+	for _, b := range boards {
+		if b.Governor == nil {
+			continue
+		}
+		gs.Probes += b.Governor.Probes
+		gs.Climbs += b.Governor.Climbs
+		gs.Descents += b.Governor.Descents
+		gs.CanaryFaults += b.Governor.CanaryFaults
+		gs.SavedW += b.Governor.SavedW
+		gs.SavedJ += b.Governor.SavedJ
+	}
+	return gs
+}
+
+// GovernorStatus snapshots the pool's adaptive-voltage state, or nil
+// when the pool has no governor.
+func (p *Pool) GovernorStatus() *GovernorStatus {
+	return p.Status().Governor
 }
 
 // boardStatus snapshots one member.
@@ -109,6 +212,27 @@ func (p *Pool) boardStatus(m *member) BoardStatus {
 	}
 	if pb.TotalW > 0 {
 		b.GOPsPerW = gops / pb.TotalW
+	}
+	if m.gov != nil && p.gov != nil {
+		cfg := p.gov.config()
+		saved := m.brd.PowerBreakdownAt(m.staticMV).TotalW - pb.TotalW
+		if saved < 0 {
+			saved = 0
+		}
+		b.Governor = &BoardGovernorStatus{
+			Enabled:      p.gov.enabled.Load(),
+			BaselineMV:   m.staticMV,
+			CleanMV:      math.Float64frombits(m.gov.cleanBits.Load()),
+			FloorMV:      governFloorMV(m, cfg),
+			Settled:      m.gov.settledFlag.Load(),
+			LastAction:   m.gov.lastAction(),
+			Probes:       m.gov.probes.Load(),
+			Climbs:       m.gov.climbs.Load(),
+			Descents:     m.gov.descents.Load(),
+			CanaryFaults: m.gov.canaryFaults.Load(),
+			SavedW:       saved,
+			SavedJ:       m.gov.savedJ(),
+		}
 	}
 	return b
 }

@@ -27,11 +27,18 @@ type batcher struct {
 	mu      sync.Mutex
 	pending []*call
 	timer   *time.Timer
-	closed  bool
-	wg      sync.WaitGroup
+	// gen counts claimed batches. The window timer captures the
+	// generation it was armed for; a timer that fires late — after a
+	// size-triggered flush already claimed its batch — finds the
+	// generation advanced and returns instead of flushing the *next*
+	// batch's fresh waiters before their window expires.
+	gen    int64
+	closed bool
+	wg     sync.WaitGroup
 
 	batches   atomic.Int64
 	coalesced atomic.Int64
+	canceled  atomic.Int64
 }
 
 // call is one waiter and its result slot.
@@ -80,7 +87,8 @@ func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, er
 		b.run(batch)
 	} else {
 		if len(b.pending) == 1 {
-			b.timer = time.AfterFunc(b.window, b.flush)
+			gen := b.gen
+			b.timer = time.AfterFunc(b.window, func() { b.flush(gen) })
 		}
 		b.mu.Unlock()
 	}
@@ -88,22 +96,57 @@ func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, er
 	case out := <-c.ch:
 		return out.res, out.batch, out.err
 	case <-ctx.Done():
+		b.abandon(c)
 		return fleet.Result{}, 0, ctx.Err()
 	}
 }
 
-// flush is the window-expiry path.
-func (b *batcher) flush() {
+// abandon removes a canceled waiter that is still pending, so it does
+// not inflate the next flushed batch's size or the coalesced counter.
+// A waiter whose batch was already claimed is left alone: its pass is
+// shared work for its batch-mates and its result slot is buffered.
+func (b *batcher) abandon(c *call) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, pc := range b.pending {
+		if pc != c {
+			continue
+		}
+		b.pending = append(b.pending[:i], b.pending[i+1:]...)
+		b.canceled.Add(1)
+		if len(b.pending) == 0 && b.timer != nil {
+			// Nothing left to flush: retire the window (and
+			// invalidate it if it already fired and is waiting on
+			// b.mu) so a later first waiter arms a fresh one.
+			b.timer.Stop()
+			b.timer = nil
+			b.gen++
+		}
+		return
+	}
+}
+
+// flush is the window-expiry path. gen identifies the batch the timer
+// was armed for; a mismatch means that batch was already claimed by the
+// size-triggered path and the pending list now holds fresh waiters
+// whose window has not expired.
+func (b *batcher) flush(gen int64) {
+	b.mu.Lock()
+	if gen != b.gen {
+		b.mu.Unlock()
+		return
+	}
 	batch := b.takeLocked()
 	b.mu.Unlock()
 	b.run(batch)
 }
 
-// takeLocked claims the pending batch. Caller holds b.mu.
+// takeLocked claims the pending batch and advances the generation.
+// Caller holds b.mu.
 func (b *batcher) takeLocked() []*call {
 	batch := b.pending
 	b.pending = nil
+	b.gen++
 	if b.timer != nil {
 		b.timer.Stop()
 		b.timer = nil

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fpgauv/internal/fleet"
+)
+
+func newTestBatcher(t *testing.T, size int, window time.Duration) *batcher {
+	t.Helper()
+	pool, err := fleet.New(fleet.Config{Boards: 1, Tiny: true, Images: 4, CharRepeats: 1,
+		MonitorInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	b := newBatcher(pool, size, window)
+	t.Cleanup(b.Close)
+	return b
+}
+
+// Regression for the stale window-timer race: a timer that fires but
+// loses the lock to a size-triggered flush must NOT flush the next
+// batch's fresh waiters before their window expires. The sequence is
+// reconstructed deterministically: the timer fires while the test holds
+// b.mu, the size path claims the batch under that same lock, a fresh
+// waiter arrives — and when the lock is released the stale timer must
+// find its generation gone and leave the fresh waiter alone.
+func TestBatcherStaleTimerDoesNotStealFreshBatch(t *testing.T) {
+	b := newTestBatcher(t, 8, 10*time.Millisecond)
+
+	// One coalescable call arms the window timer.
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		if _, _, err := b.Submit(context.Background(), 0); err != nil {
+			t.Errorf("first submit: %v", err)
+		}
+	}()
+	// Take the lock once the call is pending; the armed timer will fire
+	// and block on b.mu underneath us.
+	for {
+		b.mu.Lock()
+		if len(b.pending) == 1 {
+			break
+		}
+		b.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(25 * time.Millisecond) // window expires; flush parks on b.mu
+
+	// The size-triggered path claims the batch under the lock (this is
+	// exactly what Submit does when the batch fills)...
+	batch := b.takeLocked()
+	// ...and a fresh waiter becomes the next batch before the stale
+	// timer gets the lock.
+	fresh := &call{ch: make(chan callOut, 1)}
+	b.pending = append(b.pending, fresh)
+	b.mu.Unlock()
+	b.run(batch)
+	<-firstDone
+
+	// Give the stale timer ample time to run. With the generation guard
+	// it returns without flushing; without it, it would steal `fresh`
+	// (pending would drop to 0 and fresh's window would be destroyed).
+	time.Sleep(25 * time.Millisecond)
+	b.mu.Lock()
+	got := len(b.pending)
+	b.mu.Unlock()
+	if got != 1 {
+		t.Fatalf("pending = %d after the stale timer ran, want 1 (fresh waiter must survive)", got)
+	}
+	select {
+	case <-fresh.ch:
+		t.Fatal("fresh waiter was flushed by the stale timer")
+	default:
+	}
+}
+
+// Regression for the canceled-waiter leak: a caller that cancels while
+// its call is still pending must be removed from the batch, so it
+// neither inflates the coalesced count nor pads the next flush's batch
+// size.
+func TestBatcherCanceledWaiterRemoved(t *testing.T) {
+	b := newTestBatcher(t, 8, 50*time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(ctx, 0)
+		done <- err
+	}()
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// The waiter is gone and the window timer was retired with it.
+	b.mu.Lock()
+	pending, timer := len(b.pending), b.timer
+	b.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("pending = %d after cancel, want 0", pending)
+	}
+	if timer != nil {
+		t.Error("window timer still armed for an empty batch")
+	}
+	if got := b.canceled.Load(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+
+	// Wait out the original window: no phantom batch may run.
+	time.Sleep(70 * time.Millisecond)
+	if got := b.batches.Load(); got != 0 {
+		t.Errorf("batches = %d, want 0 (canceled waiter must not cost a pass)", got)
+	}
+
+	// A live call still flushes normally, with batch size 1 — not
+	// padded by the ghost of the canceled waiter.
+	_, size, err := b.Submit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 1 {
+		t.Errorf("batch size = %d, want 1", size)
+	}
+	if got := b.coalesced.Load(); got != 0 {
+		t.Errorf("coalesced = %d, want 0", got)
+	}
+}
+
+// A canceled waiter in the middle of a larger pending batch: the
+// remaining batch-mates flush together and report the reduced size.
+func TestBatcherCancelMidBatch(t *testing.T) {
+	b := newTestBatcher(t, 8, 40*time.Millisecond)
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	resA := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(ctxA, 0)
+		resA <- err
+	}()
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	type out struct {
+		size int
+		err  error
+	}
+	resB := make(chan out, 1)
+	go func() {
+		_, size, err := b.Submit(context.Background(), 0)
+		resB <- out{size, err}
+	}()
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelA()
+	if err := <-resA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	got := <-resB
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if got.size != 1 {
+		t.Errorf("batch size = %d, want 1 (canceled mate removed before flush)", got.size)
+	}
+	if c := b.coalesced.Load(); c != 0 {
+		t.Errorf("coalesced = %d, want 0", c)
+	}
+}

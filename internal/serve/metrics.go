@@ -27,6 +27,7 @@ func (s *Server) renderMetrics() string {
 	counter("uvolt_fleet_requeues_total", "Requests handed to another board after a failure.", st.Requeues)
 	counter("uvolt_fleet_rejected_total", "Requests rejected after shutdown.", st.Rejected)
 	counter("uvolt_fleet_failed_total", "Requests failed after exhausting attempts.", st.Failed)
+	counter("uvolt_fleet_canceled_total", "Queued jobs skipped because the caller went away.", st.Canceled)
 	counter("uvolt_fleet_crashes_total", "Board crashes detected (VCCINT below Vcrash).", st.Crashes)
 	counter("uvolt_fleet_reboots_total", "Board power cycles.", int64(st.Reboots))
 	counter("uvolt_fleet_redeploys_total", "Kernel re-deployments after crashes.", st.Redeploys)
@@ -75,13 +76,52 @@ func (s *Server) renderMetrics() string {
 		fmt.Fprintf(&b, "uvolt_board_reboots_total{board=%q} %d\n", bd.Board, bd.Reboots)
 	}
 
+	if st.Governor != nil {
+		enabled := 0
+		if st.Governor.Enabled {
+			enabled = 1
+		}
+		gauge("uvolt_governor_enabled", "Whether the adaptive voltage governor acts on its ticks.", enabled)
+		gauge("uvolt_governor_saved_watts", "Modeled power saved versus the static operating points.",
+			fmt.Sprintf("%.3f", st.Governor.SavedW))
+		gauge("uvolt_governor_saved_joules", "Modeled energy saved since startup.",
+			fmt.Sprintf("%.3f", st.Governor.SavedJ))
+		counter("uvolt_governor_probes_total", "Canary probes run across all boards.", st.Governor.Probes)
+		counter("uvolt_governor_climbs_total", "Upward operating-point moves.", st.Governor.Climbs)
+		counter("uvolt_governor_descents_total", "Downward operating-point moves.", st.Governor.Descents)
+		counter("uvolt_governor_canary_faults_total", "Fault events observed in canary probes.", st.Governor.CanaryFaults)
+		perBoard("uvolt_governor_operating_millivolts", "Governed steady-state operating point.", "gauge")
+		for _, bd := range st.Boards {
+			if bd.Governor == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "uvolt_governor_operating_millivolts{board=%q} %.2f\n", bd.Board, bd.OperatingMV)
+		}
+		perBoard("uvolt_governor_baseline_millivolts", "Static startup operating point.", "gauge")
+		for _, bd := range st.Boards {
+			if bd.Governor == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "uvolt_governor_baseline_millivolts{board=%q} %.2f\n", bd.Board, bd.Governor.BaselineMV)
+		}
+		perBoard("uvolt_governor_saved_watts_by_board", "Modeled power saved by board.", "gauge")
+		for _, bd := range st.Boards {
+			if bd.Governor == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "uvolt_governor_saved_watts_by_board{board=%q} %.3f\n", bd.Board, bd.Governor.SavedW)
+		}
+	}
+
 	fmt.Fprintf(&b, "# HELP uvolt_http_requests_total HTTP requests by path.\n# TYPE uvolt_http_requests_total counter\n")
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/classify\"} %d\n", s.classifyReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/status\"} %d\n", s.statusReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/voltage\"} %d\n", s.voltageReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/governor\"} %d\n", s.governorReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/metrics\"} %d\n", s.metricsReqs.Load())
 	counter("uvolt_http_errors_total", "HTTP error responses.", s.errorResps.Load())
 	counter("uvolt_batch_runs_total", "Accelerator passes run for HTTP traffic.", s.batch.batches.Load())
 	counter("uvolt_batch_coalesced_total", "Requests answered by a batch-mate's pass.", s.batch.coalesced.Load())
+	counter("uvolt_batch_canceled_total", "Pending waiters withdrawn before their batch flushed.", s.batch.canceled.Load())
 	return b.String()
 }

@@ -35,6 +35,7 @@ type Server struct {
 	classifyReqs atomic.Int64
 	statusReqs   atomic.Int64
 	voltageReqs  atomic.Int64
+	governorReqs atomic.Int64
 	metricsReqs  atomic.Int64
 	errorResps   atomic.Int64
 }
@@ -49,6 +50,7 @@ func New(pool *fleet.Pool, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/fleet/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/fleet/voltage", s.handleVoltage)
+	s.mux.HandleFunc("/v1/fleet/governor", s.handleGovernor)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -156,6 +158,85 @@ func (s *Server) handleVoltage(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"ok": true, "board": req.Board, "mv": req.MV, "operating": req.Operating,
 	})
+}
+
+// governorRequest is the /v1/fleet/governor POST body: a runtime
+// enable/disable plus a partial re-tune. Omitted fields keep their
+// present setting.
+type governorRequest struct {
+	Enabled       *bool   `json:"enabled"`
+	IntervalMS    float64 `json:"interval_ms"`
+	StepMV        float64 `json:"step_mv"`
+	MarginMV      float64 `json:"margin_mv"`
+	FloorMarginMV float64 `json:"floor_margin_mv"`
+	ProbeImages   int     `json:"probe_images"`
+	ConfirmProbes int     `json:"confirm_probes"`
+	VerifyEvery   int     `json:"verify_every"`
+	RetestDeltaC  float64 `json:"retest_delta_c"`
+}
+
+// governorBoard is one board's entry in the governor report.
+type governorBoard struct {
+	Board       string                     `json:"board"`
+	State       string                     `json:"state"`
+	OperatingMV float64                    `json:"operating_mv"`
+	TempC       float64                    `json:"temp_c"`
+	Governor    *fleet.BoardGovernorStatus `json:"governor"`
+}
+
+// governorResponse is the GET payload (and the POST reply).
+type governorResponse struct {
+	Governor *fleet.GovernorStatus `json:"governor"`
+	Boards   []governorBoard       `json:"boards"`
+}
+
+func (s *Server) governorReport() governorResponse {
+	st := s.pool.Status()
+	out := governorResponse{Governor: st.Governor}
+	for _, b := range st.Boards {
+		out.Boards = append(out.Boards, governorBoard{
+			Board:       b.Board,
+			State:       b.State,
+			OperatingMV: b.OperatingMV,
+			TempC:       b.TempC,
+			Governor:    b.Governor,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleGovernor(w http.ResponseWriter, r *http.Request) {
+	s.governorReqs.Add(1)
+	switch r.Method {
+	case http.MethodGet:
+		s.writeJSON(w, http.StatusOK, s.governorReport())
+	case http.MethodPost:
+		var req governorRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.errorJSON(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		tn := fleet.GovernorTuning{
+			Interval:      time.Duration(req.IntervalMS * float64(time.Millisecond)),
+			StepMV:        req.StepMV,
+			MarginMV:      req.MarginMV,
+			FloorMarginMV: req.FloorMarginMV,
+			ProbeImages:   req.ProbeImages,
+			ConfirmProbes: req.ConfirmProbes,
+			VerifyEvery:   req.VerifyEvery,
+			RetestDeltaC:  req.RetestDeltaC,
+		}
+		if err := s.pool.TuneGovernor(tn); err != nil {
+			s.errorJSON(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Enabled != nil {
+			s.pool.SetGovernorEnabled(*req.Enabled)
+		}
+		s.writeJSON(w, http.StatusOK, s.governorReport())
+	default:
+		s.errorJSON(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

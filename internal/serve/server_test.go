@@ -249,16 +249,105 @@ func TestServeMetrics(t *testing.T) {
 	for _, want := range []string{
 		"uvolt_fleet_boards 3",
 		"uvolt_fleet_served_total",
+		"uvolt_fleet_canceled_total",
 		"uvolt_board_vccint_millivolts{board=\"platform-A#0\"}",
 		"uvolt_board_power_watts{board=\"platform-B#1\",rail=\"vccint\"}",
 		"uvolt_board_throughput_gops",
+		"uvolt_governor_enabled",
+		"uvolt_governor_saved_watts",
+		"uvolt_governor_operating_millivolts{board=\"platform-A#0\"}",
+		"uvolt_governor_baseline_millivolts{board=\"platform-B#1\"}",
 		"uvolt_http_requests_total{path=\"/v1/classify\"} 1",
+		"uvolt_http_requests_total{path=\"/v1/fleet/governor\"}",
 		"uvolt_batch_runs_total",
+		"uvolt_batch_canceled_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
 		}
 	}
+}
+
+// The governor endpoint reports per-board adaptive-voltage state, and
+// POST toggles and tunes the loops at runtime.
+func TestServeGovernorEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, fleet.Config{
+		Boards: 3, Tiny: true, Images: 4, CharRepeats: 1,
+		MonitorInterval: -1,
+		Governor:        fleet.GovernorConfig{Interval: -1},
+	}, Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/fleet/governor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d, want 200", resp.StatusCode)
+	}
+	var rep struct {
+		Governor *fleet.GovernorStatus `json:"governor"`
+		Boards   []struct {
+			Board    string                     `json:"board"`
+			Governor *fleet.BoardGovernorStatus `json:"governor"`
+		} `json:"boards"`
+	}
+	func() {
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if rep.Governor == nil || rep.Governor.Enabled {
+		t.Fatalf("governor should report present and disabled: %+v", rep.Governor)
+	}
+	if len(rep.Boards) != 3 {
+		t.Fatalf("boards = %d, want 3", len(rep.Boards))
+	}
+	for _, b := range rep.Boards {
+		if b.Governor == nil {
+			t.Fatalf("%s: no governor state", b.Board)
+		}
+		if b.Governor.BaselineMV <= 0 || b.Governor.FloorMV <= 0 {
+			t.Errorf("%s: incomplete governor state: %+v", b.Board, b.Governor)
+		}
+	}
+
+	// Enable + tune in one POST.
+	enabled := true
+	resp = postJSON(t, ts.URL+"/v1/fleet/governor", map[string]any{
+		"enabled": enabled, "step_mv": 3.0, "probe_images": 8,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status = %d, want 200", resp.StatusCode)
+	}
+	func() {
+		defer resp.Body.Close()
+		rep.Governor = nil
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if !rep.Governor.Enabled || rep.Governor.StepMV != 3 || rep.Governor.ProbeImages != 8 {
+		t.Errorf("POST did not apply: %+v", rep.Governor)
+	}
+
+	// Invalid tuning is rejected.
+	resp = postJSON(t, ts.URL+"/v1/fleet/governor", map[string]any{"step_mv": -2.0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative tuning: status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Method validation.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/governor", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status = %d, want 405", resp.StatusCode)
+	}
+	resp.Body.Close()
 }
 
 // After Close, classify returns 503 and queued work was not lost.

@@ -6,7 +6,10 @@
 // experiment harness uses to pin a curve to a target temperature.
 package thermal
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Fan speed limits of the ZCU102 chassis fan.
 const (
@@ -30,8 +33,11 @@ const (
 )
 
 // Model computes steady-state die temperature. The zero value is a valid
-// model at maximum fan speed in open-loop mode.
+// model at maximum fan speed in open-loop mode. A Model is safe for
+// concurrent use: the fleet's adaptive voltage governor drifts fan/hold
+// state while serving workers and status snapshots read die temperature.
 type Model struct {
+	mu     sync.RWMutex
 	fanRPM float64
 	// hold, when non-zero, pins the die temperature (closed loop).
 	holdC float64
@@ -45,6 +51,8 @@ func New() *Model {
 // SetFanRPM sets the fan speed, clamped to the chassis limits, and
 // returns the clamped value. Setting a fan speed leaves hold mode.
 func (m *Model) SetFanRPM(rpm float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.holdC = 0
 	m.fanRPM = math.Min(math.Max(rpm, MinRPM), MaxRPM)
 	return m.fanRPM
@@ -52,6 +60,12 @@ func (m *Model) SetFanRPM(rpm float64) float64 {
 
 // FanRPM returns the current fan speed.
 func (m *Model) FanRPM() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fanRPMLocked()
+}
+
+func (m *Model) fanRPMLocked() float64 {
 	if m.fanRPM == 0 {
 		return MaxRPM
 	}
@@ -62,20 +76,31 @@ func (m *Model) FanRPM() float64 {
 // chassis preheat, the way the paper holds each measured curve at a fixed
 // temperature). The value is clamped to the achievable [34, 52] range.
 func (m *Model) HoldTemperature(tC float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.holdC = math.Min(math.Max(tC, 34), 52)
 	return m.holdC
 }
 
 // Release leaves hold mode and returns to open-loop fan control.
-func (m *Model) Release() { m.holdC = 0 }
+func (m *Model) Release() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.holdC = 0
+}
 
 // Holding reports whether the model is in closed-loop hold mode and at
 // what temperature.
-func (m *Model) Holding() (bool, float64) { return m.holdC != 0, m.holdC }
+func (m *Model) Holding() (bool, float64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.holdC != 0, m.holdC
+}
 
-// rth interpolates thermal resistance between the fan-speed extremes.
-func (m *Model) rth() float64 {
-	rpm := m.FanRPM()
+// rthLocked interpolates thermal resistance between the fan-speed
+// extremes. Caller holds m.mu (read side is enough).
+func (m *Model) rthLocked() float64 {
+	rpm := m.fanRPMLocked()
 	frac := (rpm - MinRPM) / (MaxRPM - MinRPM) // 0 = slowest, 1 = fastest
 	return RthMinFan + frac*(RthMaxFan-RthMinFan)
 }
@@ -83,13 +108,15 @@ func (m *Model) rth() float64 {
 // DieTempC returns the steady-state die temperature for the given
 // dissipated power.
 func (m *Model) DieTempC(powerW float64) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.holdC != 0 {
 		return m.holdC
 	}
 	if powerW < 0 {
 		powerW = 0
 	}
-	return AmbientC + m.rth()*powerW
+	return AmbientC + m.rthLocked()*powerW
 }
 
 // RangeAtPower returns the achievable [min, max] die temperatures at the
