@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-governed
+.PHONY: all build test race vet fmt bench bench-governed bench-json
 
 all: vet build test
 
@@ -29,3 +29,16 @@ bench:
 # energy-per-request drops versus the static operating points.
 bench-governed:
 	$(GO) test -run '^$$' -bench BenchmarkGovernedFleet -benchtime 2s .
+
+# Machine-readable perf snapshot of the compute-engine hot paths
+# (conv kernels naive vs GEMM; steady-state classify time + allocs).
+# CI runs this and uploads BENCH_3.json so the perf trajectory is
+# recorded per commit.
+# Two steps (not a pipeline) so a benchmark failure fails the target
+# instead of being masked by benchjson's exit status.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkConvKernels|BenchmarkClassifySteadyState' \
+		-benchmem -benchtime 0.3s -count 1 . > BENCH_3.raw
+	$(GO) run ./cmd/benchjson < BENCH_3.raw > BENCH_3.json
+	@rm -f BENCH_3.raw
+	@cat BENCH_3.json

@@ -12,6 +12,7 @@ import (
 	"fpgauv"
 	"fpgauv/internal/board"
 	"fpgauv/internal/dnndk"
+	"fpgauv/internal/dpu"
 	"fpgauv/internal/exp"
 	"fpgauv/internal/fabric"
 	"fpgauv/internal/models"
@@ -171,6 +172,96 @@ func BenchmarkConv2DInt8(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(x.Size()))
+}
+
+// BenchmarkConvKernels compares the naive direct convolution against the
+// im2col+GEMM lowering on a conv-dominated kernel (64×32×3×3 over
+// 32×32: ≈19M MACs, the regime the serving hot path lives in). The
+// engine's acceptance gate is gemm ≥ 3× naive.
+func BenchmarkConvKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(32, 32, 32)
+	x.FillRandn(rng, 1)
+	w := tensor.New(64, 32, 3, 3)
+	w.FillRandn(rng, 0.2)
+	xq, _ := quant.Quantize(x, 8)
+	wq, _ := quant.Quantize(w, 8)
+	bias := make([]int32, 64)
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := quant.Conv2DInt8(xq, wq, bias, 1, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gemm", func(b *testing.B) {
+		var col []int8
+		var acc []int32
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := quant.Conv2DInt8Gemm(xq, wq, bias, 1, 1, &col, &acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkClassifySteadyState measures a full serving-path evaluation
+// pass (16 images, VGGNet tiny) at a critical-region operating point —
+// the steady-state work a fleet worker performs per request. The
+// gemm-arena variant is the serving configuration (per-worker Scratch,
+// GEMM kernels); naive-alloc is the reference path with a transient
+// arena, the allocation baseline the ≥10× allocs/op reduction is
+// measured against. Run with -benchmem.
+func BenchmarkClassifySteadyState(b *testing.B) {
+	brd := board.MustNew(board.SampleB)
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, _ := models.New("VGGNet", models.Tiny)
+	k, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := bench.MakeDataset(16, 1)
+	if err := task.PlantLabels(ds, bench.TargetAccPct, 1); err != nil {
+		b.Fatal(err)
+	}
+	// Critical region: faults are live, so every pass runs the DPU
+	// executor instead of the cached-reference shortcut.
+	if err := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT).SetVoltageMV(550); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("gemm-arena", func(b *testing.B) {
+		scratch := dpu.NewScratch()
+		rng := rand.New(rand.NewSource(2))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := task.ClassifyWith(scratch, ds, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-alloc", func(b *testing.B) {
+		rt.DPU().SetReferenceKernels(true)
+		defer rt.DPU().SetReferenceKernels(false)
+		rng := rand.New(rand.NewSource(2))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := task.Classify(ds, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDPUInference measures one fault-free inference through the

@@ -23,6 +23,7 @@ import (
 
 	"fpgauv/internal/board"
 	"fpgauv/internal/dnndk"
+	"fpgauv/internal/dpu"
 	"fpgauv/internal/models"
 	"fpgauv/internal/pmbus"
 	"fpgauv/internal/silicon"
@@ -103,11 +104,23 @@ type Campaign struct {
 	Task    *dnndk.Task
 	Dataset *models.Dataset
 	Config  Config
+	// scratch is the sweep's inference arena: campaigns are
+	// single-goroutine, so one arena serves every measured point.
+	scratch *dpu.Scratch
 }
 
 // NewCampaign builds a campaign with defaults.
 func NewCampaign(task *dnndk.Task, ds *models.Dataset) *Campaign {
-	return &Campaign{Task: task, Dataset: ds, Config: DefaultConfig()}
+	return &Campaign{Task: task, Dataset: ds, Config: DefaultConfig(), scratch: dpu.NewScratch()}
+}
+
+// arena returns the campaign's inference scratch, allocating it for
+// campaigns built as struct literals.
+func (c *Campaign) arena() *dpu.Scratch {
+	if c.scratch == nil {
+		c.scratch = dpu.NewScratch()
+	}
+	return c.scratch
 }
 
 // vccint returns the campaign's PMBus adapter for the VCCINT rail.
@@ -126,7 +139,7 @@ func (c *Campaign) measure(vMV float64, cfg Config) (Point, error) {
 	}
 	for r := 0; r < cfg.Repeats; r++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729 + int64(vMV)*31))
-		res, err := c.Task.Classify(c.Dataset, rng)
+		res, err := c.Task.ClassifyWith(c.arena(), c.Dataset, rng)
 		if err != nil {
 			if errors.Is(err, board.ErrHung) {
 				pt.Crashed = true
@@ -269,7 +282,7 @@ func (c *Campaign) FmaxSearch(vMV float64, gridMHz []float64) (FmaxResult, error
 		ok := true
 		for r := 0; r < cfg.Repeats; r++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7561 + int64(f)*17 + int64(vMV)))
-			res, err := c.Task.Classify(c.Dataset, rng)
+			res, err := c.Task.ClassifyWith(c.arena(), c.Dataset, rng)
 			if errors.Is(err, board.ErrHung) {
 				c.Board().Reboot()
 				return out, nil // crashed at this voltage: Fmax = 0

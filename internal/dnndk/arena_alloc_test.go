@@ -1,0 +1,63 @@
+package dnndk
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgauv/internal/board"
+	"fpgauv/internal/dpu"
+	"fpgauv/internal/models"
+	"fpgauv/internal/pmbus"
+)
+
+// TestClassifyArenaAllocReduction pins the compute engine's allocation
+// contract: a steady-state evaluation pass through a warm per-worker
+// Scratch must allocate at least 10× less than the reference path with a
+// transient arena. The board runs in the critical region so every pass
+// exercises the full DPU executor (the guardband shortcut serves cached
+// predictions and would measure nothing).
+func TestClassifyArenaAllocReduction(t *testing.T) {
+	brd := board.MustNew(board.SampleB)
+	rt, err := NewRuntime(brd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := models.New("VGGNet", models.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Quantize(bench, DefaultQuantizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := bench.MakeDataset(8, 1)
+	if err := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT).SetVoltageMV(550); err != nil {
+		t.Fatal(err)
+	}
+
+	scratch := dpu.NewScratch()
+	rng := rand.New(rand.NewSource(9))
+	classify := func(s *dpu.Scratch) {
+		if _, err := task.ClassifyWith(s, ds, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	classify(scratch) // warm the arena (first pass grows the buffers)
+
+	arena := testing.AllocsPerRun(5, func() { classify(scratch) })
+	rt.DPU().SetReferenceKernels(true)
+	defer rt.DPU().SetReferenceKernels(false)
+	naive := testing.AllocsPerRun(5, func() { classify(nil) })
+
+	t.Logf("allocs per pass: arena=%.1f naive=%.1f (%.1fx)", arena, naive, naive/arena)
+	if naive == 0 {
+		t.Fatal("naive path reported zero allocations; measurement broken")
+	}
+	if arena*10 > naive {
+		t.Fatalf("steady-state arena pass allocates %.1f, naive %.1f: reduction below 10x", arena, naive)
+	}
+}

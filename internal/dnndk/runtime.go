@@ -98,8 +98,15 @@ func (t *Task) Board() *board.ZCU102 { return t.rt.brd }
 
 // Run classifies one image at the present board conditions.
 func (t *Task) Run(img *tensor.Tensor, rng *rand.Rand) (*dpu.Result, error) {
+	return t.RunWith(nil, img, rng)
+}
+
+// RunWith is Run through a caller-owned Scratch arena (near-zero heap
+// allocations in steady state). The returned Result's Probs tensor is
+// staged in the arena and only valid until the next run on it.
+func (t *Task) RunWith(s *dpu.Scratch, img *tensor.Tensor, rng *rand.Rand) (*dpu.Result, error) {
 	t.rt.brd.SetWorkload(t.Kernel.Workload)
-	return t.rt.dp.Run(t.Kernel, img, rng)
+	return t.rt.dp.RunWith(s, t.Kernel, img, rng)
 }
 
 // refKey identifies a kernel+dataset pair for the reference cache.
@@ -116,8 +123,9 @@ func (t *Task) ReferencePreds(ds *models.Dataset) ([]int, error) {
 		return preds, nil
 	}
 	preds := make([]int, ds.Len())
+	scratch := dpu.NewScratch() // one arena for the whole reference pass
 	for i, img := range ds.Inputs {
-		res, err := t.rt.dp.RunClean(t.Kernel, img)
+		res, err := t.rt.dp.RunCleanWith(scratch, t.Kernel, img)
 		if err != nil {
 			return nil, fmt.Errorf("dnndk: reference inference: %w", err)
 		}
@@ -150,6 +158,14 @@ type ClassifyResult struct {
 // fault-free the cached reference predictions are reused, which makes
 // guardband-region sweep points (no faults by definition) cheap.
 func (t *Task) Classify(ds *models.Dataset, rng *rand.Rand) (*ClassifyResult, error) {
+	return t.ClassifyWith(nil, ds, rng)
+}
+
+// ClassifyWith is Classify through a caller-owned Scratch arena: the
+// fleet's per-board workers and the sweep campaigns pass their own so a
+// steady-state evaluation pass performs near-zero heap allocations. A nil
+// Scratch allocates a transient arena for the pass.
+func (t *Task) ClassifyWith(s *dpu.Scratch, ds *models.Dataset, rng *rand.Rand) (*ClassifyResult, error) {
 	if err := t.rt.brd.CheckAlive(); err != nil {
 		return nil, err
 	}
@@ -167,9 +183,12 @@ func (t *Task) Classify(ds *models.Dataset, rng *rand.Rand) (*ClassifyResult, er
 		}
 		out.Preds = append([]int(nil), preds...)
 	} else {
+		if s == nil {
+			s = dpu.NewScratch()
+		}
 		out.Preds = make([]int, ds.Len())
 		for i, img := range ds.Inputs {
-			res, err := t.Run(img, rng)
+			res, err := t.RunWith(s, img, rng)
 			if err != nil {
 				return nil, err
 			}

@@ -17,6 +17,10 @@ type DPU struct {
 	brd    *board.ZCU102
 	cfg    Config
 	nCores int
+	// refKernels forces the naive direct conv/FC kernels instead of the
+	// im2col+GEMM lowering — the reference oracle the equivalence tests
+	// and benchmarks compare against.
+	refKernels bool
 }
 
 // New programs nCores instances of the given variant into the board's
@@ -44,7 +48,15 @@ func (d *DPU) Config() Config { return d.cfg }
 // Cores returns the instantiated core count.
 func (d *DPU) Cores() int { return d.nCores }
 
-// Result is the outcome of one inference on the DPU.
+// SetReferenceKernels toggles the naive direct conv/FC kernels in place of
+// the im2col+GEMM compute engine. The two paths are bit-exact (including
+// fault-injection statistics); the naive path exists as the oracle for
+// equivalence tests and as the baseline for the kernel benchmarks.
+func (d *DPU) SetReferenceKernels(on bool) { d.refKernels = on }
+
+// Result is the outcome of one inference on the DPU. Results of
+// RunWith/RunCleanWith calls (the Result itself and its Probs tensor) are
+// staged in the Scratch and only valid until the next run on it.
 type Result struct {
 	// Probs is the host-side softmax output.
 	Probs *tensor.Tensor
@@ -58,7 +70,23 @@ type Result struct {
 // Run executes one image through a compiled kernel at the board's present
 // electrical conditions, injecting timing faults per the fabric model.
 // It returns board.ErrHung if the board is (or becomes) crashed.
+//
+// A Kernel must not be executed by two goroutines at once: BRAM fault
+// injection applies transient flips to the shared weight tensors
+// (restored before the call returns), so concurrent runs of the same
+// kernel would observe each other's flips. Every execution path in this
+// module already serializes per kernel (the fleet's member lock; the
+// single-goroutine campaigns and runtimes, whose reference cache has the
+// same confinement rule).
 func (d *DPU) Run(k *Kernel, img *tensor.Tensor, rng *rand.Rand) (*Result, error) {
+	return d.RunWith(nil, k, img, rng)
+}
+
+// RunWith is Run with a caller-owned Scratch arena: steady-state repeat
+// inferences through the same arena perform near-zero heap allocations.
+// A nil Scratch allocates a transient arena. See Scratch for the
+// ownership and lifetime rules.
+func (d *DPU) RunWith(s *Scratch, k *Kernel, img *tensor.Tensor, rng *rand.Rand) (*Result, error) {
 	if err := d.brd.CheckAlive(); err != nil {
 		return nil, err
 	}
@@ -70,7 +98,7 @@ func (d *DPU) Run(k *Kernel, img *tensor.Tensor, rng *rand.Rand) (*Result, error
 		pMAC = 0.5
 	}
 	pBRAM := fab.BRAMBitFaultProb(cond)
-	res, err := d.run(k, img, rng, pMAC, pBRAM)
+	res, err := d.run(s, k, img, rng, pMAC, pBRAM)
 	if err != nil {
 		return nil, err
 	}
@@ -85,22 +113,48 @@ func (d *DPU) Run(k *Kernel, img *tensor.Tensor, rng *rand.Rand) (*Result, error
 // consulting the board's electrical state — the fault-free reference path
 // used to plant ground-truth labels.
 func (d *DPU) RunClean(k *Kernel, img *tensor.Tensor) (*Result, error) {
-	return d.run(k, img, nil, 0, 0)
+	return d.run(nil, k, img, nil, 0, 0)
+}
+
+// RunCleanWith is RunClean through a caller-owned Scratch arena.
+func (d *DPU) RunCleanWith(s *Scratch, k *Kernel, img *tensor.Tensor) (*Result, error) {
+	return d.run(s, k, img, nil, 0, 0)
 }
 
 // run is the shared execution core. rng may be nil when both fault
-// probabilities are zero.
-func (d *DPU) run(k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM float64) (*Result, error) {
-	res := &Result{}
-	nodes := k.Graph.Nodes()
-	acts := make([]*quant.QTensor, len(nodes))
+// probabilities are zero. A nil Scratch gets a transient arena and the
+// result is detached from it, so nil-Scratch callers keep fresh-result
+// semantics without retaining the arena's buffers through Result.
+func (d *DPU) run(s *Scratch, k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM float64) (*Result, error) {
+	if s == nil {
+		s = NewScratch()
+		res, err := d.runWith(s, k, img, rng, pMAC, pBRAM)
+		if err != nil {
+			return nil, err
+		}
+		out := *res
+		if out.Probs == s.probs {
+			out.Probs = out.Probs.Clone()
+		}
+		return &out, nil
+	}
+	return d.runWith(s, k, img, rng, pMAC, pBRAM)
+}
+
+// runWith is run for an always-present arena.
+func (d *DPU) runWith(s *Scratch, k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM float64) (*Result, error) {
+	s.bind(k)
+	res := &s.res
+	*res = Result{}
+	nodes := s.nodes
+	acts := s.refs
 	var final *tensor.Tensor
 
 	// Quantize the input once with the calibrated scale.
-	inQ, err := quant.QuantizeWithScale(img, k.InScale, k.Bits)
-	if err != nil {
+	if err := quant.QuantizeWithScaleInto(&s.inQ, img, k.InScale, k.Bits); err != nil {
 		return nil, fmt.Errorf("dpu: input quantization: %w", err)
 	}
+	inQ := &s.inQ
 
 	fetch := func(id nn.NodeID) (*quant.QTensor, error) {
 		if id == nn.InputID {
@@ -115,67 +169,52 @@ func (d *DPU) run(k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM flo
 	for i, n := range nodes {
 		kn := k.Nodes[i]
 		switch op := n.Op.(type) {
-		case *nn.Conv2D:
+		case *nn.Conv2D, *nn.Dense:
 			x, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			wq, bflips := d.readWeights(kn.WQ, pBRAM, rng)
-			res.BRAMFaults += bflips
-			acc, dims, err := quant.Conv2DInt8(x, wq, kn.BiasQ, op.Stride, op.Pad)
-			if err != nil {
-				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-			}
-			res.MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
-			q, err := quant.Requantize(acc, dims, kn.AccScale, kn.OutScale, k.Bits)
-			if err != nil {
+			if err := d.runWeightLayer(s, res, i, n, &kn, x, k.Bits, pMAC, pBRAM, rng); err != nil {
 				return nil, err
 			}
-			acts[i] = q
-		case *nn.Dense:
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			wq, bflips := d.readWeights(kn.WQ, pBRAM, rng)
-			res.BRAMFaults += bflips
-			acc, dims, err := quant.DenseInt8(x, wq, kn.BiasQ)
-			if err != nil {
-				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-			}
-			res.MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
-			q, err := quant.Requantize(acc, dims, kn.AccScale, kn.OutScale, k.Bits)
-			if err != nil {
-				return nil, err
-			}
-			acts[i] = q
 		case *nn.Pool2D:
 			x, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			var q *quant.QTensor
+			out := s.act(i)
 			if op.Kind == nn.MaxPool {
-				q, err = quant.MaxPoolQ(x, op.Kernel, op.Stride, op.Global)
+				err = quant.MaxPoolQInto(out, x, op.Kernel, op.Stride, op.Global)
 			} else {
-				q, err = quant.AvgPoolQ(x, op.Kernel, op.Stride, op.Global)
+				err = quant.AvgPoolQInto(out, x, op.Kernel, op.Stride, op.Global)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
 			}
-			acts[i] = q
+			acts[i] = out
 		case nn.ReLU:
 			x, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			acts[i] = quant.ReLUQ(x.Clone())
+			if src := n.Inputs[0]; src >= 0 && s.fuseReLU[src] == n.ID {
+				// Already applied in the producer's GEMM epilogue.
+				acts[i] = x
+				continue
+			}
+			out := s.act(i)
+			quant.ReLUQInto(out, x)
+			acts[i] = out
 		case nn.Sigmoid:
 			x, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			acts[i] = d.sigmoidQ(x, kn.OutScale, k.Bits)
+			out := s.act(i)
+			if err := sigmoidQInto(out, s, x, kn.OutScale, k.Bits); err != nil {
+				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
+			}
+			acts[i] = out
 		case *nn.LRN:
 			// Host-side op (like softmax): dequantize, normalize,
 			// requantize at the calibrated scale.
@@ -187,44 +226,51 @@ func (d *DPU) run(k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM flo
 			if err != nil {
 				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
 			}
-			q, err := quant.QuantizeWithScale(f, kn.OutScale, k.Bits)
-			if err != nil {
+			out := s.act(i)
+			if err := quant.QuantizeWithScaleInto(out, f, kn.OutScale, k.Bits); err != nil {
 				return nil, err
 			}
-			acts[i] = q
+			acts[i] = out
 		case *nn.BatchNorm:
 			x, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			acts[i] = d.batchNormQ(x, op, kn.OutScale, k.Bits)
+			out := s.act(i)
+			quant.BatchNormQInto(out, x, op.Scale, op.Shift, kn.OutScale, k.Bits)
+			acts[i] = out
 		case nn.Flatten:
 			x, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			flat := x.Clone()
-			flat.Dims = []int{x.Size()}
-			acts[i] = flat
+			// Shared-data reshape view: flattening only rewrites Dims.
+			out := s.act(i)
+			out.Data = x.Data
+			out.Dims = append(out.Dims[:0], len(x.Data))
+			out.Scale = x.Scale
+			out.Bits = x.Bits
+			acts[i] = out
 		case nn.Add:
 			a, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
+			out := s.act(i)
 			sum := a
 			for _, id := range n.Inputs[1:] {
 				b, err := fetch(id)
 				if err != nil {
 					return nil, err
 				}
-				sum, err = quant.AddQ(sum, b, kn.OutScale, k.Bits)
-				if err != nil {
+				if err := quant.AddQInto(out, sum, b, kn.OutScale, k.Bits); err != nil {
 					return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
 				}
+				sum = out
 			}
 			acts[i] = sum
 		case nn.Concat:
-			ins := make([]*quant.QTensor, len(n.Inputs))
+			ins := s.concatTable(len(n.Inputs))
 			for j, id := range n.Inputs {
 				x, err := fetch(id)
 				if err != nil {
@@ -232,29 +278,30 @@ func (d *DPU) run(k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM flo
 				}
 				ins[j] = x
 			}
-			q, err := quant.ConcatQ(ins, kn.OutScale, k.Bits)
-			if err != nil {
+			out := s.act(i)
+			if err := quant.ConcatQInto(out, ins, kn.OutScale, k.Bits); err != nil {
 				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
 			}
-			acts[i] = q
+			acts[i] = out
 		case nn.Softmax:
 			// DNNDK computes softmax on the ARM host, in float.
 			x, err := fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			logits := x.Dequantize()
-			out, err := (nn.Softmax{}).Forward([]*tensor.Tensor{logits})
-			if err != nil {
-				return nil, err
+			probs := floatStage(&s.probs, x.Size())
+			x.DequantizeInto(probs)
+			if err := nn.SoftmaxInPlace(probs.Data()); err != nil {
+				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
 			}
-			final = out
+			final = probs
 			// Keep a quantized copy in case the graph continues.
-			q, err := quant.QuantizeWithScale(out, kn.OutScale, k.Bits)
-			if err != nil {
+			out := s.act(i)
+			if err := quant.QuantizeWithScaleInto(out, probs, kn.OutScale, k.Bits); err != nil {
 				return nil, err
 			}
-			acts[i] = q
+			out.Dims = append(out.Dims[:0], x.Dims...)
+			acts[i] = out
 		default:
 			return nil, fmt.Errorf("dpu: node %q: unsupported op %T", n.Label, n.Op)
 		}
@@ -272,25 +319,96 @@ func (d *DPU) run(k *Kernel, img *tensor.Tensor, rng *rand.Rand, pMAC, pBRAM flo
 	return res, nil
 }
 
-// readWeights streams weights from BRAM tiles, flipping bits when VCCBRAM
-// is underscaled into its fault region. The kernel's stored weights are
-// never mutated (flips are transient read errors).
-func (d *DPU) readWeights(w *quant.QTensor, pBit float64, rng *rand.Rand) (*quant.QTensor, int64) {
+// runWeightLayer executes one conv/FC node: transient BRAM flips, the
+// compute kernel (im2col+GEMM, or the naive oracle when reference
+// kernels are forced), MAC-fault injection on the int32 accumulators,
+// and the fused requantize(+ReLU) epilogue into the node's arena
+// activation. The epilogue is shared by all four kernel/op combinations
+// so the oracle and GEMM paths cannot drift apart.
+func (d *DPU) runWeightLayer(s *Scratch, res *Result, i int, n nn.Node, kn *KernelNode, x *quant.QTensor, bits int, pMAC, pBRAM float64, rng *rand.Rand) error {
+	res.BRAMFaults += d.flipWeights(s, kn.WQ, pBRAM, rng)
+	var acc []int32
+	var dims [3]int
+	nd := 0
+	var cerr error
+	switch op := n.Op.(type) {
+	case *nn.Conv2D:
+		if d.refKernels {
+			var dd []int
+			if acc, dd, cerr = quant.Conv2DInt8(x, kn.WQ, kn.BiasQ, op.Stride, op.Pad); cerr == nil {
+				nd = copy(dims[:], dd)
+			}
+		} else {
+			var sh quant.ConvShape
+			if sh, cerr = quant.Conv2DInt8Gemm(x, kn.WQ, kn.BiasQ, op.Stride, op.Pad, &s.col, &s.acc); cerr == nil {
+				acc = s.acc[:sh.AccLen()]
+				dims = [3]int{sh.OutC, sh.OutH, sh.OutW}
+				nd = 3
+			}
+		}
+	case *nn.Dense:
+		if d.refKernels {
+			var dd []int
+			if acc, dd, cerr = quant.DenseInt8(x, kn.WQ, kn.BiasQ); cerr == nil {
+				nd = copy(dims[:], dd)
+			}
+		} else {
+			var width int
+			if width, cerr = quant.DenseInt8Gemm(x, kn.WQ, kn.BiasQ, &s.acc); cerr == nil {
+				acc = s.acc[:width]
+				dims[0] = width
+				nd = 1
+			}
+		}
+	}
+	d.restoreWeights(s, kn.WQ)
+	if cerr != nil {
+		return fmt.Errorf("dpu: node %q: %w", n.Label, cerr)
+	}
+	res.MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
+	out := s.act(i)
+	relu := s.fuseReLU[i] >= 0
+	if err := quant.RequantizeInto(out, acc, kn.AccScale, kn.OutScale, bits, relu, dims[:nd]...); err != nil {
+		return err
+	}
+	s.refs[i] = out
+	return nil
+}
+
+// flipWeights streams weights from BRAM tiles, flipping bits when VCCBRAM
+// is underscaled into its fault region. Flips are transient read errors:
+// they are applied in place on the shared tensor, recorded in the
+// Scratch, and undone by restoreWeights after the kernel call — the
+// flip-and-restore replacement for the O(weights) clone per faulted
+// layer. The run's exclusivity over the kernel (one task per member,
+// serialized under the fleet's member lock) makes the in-place window
+// safe.
+func (d *DPU) flipWeights(s *Scratch, w *quant.QTensor, pBit float64, rng *rand.Rand) int64 {
+	s.flipIdx = s.flipIdx[:0]
+	s.flipBit = s.flipBit[:0]
 	if pBit <= 0 {
-		return w, 0
+		return 0
 	}
 	bits := int64(len(w.Data)) * int64(w.Bits)
 	k := fabric.SampleFaults(rng, bits, pBit)
-	if k == 0 {
-		return w, 0
-	}
-	out := w.Clone()
 	for i := int64(0); i < k; i++ {
-		idx := rng.Intn(len(out.Data))
-		bit := uint(rng.Intn(w.Bits))
-		out.Data[idx] ^= 1 << bit
+		idx := rng.Intn(len(w.Data))
+		bit := uint8(rng.Intn(w.Bits))
+		w.Data[idx] ^= 1 << bit
+		s.flipIdx = append(s.flipIdx, int32(idx))
+		s.flipBit = append(s.flipBit, bit)
 	}
-	return out, k
+	return k
+}
+
+// restoreWeights undoes the recorded transient flips (XOR is its own
+// inverse, so re-flipping in any order restores the original codes).
+func (d *DPU) restoreWeights(s *Scratch, w *quant.QTensor) {
+	for i, idx := range s.flipIdx {
+		w.Data[idx] ^= 1 << s.flipBit[i]
+	}
+	s.flipIdx = s.flipIdx[:0]
+	s.flipBit = s.flipBit[:0]
 }
 
 // faultTileSpan is the blast radius of one timing-fault event. The B4096
@@ -324,48 +442,19 @@ func injectMACFaults(acc []int32, macs int64, p float64, rng *rand.Rand) int64 {
 	return k
 }
 
-// sigmoidQ computes sigmoid through the host float path (the DPU lacks a
-// native sigmoid; DNNDK falls back to the CPU).
-func (d *DPU) sigmoidQ(x *quant.QTensor, outScale float32, bits int) *quant.QTensor {
-	f := x.Dequantize()
+// sigmoidQInto computes sigmoid through the host float path (the DPU
+// lacks a native sigmoid; DNNDK falls back to the CPU), staging the float
+// intermediate in the Scratch.
+func sigmoidQInto(dst *quant.QTensor, s *Scratch, x *quant.QTensor, outScale float32, bits int) error {
+	f := floatStage(&s.logits, x.Size())
+	x.DequantizeInto(f)
 	data := f.Data()
 	for i, v := range data {
 		data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
-	q, err := quant.QuantizeWithScale(f, outScale, bits)
-	if err != nil {
-		// outScale is validated at compile time; reaching this is a bug.
-		panic(fmt.Sprintf("dpu: sigmoid requantize: %v", err))
+	if err := quant.QuantizeWithScaleInto(dst, f, outScale, bits); err != nil {
+		return err
 	}
-	return q
-}
-
-// batchNormQ applies a (possibly folded-to-identity) batch norm in the
-// quantized domain.
-func (d *DPU) batchNormQ(x *quant.QTensor, bn *nn.BatchNorm, outScale float32, bits int) *quant.QTensor {
-	c := len(bn.Scale)
-	hw := len(x.Data) / c
-	out := &quant.QTensor{
-		Data:  make([]int8, len(x.Data)),
-		Dims:  append([]int(nil), x.Dims...),
-		Scale: outScale,
-		Bits:  bits,
-	}
-	qmax := float64(quant.QMax(bits))
-	for ch := 0; ch < c; ch++ {
-		sc := float64(bn.Scale[ch])
-		sh := float64(bn.Shift[ch])
-		for i := ch * hw; i < (ch+1)*hw; i++ {
-			real := float64(x.Data[i])*float64(x.Scale)*sc + sh
-			code := math.RoundToEven(real / float64(outScale))
-			if code > qmax {
-				code = qmax
-			}
-			if code < -qmax {
-				code = -qmax
-			}
-			out.Data[i] = int8(code)
-		}
-	}
-	return out
+	dst.Dims = append(dst.Dims[:0], x.Dims...)
+	return nil
 }

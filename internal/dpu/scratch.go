@@ -1,0 +1,127 @@
+package dpu
+
+import (
+	"fpgauv/internal/nn"
+	"fpgauv/internal/quant"
+	"fpgauv/internal/tensor"
+)
+
+// Scratch is a per-worker arena for the inference hot path: the im2col
+// patch buffer, the int32 accumulator, the quantized-input staging tensor,
+// and a per-node activation ring, all keyed by the compiled kernel's
+// shapes. A Scratch is bound to one kernel at a time (re-binding on a
+// kernel change is automatic) and must never be shared by concurrent
+// runs: the fleet gives each board's worker its own arena and serializes
+// every use under the member lock.
+//
+// Ownership/lifetime rules: every buffer a Scratch hands the executor —
+// including the Result (and its Probs tensor) a RunWith call returns — is
+// valid only until the next run on the same Scratch. Callers that need a
+// result to outlive the next inference must copy it out (or use the
+// nil-Scratch entry points, which allocate fresh).
+type Scratch struct {
+	kernel *Kernel
+	// nodes caches the kernel's topological node list (Graph.Nodes
+	// copies on every call; the hot path reads it read-only every image).
+	nodes []nn.Node
+
+	res Result // per-run result staging
+
+	col []int8  // im2col patch matrix
+	acc []int32 // int32 GEMM accumulators
+
+	inQ  quant.QTensor    // quantized input staging
+	acts []quant.QTensor  // per-node activation ring (backing storage)
+	refs []*quant.QTensor // per-run activation table (reset every run)
+
+	probs  *tensor.Tensor // host-side float staging (softmax output)
+	logits *tensor.Tensor // host-side float staging (softmax input)
+
+	concatIns []*quant.QTensor // reused Concat input table
+
+	// fuseReLU[i] >= 0 marks a conv/FC node whose sole consumer is that
+	// ReLU node: the epilogue applies ReLU in the GEMM output pass and the
+	// ReLU node aliases the producer's activation.
+	fuseReLU []nn.NodeID
+
+	// flipIdx/flipBit record transient BRAM read flips applied in place to
+	// the shared weight tensor, so they can be undone after the kernel
+	// call instead of paying an O(weights) clone per faulted layer.
+	flipIdx []int32
+	flipBit []uint8
+}
+
+// NewScratch returns an empty arena; it sizes itself to the first kernel
+// it runs.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// bind readies the arena for one run of kernel k, recompiling the
+// per-node tables when the kernel changed since the last run.
+func (s *Scratch) bind(k *Kernel) {
+	if s.kernel != k {
+		s.kernel = k
+		s.nodes = k.Graph.Nodes()
+		n := len(s.nodes)
+		s.acts = make([]quant.QTensor, n)
+		s.refs = make([]*quant.QTensor, n)
+		s.fuseReLU = fuseTable(k)
+	}
+	for i := range s.refs {
+		s.refs[i] = nil
+	}
+}
+
+// act returns node i's reusable activation tensor.
+func (s *Scratch) act(i int) *quant.QTensor { return &s.acts[i] }
+
+// floatStage returns a reusable float tensor of size n (dims [n]).
+func floatStage(slot **tensor.Tensor, n int) *tensor.Tensor {
+	if *slot == nil || (*slot).Size() != n {
+		*slot = tensor.New(n)
+	}
+	return *slot
+}
+
+// fuseTable finds conv/FC nodes whose requantize epilogue can absorb a
+// downstream ReLU: the ReLU must be the node's sole consumer and the node
+// must not itself be the graph output. ReLU on an int8 code stream merely
+// clamps negatives to zero, so relu(requantize(acc)) applied in the
+// epilogue is bit-exact with the two-pass reference.
+func fuseTable(k *Kernel) []nn.NodeID {
+	nodes := k.Graph.Nodes()
+	consumers := make([]int, len(nodes))
+	sole := make([]nn.NodeID, len(nodes))
+	for _, nd := range nodes {
+		for _, id := range nd.Inputs {
+			if id >= 0 {
+				consumers[id]++
+				sole[id] = nd.ID
+			}
+		}
+	}
+	fuse := make([]nn.NodeID, len(nodes))
+	for i := range fuse {
+		fuse[i] = -1
+	}
+	out := k.Graph.Output()
+	for i, nd := range nodes {
+		switch nd.Op.(type) {
+		case *nn.Conv2D, *nn.Dense:
+			if nd.ID == out || consumers[i] != 1 {
+				continue
+			}
+			if _, ok := nodes[sole[i]].Op.(nn.ReLU); ok {
+				fuse[i] = sole[i]
+			}
+		}
+	}
+	return fuse
+}
+
+// concatTable returns a reused slice for n concat inputs.
+func (s *Scratch) concatTable(n int) []*quant.QTensor {
+	if cap(s.concatIns) < n {
+		s.concatIns = make([]*quant.QTensor, n)
+	}
+	return s.concatIns[:n]
+}

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestArenaOwningWorkersRace hammers a pool whose boards are parked in
+// the critical region — every request runs the arena-backed GEMM path —
+// with one arena-owning worker per board and many concurrent callers.
+// Under -race this proves the scratch arenas are never shared across
+// goroutines; the per-(board, seed) determinism check proves scratch
+// reuse never leaks state across requests (an aliasing bug would corrupt
+// activations and change a repeat's accuracy or fault counts).
+func TestArenaOwningWorkersRace(t *testing.T) {
+	pool, err := New(Config{Boards: 3, Tiny: true, Images: 8, CharRepeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// Pin die temperatures so the fault probability of a repeated
+	// (board, seed) pair is time-invariant.
+	if err := pool.HoldTemperatureC(-1, 40); err != nil {
+		t.Fatal(err)
+	}
+	for i, bd := range pool.Status().Boards {
+		// Mid-critical-region: fault probability is solidly non-zero but
+		// the board stays (mostly) alive.
+		mv := (bd.VminMV + bd.VcrashMV) / 2
+		if mv <= bd.VcrashMV {
+			mv = bd.VcrashMV + 2
+		}
+		if err := pool.SetOperatingMV(i, mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type key struct {
+		board string
+		seed  int64
+	}
+	var mu sync.Mutex
+	seen := make(map[key]Result)
+	var wg sync.WaitGroup
+	for g := 0; g < 9; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 6; n++ {
+				seed := int64(1 + (g+n)%3)
+				res, err := pool.Classify(context.Background(), Request{Seed: seed})
+				if err != nil {
+					t.Errorf("classify: %v", err)
+					return
+				}
+				if res.Attempts != 1 {
+					// A crash/retry re-salts the fault stream; only
+					// first-attempt passes are deterministic repeats.
+					continue
+				}
+				k := key{res.Board, seed}
+				mu.Lock()
+				if prev, ok := seen[k]; ok {
+					if prev.AccuracyPct != res.AccuracyPct ||
+						prev.MACFaults != res.MACFaults ||
+						prev.BRAMFaults != res.BRAMFaults {
+						t.Errorf("%s seed %d: repeat diverged: acc %.2f/%.2f MAC %d/%d BRAM %d/%d — scratch state leaked across requests",
+							res.Board, seed, prev.AccuracyPct, res.AccuracyPct,
+							prev.MACFaults, res.MACFaults, prev.BRAMFaults, res.BRAMFaults)
+					}
+				} else {
+					seen[k] = res
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := pool.Status()
+	if st.MACFaults == 0 && st.BRAMFaults == 0 {
+		t.Fatal("no request saw a fault: the arena-backed DPU path was never exercised")
+	}
+}

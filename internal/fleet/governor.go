@@ -609,7 +609,7 @@ func (m *member) canaryFaults(seed int64) (int64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var faults int64
 	for _, img := range m.gov.probe.Inputs {
-		res, err := m.task.Run(img, rng)
+		res, err := m.task.RunWith(m.scratch, img, rng)
 		if err != nil {
 			return faults, err
 		}

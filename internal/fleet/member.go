@@ -35,6 +35,11 @@ type member struct {
 	kernel *dpu.Kernel
 	task   *dnndk.Task
 	ds     *models.Dataset
+	// scratch is this board's inference arena. Every accelerator pass
+	// (serving, governor canaries) happens under mu, so the arena is
+	// confined to one goroutine at a time and steady-state classification
+	// performs near-zero heap allocations.
+	scratch *dpu.Scratch
 
 	regions core.Regions
 	// opBits holds the operating point (mV) as float bits so status
@@ -88,10 +93,11 @@ func newMember(idx int, cfg Config) (*member, error) {
 		return nil, err
 	}
 	m := &member{
-		idx: idx,
-		id:  fmt.Sprintf("%s#%d", sample, idx),
-		brd: brd,
-		rt:  rt,
+		idx:     idx,
+		id:      fmt.Sprintf("%s#%d", sample, idx),
+		brd:     brd,
+		rt:      rt,
+		scratch: dpu.NewScratch(),
 	}
 	if err := m.deploy(cfg); err != nil {
 		return nil, fmt.Errorf("fleet: %s: %w", m.id, err)

@@ -315,7 +315,7 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 		// Global attempt ordinal across board visits: each visit gets
 		// at most two tries (initial + one local post-crash retry).
 		ordinal := int64(j.attempts-1)*2 + int64(attempt)
-		cr, err := m.task.Classify(m.ds, classifyRNG(j.req.Seed, ordinal))
+		cr, err := m.task.ClassifyWith(m.scratch, m.ds, classifyRNG(j.req.Seed, ordinal))
 		if err == nil {
 			m.served.Add(1)
 			m.servedFaults.Add(cr.MACFaults + cr.BRAMFaults)

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"fpgauv/internal/dnndk"
+	"fpgauv/internal/dpu"
 	"fpgauv/internal/models"
 )
 
@@ -61,10 +62,12 @@ func (t TemporalRedundancy) n() int {
 func (t TemporalRedundancy) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Rand) ([]int, float64, error) {
 	n := t.n()
 	preds := make([]int, ds.Len())
+	scratch := dpu.NewScratch()
 	for i, img := range ds.Inputs {
 		var sum []float64
 		for r := 0; r < n; r++ {
-			res, err := task.Run(img, rng)
+			// res.Probs is arena-staged: consumed before the next run.
+			res, err := task.RunWith(scratch, img, rng)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -123,8 +126,9 @@ func (r RazorReplay) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Ra
 	if overhead <= 0 {
 		overhead = 1e-5 // per-event tile replay, amortized per image
 	}
+	scratch := dpu.NewScratch()
 	for i, img := range ds.Inputs {
-		res, err := task.Run(img, rng)
+		res, err := task.RunWith(scratch, img, rng)
 		if err != nil {
 			return nil, 0, err
 		}

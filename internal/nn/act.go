@@ -95,7 +95,16 @@ func (Softmax) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	out := x.Clone()
-	d := out.Data()
+	if err := SoftmaxInPlace(out.Data()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SoftmaxInPlace normalizes class scores to probabilities in place with
+// max-shifted exponentiation — the one softmax implementation shared by
+// the float reference path and the DPU executor's host-side head.
+func SoftmaxInPlace(d []float32) error {
 	maxv := float32(math.Inf(-1))
 	for _, v := range d {
 		if v > maxv {
@@ -109,13 +118,13 @@ func (Softmax) Forward(in []*tensor.Tensor) (*tensor.Tensor, error) {
 		sum += e
 	}
 	if sum == 0 {
-		return nil, fmt.Errorf("nn: softmax degenerate input")
+		return fmt.Errorf("nn: softmax degenerate input")
 	}
 	inv := float32(1 / sum)
 	for i := range d {
 		d[i] *= inv
 	}
-	return out, nil
+	return nil
 }
 
 // BatchNorm is inference-mode batch normalization with per-channel folded

@@ -1,0 +1,207 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the GEMM lowering of the int8 compute path: convolutions
+// run as im2col + a register-blocked int8→int32 GEMM, fully-connected
+// layers as the matching blocked GEMV, and the requantize(+ReLU) epilogue
+// writes straight into a caller-owned tensor. All three take caller-owned
+// buffers so a steady-state inference performs no heap allocation; the
+// naive kernels in kernels.go remain as the reference oracle and every
+// function here is bit-exact against them (int32 accumulation is modular,
+// and the accumulation order — bias, then taps in (inC, ky, kx) order —
+// is preserved).
+
+// growInt8 returns buf resized to n, reusing its backing array when the
+// capacity allows.
+func growInt8(buf []int8, n int) []int8 {
+	if cap(buf) < n {
+		return make([]int8, n)
+	}
+	return buf[:n]
+}
+
+// growInt32 is growInt8 for int32 buffers.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// gemmRows × gemmCols is the register tile: each inner loop streams the
+// shared reduction once while eight int32 accumulators stay in
+// registers, so every loaded int8 feeds multiple multiply-accumulates
+// and the steady-state loop performs no stores.
+const (
+	gemmRows = 4
+	gemmCols = 2
+)
+
+// gemmInt8 computes dst[m×n] = a[m×k]·bt[n×k]ᵀ with int8 operands, int32
+// accumulation, and bias[i] seeding row i — the MAC-array contract of the
+// DPU's conv/FC units. bt is patch-major (each of the n columns of the
+// logical B matrix stored as a contiguous k-row), so every tile is a set
+// of dot products over contiguous memory: branch-free, store-free, and
+// bounds-check-free in the steady state.
+func gemmInt8(dst []int32, a, bt []int8, m, k, n int, bias []int32) {
+	i := 0
+	for ; i+gemmRows <= m; i += gemmRows {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		a2 := a[(i+2)*k : (i+3)*k]
+		a3 := a[(i+3)*k : (i+4)*k]
+		bi0, bi1, bi2, bi3 := bias[i], bias[i+1], bias[i+2], bias[i+3]
+		j := 0
+		for ; j+gemmCols <= n; j += gemmCols {
+			x0 := bt[(j+0)*k : (j+1)*k]
+			x1 := bt[(j+1)*k : (j+2)*k]
+			s00, s01 := bi0, bi0
+			s10, s11 := bi1, bi1
+			s20, s21 := bi2, bi2
+			s30, s31 := bi3, bi3
+			for p, xv := range x0 {
+				v0 := int32(xv)
+				v1 := int32(x1[p])
+				w0 := int32(a0[p])
+				w1 := int32(a1[p])
+				w2 := int32(a2[p])
+				w3 := int32(a3[p])
+				s00 += w0 * v0
+				s01 += w0 * v1
+				s10 += w1 * v0
+				s11 += w1 * v1
+				s20 += w2 * v0
+				s21 += w2 * v1
+				s30 += w3 * v0
+				s31 += w3 * v1
+			}
+			dst[(i+0)*n+j], dst[(i+0)*n+j+1] = s00, s01
+			dst[(i+1)*n+j], dst[(i+1)*n+j+1] = s10, s11
+			dst[(i+2)*n+j], dst[(i+2)*n+j+1] = s20, s21
+			dst[(i+3)*n+j], dst[(i+3)*n+j+1] = s30, s31
+		}
+		for ; j < n; j++ {
+			x0 := bt[j*k : (j+1)*k]
+			s0, s1, s2, s3 := bi0, bi1, bi2, bi3
+			for p, xv := range x0 {
+				v := int32(xv)
+				s0 += int32(a0[p]) * v
+				s1 += int32(a1[p]) * v
+				s2 += int32(a2[p]) * v
+				s3 += int32(a3[p]) * v
+			}
+			dst[(i+0)*n+j] = s0
+			dst[(i+1)*n+j] = s1
+			dst[(i+2)*n+j] = s2
+			dst[(i+3)*n+j] = s3
+		}
+	}
+	for ; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		bi := bias[i]
+		for j := 0; j < n; j++ {
+			x0 := bt[j*k : (j+1)*k]
+			sum := bi
+			for p, xv := range x0 {
+				sum += int32(ar[p]) * int32(xv)
+			}
+			dst[i*n+j] = sum
+		}
+	}
+}
+
+// Conv2DInt8Gemm is the GEMM lowering of Conv2DInt8: im2col into *col,
+// then one blocked GEMM into *acc. Both buffers are grown in place and
+// reused across calls; the returned shape describes the accumulator
+// layout ((*acc)[:shape.AccLen()] is valid). Bit-exact with Conv2DInt8.
+func Conv2DInt8Gemm(x, w *QTensor, biasQ []int32, stride, pad int, col *[]int8, acc *[]int32) (ConvShape, error) {
+	sh, err := ConvShapeOf(x, w, biasQ, stride, pad)
+	if err != nil {
+		return sh, err
+	}
+	*col = growInt8(*col, sh.Cols()*sh.Pixels())
+	*acc = growInt32(*acc, sh.AccLen())
+	Im2colInt8(x, sh, *col)
+	gemmInt8(*acc, w.Data, *col, sh.OutC, sh.Cols(), sh.Pixels(), biasQ)
+	return sh, nil
+}
+
+// DenseInt8Gemm is the blocked-GEMV lowering of DenseInt8 into a reused
+// accumulator; it returns the output width. Bit-exact with DenseInt8.
+func DenseInt8Gemm(x, w *QTensor, biasQ []int32, acc *[]int32) (int, error) {
+	if len(w.Dims) != 2 {
+		return 0, fmt.Errorf("quant: fc weights must be 2-D, got %v", w.Dims)
+	}
+	out, in := w.Dims[0], w.Dims[1]
+	if len(x.Data) != in {
+		return 0, fmt.Errorf("quant: fc input %d != %d", len(x.Data), in)
+	}
+	if len(biasQ) != out {
+		return 0, fmt.Errorf("quant: fc bias length %d != %d", len(biasQ), out)
+	}
+	*acc = growInt32(*acc, out)
+	dst := *acc
+	xd := x.Data
+	o := 0
+	for ; o+gemmRows <= out; o += gemmRows {
+		r0 := w.Data[(o+0)*in : (o+1)*in]
+		r1 := w.Data[(o+1)*in : (o+2)*in]
+		r2 := w.Data[(o+2)*in : (o+3)*in]
+		r3 := w.Data[(o+3)*in : (o+4)*in]
+		s0, s1, s2, s3 := biasQ[o], biasQ[o+1], biasQ[o+2], biasQ[o+3]
+		for i, v := range xd {
+			xv := int32(v)
+			s0 += xv * int32(r0[i])
+			s1 += xv * int32(r1[i])
+			s2 += xv * int32(r2[i])
+			s3 += xv * int32(r3[i])
+		}
+		dst[o], dst[o+1], dst[o+2], dst[o+3] = s0, s1, s2, s3
+	}
+	for ; o < out; o++ {
+		row := w.Data[o*in : (o+1)*in]
+		sum := biasQ[o]
+		for i, v := range xd {
+			sum += int32(v) * int32(row[i])
+		}
+		dst[o] = sum
+	}
+	return out, nil
+}
+
+// RequantizeInto is the fused GEMM epilogue: it maps int32 accumulators to
+// int8 codes in dst (reusing dst's backing storage) and optionally applies
+// ReLU in the same pass. Bit-exact with Requantize followed by ReLUQ.
+func RequantizeInto(dst *QTensor, acc []int32, accScale, outScale float32, bits int, relu bool, dims ...int) error {
+	if err := validBits(bits); err != nil {
+		return err
+	}
+	if outScale <= 0 {
+		return fmt.Errorf("quant: output scale must be positive, got %g", outScale)
+	}
+	dst.Data = growInt8(dst.Data, len(acc))
+	dst.Dims = append(dst.Dims[:0], dims...)
+	dst.Scale = outScale
+	dst.Bits = bits
+	ratio := float64(accScale) / float64(outScale)
+	qmax := QMax(bits)
+	d := dst.Data
+	if relu {
+		for i, a := range acc {
+			v := clampToInt8(int32(math.RoundToEven(float64(a)*ratio)), qmax)
+			if v < 0 {
+				v = 0
+			}
+			d[i] = v
+		}
+		return nil
+	}
+	for i, a := range acc {
+		d[i] = clampToInt8(int32(math.RoundToEven(float64(a)*ratio)), qmax)
+	}
+	return nil
+}

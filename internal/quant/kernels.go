@@ -102,20 +102,52 @@ func ReLUQ(q *QTensor) *QTensor {
 	return q
 }
 
+// ReLUQInto writes relu(x) into dst, reusing dst's backing storage.
+func ReLUQInto(dst, x *QTensor) {
+	dst.Data = growInt8(dst.Data, len(x.Data))
+	dst.Dims = append(dst.Dims[:0], x.Dims...)
+	dst.Scale = x.Scale
+	dst.Bits = x.Bits
+	for i, v := range x.Data {
+		if v < 0 {
+			v = 0
+		}
+		dst.Data[i] = v
+	}
+}
+
 // MaxPoolQ applies max pooling in the quantized domain (scale preserved).
 // Global pools the full spatial extent.
 func MaxPoolQ(x *QTensor, kernel, stride int, global bool) (*QTensor, error) {
-	return poolQ(x, kernel, stride, global, true)
+	out := &QTensor{}
+	if err := MaxPoolQInto(out, x, kernel, stride, global); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AvgPoolQ applies average pooling with round-to-nearest integer division.
 func AvgPoolQ(x *QTensor, kernel, stride int, global bool) (*QTensor, error) {
-	return poolQ(x, kernel, stride, global, false)
+	out := &QTensor{}
+	if err := AvgPoolQInto(out, x, kernel, stride, global); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-func poolQ(x *QTensor, kernel, stride int, global, isMax bool) (*QTensor, error) {
+// MaxPoolQInto is MaxPoolQ into a reused destination tensor.
+func MaxPoolQInto(dst, x *QTensor, kernel, stride int, global bool) error {
+	return poolQInto(dst, x, kernel, stride, global, true)
+}
+
+// AvgPoolQInto is AvgPoolQ into a reused destination tensor.
+func AvgPoolQInto(dst, x *QTensor, kernel, stride int, global bool) error {
+	return poolQInto(dst, x, kernel, stride, global, false)
+}
+
+func poolQInto(dst, x *QTensor, kernel, stride int, global, isMax bool) error {
 	if len(x.Dims) != 3 {
-		return nil, fmt.Errorf("quant: pool input must be CHW, got %v", x.Dims)
+		return fmt.Errorf("quant: pool input must be CHW, got %v", x.Dims)
 	}
 	c, h, w := x.Dims[0], x.Dims[1], x.Dims[2]
 	if global {
@@ -126,7 +158,7 @@ func poolQ(x *QTensor, kernel, stride int, global, isMax bool) (*QTensor, error)
 		stride = 1
 	}
 	if kernel <= 0 || stride <= 0 {
-		return nil, fmt.Errorf("quant: pool kernel/stride must be positive")
+		return fmt.Errorf("quant: pool kernel/stride must be positive")
 	}
 	var outH, outW int
 	if global {
@@ -136,14 +168,13 @@ func poolQ(x *QTensor, kernel, stride int, global, isMax bool) (*QTensor, error)
 		outW = (w-kernel)/stride + 1
 	}
 	if outH <= 0 || outW <= 0 {
-		return nil, fmt.Errorf("quant: pool output collapses")
+		return fmt.Errorf("quant: pool output collapses")
 	}
-	out := &QTensor{
-		Data:  make([]int8, c*outH*outW),
-		Dims:  []int{c, outH, outW},
-		Scale: x.Scale,
-		Bits:  x.Bits,
-	}
+	out := dst
+	out.Data = growInt8(out.Data, c*outH*outW)
+	out.Dims = append(out.Dims[:0], c, outH, outW)
+	out.Scale = x.Scale
+	out.Bits = x.Bits
 	for ch := 0; ch < c; ch++ {
 		for oy := 0; oy < outH; oy++ {
 			for ox := 0; ox < outW; ox++ {
@@ -183,65 +214,119 @@ func poolQ(x *QTensor, kernel, stride int, global, isMax bool) (*QTensor, error)
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // AddQ adds quantized tensors element-wise, requantizing both operands to
 // outScale at the given precision (the DPU's eltwise unit).
 func AddQ(a, b *QTensor, outScale float32, bits int) (*QTensor, error) {
-	if err := validBits(bits); err != nil {
+	out := &QTensor{}
+	if err := AddQInto(out, a, b, outScale, bits); err != nil {
 		return nil, err
 	}
-	if len(a.Data) != len(b.Data) {
-		return nil, fmt.Errorf("quant: add size mismatch %v vs %v", a.Dims, b.Dims)
+	return out, nil
+}
+
+// AddQInto is AddQ into a reused destination tensor. dst may alias a (the
+// accumulation pattern of a multi-input eltwise node).
+func AddQInto(dst, a, b *QTensor, outScale float32, bits int) error {
+	if err := validBits(bits); err != nil {
+		return err
 	}
-	out := &QTensor{
-		Data:  make([]int8, len(a.Data)),
-		Dims:  append([]int(nil), a.Dims...),
-		Scale: outScale,
-		Bits:  bits,
+	if len(a.Data) != len(b.Data) {
+		return fmt.Errorf("quant: add size mismatch %v vs %v", a.Dims, b.Dims)
 	}
 	ra := float64(a.Scale) / float64(outScale)
 	rb := float64(b.Scale) / float64(outScale)
 	qmax := QMax(bits)
-	for i := range a.Data {
-		v := math.RoundToEven(float64(a.Data[i])*ra + float64(b.Data[i])*rb)
-		out.Data[i] = clampToInt8(int32(v), qmax)
+	ad, bd := a.Data, b.Data
+	dst.Data = growInt8(dst.Data, len(ad))
+	dst.Dims = append(dst.Dims[:0], a.Dims...)
+	dst.Scale = outScale
+	dst.Bits = bits
+	for i := range ad {
+		v := math.RoundToEven(float64(ad[i])*ra + float64(bd[i])*rb)
+		dst.Data[i] = clampToInt8(int32(v), qmax)
 	}
-	return out, nil
+	return nil
+}
+
+// BatchNormQInto applies a folded per-channel batch norm
+// (y = x*scale[c] + shift[c]) in the quantized domain. The per-element
+// float conversions are hoisted: each channel's multiplier and offset are
+// precomputed once in the output-code domain, so the inner loop is one
+// fused multiply-add per element. Note the hoist reassociates the float64
+// arithmetic (x*(xScale*sc/outScale) + sh/outScale instead of
+// (x*xScale*sc + sh)/outScale): on a near-exact rounding tie the emitted
+// code can differ by one from the pre-hoist form. Compiled kernels are
+// unaffected — DECENT folds conv-fed batch norms into the conv weights
+// before quantization.
+func BatchNormQInto(dst, x *QTensor, scale, shift []float32, outScale float32, bits int) {
+	c := len(scale)
+	hw := len(x.Data) / c
+	dst.Data = growInt8(dst.Data, len(x.Data))
+	dst.Dims = append(dst.Dims[:0], x.Dims...)
+	dst.Scale = outScale
+	dst.Bits = bits
+	qmax := float64(QMax(bits))
+	xd, od := x.Data, dst.Data
+	for ch := 0; ch < c; ch++ {
+		// Per-channel constants in the output-code domain: code =
+		// x*m + b, where m folds the input scale and the channel gain
+		// and b folds the channel shift.
+		m := float64(x.Scale) * float64(scale[ch]) / float64(outScale)
+		b := float64(shift[ch]) / float64(outScale)
+		for i := ch * hw; i < (ch+1)*hw; i++ {
+			code := math.RoundToEven(float64(xd[i])*m + b)
+			if code > qmax {
+				code = qmax
+			}
+			if code < -qmax {
+				code = -qmax
+			}
+			od[i] = int8(code)
+		}
+	}
 }
 
 // ConcatQ concatenates along channels, requantizing every input to
 // outScale.
 func ConcatQ(inputs []*QTensor, outScale float32, bits int) (*QTensor, error) {
-	if err := validBits(bits); err != nil {
+	out := &QTensor{}
+	if err := ConcatQInto(out, inputs, outScale, bits); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// ConcatQInto is ConcatQ into a reused destination tensor.
+func ConcatQInto(dst *QTensor, inputs []*QTensor, outScale float32, bits int) error {
+	if err := validBits(bits); err != nil {
+		return err
+	}
 	if len(inputs) < 2 {
-		return nil, fmt.Errorf("quant: concat needs at least 2 inputs")
+		return fmt.Errorf("quant: concat needs at least 2 inputs")
 	}
 	h, w := inputs[0].Dims[1], inputs[0].Dims[2]
 	totalC := 0
 	for _, q := range inputs {
 		if len(q.Dims) != 3 || q.Dims[1] != h || q.Dims[2] != w {
-			return nil, fmt.Errorf("quant: concat spatial mismatch")
+			return fmt.Errorf("quant: concat spatial mismatch")
 		}
 		totalC += q.Dims[0]
 	}
-	out := &QTensor{
-		Data:  make([]int8, totalC*h*w),
-		Dims:  []int{totalC, h, w},
-		Scale: outScale,
-		Bits:  bits,
-	}
+	dst.Data = growInt8(dst.Data, totalC*h*w)
+	dst.Dims = append(dst.Dims[:0], totalC, h, w)
+	dst.Scale = outScale
+	dst.Bits = bits
 	qmax := QMax(bits)
 	off := 0
 	for _, q := range inputs {
 		r := float64(q.Scale) / float64(outScale)
 		for _, v := range q.Data {
-			out.Data[off] = clampToInt8(int32(math.RoundToEven(float64(v)*r)), qmax)
+			dst.Data[off] = clampToInt8(int32(math.RoundToEven(float64(v)*r)), qmax)
 			off++
 		}
 	}
-	return out, nil
+	return nil
 }

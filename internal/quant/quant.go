@@ -60,33 +60,47 @@ func Quantize(t *tensor.Tensor, bits int) (*QTensor, error) {
 
 // QuantizeWithScale converts a float tensor using a pre-calibrated scale.
 func QuantizeWithScale(t *tensor.Tensor, scale float32, bits int) (*QTensor, error) {
-	if err := validBits(bits); err != nil {
+	q := &QTensor{}
+	if err := QuantizeWithScaleInto(q, t, scale, bits); err != nil {
 		return nil, err
 	}
+	return q, nil
+}
+
+// QuantizeWithScaleInto quantizes t into dst, reusing dst's backing
+// storage when it is large enough.
+func QuantizeWithScaleInto(dst *QTensor, t *tensor.Tensor, scale float32, bits int) error {
+	if err := validBits(bits); err != nil {
+		return err
+	}
 	if scale <= 0 {
-		return nil, fmt.Errorf("quant: scale must be positive, got %g", scale)
+		return fmt.Errorf("quant: scale must be positive, got %g", scale)
 	}
-	q := &QTensor{
-		Data:  make([]int8, t.Size()),
-		Dims:  t.Dims(),
-		Scale: scale,
-		Bits:  bits,
-	}
+	dst.Data = growInt8(dst.Data, t.Size())
+	dst.Dims = t.DimsInto(dst.Dims)
+	dst.Scale = scale
+	dst.Bits = bits
 	qmax := QMax(bits)
 	for i, v := range t.Data() {
-		q.Data[i] = clampToInt8(int32(math.RoundToEven(float64(v/scale))), qmax)
+		dst.Data[i] = clampToInt8(int32(math.RoundToEven(float64(v/scale))), qmax)
 	}
-	return q, nil
+	return nil
 }
 
 // Dequantize converts back to float32.
 func (q *QTensor) Dequantize() *tensor.Tensor {
 	out := tensor.New(q.Dims...)
-	d := out.Data()
+	q.DequantizeInto(out)
+	return out
+}
+
+// DequantizeInto writes the float view of q into t, which must have
+// matching size.
+func (q *QTensor) DequantizeInto(t *tensor.Tensor) {
+	d := t.Data()
 	for i, v := range q.Data {
 		d[i] = float32(v) * q.Scale
 	}
-	return out
 }
 
 // Size returns the element count.
@@ -107,22 +121,9 @@ func (q *QTensor) Clone() *QTensor {
 // Requantize maps int32 accumulators with scale accScale to an int8
 // tensor with scale outScale at the given precision.
 func Requantize(acc []int32, dims []int, accScale, outScale float32, bits int) (*QTensor, error) {
-	if err := validBits(bits); err != nil {
+	q := &QTensor{}
+	if err := RequantizeInto(q, acc, accScale, outScale, bits, false, dims...); err != nil {
 		return nil, err
-	}
-	if outScale <= 0 {
-		return nil, fmt.Errorf("quant: output scale must be positive, got %g", outScale)
-	}
-	q := &QTensor{
-		Data:  make([]int8, len(acc)),
-		Dims:  append([]int(nil), dims...),
-		Scale: outScale,
-		Bits:  bits,
-	}
-	ratio := float64(accScale) / float64(outScale)
-	qmax := QMax(bits)
-	for i, a := range acc {
-		q.Data[i] = clampToInt8(int32(math.RoundToEven(float64(a)*ratio)), qmax)
 	}
 	return q, nil
 }

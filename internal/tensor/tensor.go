@@ -46,6 +46,10 @@ func FromSlice(data []float32, dims ...int) (*Tensor, error) {
 // Dims returns a copy of the tensor's dimensions.
 func (t *Tensor) Dims() []int { return append([]int(nil), t.dims...) }
 
+// DimsInto copies the dimensions into dst's backing array (growing it if
+// needed) and returns the result — the allocation-free form of Dims.
+func (t *Tensor) DimsInto(dst []int) []int { return append(dst[:0], t.dims...) }
+
 // Dim returns the size of axis i.
 func (t *Tensor) Dim(i int) int { return t.dims[i] }
 
@@ -151,9 +155,6 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		crow := out.data[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
 			av := arow[p]
-			if av == 0 {
-				continue
-			}
 			brow := b.data[p*n : (p+1)*n]
 			for j := 0; j < n; j++ {
 				crow[j] += av * brow[j]
