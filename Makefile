@@ -31,14 +31,18 @@ bench-governed:
 	$(GO) test -run '^$$' -bench BenchmarkGovernedFleet -benchtime 2s .
 
 # Machine-readable perf snapshot of the compute-engine hot paths
-# (conv kernels naive vs GEMM; steady-state classify time + allocs).
-# CI runs this and uploads BENCH_3.json so the perf trajectory is
-# recorded per commit.
+# (conv kernels naive vs GEMM; steady-state classify time + allocs;
+# batched inference at batch 1/8/32). CI runs this and uploads
+# BENCH_$(BENCH_NUM).json so the perf trajectory is recorded per commit;
+# bump BENCH_NUM (or pass BENCH_NUM=n) when a PR re-baselines the
+# snapshot. -cpu 4 raises GOMAXPROCS to cover the DPU's three cores, so
+# the batched executor's per-core lanes actually run in parallel.
 # Two steps (not a pipeline) so a benchmark failure fails the target
 # instead of being masked by benchjson's exit status.
+BENCH_NUM ?= 4
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkConvKernels|BenchmarkClassifySteadyState' \
-		-benchmem -benchtime 0.3s -count 1 . > BENCH_3.raw
-	$(GO) run ./cmd/benchjson < BENCH_3.raw > BENCH_3.json
-	@rm -f BENCH_3.raw
-	@cat BENCH_3.json
+	$(GO) test -run '^$$' -bench 'BenchmarkConvKernels|BenchmarkClassifySteadyState|BenchmarkInferBatched' \
+		-benchmem -benchtime 0.3s -count 1 -cpu 4 . > BENCH_$(BENCH_NUM).raw
+	$(GO) run ./cmd/benchjson -label BENCH_$(BENCH_NUM) < BENCH_$(BENCH_NUM).raw > BENCH_$(BENCH_NUM).json
+	@rm -f BENCH_$(BENCH_NUM).raw
+	@cat BENCH_$(BENCH_NUM).json

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -262,6 +263,74 @@ func BenchmarkClassifySteadyState(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkInferBatched measures the batch-native inference path at
+// batch sizes 1/8/32: a fixed 32-image workload is pushed through
+// Task.InferBatch in slices of the batch size, at equal voltage (550 mV,
+// critical region — MAC fault sampling live on every pass, the serving
+// regime). Larger batches amortize per-pass overhead, run one stacked
+// multi-RHS GEMM per layer, and fan the micro-batch across the DPU's
+// three cores, so images/sec rises with batch size (bounded by the
+// machine's usable cores; run via `make bench-json`, which raises
+// GOMAXPROCS to cover the DPU's core count). Reports images/sec and
+// steady-state heap allocations per image.
+func BenchmarkInferBatched(b *testing.B) {
+	brd := board.MustNew(board.SampleB)
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, _ := models.New("VGGNet", models.Tiny)
+	k, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := rt.LoadKernel(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const images = 32
+	ds := bench.MakeDataset(images, 1)
+	if err := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT).SetVoltageMV(550); err != nil {
+		b.Fatal(err)
+	}
+	for _, bs := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			scratch := dpu.NewScratch()
+			master := rand.New(rand.NewSource(7))
+			pass := func() {
+				for lo := 0; lo < images; lo += bs {
+					hi := lo + bs
+					if hi > images {
+						hi = images
+					}
+					rngs := scratch.BatchRNGs(hi - lo)
+					for j := range rngs {
+						rngs[j].Seed(master.Int63())
+					}
+					if _, err := task.InferBatch(scratch, ds.Inputs[lo:hi], rngs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			pass() // warm the arena (first pass grows the buffers)
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pass()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			total := float64(b.N) * images
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(total/secs, "images/s")
+			}
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/total, "allocs/img")
+		})
+	}
 }
 
 // BenchmarkDPUInference measures one fault-free inference through the

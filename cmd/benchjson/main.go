@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH.json
+//	go test -run '^$' -bench . -benchmem . | benchjson [-label BENCH_4] > BENCH.json
+//
+// The optional -label stamps the report with the artifact's series name,
+// so downstream tooling can tell which numbered snapshot a document is
+// without parsing its filename.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -26,6 +31,7 @@ type Benchmark struct {
 
 // Report is the document written to stdout.
 type Report struct {
+	Label      string      `json:"label,omitempty"`
 	GoOS       string      `json:"goos,omitempty"`
 	GoArch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
@@ -34,7 +40,9 @@ type Report struct {
 }
 
 func main() {
-	rep := Report{Benchmarks: []Benchmark{}}
+	label := flag.String("label", "", "artifact series name stamped into the report")
+	flag.Parse()
+	rep := Report{Label: *label, Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

@@ -6,12 +6,15 @@
 // Usage:
 //
 //	uvolt-serve [-addr :8090] [-boards 3] [-bench VGGNet] [-images 32]
-//	            [-margin 10] [-batch 8] [-batch-window 2ms]
+//	            [-margin 10] [-batch 8] [-batch-images 16] [-micro-batch 16]
+//	            [-batch-window 2ms]
 //	            [-governor] [-governor-interval 25ms] [-governor-step 5]
 //	            [-governor-margin 5] [-governor-probe 12]
 //
 // Endpoints:
 //
+//	POST /v1/infer         {"pixels": [...]}      classify one image
+//	                       {"image_b64": "..."}   (base64 LE float32 CHW)
 //	POST /v1/classify      {"seed": 7}            one evaluation-set pass
 //	GET  /v1/fleet/status                         pool + per-board snapshot
 //	POST /v1/fleet/voltage {"board": 0, "mv": 500}  command a VCCINT rail
@@ -46,7 +49,9 @@ func main() {
 	sparsity := flag.Float64("sparsity", 0, "DECENT pruning sparsity")
 	margin := flag.Float64("margin", 10, "mV of headroom above each board's Vmin")
 	target := flag.Float64("target", 0, "explicit operating point in mV (0 = Vmin+margin)")
-	batch := flag.Int("batch", 8, "max requests coalesced per accelerator pass")
+	batch := flag.Int("batch", 8, "max classify requests coalesced per accelerator pass")
+	batchImages := flag.Int("batch-images", 16, "max images coalesced per inference micro-batch")
+	microBatch := flag.Int("micro-batch", 16, "accelerator-pass size for inference jobs")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "batching window")
 	governor := flag.Bool("governor", false, "start the adaptive voltage governor enabled")
 	govInterval := flag.Duration("governor-interval", 25*time.Millisecond, "governor control period per board")
@@ -58,14 +63,15 @@ func main() {
 	log.Printf("uvolt-serve: bringing up %d boards serving %s (characterizing Vmin/Vcrash)...", *boards, *bench)
 	t0 := time.Now()
 	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
-		Boards:    *boards,
-		Benchmark: *bench,
-		Tiny:      *tiny,
-		Images:    *images,
-		Bits:      *bits,
-		Sparsity:  *sparsity,
-		MarginMV:  *margin,
-		TargetMV:  *target,
+		Boards:     *boards,
+		Benchmark:  *bench,
+		Tiny:       *tiny,
+		Images:     *images,
+		Bits:       *bits,
+		Sparsity:   *sparsity,
+		MarginMV:   *margin,
+		TargetMV:   *target,
+		MicroBatch: *microBatch,
 		Governor: fpgauv.GovernorConfig{
 			Enabled:     *governor,
 			Interval:    *govInterval,
@@ -86,7 +92,11 @@ func main() {
 	}
 	log.Printf("uvolt-serve: fleet ready in %s", time.Since(t0).Round(time.Millisecond))
 
-	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{BatchSize: *batch, BatchWindow: *window})
+	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{
+		BatchSize:   *batch,
+		BatchImages: *batchImages,
+		BatchWindow: *window,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
@@ -113,8 +123,9 @@ func main() {
 	}
 	srv.Close()
 	st := pool.Status()
-	fmt.Printf("served=%d crashes=%d reboots=%d redeploys=%d canceled=%d\n",
-		st.Served, st.Crashes, st.Reboots, st.Redeploys, st.Canceled)
+	fmt.Printf("served=%d (eval=%d infer=%d images=%d) crashes=%d reboots=%d redeploys=%d canceled=%d\n",
+		st.Served, st.EvalServed, st.InferServed, st.InferImages,
+		st.Crashes, st.Reboots, st.Redeploys, st.Canceled)
 	if st.Governor != nil && st.Governor.Enabled {
 		// Rails are back at nominal after Close, so only the cumulative
 		// energy saving is meaningful here.

@@ -13,10 +13,18 @@ type (
 	Fleet = fleet.Pool
 	// FleetConfig sizes and parameterizes a fleet.
 	FleetConfig = fleet.Config
-	// FleetRequest is one classification job.
+	// FleetRequest is one classification job (a full evaluation-set
+	// pass).
 	FleetRequest = fleet.Request
 	// FleetResult reports one served request.
 	FleetResult = fleet.Result
+	// FleetInferRequest is one inference job: caller-supplied images
+	// classified individually, batched into shared accelerator passes.
+	FleetInferRequest = fleet.InferRequest
+	// FleetInferResult reports one served inference job.
+	FleetInferResult = fleet.InferResult
+	// FleetInferOutput is one image's classification.
+	FleetInferOutput = fleet.InferOutput
 	// FleetStatus is a whole-pool snapshot.
 	FleetStatus = fleet.Status
 	// FleetBoardStatus is one board's health and telemetry snapshot.

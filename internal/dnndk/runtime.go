@@ -109,14 +109,34 @@ func (t *Task) RunWith(s *dpu.Scratch, img *tensor.Tensor, rng *rand.Rand) (*dpu
 	return t.rt.dp.RunWith(s, t.Kernel, img, rng)
 }
 
-// refKey identifies a kernel+dataset pair for the reference cache.
+// MicroBatch is the default accelerator-pass size: eval-set passes (and
+// the fleet's inference jobs, by default) are sliced into micro-batches
+// of this many images, each executed as one batched pass with BRAM
+// faults persistent across it.
+const MicroBatch = 16
+
+// InferBatch classifies one micro-batch of caller images in a single
+// batched accelerator pass, returning one Result per image. rngs[i] is
+// image i's fault stream (see dpu.RunBatch for the batch fault
+// contract). Results are staged in the Scratch and valid until the next
+// run on it.
+func (t *Task) InferBatch(s *dpu.Scratch, imgs []*tensor.Tensor, rngs []*rand.Rand) ([]dpu.Result, error) {
+	t.rt.brd.SetWorkload(t.Kernel.Workload)
+	return t.rt.dp.RunBatch(s, t.Kernel, imgs, rngs)
+}
+
+// refKey identifies a kernel+dataset pair for the reference cache. The
+// dataset part is its content fingerprint, never its address: a freed
+// dataset and a new one allocated at the same address must not alias
+// cache entries (and a re-made identical dataset may share them).
 func (t *Task) refKey(ds *models.Dataset) string {
-	return fmt.Sprintf("%s/%p", t.ddrKey, ds)
+	return fmt.Sprintf("%s/%s#%d:%016x", t.ddrKey, ds.Name, ds.Len(), ds.Fingerprint())
 }
 
 // ReferencePreds returns the kernel's fault-free predictions on the
 // dataset, computing and caching them on first use. These are the
 // predictions used to plant ground-truth labels at the Table 1 accuracy.
+// The pass runs on the batched executor, micro-batch by micro-batch.
 func (t *Task) ReferencePreds(ds *models.Dataset) ([]int, error) {
 	key := t.refKey(ds)
 	if preds, ok := t.rt.refCache[key]; ok {
@@ -124,12 +144,18 @@ func (t *Task) ReferencePreds(ds *models.Dataset) ([]int, error) {
 	}
 	preds := make([]int, ds.Len())
 	scratch := dpu.NewScratch() // one arena for the whole reference pass
-	for i, img := range ds.Inputs {
-		res, err := t.rt.dp.RunCleanWith(scratch, t.Kernel, img)
+	for lo := 0; lo < ds.Len(); lo += MicroBatch {
+		hi := lo + MicroBatch
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		results, err := t.rt.dp.RunBatchClean(scratch, t.Kernel, ds.Inputs[lo:hi])
 		if err != nil {
 			return nil, fmt.Errorf("dnndk: reference inference: %w", err)
 		}
-		preds[i] = res.Pred
+		for i := range results {
+			preds[lo+i] = results[i].Pred
+		}
 	}
 	t.rt.refCache[key] = preds
 	return preds, nil
@@ -165,6 +191,11 @@ func (t *Task) Classify(ds *models.Dataset, rng *rand.Rand) (*ClassifyResult, er
 // fleet's per-board workers and the sweep campaigns pass their own so a
 // steady-state evaluation pass performs near-zero heap allocations. A nil
 // Scratch allocates a transient arena for the pass.
+//
+// The faulty-region pass runs on the batched executor: the evaluation set
+// is one big batch sliced into micro-batches, per-image MAC fault streams
+// derived from rng (one Int63 draw per image, so a pinned rng still pins
+// the whole pass), and BRAM faults persistent per micro-batch.
 func (t *Task) ClassifyWith(s *dpu.Scratch, ds *models.Dataset, rng *rand.Rand) (*ClassifyResult, error) {
 	if err := t.rt.brd.CheckAlive(); err != nil {
 		return nil, err
@@ -186,15 +217,26 @@ func (t *Task) ClassifyWith(s *dpu.Scratch, ds *models.Dataset, rng *rand.Rand) 
 		if s == nil {
 			s = dpu.NewScratch()
 		}
-		out.Preds = make([]int, ds.Len())
-		for i, img := range ds.Inputs {
-			res, err := t.RunWith(s, img, rng)
+		n := ds.Len()
+		out.Preds = make([]int, n)
+		rngs := s.BatchRNGs(n)
+		for i := range rngs[:n] {
+			rngs[i].Seed(rng.Int63())
+		}
+		for lo := 0; lo < n; lo += MicroBatch {
+			hi := lo + MicroBatch
+			if hi > n {
+				hi = n
+			}
+			results, err := t.InferBatch(s, ds.Inputs[lo:hi], rngs[lo:hi])
 			if err != nil {
 				return nil, err
 			}
-			out.Preds[i] = res.Pred
-			out.MACFaults += res.MACFaults
-			out.BRAMFaults += res.BRAMFaults
+			for i := range results {
+				out.Preds[lo+i] = results[i].Pred
+				out.MACFaults += results[i].MACFaults
+				out.BRAMFaults += results[i].BRAMFaults
+			}
 		}
 	}
 

@@ -1,0 +1,388 @@
+package dpu
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"fpgauv/internal/fabric"
+	"fpgauv/internal/nn"
+	"fpgauv/internal/quant"
+	"fpgauv/internal/tensor"
+)
+
+// This file is the batch-native executor: one accelerator pass classifies
+// a micro-batch of images. Per layer, the batch's patch matrices stack
+// into a single multi-RHS GEMM (the FC GEMV becomes a GEMM over the
+// batch), the micro-batch is split across the DPU's cores (one lane per
+// core, each advancing its images in layer lockstep), and BRAM weight
+// faults are flipped ONCE per batch and restored after it — the
+// paper-faithful persistence semantics (a voltage-induced BRAM bit flip
+// physically persists until scrub/reboot, so every image of a batch
+// observes the same corrupted weights), which also deletes the per-image
+// flip/restore cost from the hot path and makes the parallel lanes safe:
+// the shared weight tensors are immutable while the lanes run.
+
+// batchArena is the Scratch's batched-execution extension. All state is
+// arena-owned and reused across batches, so a warm steady-state batch
+// performs near-zero heap allocations.
+type batchArena struct {
+	imgs  []*Scratch   // per-image sub-arenas (index = image ordinal)
+	lanes []*batchLane // per-DPU-core stacked GEMM buffers
+	res   []Result     // per-image staged results
+	flips []weightFlip // batch-persistent BRAM flip records
+	rngs  []*rand.Rand // pooled per-image fault streams for callers
+	errMu sync.Mutex
+	err   error
+}
+
+// batchLane holds one core's stacked im2col/accumulator buffers and its
+// batched-input gather table.
+type batchLane struct {
+	col []int8
+	acc []int32
+	xs  []*quant.QTensor
+}
+
+// weightFlip records one batch-persistent BRAM bit flip so the shared
+// weight tensor can be restored after the batch (XOR is its own inverse).
+type weightFlip struct {
+	w   *quant.QTensor
+	idx int32
+	bit uint8
+}
+
+// batchBind readies the arena for a batch of n images across w lanes.
+func (s *Scratch) batchBind(n, w int) *batchArena {
+	ba := s.batch
+	if ba == nil {
+		ba = &batchArena{}
+		s.batch = ba
+	}
+	for len(ba.imgs) < n {
+		ba.imgs = append(ba.imgs, NewScratch())
+	}
+	for len(ba.lanes) < w {
+		ba.lanes = append(ba.lanes, &batchLane{})
+	}
+	if cap(ba.res) < n {
+		ba.res = make([]Result, n)
+	}
+	ba.res = ba.res[:n]
+	ba.err = nil
+	return ba
+}
+
+// BatchRNGs returns n arena-pooled fault-stream generators for a batched
+// run. Callers seed each generator (rngs[i].Seed(...)) before passing the
+// slice to RunBatch; pooling them in the arena keeps the steady-state
+// serving path allocation-free.
+func (s *Scratch) BatchRNGs(n int) []*rand.Rand {
+	ba := s.batch
+	if ba == nil {
+		ba = &batchArena{}
+		s.batch = ba
+	}
+	for len(ba.rngs) < n {
+		ba.rngs = append(ba.rngs, rand.New(rand.NewSource(0)))
+	}
+	return ba.rngs[:n]
+}
+
+// RunBatch executes one micro-batch at the board's present electrical
+// conditions, returning one Result per image. rngs[i] drives image i's
+// MAC-fault stream, so a batch member is bit-exact with a single-image
+// Run that sees the same fault stream. BRAM flips are sampled once per
+// weight layer per batch from rngs[0] and persist across the whole batch
+// (restored before returning); each image's Result reports the batch's
+// flip count — the faults its pass observed — so aggregate BRAM fault
+// statistics keep the per-image expectation of the single-image path.
+//
+// The returned Results (and their Probs tensors) are staged in the
+// Scratch and only valid until the next run on it. A nil Scratch
+// allocates a transient arena and returns detached results.
+func (d *DPU) RunBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*rand.Rand) ([]Result, error) {
+	if err := d.brd.CheckAlive(); err != nil {
+		return nil, err
+	}
+	cond := d.brd.Conditions()
+	cond.Stress = k.Workload.Stress
+	fab := d.brd.Fabric()
+	pMAC := fab.MACFaultProb(cond) * k.VulnScale
+	if pMAC > 0.5 {
+		pMAC = 0.5
+	}
+	pBRAM := fab.BRAMBitFaultProb(cond)
+	res, err := d.runBatch(s, k, imgs, rngs, pMAC, pBRAM)
+	if err != nil {
+		return nil, err
+	}
+	// A fault storm near Vcrash can also hang the board mid-batch.
+	if err := d.brd.CheckAlive(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunBatchClean executes a micro-batch with fault injection disabled and
+// without consulting the board's electrical state — the batched
+// fault-free reference path.
+func (d *DPU) RunBatchClean(s *Scratch, k *Kernel, imgs []*tensor.Tensor) ([]Result, error) {
+	return d.runBatch(s, k, imgs, nil, 0, 0)
+}
+
+// runBatch is the batched execution core. rngs may be nil only when both
+// fault probabilities are zero.
+func (d *DPU) runBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*rand.Rand, pMAC, pBRAM float64) ([]Result, error) {
+	n := len(imgs)
+	if n == 0 {
+		return nil, nil
+	}
+	if rngs != nil && len(rngs) < n {
+		return nil, fmt.Errorf("dpu: %d fault streams for %d images", len(rngs), n)
+	}
+	if (pMAC > 0 || pBRAM > 0) && rngs == nil {
+		return nil, fmt.Errorf("dpu: fault injection requires per-image fault streams")
+	}
+	detached := false
+	if s == nil {
+		s = NewScratch()
+		detached = true
+	}
+	w := d.nCores
+	if w > n {
+		w = n
+	}
+	ba := s.batchBind(n, w)
+
+	// Persistent faults: flip once per batch, before the lanes start, so
+	// the shared weight tensors are immutable while the batch runs.
+	var batchFlips int64
+	if pBRAM > 0 {
+		batchFlips = d.flipBatchWeights(ba, k, pBRAM, rngs[0])
+	}
+
+	// Fan the batch across the DPU cores: lane c serves the contiguous
+	// image range [lo, hi). A single lane runs inline.
+	if w == 1 {
+		d.runBatchLane(ba, ba.lanes[0], k, imgs, rngs, 0, n, pMAC)
+	} else {
+		var wg sync.WaitGroup
+		lo := 0
+		for c := 0; c < w; c++ {
+			span := n / w
+			if c < n%w {
+				span++
+			}
+			hi := lo + span
+			wg.Add(1)
+			go func(ln *batchLane, lo, hi int) {
+				defer wg.Done()
+				d.runBatchLane(ba, ln, k, imgs, rngs, lo, hi, pMAC)
+			}(ba.lanes[c], lo, hi)
+			lo = hi
+		}
+		wg.Wait()
+	}
+
+	d.restoreBatchWeights(ba)
+	if ba.err != nil {
+		return nil, ba.err
+	}
+	for i := range ba.res {
+		ba.res[i].BRAMFaults += batchFlips
+	}
+	if detached {
+		out := make([]Result, n)
+		copy(out, ba.res)
+		for i := range out {
+			out[i].Probs = out[i].Probs.Clone()
+		}
+		return out, nil
+	}
+	return ba.res, nil
+}
+
+// runBatchLane advances images [lo, hi) through the graph in layer
+// lockstep: conv/FC nodes run as one stacked GEMM over the lane's
+// sub-batch, every other node runs per image through the shared host-op
+// executor. Errors are recorded on the arena (first one wins).
+func (d *DPU) runBatchLane(ba *batchArena, ln *batchLane, k *Kernel, imgs []*tensor.Tensor, rngs []*rand.Rand, lo, hi int, pMAC float64) {
+	fail := func(err error) {
+		ba.errMu.Lock()
+		if ba.err == nil {
+			ba.err = err
+		}
+		ba.errMu.Unlock()
+	}
+	for i := lo; i < hi; i++ {
+		sc := ba.imgs[i]
+		sc.bind(k)
+		ba.res[i] = Result{}
+		if err := quant.QuantizeWithScaleInto(&sc.inQ, imgs[i], k.InScale, k.Bits); err != nil {
+			fail(fmt.Errorf("dpu: input quantization: %w", err))
+			return
+		}
+	}
+	nodes := ba.imgs[lo].nodes
+	for idx, n := range nodes {
+		kn := &k.Nodes[idx]
+		switch n.Op.(type) {
+		case *nn.Conv2D, *nn.Dense:
+			if err := d.runBatchWeightLayer(ba, ln, idx, n, kn, k, rngs, lo, hi, pMAC); err != nil {
+				fail(err)
+				return
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				if err := d.runHostNode(ba.imgs[i], idx, n, kn, k); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if err := finishRun(ba.imgs[i], k, &ba.res[i]); err != nil {
+			fail(err)
+			return
+		}
+	}
+}
+
+// runBatchWeightLayer executes one conv/FC node for a lane's sub-batch:
+// one stacked multi-RHS GEMM (or the per-image naive oracle when
+// reference kernels are forced), then per-image MAC-fault injection and
+// the fused requantize(+ReLU) epilogue — each image's accumulator block
+// has the exact single-image layout, so injection and epilogue are
+// bit-exact with the per-image path.
+func (d *DPU) runBatchWeightLayer(ba *batchArena, ln *batchLane, idx int, n nn.Node, kn *KernelNode, k *Kernel, rngs []*rand.Rand, lo, hi int, pMAC float64) error {
+	nb := hi - lo
+	if cap(ln.xs) < nb {
+		ln.xs = make([]*quant.QTensor, nb)
+	}
+	xs := ln.xs[:nb]
+	for b := 0; b < nb; b++ {
+		x, err := ba.imgs[lo+b].fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		xs[b] = x
+	}
+
+	var blockLen, nd int
+	var dims [3]int
+	switch op := n.Op.(type) {
+	case *nn.Conv2D:
+		if d.refKernels {
+			return d.refBatchWeightLayer(ba, idx, n, kn, k, rngs, lo, hi, pMAC)
+		}
+		sh, err := quant.Conv2DInt8GemmBatch(xs, kn.WQ, kn.BiasQ, op.Stride, op.Pad, &ln.col, &ln.acc)
+		if err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		blockLen = sh.AccLen()
+		dims = [3]int{sh.OutC, sh.OutH, sh.OutW}
+		nd = 3
+	case *nn.Dense:
+		if d.refKernels {
+			return d.refBatchWeightLayer(ba, idx, n, kn, k, rngs, lo, hi, pMAC)
+		}
+		width, err := quant.DenseInt8GemmBatch(xs, kn.WQ, kn.BiasQ, &ln.acc)
+		if err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		blockLen = width
+		dims[0] = width
+		nd = 1
+	}
+
+	for b := 0; b < nb; b++ {
+		i := lo + b
+		sc := ba.imgs[i]
+		block := ln.acc[b*blockLen : (b+1)*blockLen]
+		var rng *rand.Rand
+		if rngs != nil {
+			rng = rngs[i]
+		}
+		ba.res[i].MACFaults += injectMACFaults(block, kn.MACs, pMAC, rng)
+		out := sc.act(idx)
+		relu := sc.fuseReLU[idx] >= 0
+		if err := quant.RequantizeInto(out, block, kn.AccScale, kn.OutScale, k.Bits, relu, dims[:nd]...); err != nil {
+			return err
+		}
+		sc.refs[idx] = out
+	}
+	return nil
+}
+
+// refBatchWeightLayer is the reference-kernel (naive oracle) form of a
+// batched weight layer: per-image direct conv/FC, with the shared
+// injection and epilogue.
+func (d *DPU) refBatchWeightLayer(ba *batchArena, idx int, n nn.Node, kn *KernelNode, k *Kernel, rngs []*rand.Rand, lo, hi int, pMAC float64) error {
+	for i := lo; i < hi; i++ {
+		sc := ba.imgs[i]
+		x, err := sc.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		var acc []int32
+		var dd []int
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			acc, dd, err = quant.Conv2DInt8(x, kn.WQ, kn.BiasQ, op.Stride, op.Pad)
+		case *nn.Dense:
+			acc, dd, err = quant.DenseInt8(x, kn.WQ, kn.BiasQ)
+		}
+		if err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		var rng *rand.Rand
+		if rngs != nil {
+			rng = rngs[i]
+		}
+		ba.res[i].MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
+		out := sc.act(idx)
+		relu := sc.fuseReLU[idx] >= 0
+		if err := quant.RequantizeInto(out, acc, kn.AccScale, kn.OutScale, k.Bits, relu, dd...); err != nil {
+			return err
+		}
+		sc.refs[idx] = out
+	}
+	return nil
+}
+
+// flipBatchWeights applies the batch's persistent BRAM faults: per weight
+// layer, in node order, flips are sampled exactly as the single-image
+// path samples them (same per-layer distribution) and applied in place on
+// the shared tensors, recorded for restoreBatchWeights. The returned
+// count is the batch's total flip events.
+func (d *DPU) flipBatchWeights(ba *batchArena, k *Kernel, pBit float64, rng *rand.Rand) int64 {
+	ba.flips = ba.flips[:0]
+	var total int64
+	for i := range k.Nodes {
+		w := k.Nodes[i].WQ
+		if w == nil {
+			continue
+		}
+		bits := int64(len(w.Data)) * int64(w.Bits)
+		kk := fabric.SampleFaults(rng, bits, pBit)
+		for f := int64(0); f < kk; f++ {
+			idx := rng.Intn(len(w.Data))
+			bit := uint8(rng.Intn(w.Bits))
+			w.Data[idx] ^= 1 << bit
+			ba.flips = append(ba.flips, weightFlip{w: w, idx: int32(idx), bit: bit})
+		}
+		total += kk
+	}
+	return total
+}
+
+// restoreBatchWeights undoes the batch's persistent flips (XOR is its own
+// inverse, so re-flipping in any order restores the original codes).
+func (d *DPU) restoreBatchWeights(ba *batchArena) {
+	for _, f := range ba.flips {
+		f.w.Data[f.idx] ^= 1 << f.bit
+	}
+	ba.flips = ba.flips[:0]
+}

@@ -71,13 +71,16 @@ type Result struct {
 // electrical conditions, injecting timing faults per the fabric model.
 // It returns board.ErrHung if the board is (or becomes) crashed.
 //
-// A Kernel must not be executed by two goroutines at once: BRAM fault
-// injection applies transient flips to the shared weight tensors
-// (restored before the call returns), so concurrent runs of the same
+// A Kernel must not be executed by two concurrent Run/RunBatch calls:
+// BRAM fault injection applies flips to the shared weight tensors
+// (restored before the call returns), so concurrent calls on the same
 // kernel would observe each other's flips. Every execution path in this
 // module already serializes per kernel (the fleet's member lock; the
 // single-goroutine campaigns and runtimes, whose reference cache has the
-// same confinement rule).
+// same confinement rule). Within one RunBatch call the per-core lanes
+// do share the kernel across goroutines — that is safe because the
+// batch's flips are applied before the lanes start and the weights are
+// immutable while they run.
 func (d *DPU) Run(k *Kernel, img *tensor.Tensor, rng *rand.Rand) (*Result, error) {
 	return d.RunWith(nil, k, img, rng)
 }
@@ -146,177 +149,188 @@ func (d *DPU) runWith(s *Scratch, k *Kernel, img *tensor.Tensor, rng *rand.Rand,
 	s.bind(k)
 	res := &s.res
 	*res = Result{}
-	nodes := s.nodes
-	acts := s.refs
-	var final *tensor.Tensor
 
 	// Quantize the input once with the calibrated scale.
 	if err := quant.QuantizeWithScaleInto(&s.inQ, img, k.InScale, k.Bits); err != nil {
 		return nil, fmt.Errorf("dpu: input quantization: %w", err)
 	}
-	inQ := &s.inQ
 
-	fetch := func(id nn.NodeID) (*quant.QTensor, error) {
-		if id == nn.InputID {
-			return inQ, nil
-		}
-		if int(id) >= len(acts) || acts[id] == nil {
-			return nil, fmt.Errorf("dpu: missing activation for node %d", id)
-		}
-		return acts[id], nil
-	}
-
-	for i, n := range nodes {
-		kn := k.Nodes[i]
-		switch op := n.Op.(type) {
+	for i, n := range s.nodes {
+		kn := &k.Nodes[i]
+		switch n.Op.(type) {
 		case *nn.Conv2D, *nn.Dense:
-			x, err := fetch(n.Inputs[0])
+			x, err := s.fetch(n.Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			if err := d.runWeightLayer(s, res, i, n, &kn, x, k.Bits, pMAC, pBRAM, rng); err != nil {
+			if err := d.runWeightLayer(s, res, i, n, kn, x, k.Bits, pMAC, pBRAM, rng); err != nil {
 				return nil, err
 			}
-		case *nn.Pool2D:
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			out := s.act(i)
-			if op.Kind == nn.MaxPool {
-				err = quant.MaxPoolQInto(out, x, op.Kernel, op.Stride, op.Global)
-			} else {
-				err = quant.AvgPoolQInto(out, x, op.Kernel, op.Stride, op.Global)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-			}
-			acts[i] = out
-		case nn.ReLU:
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			if src := n.Inputs[0]; src >= 0 && s.fuseReLU[src] == n.ID {
-				// Already applied in the producer's GEMM epilogue.
-				acts[i] = x
-				continue
-			}
-			out := s.act(i)
-			quant.ReLUQInto(out, x)
-			acts[i] = out
-		case nn.Sigmoid:
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			out := s.act(i)
-			if err := sigmoidQInto(out, s, x, kn.OutScale, k.Bits); err != nil {
-				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-			}
-			acts[i] = out
-		case *nn.LRN:
-			// Host-side op (like softmax): dequantize, normalize,
-			// requantize at the calibrated scale.
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			f, err := op.Forward([]*tensor.Tensor{x.Dequantize()})
-			if err != nil {
-				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-			}
-			out := s.act(i)
-			if err := quant.QuantizeWithScaleInto(out, f, kn.OutScale, k.Bits); err != nil {
-				return nil, err
-			}
-			acts[i] = out
-		case *nn.BatchNorm:
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			out := s.act(i)
-			quant.BatchNormQInto(out, x, op.Scale, op.Shift, kn.OutScale, k.Bits)
-			acts[i] = out
-		case nn.Flatten:
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			// Shared-data reshape view: flattening only rewrites Dims.
-			out := s.act(i)
-			out.Data = x.Data
-			out.Dims = append(out.Dims[:0], len(x.Data))
-			out.Scale = x.Scale
-			out.Bits = x.Bits
-			acts[i] = out
-		case nn.Add:
-			a, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			out := s.act(i)
-			sum := a
-			for _, id := range n.Inputs[1:] {
-				b, err := fetch(id)
-				if err != nil {
-					return nil, err
-				}
-				if err := quant.AddQInto(out, sum, b, kn.OutScale, k.Bits); err != nil {
-					return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-				}
-				sum = out
-			}
-			acts[i] = sum
-		case nn.Concat:
-			ins := s.concatTable(len(n.Inputs))
-			for j, id := range n.Inputs {
-				x, err := fetch(id)
-				if err != nil {
-					return nil, err
-				}
-				ins[j] = x
-			}
-			out := s.act(i)
-			if err := quant.ConcatQInto(out, ins, kn.OutScale, k.Bits); err != nil {
-				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-			}
-			acts[i] = out
-		case nn.Softmax:
-			// DNNDK computes softmax on the ARM host, in float.
-			x, err := fetch(n.Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			probs := floatStage(&s.probs, x.Size())
-			x.DequantizeInto(probs)
-			if err := nn.SoftmaxInPlace(probs.Data()); err != nil {
-				return nil, fmt.Errorf("dpu: node %q: %w", n.Label, err)
-			}
-			final = probs
-			// Keep a quantized copy in case the graph continues.
-			out := s.act(i)
-			if err := quant.QuantizeWithScaleInto(out, probs, kn.OutScale, k.Bits); err != nil {
-				return nil, err
-			}
-			out.Dims = append(out.Dims[:0], x.Dims...)
-			acts[i] = out
 		default:
-			return nil, fmt.Errorf("dpu: node %q: unsupported op %T", n.Label, n.Op)
+			if err := d.runHostNode(s, i, n, kn, k); err != nil {
+				return nil, err
+			}
 		}
 	}
+	if err := finishRun(s, k, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	if final == nil {
-		out, err := fetch(k.Graph.Output())
+// runHostNode executes one non-weight node (pooling, activations, host
+// ops) into the arena's activation for node i. It is shared verbatim by
+// the single-image executor and the batched executor's per-image loops,
+// so the two paths cannot drift apart.
+func (d *DPU) runHostNode(s *Scratch, i int, n nn.Node, kn *KernelNode, k *Kernel) error {
+	acts := s.refs
+	switch op := n.Op.(type) {
+	case *nn.Pool2D:
+		x, err := s.fetch(n.Inputs[0])
 		if err != nil {
-			return nil, err
+			return err
+		}
+		out := s.act(i)
+		if op.Kind == nn.MaxPool {
+			err = quant.MaxPoolQInto(out, x, op.Kernel, op.Stride, op.Global)
+		} else {
+			err = quant.AvgPoolQInto(out, x, op.Kernel, op.Stride, op.Global)
+		}
+		if err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		acts[i] = out
+	case nn.ReLU:
+		x, err := s.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		if src := n.Inputs[0]; src >= 0 && s.fuseReLU[src] == n.ID {
+			// Already applied in the producer's GEMM epilogue.
+			acts[i] = x
+			return nil
+		}
+		out := s.act(i)
+		quant.ReLUQInto(out, x)
+		acts[i] = out
+	case nn.Sigmoid:
+		x, err := s.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		out := s.act(i)
+		if err := sigmoidQInto(out, s, x, kn.OutScale, k.Bits); err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		acts[i] = out
+	case *nn.LRN:
+		// Host-side op (like softmax): dequantize, normalize,
+		// requantize at the calibrated scale.
+		x, err := s.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		f, err := op.Forward([]*tensor.Tensor{x.Dequantize()})
+		if err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		out := s.act(i)
+		if err := quant.QuantizeWithScaleInto(out, f, kn.OutScale, k.Bits); err != nil {
+			return err
+		}
+		acts[i] = out
+	case *nn.BatchNorm:
+		x, err := s.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		out := s.act(i)
+		quant.BatchNormQInto(out, x, op.Scale, op.Shift, kn.OutScale, k.Bits)
+		acts[i] = out
+	case nn.Flatten:
+		x, err := s.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		// Shared-data reshape view: flattening only rewrites Dims.
+		out := s.act(i)
+		out.Data = x.Data
+		out.Dims = append(out.Dims[:0], len(x.Data))
+		out.Scale = x.Scale
+		out.Bits = x.Bits
+		acts[i] = out
+	case nn.Add:
+		a, err := s.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		out := s.act(i)
+		sum := a
+		for _, id := range n.Inputs[1:] {
+			b, err := s.fetch(id)
+			if err != nil {
+				return err
+			}
+			if err := quant.AddQInto(out, sum, b, kn.OutScale, k.Bits); err != nil {
+				return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+			}
+			sum = out
+		}
+		acts[i] = sum
+	case nn.Concat:
+		ins := s.concatTable(len(n.Inputs))
+		for j, id := range n.Inputs {
+			x, err := s.fetch(id)
+			if err != nil {
+				return err
+			}
+			ins[j] = x
+		}
+		out := s.act(i)
+		if err := quant.ConcatQInto(out, ins, kn.OutScale, k.Bits); err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		acts[i] = out
+	case nn.Softmax:
+		// DNNDK computes softmax on the ARM host, in float.
+		x, err := s.fetch(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		probs := floatStage(&s.probs, x.Size())
+		x.DequantizeInto(probs)
+		if err := nn.SoftmaxInPlace(probs.Data()); err != nil {
+			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
+		}
+		s.final = probs
+		// Keep a quantized copy in case the graph continues.
+		out := s.act(i)
+		if err := quant.QuantizeWithScaleInto(out, probs, kn.OutScale, k.Bits); err != nil {
+			return err
+		}
+		out.Dims = append(out.Dims[:0], x.Dims...)
+		acts[i] = out
+	default:
+		return fmt.Errorf("dpu: node %q: unsupported op %T", n.Label, n.Op)
+	}
+	return nil
+}
+
+// finishRun resolves the run's host-side output (the softmax staging
+// tensor, or the dequantized graph output for softmax-less graphs) into
+// the staged Result.
+func finishRun(s *Scratch, k *Kernel, res *Result) error {
+	final := s.final
+	if final == nil {
+		out, err := s.fetch(k.Graph.Output())
+		if err != nil {
+			return err
 		}
 		final = out.Dequantize()
 	}
 	res.Probs = final
 	res.Pred = final.ArgMax()
-	return res, nil
+	return nil
 }
 
 // runWeightLayer executes one conv/FC node: transient BRAM flips, the

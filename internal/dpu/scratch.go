@@ -1,6 +1,8 @@
 package dpu
 
 import (
+	"fmt"
+
 	"fpgauv/internal/nn"
 	"fpgauv/internal/quant"
 	"fpgauv/internal/tensor"
@@ -36,6 +38,7 @@ type Scratch struct {
 
 	probs  *tensor.Tensor // host-side float staging (softmax output)
 	logits *tensor.Tensor // host-side float staging (softmax input)
+	final  *tensor.Tensor // the run's host-side output (set by softmax)
 
 	concatIns []*quant.QTensor // reused Concat input table
 
@@ -49,6 +52,12 @@ type Scratch struct {
 	// call instead of paying an O(weights) clone per faulted layer.
 	flipIdx []int32
 	flipBit []uint8
+
+	// batch is the batched-execution extension: per-image sub-arenas,
+	// per-DPU-core stacked GEMM buffers, and batch-persistent BRAM flip
+	// records. Nil until the first RunBatch on this Scratch; sized by the
+	// largest batch it has run.
+	batch *batchArena
 }
 
 // NewScratch returns an empty arena; it sizes itself to the first kernel
@@ -69,10 +78,23 @@ func (s *Scratch) bind(k *Kernel) {
 	for i := range s.refs {
 		s.refs[i] = nil
 	}
+	s.final = nil
 }
 
 // act returns node i's reusable activation tensor.
 func (s *Scratch) act(i int) *quant.QTensor { return &s.acts[i] }
+
+// fetch resolves a node input: the quantized input image for InputID,
+// otherwise the producing node's staged activation.
+func (s *Scratch) fetch(id nn.NodeID) (*quant.QTensor, error) {
+	if id == nn.InputID {
+		return &s.inQ, nil
+	}
+	if int(id) >= len(s.refs) || s.refs[id] == nil {
+		return nil, fmt.Errorf("dpu: missing activation for node %d", id)
+	}
+	return s.refs[id], nil
+}
 
 // floatStage returns a reusable float tensor of size n (dims [n]).
 func floatStage(slot **tensor.Tensor, n int) *tensor.Tensor {

@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpgauv/internal/tensor"
+)
+
+// inferImages builds n valid inference inputs for the pool.
+func inferImages(t *testing.T, p *Pool, n int, seed int64) []*tensor.Tensor {
+	t.Helper()
+	shape := p.InputShape()
+	ds := p.members[0].bench.MakeDataset(n, seed)
+	if got := ds.Inputs[0].Size(); got != shape.C*shape.H*shape.W {
+		t.Fatalf("dataset geometry %d != input shape", got)
+	}
+	return ds.Inputs
+}
+
+// An inference job returns one well-formed output per image: predictions
+// in class range and probabilities that sum to one.
+func TestPoolInferPerImageOutputs(t *testing.T) {
+	p := newTestPool(t, testConfig(1))
+	imgs := inferImages(t, p, 21, 7)
+	res, err := p.Infer(context.Background(), InferRequest{Images: imgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != len(imgs) {
+		t.Fatalf("outputs = %d, want %d", len(res.Outputs), len(imgs))
+	}
+	classes := p.members[0].bench.Classes
+	for i, out := range res.Outputs {
+		if out.Pred < 0 || out.Pred >= classes {
+			t.Errorf("image %d: pred %d outside [0,%d)", i, out.Pred, classes)
+		}
+		var sum float64
+		for _, v := range out.Probs {
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Errorf("image %d: probs sum %.4f, want ~1", i, sum)
+		}
+	}
+	// 21 images at the default micro-batch of 16 take two passes.
+	if res.MicroBatches != 2 {
+		t.Errorf("micro-batches = %d, want 2", res.MicroBatches)
+	}
+	if res.MACFaults != 0 || res.BRAMFaults != 0 {
+		t.Errorf("faults inside the guardband: MAC=%d BRAM=%d", res.MACFaults, res.BRAMFaults)
+	}
+
+	st := p.Status()
+	if st.InferRequests != 1 || st.InferServed != 1 {
+		t.Errorf("infer counters = %d/%d, want 1/1", st.InferRequests, st.InferServed)
+	}
+	if st.InferImages != int64(len(imgs)) {
+		t.Errorf("infer images = %d, want %d", st.InferImages, len(imgs))
+	}
+	if st.InferMicroBatches != 2 {
+		t.Errorf("infer micro-batches = %d, want 2", st.InferMicroBatches)
+	}
+	if st.EvalRequests != 0 || st.EvalServed != 0 {
+		t.Errorf("eval counters = %d/%d, want 0/0", st.EvalRequests, st.EvalServed)
+	}
+}
+
+// Inference requests validate their payload before touching the queue.
+func TestPoolInferValidation(t *testing.T) {
+	p := newTestPool(t, testConfig(1))
+	if _, err := p.Infer(context.Background(), InferRequest{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	bad := tensor.New(2, 2, 2)
+	if _, err := p.Infer(context.Background(), InferRequest{Images: []*tensor.Tensor{bad}}); err == nil {
+		t.Error("mis-shaped image accepted")
+	}
+	st := p.Status()
+	if st.Requests != 0 {
+		t.Errorf("requests = %d after rejected payloads, want 0", st.Requests)
+	}
+}
+
+// A pinned seed reproduces the job's per-image fault streams exactly, so
+// two identical jobs at a faulty operating point return identical
+// outputs, and a different seed diverges. Also pins determinism of the
+// micro-batched execution itself.
+func TestPoolInferPinnedSeedDeterministic(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MonitorInterval = -1
+	p := newTestPool(t, cfg)
+	// Mid-critical-region: MAC faults live on every micro-batch.
+	if err := p.SetOperatingMV(0, 550); err != nil {
+		t.Fatal(err)
+	}
+	imgs := inferImages(t, p, 20, 3)
+
+	run := func(seed int64) InferResult {
+		t.Helper()
+		res, err := p.Infer(context.Background(), InferRequest{Images: imgs, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(41), run(41), run(42)
+	if a.MACFaults == 0 {
+		t.Fatal("no MAC faults at 550 mV; the determinism check is vacuous")
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i].Pred != b.Outputs[i].Pred {
+			t.Fatalf("image %d: pinned seed diverged: %d != %d", i, a.Outputs[i].Pred, b.Outputs[i].Pred)
+		}
+		for j := range a.Outputs[i].Probs {
+			if a.Outputs[i].Probs[j] != b.Outputs[i].Probs[j] {
+				t.Fatalf("image %d: pinned-seed probs diverge at %d", i, j)
+			}
+		}
+	}
+	if a.MACFaults != b.MACFaults {
+		t.Fatalf("pinned seed fault counts diverge: %d != %d", a.MACFaults, b.MACFaults)
+	}
+	diverged := a.MACFaults != c.MACFaults
+	for i := range a.Outputs {
+		if a.Outputs[i].Pred != c.Outputs[i].Pred {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical faulty passes")
+	}
+}
+
+// Crash retry at micro-batch granularity: inference traffic over boards
+// that are repeatedly driven below Vcrash must complete every image of
+// every job, with the pool healing underneath.
+func TestPoolInferCrashRetryNoLostImages(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.MonitorInterval = -1 // recovery must come from the serving path
+	p := newTestPool(t, cfg)
+	if err := p.SetVCCINTmV(-1, 500); err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 24
+	const perJob = 20 // two micro-batches per job
+	var wg sync.WaitGroup
+	var images atomic.Int64
+	for i := 0; i < jobs; i++ {
+		imgs := inferImages(t, p, perJob, int64(i+1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := p.Infer(context.Background(), InferRequest{Images: imgs})
+			if err != nil {
+				t.Errorf("infer: %v", err)
+				return
+			}
+			if len(res.Outputs) != perJob {
+				t.Errorf("outputs = %d, want %d", len(res.Outputs), perJob)
+				return
+			}
+			images.Add(int64(len(res.Outputs)))
+		}()
+	}
+	wg.Wait()
+
+	st := p.Status()
+	if got := images.Load(); got != jobs*perJob {
+		t.Fatalf("classified %d images, want %d", got, jobs*perJob)
+	}
+	if st.InferServed != jobs {
+		t.Errorf("infer served = %d, want %d", st.InferServed, jobs)
+	}
+	if st.Crashes < 1 {
+		t.Errorf("crashes = %d, want >= 1 (the induced crash was never detected)", st.Crashes)
+	}
+	if st.InferMicroBatches < jobs*2 {
+		t.Errorf("micro-batches = %d, want >= %d", st.InferMicroBatches, jobs*2)
+	}
+	for _, b := range st.Boards {
+		if !nearMV(b.VCCINTmV, b.OperatingMV) {
+			t.Errorf("%s: VCCINT %.1f mV not restored to operating point %.0f mV",
+				b.Board, b.VCCINTmV, b.OperatingMV)
+		}
+	}
+}
+
+// A caller that cancels mid-job must stop costing accelerator passes at
+// the next micro-batch boundary: the worker abandons the remaining
+// micro-batches and counts the job as canceled, never requeued.
+func TestPoolInferCanceledMidJobStopsBurningPasses(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MicroBatch = 1 // many micro-batch boundaries to notice the cancel at
+	cfg.MonitorInterval = -1
+	p := newTestPool(t, cfg)
+
+	const perJob = 64
+	imgs := inferImages(t, p, perJob, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Infer(ctx, InferRequest{Images: imgs})
+		done <- err
+	}()
+	// Let the worker pick the job up and complete a few micro-batches,
+	// then walk away.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Status().InferMicroBatches == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for p.Status().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never noticed the canceled job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := p.Status()
+	if st.InferServed != 0 {
+		t.Errorf("infer served = %d, want 0", st.InferServed)
+	}
+	if st.Requeues != 0 {
+		t.Errorf("requeues = %d, want 0 (abandoned, not failed)", st.Requeues)
+	}
+	if st.InferMicroBatches >= perJob {
+		t.Errorf("worker ran all %d micro-batches for a canceled caller", st.InferMicroBatches)
+	}
+}
+
+// Mixed eval and inference traffic share the queue and the boards; the
+// split counters partition the totals. Run with -race this also guards
+// the batched executor's lane fan-out under concurrent serving.
+func TestPoolMixedTrafficCounters(t *testing.T) {
+	p := newTestPool(t, testConfig(2))
+	const evals, infers = 6, 9
+	var wg sync.WaitGroup
+	for i := 0; i < evals; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Classify(context.Background(), Request{}); err != nil {
+				t.Errorf("classify: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < infers; i++ {
+		imgs := inferImages(t, p, 5, int64(i+50))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Infer(context.Background(), InferRequest{Images: imgs}); err != nil {
+				t.Errorf("infer: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := p.Status()
+	if st.Served != evals+infers {
+		t.Errorf("served = %d, want %d", st.Served, evals+infers)
+	}
+	if st.EvalServed != evals || st.InferServed != infers {
+		t.Errorf("split = %d eval / %d infer, want %d/%d",
+			st.EvalServed, st.InferServed, evals, infers)
+	}
+	if st.InferImages != infers*5 {
+		t.Errorf("infer images = %d, want %d", st.InferImages, infers*5)
+	}
+}

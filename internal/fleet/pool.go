@@ -20,11 +20,19 @@ import (
 	"time"
 
 	"fpgauv/internal/board"
+	"fpgauv/internal/dnndk"
+	"fpgauv/internal/nn"
 	"fpgauv/internal/silicon"
+	"fpgauv/internal/tensor"
 )
 
 // ErrClosed is returned by Classify after Close has begun.
 var ErrClosed = errors.New("fleet: pool is shut down")
+
+// errAbandoned aborts a multi-micro-batch job whose caller canceled
+// mid-flight; the worker's canceled check turns it into a skip, never a
+// requeue.
+var errAbandoned = errors.New("fleet: caller abandoned the job")
 
 // Config sizes and parameterizes a pool.
 type Config struct {
@@ -61,6 +69,11 @@ type Config struct {
 	// before failing (default 3). Each visit already includes one
 	// reboot-and-retry on the same board.
 	MaxAttempts int
+	// MicroBatch is the accelerator-pass size for inference jobs: caller
+	// batches are sliced into micro-batches of this many images, each
+	// run as one batched pass with per-micro-batch crash retry
+	// (default dnndk.MicroBatch).
+	MicroBatch int
 	// MonitorInterval is the health-probe period for idle boards
 	// (default 50 ms; negative disables the monitor).
 	MonitorInterval time.Duration
@@ -99,6 +112,9 @@ func (c Config) sanitize() Config {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
 	}
+	if c.MicroBatch <= 0 {
+		c.MicroBatch = dnndk.MicroBatch
+	}
 	if c.MonitorInterval == 0 {
 		c.MonitorInterval = 50 * time.Millisecond
 	}
@@ -136,12 +152,70 @@ type Result struct {
 	Attempts int `json:"attempts"`
 }
 
+// InferRequest is one inference job: caller-supplied images classified
+// individually, batched into shared accelerator passes by the pool.
+type InferRequest struct {
+	// Images are CHW float tensors matching the pool's input shape.
+	Images []*tensor.Tensor
+	// Seed derives the per-image fault-injection streams; 0 draws a
+	// fresh deterministic seed from the pool's sequence.
+	Seed int64
+}
+
+// InferOutput is one image's classification.
+type InferOutput struct {
+	// Pred is the argmax class.
+	Pred int `json:"pred"`
+	// Probs is the host-side softmax output.
+	Probs []float32 `json:"probs"`
+}
+
+// InferResult reports one served inference job.
+type InferResult struct {
+	// Board is the board that completed the job (micro-batches may have
+	// run on earlier boards before a crash handed the job over).
+	Board string `json:"board"`
+	// VCCINTmV is the completing board's rail level.
+	VCCINTmV float64 `json:"vccint_mv"`
+	// Outputs is one entry per submitted image, in order.
+	Outputs []InferOutput `json:"outputs"`
+	// MicroBatches is how many accelerator passes the job took.
+	MicroBatches int `json:"micro_batches"`
+	// MACFaults and BRAMFaults count injected fault events observed by
+	// the job (zero inside the guardband).
+	MACFaults  int64 `json:"mac_faults"`
+	BRAMFaults int64 `json:"bram_faults"`
+	// Attempts is how many board visits the job needed (>1 means a
+	// crash/reboot cycle happened underneath it).
+	Attempts int `json:"attempts"`
+}
+
+// jobKind discriminates the pool's two job kinds.
+type jobKind int
+
+const (
+	// jobEval is a full evaluation-set pass (the characterization and
+	// accuracy-scoring workload).
+	jobEval jobKind = iota
+	// jobInfer carries caller images for per-image classification.
+	jobInfer
+)
+
 // job is a queued request with its completion channel.
 type job struct {
-	req      Request
+	kind     jobKind
+	req      Request      // eval payload
+	inf      InferRequest // infer payload
 	attempts int
-	// canceled is set when the submitting Classify abandons the wait:
-	// workers skip the job instead of burning an evaluation-set pass
+	// Inference progress, persistent across board visits: a crash only
+	// costs the in-flight micro-batch, completed micro-batches keep
+	// their outputs when the job is handed to another board.
+	outs         []InferOutput
+	completed    int
+	microBatches int
+	macF, bramF  int64
+	// canceled is set when the submitting caller abandons the wait:
+	// workers skip the job instead of burning an accelerator pass
 	// for a caller that is gone.
 	canceled atomic.Bool
 	done     chan jobOut
@@ -149,6 +223,7 @@ type job struct {
 
 type jobOut struct {
 	res Result
+	inf InferResult
 	err error
 }
 
@@ -170,14 +245,22 @@ type Pool struct {
 	admit sync.RWMutex
 
 	seq      atomic.Int64
-	requests atomic.Int64
-	served   atomic.Int64
 	requeues atomic.Int64
 	rejected atomic.Int64
 	failed   atomic.Int64
 	canceled atomic.Int64
 	macF     atomic.Int64
 	bramF    atomic.Int64
+	// Per-kind traffic counters. Kept separately (instead of deriving
+	// one split from totals) so every exported figure is individually
+	// monotonic: a derived difference can transiently dip when a
+	// snapshot lands between a worker's two increments.
+	evalReqs     atomic.Int64
+	evalServed   atomic.Int64
+	inferReqs    atomic.Int64
+	inferServed  atomic.Int64
+	inferImages  atomic.Int64
+	microBatches atomic.Int64
 }
 
 // New assembles, deploys, characterizes and starts a pool. On return
@@ -221,25 +304,69 @@ func (p *Pool) Classify(ctx context.Context, req Request) (Result, error) {
 	if req.Seed == 0 {
 		req.Seed = p.cfg.Seed + p.seq.Add(1)*7919
 	}
-	j := &job{req: req, done: make(chan jobOut, 1)}
+	out, err := p.submit(ctx, &job{req: req, done: make(chan jobOut, 1)})
+	return out.res, err
+}
+
+// InputShape returns the CHW geometry inference images must have.
+func (p *Pool) InputShape() nn.Shape {
+	return p.members[0].bench.InputShape
+}
+
+// Infer enqueues one inference job (per-image classification of caller
+// images) and blocks until a board serves it, the context is canceled,
+// or the pool is closed. The job is executed micro-batch by micro-batch
+// with crash retry at micro-batch granularity: a crash costs only the
+// in-flight micro-batch, never already-classified images.
+func (p *Pool) Infer(ctx context.Context, req InferRequest) (InferResult, error) {
+	if len(req.Images) == 0 {
+		return InferResult{}, fmt.Errorf("fleet: inference request carries no images")
+	}
+	shape := p.InputShape()
+	want := shape.C * shape.H * shape.W
+	for i, img := range req.Images {
+		if img == nil || img.Size() != want {
+			return InferResult{}, fmt.Errorf("fleet: image %d does not match input shape %dx%dx%d",
+				i, shape.C, shape.H, shape.W)
+		}
+	}
+	if req.Seed == 0 {
+		req.Seed = p.cfg.Seed + p.seq.Add(1)*7919
+	}
+	j := &job{
+		kind: jobInfer,
+		inf:  req,
+		outs: make([]InferOutput, len(req.Images)),
+		done: make(chan jobOut, 1),
+	}
+	out, err := p.submit(ctx, j)
+	return out.inf, err
+}
+
+// submit runs the shared admission/wait protocol for one job.
+func (p *Pool) submit(ctx context.Context, j *job) (jobOut, error) {
 	p.admit.RLock()
 	if p.closing.Load() {
 		p.admit.RUnlock()
 		p.rejected.Add(1)
-		return Result{}, ErrClosed
+		return jobOut{}, ErrClosed
 	}
-	p.requests.Add(1)
+	if j.kind == jobInfer {
+		p.inferReqs.Add(1)
+	} else {
+		p.evalReqs.Add(1)
+	}
 	p.queue.Push(j)
 	p.admit.RUnlock()
 	select {
 	case out := <-j.done:
-		return out.res, out.err
+		return out, out.err
 	case <-ctx.Done():
 		// Mark the abandoned job so a worker that later pops it skips
-		// it instead of spending a full evaluation-set pass (and a
-		// served-count increment) on a caller that is gone.
+		// it instead of spending accelerator passes (and a served-count
+		// increment) on a caller that is gone.
 		j.canceled.Store(true)
-		return Result{}, ctx.Err()
+		return jobOut{}, ctx.Err()
 	}
 }
 
@@ -257,12 +384,27 @@ func (p *Pool) worker(m *member) {
 			continue
 		}
 		j.attempts++
-		res, err := p.serveOn(m, j)
+		var out jobOut
+		var err error
+		switch j.kind {
+		case jobInfer:
+			out.inf, err = p.serveInferOn(m, j)
+			if err == nil {
+				p.inferServed.Add(1)
+				p.inferImages.Add(int64(len(out.inf.Outputs)))
+				p.macF.Add(out.inf.MACFaults)
+				p.bramF.Add(out.inf.BRAMFaults)
+			}
+		default:
+			out.res, err = p.serveOn(m, j)
+			if err == nil {
+				p.evalServed.Add(1)
+				p.macF.Add(out.res.MACFaults)
+				p.bramF.Add(out.res.BRAMFaults)
+			}
+		}
 		if err == nil {
-			p.served.Add(1)
-			p.macF.Add(res.MACFaults)
-			p.bramF.Add(res.BRAMFaults)
-			j.done <- jobOut{res: res}
+			j.done <- out
 			continue
 		}
 		// The board failed this job even after its local
@@ -338,6 +480,96 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 			return Result{}, rerr
 		}
 	}
+}
+
+// inferSeed derives image img's fault-stream seed for one attempt of one
+// inference job. Like classifyRNG, attempt ordinal 0 reproduces the
+// job's pinned streams exactly and every retry salts them: replaying the
+// exact fault stream that just wrecked a micro-batch would make the
+// retry deterministically repeat the failure.
+func inferSeed(seed int64, img int, attempt int64) int64 {
+	s := seed ^ (int64(img)+1)*-0x61c8864680b583eb // golden-ratio odd constant
+	s = s*6364136223846793005 + 1442695040888963407
+	if attempt > 0 {
+		s ^= attempt * -0x61c8864680b583eb
+		s = s*6364136223846793005 + 1442695040888963407
+	}
+	return s
+}
+
+// serveInferOn runs one inference job on one board, micro-batch by
+// micro-batch, transparently recovering from a crash (reboot → re-deploy
+// → restore voltage → retry the in-flight micro-batch once). Progress is
+// kept on the job, so a board that gives up after its local retry hands
+// the remaining images — not the whole job — to the next board.
+func (p *Pool) serveInferOn(m *member, j *job) (InferResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if m.brd.Hung() {
+		m.crashes.Add(1)
+		if err := m.recover(); err != nil {
+			return InferResult{}, err
+		}
+	}
+	imgs := j.inf.Images
+	for j.completed < len(imgs) {
+		// The pop-time canceled check only covers single-pass jobs; a
+		// multi-micro-batch job must notice an abandoning caller between
+		// passes or the worker burns the rest of the job for nobody.
+		if j.canceled.Load() {
+			return InferResult{}, errAbandoned
+		}
+		lo := j.completed
+		hi := lo + p.cfg.MicroBatch
+		if hi > len(imgs) {
+			hi = len(imgs)
+		}
+		for attempt := 0; ; attempt++ {
+			// Global attempt ordinal across board visits: each visit gets
+			// at most two tries (initial + one local post-crash retry).
+			ordinal := int64(j.attempts-1)*2 + int64(attempt)
+			rngs := m.scratch.BatchRNGs(hi - lo)
+			for i := range rngs {
+				rngs[i].Seed(inferSeed(j.inf.Seed, lo+i, ordinal))
+			}
+			results, err := m.task.InferBatch(m.scratch, imgs[lo:hi], rngs)
+			if err == nil {
+				for i := range results {
+					out := &j.outs[lo+i]
+					out.Pred = results[i].Pred
+					out.Probs = append(out.Probs[:0], results[i].Probs.Data()...)
+					j.macF += results[i].MACFaults
+					j.bramF += results[i].BRAMFaults
+				}
+				j.microBatches++
+				p.microBatches.Add(1)
+				j.completed = hi
+				break
+			}
+			if !errors.Is(err, board.ErrHung) || attempt >= 1 {
+				return InferResult{}, err
+			}
+			m.crashes.Add(1)
+			m.retries.Add(1)
+			if rerr := m.recover(); rerr != nil {
+				return InferResult{}, rerr
+			}
+		}
+	}
+	m.served.Add(1)
+	// The completing board absorbs the whole job's fault signal; images
+	// served on a pre-crash board are a negligible sliver of traffic.
+	m.servedFaults.Add(j.macF + j.bramF)
+	return InferResult{
+		Board:        m.id,
+		VCCINTmV:     m.brd.VCCINTmV(),
+		Outputs:      j.outs,
+		MicroBatches: j.microBatches,
+		MACFaults:    j.macF,
+		BRAMFaults:   j.bramF,
+		Attempts:     j.attempts,
+	}, nil
 }
 
 // monitor probes idle boards so a crash is detected and healed even with

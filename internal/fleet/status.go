@@ -94,11 +94,24 @@ type Status struct {
 	Benchmark string        `json:"benchmark"`
 	Boards    []BoardStatus `json:"boards"`
 	Queued    int           `json:"queued"`
-	Requests  int64         `json:"requests"`
-	Served    int64         `json:"served"`
-	Requeues  int64         `json:"requeues"`
-	Rejected  int64         `json:"rejected"`
-	Failed    int64         `json:"failed"`
+	// Requests/Served span both job kinds; the eval/infer splits below
+	// partition them by traffic class.
+	Requests int64 `json:"requests"`
+	Served   int64 `json:"served"`
+	// EvalRequests/EvalServed count whole evaluation-set passes
+	// (characterization and accuracy traffic).
+	EvalRequests int64 `json:"eval_requests"`
+	EvalServed   int64 `json:"eval_served"`
+	// InferRequests/InferServed count caller-image inference jobs;
+	// InferImages is the images classified and InferMicroBatches the
+	// accelerator passes they were amortized across.
+	InferRequests     int64 `json:"infer_requests"`
+	InferServed       int64 `json:"infer_served"`
+	InferImages       int64 `json:"infer_images"`
+	InferMicroBatches int64 `json:"infer_micro_batches"`
+	Requeues          int64 `json:"requeues"`
+	Rejected          int64 `json:"rejected"`
+	Failed            int64 `json:"failed"`
 	// Canceled counts jobs whose caller abandoned the wait before a
 	// worker picked them up; workers skip them without an accelerator
 	// pass.
@@ -122,18 +135,24 @@ type Status struct {
 // snapshot can be taken while every board is mid-classification.
 func (p *Pool) Status() Status {
 	st := Status{
-		Benchmark:  p.cfg.Benchmark,
-		Queued:     p.queue.Len(),
-		Requests:   p.requests.Load(),
-		Served:     p.served.Load(),
-		Requeues:   p.requeues.Load(),
-		Rejected:   p.rejected.Load(),
-		Failed:     p.failed.Load(),
-		Canceled:   p.canceled.Load(),
-		MACFaults:  p.macF.Load(),
-		BRAMFaults: p.bramF.Load(),
-		Closed:     p.closing.Load(),
+		Benchmark:         p.cfg.Benchmark,
+		Queued:            p.queue.Len(),
+		EvalRequests:      p.evalReqs.Load(),
+		EvalServed:        p.evalServed.Load(),
+		InferRequests:     p.inferReqs.Load(),
+		InferServed:       p.inferServed.Load(),
+		InferImages:       p.inferImages.Load(),
+		InferMicroBatches: p.microBatches.Load(),
+		Requeues:          p.requeues.Load(),
+		Rejected:          p.rejected.Load(),
+		Failed:            p.failed.Load(),
+		Canceled:          p.canceled.Load(),
+		MACFaults:         p.macF.Load(),
+		BRAMFaults:        p.bramF.Load(),
+		Closed:            p.closing.Load(),
 	}
+	st.Requests = st.EvalRequests + st.InferRequests
+	st.Served = st.EvalServed + st.InferServed
 	for _, m := range p.members {
 		b := p.boardStatus(m)
 		st.Boards = append(st.Boards, b)

@@ -2,6 +2,7 @@ package models
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"fpgauv/internal/nn"
@@ -21,6 +22,11 @@ type Dataset struct {
 	Inputs  []*tensor.Tensor
 	// Labels is nil until PlantLabels is called.
 	Labels []int
+
+	// fp memoizes Fingerprint. Inputs are immutable after construction
+	// (label planting rewrites Labels only), so the content hash is
+	// computed at most once.
+	fp uint64
 }
 
 // NewDataset generates n deterministic samples.
@@ -59,6 +65,41 @@ func NewDataset(name string, classes int, shape nn.Shape, n int, seed int64) *Da
 
 // Len returns the number of samples.
 func (d *Dataset) Len() int { return len(d.Inputs) }
+
+// Fingerprint returns a content hash of the dataset's identity: name,
+// sample count and every input's float bit pattern. Runtime caches key on
+// it instead of the dataset's address — a pointer key silently aliases a
+// freed dataset with a new one allocated at the same address. The hash is
+// memoized; like every other Dataset operation it must be confined to one
+// goroutine at a time.
+func (d *Dataset) Fingerprint() uint64 {
+	if d.fp != 0 {
+		return d.fp
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(d.Name); i++ {
+		h = (h ^ uint64(d.Name[i])) * prime64
+	}
+	h = (h ^ uint64(len(d.Inputs))) * prime64
+	for _, in := range d.Inputs {
+		for _, v := range in.Data() {
+			b := math.Float32bits(v)
+			h = (h ^ uint64(b&0xff)) * prime64
+			h = (h ^ uint64(b>>8&0xff)) * prime64
+			h = (h ^ uint64(b>>16&0xff)) * prime64
+			h = (h ^ uint64(b>>24)) * prime64
+		}
+	}
+	if h == 0 {
+		h = 1 // keep 0 as the "not yet computed" sentinel
+	}
+	d.fp = h
+	return h
+}
 
 // PlantLabels assigns ground-truth labels so that exactly
 // round(len*targetAccPct/100) samples agree with the supplied fault-free

@@ -8,58 +8,89 @@ import (
 	"time"
 
 	"fpgauv/internal/fleet"
+	"fpgauv/internal/tensor"
 )
 
 // ErrShutdown is returned to callers that arrive after Close.
 var ErrShutdown = errors.New("serve: server is shutting down")
 
-// batcher coalesces concurrent classify calls into shared accelerator
-// passes: one evaluation-set pass on one board answers every request in
-// the batch. Batches flush when they reach size or when the oldest
-// waiter has waited window. Only calls with a server-assigned seed
-// coalesce — a caller that pins its own seed is asking for a specific
-// fault stream and gets a dedicated pass.
+// batcher coalesces concurrent submissions into shared accelerator
+// passes. It runs two queues over one mechanism:
+//
+//   - classify calls: one evaluation-set pass on one board answers every
+//     request in the batch (batch unit = calls);
+//   - infer calls: heterogeneous per-image submissions — callers with
+//     different image counts — merge into one fleet micro-batch
+//     (batch unit = images).
+//
+// A queue flushes when it reaches its size or when its oldest waiter has
+// waited window. Only calls with a server-assigned seed coalesce — a
+// caller that pins its own seed is asking for a specific fault stream
+// and gets a dedicated pass.
 type batcher struct {
 	pool   *fleet.Pool
-	size   int
+	size   int // classify calls coalesced per eval pass
+	images int // images coalesced per inference pass
 	window time.Duration
 
-	mu      sync.Mutex
+	mu     sync.Mutex
+	cls    group // pending classify waiters
+	inf    group // pending infer waiters
+	closed bool
+	wg     sync.WaitGroup
+
+	// onBatch, when set, observes every accelerator pass the batcher
+	// runs (kind, batch units) — the metrics hook.
+	onBatch func(kind string, units int)
+
+	batches        atomic.Int64
+	coalesced      atomic.Int64
+	canceled       atomic.Int64
+	inferBatches   atomic.Int64
+	inferCoalesced atomic.Int64
+}
+
+// group is one coalescing queue: its pending waiters, the batch-unit
+// total, and the window-timer state.
+type group struct {
 	pending []*call
+	units   int
 	timer   *time.Timer
 	// gen counts claimed batches. The window timer captures the
 	// generation it was armed for; a timer that fires late — after a
 	// size-triggered flush already claimed its batch — finds the
 	// generation advanced and returns instead of flushing the *next*
 	// batch's fresh waiters before their window expires.
-	gen    int64
-	closed bool
-	wg     sync.WaitGroup
-
-	batches   atomic.Int64
-	coalesced atomic.Int64
-	canceled  atomic.Int64
+	gen int64
 }
 
-// call is one waiter and its result slot.
+// call is one waiter and its result slot. imgs is nil for classify
+// calls; for infer calls it is the caller's images.
 type call struct {
-	ch chan callOut
+	imgs []*tensor.Tensor
+	ch   chan callOut
 }
 
 type callOut struct {
-	res   fleet.Result
+	res   fleet.Result        // classify result
+	inf   []fleet.InferOutput // per-image infer outputs
+	board string
+	mv    float64
 	batch int
 	err   error
 }
 
-func newBatcher(pool *fleet.Pool, size int, window time.Duration) *batcher {
+func newBatcher(pool *fleet.Pool, size, images int, window time.Duration) *batcher {
 	if size <= 0 {
 		size = 8
+	}
+	if images <= 0 {
+		images = 16
 	}
 	if window <= 0 {
 		window = 2 * time.Millisecond
 	}
-	return &batcher{pool: pool, size: size, window: window}
+	return &batcher{pool: pool, size: size, images: images, window: window}
 }
 
 // Submit runs one classify call and blocks until it is served or ctx is
@@ -76,22 +107,12 @@ func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, er
 	if seed != 0 {
 		b.mu.Unlock()
 		b.batches.Add(1)
+		b.observe("classify", 1)
 		res, err := b.pool.Classify(ctx, fleet.Request{Seed: seed})
 		return res, 1, err
 	}
 	c := &call{ch: make(chan callOut, 1)}
-	b.pending = append(b.pending, c)
-	if len(b.pending) >= b.size {
-		batch := b.takeLocked()
-		b.mu.Unlock()
-		b.run(batch)
-	} else {
-		if len(b.pending) == 1 {
-			gen := b.gen
-			b.timer = time.AfterFunc(b.window, func() { b.flush(gen) })
-		}
-		b.mu.Unlock()
-	}
+	b.enqueue(&b.cls, c, 1, b.size, b.runEval)
 	select {
 	case out := <-c.ch:
 		return out.res, out.batch, out.err
@@ -101,28 +122,83 @@ func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, er
 	}
 }
 
+// SubmitInfer classifies the caller's images, coalescing them with other
+// callers' submissions into shared micro-batches. It reports the
+// per-image outputs, the serving board and rail, and the image count of
+// the accelerator submission the call was amortized across. A non-zero
+// seed (or a call that alone fills a micro-batch) gets a dedicated pass.
+func (b *batcher) SubmitInfer(ctx context.Context, imgs []*tensor.Tensor, seed int64) ([]fleet.InferOutput, string, float64, int, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, "", 0, 0, ErrShutdown
+	}
+	if seed != 0 || len(imgs) >= b.images {
+		b.mu.Unlock()
+		b.inferBatches.Add(1)
+		b.observe("infer", len(imgs))
+		res, err := b.pool.Infer(ctx, fleet.InferRequest{Images: imgs, Seed: seed})
+		if err != nil {
+			return nil, "", 0, 0, err
+		}
+		return res.Outputs, res.Board, res.VCCINTmV, len(imgs), nil
+	}
+	c := &call{imgs: imgs, ch: make(chan callOut, 1)}
+	b.enqueue(&b.inf, c, len(imgs), b.images, b.runInfer)
+	select {
+	case out := <-c.ch:
+		return out.inf, out.board, out.mv, out.batch, out.err
+	case <-ctx.Done():
+		b.abandon(c)
+		return nil, "", 0, 0, ctx.Err()
+	}
+}
+
+// enqueue appends a waiter to a group under b.mu (held on entry,
+// released on return), flushing when the group reaches its unit size and
+// arming the window timer for a fresh batch's first waiter.
+func (b *batcher) enqueue(g *group, c *call, units, size int, run func([]*call)) {
+	first := len(g.pending) == 0
+	g.pending = append(g.pending, c)
+	g.units += units
+	if g.units >= size {
+		batch := b.take(g)
+		b.mu.Unlock()
+		run(batch)
+		return
+	}
+	if first {
+		gen := g.gen
+		g.timer = time.AfterFunc(b.window, func() { b.flush(g, gen, run) })
+	}
+	b.mu.Unlock()
+}
+
 // abandon removes a canceled waiter that is still pending, so it does
-// not inflate the next flushed batch's size or the coalesced counter.
+// not inflate the next flushed batch's size or the coalesced counters.
 // A waiter whose batch was already claimed is left alone: its pass is
 // shared work for its batch-mates and its result slot is buffered.
 func (b *batcher) abandon(c *call) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i, pc := range b.pending {
-		if pc != c {
-			continue
+	for _, g := range []*group{&b.cls, &b.inf} {
+		for i, pc := range g.pending {
+			if pc != c {
+				continue
+			}
+			g.pending = append(g.pending[:i], g.pending[i+1:]...)
+			g.units -= max(len(c.imgs), 1)
+			b.canceled.Add(1)
+			if len(g.pending) == 0 && g.timer != nil {
+				// Nothing left to flush: retire the window (and
+				// invalidate it if it already fired and is waiting on
+				// b.mu) so a later first waiter arms a fresh one.
+				g.timer.Stop()
+				g.timer = nil
+				g.gen++
+			}
+			return
 		}
-		b.pending = append(b.pending[:i], b.pending[i+1:]...)
-		b.canceled.Add(1)
-		if len(b.pending) == 0 && b.timer != nil {
-			// Nothing left to flush: retire the window (and
-			// invalidate it if it already fired and is waiting on
-			// b.mu) so a later first waiter arms a fresh one.
-			b.timer.Stop()
-			b.timer = nil
-			b.gen++
-		}
-		return
 	}
 }
 
@@ -130,34 +206,35 @@ func (b *batcher) abandon(c *call) {
 // was armed for; a mismatch means that batch was already claimed by the
 // size-triggered path and the pending list now holds fresh waiters
 // whose window has not expired.
-func (b *batcher) flush(gen int64) {
+func (b *batcher) flush(g *group, gen int64, run func([]*call)) {
 	b.mu.Lock()
-	if gen != b.gen {
+	if gen != g.gen {
 		b.mu.Unlock()
 		return
 	}
-	batch := b.takeLocked()
+	batch := b.take(g)
 	b.mu.Unlock()
-	b.run(batch)
+	run(batch)
 }
 
-// takeLocked claims the pending batch and advances the generation.
+// take claims a group's pending batch and advances its generation.
 // Caller holds b.mu.
-func (b *batcher) takeLocked() []*call {
-	batch := b.pending
-	b.pending = nil
-	b.gen++
-	if b.timer != nil {
-		b.timer.Stop()
-		b.timer = nil
+func (b *batcher) take(g *group) []*call {
+	batch := g.pending
+	g.pending = nil
+	g.units = 0
+	g.gen++
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
 	}
 	return batch
 }
 
-// run serves one batch asynchronously: a single pool pass, fanned out to
-// every waiter. The batch context is independent of any one caller's, so
-// a canceled client cannot fail its batch-mates.
-func (b *batcher) run(batch []*call) {
+// runEval serves one classify batch asynchronously: a single pool pass,
+// fanned out to every waiter. The batch context is independent of any
+// one caller's, so a canceled client cannot fail its batch-mates.
+func (b *batcher) runEval(batch []*call) {
 	if len(batch) == 0 {
 		return
 	}
@@ -166,6 +243,7 @@ func (b *batcher) run(batch []*call) {
 		defer b.wg.Done()
 		b.batches.Add(1)
 		b.coalesced.Add(int64(len(batch) - 1))
+		b.observe("classify", len(batch))
 		res, err := b.pool.Classify(context.Background(), fleet.Request{})
 		for _, c := range batch {
 			c.ch <- callOut{res: res, batch: len(batch), err: err}
@@ -173,13 +251,55 @@ func (b *batcher) run(batch []*call) {
 	}()
 }
 
-// Close flushes the pending batch, waits for in-flight batches, and
+// runInfer serves one coalesced inference micro-batch asynchronously:
+// every waiter's images merge into one fleet submission and each caller
+// gets back exactly its own slice of the per-image outputs.
+func (b *batcher) runInfer(batch []*call) {
+	if len(batch) == 0 {
+		return
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		var imgs []*tensor.Tensor
+		for _, c := range batch {
+			imgs = append(imgs, c.imgs...)
+		}
+		b.inferBatches.Add(1)
+		b.inferCoalesced.Add(int64(len(batch) - 1))
+		b.observe("infer", len(imgs))
+		res, err := b.pool.Infer(context.Background(), fleet.InferRequest{Images: imgs})
+		lo := 0
+		for _, c := range batch {
+			hi := lo + len(c.imgs)
+			out := callOut{batch: len(imgs), err: err}
+			if err == nil {
+				out.inf = res.Outputs[lo:hi]
+				out.board = res.Board
+				out.mv = res.VCCINTmV
+			}
+			c.ch <- out
+			lo = hi
+		}
+	}()
+}
+
+// observe reports one accelerator pass to the metrics hook.
+func (b *batcher) observe(kind string, units int) {
+	if b.onBatch != nil {
+		b.onBatch(kind, units)
+	}
+}
+
+// Close flushes the pending batches, waits for in-flight passes, and
 // rejects later submissions.
 func (b *batcher) Close() {
 	b.mu.Lock()
 	b.closed = true
-	batch := b.takeLocked()
+	cls := b.take(&b.cls)
+	inf := b.take(&b.inf)
 	b.mu.Unlock()
-	b.run(batch)
+	b.runEval(cls)
+	b.runInfer(inf)
 	b.wg.Wait()
 }

@@ -17,7 +17,7 @@ func newTestBatcher(t *testing.T, size int, window time.Duration) *batcher {
 		t.Fatal(err)
 	}
 	t.Cleanup(pool.Close)
-	b := newBatcher(pool, size, window)
+	b := newBatcher(pool, size, 16, window)
 	t.Cleanup(b.Close)
 	return b
 }
@@ -44,7 +44,7 @@ func TestBatcherStaleTimerDoesNotStealFreshBatch(t *testing.T) {
 	// and block on b.mu underneath us.
 	for {
 		b.mu.Lock()
-		if len(b.pending) == 1 {
+		if len(b.cls.pending) == 1 {
 			break
 		}
 		b.mu.Unlock()
@@ -54,13 +54,14 @@ func TestBatcherStaleTimerDoesNotStealFreshBatch(t *testing.T) {
 
 	// The size-triggered path claims the batch under the lock (this is
 	// exactly what Submit does when the batch fills)...
-	batch := b.takeLocked()
+	batch := b.take(&b.cls)
 	// ...and a fresh waiter becomes the next batch before the stale
 	// timer gets the lock.
 	fresh := &call{ch: make(chan callOut, 1)}
-	b.pending = append(b.pending, fresh)
+	b.cls.pending = append(b.cls.pending, fresh)
+	b.cls.units++
 	b.mu.Unlock()
-	b.run(batch)
+	b.runEval(batch)
 	<-firstDone
 
 	// Give the stale timer ample time to run. With the generation guard
@@ -68,7 +69,7 @@ func TestBatcherStaleTimerDoesNotStealFreshBatch(t *testing.T) {
 	// (pending would drop to 0 and fresh's window would be destroyed).
 	time.Sleep(25 * time.Millisecond)
 	b.mu.Lock()
-	got := len(b.pending)
+	got := len(b.cls.pending)
 	b.mu.Unlock()
 	if got != 1 {
 		t.Fatalf("pending = %d after the stale timer ran, want 1 (fresh waiter must survive)", got)
@@ -95,7 +96,7 @@ func TestBatcherCanceledWaiterRemoved(t *testing.T) {
 	}()
 	for {
 		b.mu.Lock()
-		n := len(b.pending)
+		n := len(b.cls.pending)
 		b.mu.Unlock()
 		if n == 1 {
 			break
@@ -109,7 +110,7 @@ func TestBatcherCanceledWaiterRemoved(t *testing.T) {
 
 	// The waiter is gone and the window timer was retired with it.
 	b.mu.Lock()
-	pending, timer := len(b.pending), b.timer
+	pending, timer := len(b.cls.pending), b.cls.timer
 	b.mu.Unlock()
 	if pending != 0 {
 		t.Fatalf("pending = %d after cancel, want 0", pending)
@@ -154,7 +155,7 @@ func TestBatcherCancelMidBatch(t *testing.T) {
 	}()
 	for {
 		b.mu.Lock()
-		n := len(b.pending)
+		n := len(b.cls.pending)
 		b.mu.Unlock()
 		if n == 1 {
 			break
@@ -172,7 +173,7 @@ func TestBatcherCancelMidBatch(t *testing.T) {
 	}()
 	for {
 		b.mu.Lock()
-		n := len(b.pending)
+		n := len(b.cls.pending)
 		b.mu.Unlock()
 		if n == 2 {
 			break

@@ -2,8 +2,59 @@ package serve
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
+	"sync/atomic"
 )
+
+// histogram is a fixed-bucket Prometheus histogram: lock-free observes,
+// rendered as cumulative le buckets plus _sum and _count.
+type histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // one per bound, plus the +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// render writes the histogram in Prometheus text format. labels is the
+// rendered label set without the le pair ("" or `kind="infer",`).
+func (h *histogram) render(b *strings.Builder, name, labels string) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labels, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	suffix := ""
+	if bare := strings.TrimSuffix(labels, ","); bare != "" {
+		suffix = "{" + bare + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, suffix, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.count.Load())
+}
 
 // renderMetrics emits the Prometheus text exposition of the fleet and
 // front-end state: throughput GOPs, per-rail watts, fault counters,
@@ -24,6 +75,12 @@ func (s *Server) renderMetrics() string {
 	gauge("uvolt_fleet_throughput_gops", "Aggregate modeled throughput (GOPs).", fmt.Sprintf("%.2f", st.GOPs))
 	counter("uvolt_fleet_requests_total", "Classification requests admitted.", st.Requests)
 	counter("uvolt_fleet_served_total", "Classification requests completed.", st.Served)
+	counter("uvolt_fleet_eval_requests_total", "Evaluation-set passes admitted.", st.EvalRequests)
+	counter("uvolt_fleet_eval_served_total", "Evaluation-set passes completed.", st.EvalServed)
+	counter("uvolt_fleet_infer_requests_total", "Per-image inference jobs admitted.", st.InferRequests)
+	counter("uvolt_fleet_infer_served_total", "Per-image inference jobs completed.", st.InferServed)
+	counter("uvolt_fleet_infer_images_total", "Caller images classified.", st.InferImages)
+	counter("uvolt_fleet_infer_micro_batches_total", "Accelerator passes run for inference jobs.", st.InferMicroBatches)
 	counter("uvolt_fleet_requeues_total", "Requests handed to another board after a failure.", st.Requeues)
 	counter("uvolt_fleet_rejected_total", "Requests rejected after shutdown.", st.Rejected)
 	counter("uvolt_fleet_failed_total", "Requests failed after exhausting attempts.", st.Failed)
@@ -113,15 +170,24 @@ func (s *Server) renderMetrics() string {
 		}
 	}
 
+	fmt.Fprintf(&b, "# HELP uvolt_batch_size Accelerator-pass batch sizes by traffic kind (classify: calls, infer: images).\n# TYPE uvolt_batch_size histogram\n")
+	s.batchSizes["classify"].render(&b, "uvolt_batch_size", `kind="classify",`)
+	s.batchSizes["infer"].render(&b, "uvolt_batch_size", `kind="infer",`)
+	fmt.Fprintf(&b, "# HELP uvolt_infer_latency_seconds End-to-end /v1/infer request latency.\n# TYPE uvolt_infer_latency_seconds histogram\n")
+	s.inferLatency.render(&b, "uvolt_infer_latency_seconds", "")
+
 	fmt.Fprintf(&b, "# HELP uvolt_http_requests_total HTTP requests by path.\n# TYPE uvolt_http_requests_total counter\n")
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/classify\"} %d\n", s.classifyReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/infer\"} %d\n", s.inferReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/status\"} %d\n", s.statusReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/voltage\"} %d\n", s.voltageReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/governor\"} %d\n", s.governorReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/metrics\"} %d\n", s.metricsReqs.Load())
 	counter("uvolt_http_errors_total", "HTTP error responses.", s.errorResps.Load())
-	counter("uvolt_batch_runs_total", "Accelerator passes run for HTTP traffic.", s.batch.batches.Load())
+	counter("uvolt_batch_runs_total", "Accelerator passes run for HTTP classify traffic.", s.batch.batches.Load())
 	counter("uvolt_batch_coalesced_total", "Requests answered by a batch-mate's pass.", s.batch.coalesced.Load())
 	counter("uvolt_batch_canceled_total", "Pending waiters withdrawn before their batch flushed.", s.batch.canceled.Load())
+	counter("uvolt_batch_infer_runs_total", "Inference micro-batches submitted by the front-end.", s.batch.inferBatches.Load())
+	counter("uvolt_batch_infer_coalesced_total", "Infer calls that shared another caller's micro-batch.", s.batch.inferCoalesced.Load())
 	return b.String()
 }

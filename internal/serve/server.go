@@ -6,21 +6,28 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"fpgauv/internal/fleet"
+	"fpgauv/internal/tensor"
 )
 
 // Config parameterizes the front-end.
 type Config struct {
-	// BatchSize is the maximum calls coalesced into one accelerator
-	// pass (default 8).
+	// BatchSize is the maximum classify calls coalesced into one
+	// accelerator pass (default 8).
 	BatchSize int
+	// BatchImages is the maximum images coalesced into one inference
+	// micro-batch (default 16, the fleet's micro-batch size).
+	BatchImages int
 	// BatchWindow is how long the first call in a batch waits for
 	// company (default 2 ms).
 	BatchWindow time.Duration
@@ -33,21 +40,36 @@ type Server struct {
 	mux   *http.ServeMux
 
 	classifyReqs atomic.Int64
+	inferReqs    atomic.Int64
 	statusReqs   atomic.Int64
 	voltageReqs  atomic.Int64
 	governorReqs atomic.Int64
 	metricsReqs  atomic.Int64
 	errorResps   atomic.Int64
+
+	// batchSizes tracks accelerator-pass batch sizes by traffic kind;
+	// inferLatency tracks /v1/infer request latency end to end.
+	batchSizes   map[string]*histogram
+	inferLatency *histogram
 }
 
 // New wires a server to a running pool.
 func New(pool *fleet.Pool, cfg Config) *Server {
 	s := &Server{
 		pool:  pool,
-		batch: newBatcher(pool, cfg.BatchSize, cfg.BatchWindow),
+		batch: newBatcher(pool, cfg.BatchSize, cfg.BatchImages, cfg.BatchWindow),
 		mux:   http.NewServeMux(),
+		batchSizes: map[string]*histogram{
+			"classify": newHistogram(1, 2, 4, 8, 16, 32, 64),
+			"infer":    newHistogram(1, 2, 4, 8, 16, 32, 64),
+		},
+		inferLatency: newHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
+	}
+	s.batch.onBatch = func(kind string, units int) {
+		s.batchSizes[kind].Observe(float64(units))
 	}
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/infer", s.handleInfer)
 	s.mux.HandleFunc("/v1/fleet/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/fleet/voltage", s.handleVoltage)
 	s.mux.HandleFunc("/v1/fleet/governor", s.handleGovernor)
@@ -99,6 +121,98 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		s.writeJSON(w, http.StatusOK, classifyResponse{Result: res, BatchSize: batchSize})
+	case errors.Is(err, ErrShutdown), errors.Is(err, fleet.ErrClosed):
+		s.errorJSON(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.errorJSON(w, 499, "client went away") // nginx's client-closed-request
+	default:
+		s.errorJSON(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// inferRequest is the /v1/infer body: one image as either a JSON float
+// array or a base64-encoded little-endian float32 buffer, in CHW order
+// matching the pool's input shape.
+type inferRequest struct {
+	// Pixels is the image as a flat float array (CHW).
+	Pixels []float32 `json:"pixels,omitempty"`
+	// ImageB64 is the image as base64-encoded little-endian float32s —
+	// the compact form for binary clients.
+	ImageB64 string `json:"image_b64,omitempty"`
+	// Seed pins the per-image fault stream; 0 means server-assigned.
+	// Pinned-seed requests get a dedicated accelerator pass.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// inferResponse is one classified image plus serving metadata.
+type inferResponse struct {
+	// Pred is the predicted class; Probs the host-side softmax output.
+	Pred  int       `json:"pred"`
+	Probs []float32 `json:"probs"`
+	// Board and VCCINTmV identify the serving board and its rail level.
+	Board    string  `json:"board"`
+	VCCINTmV float64 `json:"vccint_mv"`
+	// BatchSize is how many images shared this accelerator pass.
+	BatchSize int `json:"batch_size"`
+}
+
+// decodeInferImage resolves the request body into a CHW tensor matching
+// the pool's input shape.
+func (s *Server) decodeInferImage(req inferRequest) (*tensor.Tensor, error) {
+	shape := s.pool.InputShape()
+	want := shape.C * shape.H * shape.W
+	pixels := req.Pixels
+	if req.ImageB64 != "" {
+		if pixels != nil {
+			return nil, fmt.Errorf("provide pixels or image_b64, not both")
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.ImageB64)
+		if err != nil {
+			return nil, fmt.Errorf("bad image_b64: %v", err)
+		}
+		if len(raw)%4 != 0 {
+			return nil, fmt.Errorf("image_b64 is %d bytes, not a float32 buffer", len(raw))
+		}
+		pixels = make([]float32, len(raw)/4)
+		for i := range pixels {
+			pixels[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+	}
+	if len(pixels) != want {
+		return nil, fmt.Errorf("image has %d values, want %d (%dx%dx%d CHW)",
+			len(pixels), want, shape.C, shape.H, shape.W)
+	}
+	return tensor.FromSlice(pixels, shape.C, shape.H, shape.W)
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	s.inferReqs.Add(1)
+	if r.Method != http.MethodPost {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	img, err := s.decodeInferImage(req)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	outs, board, mv, batch, err := s.batch.SubmitInfer(r.Context(), []*tensor.Tensor{img}, req.Seed)
+	s.inferLatency.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusOK, inferResponse{
+			Pred:      outs[0].Pred,
+			Probs:     outs[0].Probs,
+			Board:     board,
+			VCCINTmV:  mv,
+			BatchSize: batch,
+		})
 	case errors.Is(err, ErrShutdown), errors.Is(err, fleet.ErrClosed):
 		s.errorJSON(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
