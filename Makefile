@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-governed bench-json
+.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json
 
 all: vet build test
 
@@ -28,7 +28,13 @@ bench:
 # The governed-fleet comparison: serving throughput must hold while
 # energy-per-request drops versus the static operating points.
 bench-governed:
-	$(GO) test -run '^$$' -bench BenchmarkGovernedFleet -benchtime 2s .
+	$(GO) test -run '^$$' -bench 'BenchmarkGovernedFleet$$' -benchtime 2s .
+
+# The ECC comparison: the SECDED-protected fleet must settle at a
+# strictly lower VCCBRAM (vccbram_mV metric) at equal throughput, plus
+# the raw frame-scrub pass cost.
+bench-ecc:
+	$(GO) test -run '^$$' -bench 'BenchmarkScrubOverhead|BenchmarkGovernedFleetECC' -benchtime 2s .
 
 # Machine-readable perf snapshot of the compute-engine hot paths
 # (conv kernels naive vs GEMM; steady-state classify time + allocs;
@@ -39,9 +45,9 @@ bench-governed:
 # the batched executor's per-core lanes actually run in parallel.
 # Two steps (not a pipeline) so a benchmark failure fails the target
 # instead of being masked by benchjson's exit status.
-BENCH_NUM ?= 4
+BENCH_NUM ?= 5
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkConvKernels|BenchmarkClassifySteadyState|BenchmarkInferBatched' \
+	$(GO) test -run '^$$' -bench 'BenchmarkConvKernels|BenchmarkClassifySteadyState|BenchmarkInferBatched|BenchmarkScrubOverhead' \
 		-benchmem -benchtime 0.3s -count 1 -cpu 4 . > BENCH_$(BENCH_NUM).raw
 	$(GO) run ./cmd/benchjson -label BENCH_$(BENCH_NUM) < BENCH_$(BENCH_NUM).raw > BENCH_$(BENCH_NUM).json
 	@rm -f BENCH_$(BENCH_NUM).raw

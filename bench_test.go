@@ -14,6 +14,7 @@ import (
 	"fpgauv/internal/board"
 	"fpgauv/internal/dnndk"
 	"fpgauv/internal/dpu"
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/exp"
 	"fpgauv/internal/fabric"
 	"fpgauv/internal/models"
@@ -542,6 +543,132 @@ func BenchmarkGovernedFleet(b *testing.B) {
 			b.ReportMetric(fleetW, "fleet_W")
 			if st.Governor != nil {
 				b.ReportMetric(st.Governor.SavedW, "saved_W")
+			}
+			if st.MACFaults != 0 {
+				b.Fatalf("served traffic saw %d MAC faults", st.MACFaults)
+			}
+		})
+	}
+}
+
+// BenchmarkScrubOverhead measures one frame-scrub pass over a deployed
+// benchmark's full weight image — the background cost a fleet pays per
+// board per scrub interval. The image is clean (the steady-state case:
+// the executor restores its transient flips, so scrub passes usually
+// find nothing), making this the pure scan cost.
+func BenchmarkScrubOverhead(b *testing.B) {
+	brd := board.MustNew(board.SampleB)
+	rt, err := dnndk.NewRuntime(brd, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := models.New("VGGNet", models.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := dnndk.Quantize(bench, dnndk.DefaultQuantizeOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.LoadKernel(k); err != nil {
+		b.Fatal(err)
+	}
+	var weights [][]int8
+	for i := range k.Nodes {
+		if w := k.Nodes[i].WQ; w != nil {
+			weights = append(weights, w.Data)
+		}
+	}
+	prot := ecc.NewProtection(true)
+	s := ecc.NewScrubber(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := s.Scrub(prot)
+		if rep.Corrected != 0 || rep.Reloaded != 0 {
+			b.Fatal("clean image repaired")
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 && b.N > 0 {
+		perWord := b.Elapsed().Seconds() / float64(b.N) / float64(s.Words())
+		b.ReportMetric(perWord*1e9, "ns/word")
+	}
+}
+
+// BenchmarkGovernedFleetECC is BenchmarkGovernedFleet for the BRAM
+// rail: a single-board fleet governs VCCBRAM down (deterministic
+// stepped ticks), unprotected versus SECDED-protected, then serves
+// traffic at the settled points. The protected fleet must reach a
+// strictly lower VCCBRAM (reported as vccbram_mV) at equal throughput
+// and accuracy, with zero harmful events served.
+func BenchmarkGovernedFleetECC(b *testing.B) {
+	const images = 16
+	for _, eccOn := range []bool{false, true} {
+		name := "unprotected"
+		if eccOn {
+			name = "secded"
+		}
+		b.Run(name, func(b *testing.B) {
+			pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+				Boards:      1,
+				Tiny:        true,
+				Images:      images,
+				CharRepeats: 1,
+				ECC:         fpgauv.ECCConfig{Enabled: eccOn, ScrubInterval: -1},
+				Governor: fpgauv.GovernorConfig{
+					Interval:        -1, // stepped explicitly below
+					StepMV:          2,
+					MarginMV:        4,
+					ProbeImages:     16,
+					BRAM:            true,
+					BRAMStepMV:      5,
+					BRAMMarginMV:    5,
+					CorrectedBudget: 64,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			if err := pool.HoldTemperatureC(-1, 34); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 220; i++ {
+				pool.GovernorTick()
+			}
+			bd := pool.Status().Boards[0]
+			if bd.Governor == nil || !bd.Governor.BRAM.Settled {
+				b.Fatal("BRAM governor never settled")
+			}
+			// Snapshot the lifetime ECC counters: the settle phase's
+			// canary probes deliberately drove candidates into their
+			// fault region, and only the served-traffic delta below
+			// should be judged.
+			var base fpgauv.ECCStatus
+			if st := pool.Status(); st.ECC != nil {
+				base = *st.ECC
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := pool.Classify(context.Background(), fpgauv.FleetRequest{}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := pool.Status()
+			if secs := b.Elapsed().Seconds(); secs > 0 && b.N > 0 {
+				b.ReportMetric(float64(b.N)*images/secs, "images/s")
+			}
+			b.ReportMetric(st.Boards[0].OperatingBRAMMV, "vccbram_mV")
+			b.ReportMetric(st.Boards[0].VCCBRAMW*1000, "bram_mW")
+			if st.ECC != nil {
+				b.ReportMetric(float64(st.ECC.Corrected-base.Corrected), "corrected")
+				if st.ECC.Silent != base.Silent || st.ECC.Detected != base.Detected {
+					b.Fatalf("harmful events served: %+v (baseline %+v)", st.ECC.Counts, base.Counts)
+				}
 			}
 			if st.MACFaults != 0 {
 				b.Fatalf("served traffic saw %d MAC faults", st.MACFaults)

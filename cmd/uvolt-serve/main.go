@@ -10,6 +10,7 @@
 //	            [-batch-window 2ms]
 //	            [-governor] [-governor-interval 25ms] [-governor-step 5]
 //	            [-governor-margin 5] [-governor-probe 12]
+//	            [-ecc] [-scrub-interval 250ms] [-governor-bram]
 //
 // Endpoints:
 //
@@ -20,6 +21,8 @@
 //	POST /v1/fleet/voltage {"board": 0, "mv": 500}  command a VCCINT rail
 //	GET  /v1/fleet/governor                       adaptive-voltage state
 //	POST /v1/fleet/governor {"enabled": true}     toggle / tune the governor
+//	GET  /v1/fleet/ecc                            SECDED + scrubbing state
+//	POST /v1/fleet/ecc     {"enabled": true}      toggle ECC / tune scrubbing
 //	GET  /metrics                                 Prometheus text metrics
 //	GET  /healthz                                 liveness
 package main
@@ -58,6 +61,9 @@ func main() {
 	govStep := flag.Float64("governor-step", 5, "governor step in mV")
 	govMargin := flag.Float64("governor-margin", 5, "mV held above the deepest clean canary level")
 	govProbe := flag.Int("governor-probe", 12, "canary images classified per governor tick")
+	eccOn := flag.Bool("ecc", false, "enable BRAM SECDED protection")
+	scrubInterval := flag.Duration("scrub-interval", 250*time.Millisecond, "frame-scrub period per board")
+	govBRAM := flag.Bool("governor-bram", false, "let the governor walk VCCBRAM down (ECC-aware when -ecc)")
 	flag.Parse()
 
 	log.Printf("uvolt-serve: bringing up %d boards serving %s (characterizing Vmin/Vcrash)...", *boards, *bench)
@@ -78,6 +84,11 @@ func main() {
 			StepMV:      *govStep,
 			MarginMV:    *govMargin,
 			ProbeImages: *govProbe,
+			BRAM:        *govBRAM,
+		},
+		ECC: fpgauv.ECCConfig{
+			Enabled:       *eccOn,
+			ScrubInterval: *scrubInterval,
 		},
 	})
 	if err != nil {
@@ -89,6 +100,12 @@ func main() {
 	}
 	if *governor {
 		log.Printf("uvolt-serve: adaptive voltage governor enabled (interval %s, step %.0f mV)", *govInterval, *govStep)
+	}
+	if *eccOn {
+		log.Printf("uvolt-serve: BRAM SECDED protection enabled (scrub every %s)", *scrubInterval)
+	}
+	if *govBRAM {
+		log.Printf("uvolt-serve: governor will walk VCCBRAM (ECC-aware: %t)", *eccOn)
 	}
 	log.Printf("uvolt-serve: fleet ready in %s", time.Since(t0).Round(time.Millisecond))
 
@@ -131,5 +148,10 @@ func main() {
 		// energy saving is meaningful here.
 		fmt.Printf("governor: probes=%d climbs=%d descents=%d saved=%.1f J\n",
 			st.Governor.Probes, st.Governor.Climbs, st.Governor.Descents, st.Governor.SavedJ)
+	}
+	if st.ECC != nil && (st.ECC.Enabled || st.ECC.Total() > 0) {
+		fmt.Printf("ecc: corrected=%d uncorrectable=%d silent=%d scrubs=%d (repaired %d words)\n",
+			st.ECC.Corrected, st.ECC.Detected, st.ECC.Silent,
+			st.ECC.ScrubPasses, st.ECC.ScrubCorrected+st.ECC.ScrubReloaded)
 	}
 }

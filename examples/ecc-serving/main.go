@@ -1,0 +1,112 @@
+// BRAM ECC + scrubbing: the paper's mitigation path for reduced-voltage
+// BRAM operation, run as an operations experiment. Two identical
+// single-board fleets govern their VCCBRAM rail downward; one decodes
+// BRAM reads through the built-in SECDED(72,64) codec, the other runs
+// unprotected. The unprotected governor must stop at the raw fault
+// onset — any flip corrupts a weight — while the ECC-aware governor
+// tolerates corrected single-bit words (its leading indicator) and keeps
+// descending until uncorrectable words or the corrected-rate budget
+// bound it. The result: a strictly deeper VCCBRAM floor, lower power,
+// same Top-1 accuracy — with the frame scrubber resetting persistent
+// faults in the background.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fpgauv"
+)
+
+func buildFleet(eccOn bool) (*fpgauv.Fleet, error) {
+	return fpgauv.NewFleet(fpgauv.FleetConfig{
+		Boards:      1,
+		Benchmark:   "VGGNet",
+		Tiny:        true,
+		Images:      16,
+		CharRepeats: 1,
+		ECC: fpgauv.ECCConfig{
+			Enabled:       eccOn,
+			ScrubInterval: -1, // scrub passes stepped explicitly below
+		},
+		Governor: fpgauv.GovernorConfig{
+			Interval:        -1, // ticks stepped explicitly below
+			StepMV:          2,
+			MarginMV:        4,
+			ProbeImages:     16,
+			BRAM:            true,
+			BRAMStepMV:      5,
+			BRAMMarginMV:    5,
+			CorrectedBudget: 64,
+		},
+	})
+}
+
+func main() {
+	log.Println("ecc-serving: bringing up two governed boards (ECC on / ECC off)...")
+	off, err := buildFleet(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer off.Close()
+	on, err := buildFleet(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer on.Close()
+
+	if err := off.HoldTemperatureC(0, 34); err != nil {
+		log.Fatal(err)
+	}
+	if err := on.HoldTemperatureC(0, 34); err != nil {
+		log.Fatal(err)
+	}
+
+	// Settle both governors (VCCINT and VCCBRAM loops), scrubbing the
+	// protected image as a real deployment's background scrubber would.
+	for i := 0; i < 220; i++ {
+		off.GovernorTick()
+		on.GovernorTick()
+		if i%10 == 0 {
+			on.ScrubNow()
+		}
+	}
+
+	show := func(name string, p *fpgauv.Fleet) fpgauv.FleetResult {
+		res, err := p.Classify(context.Background(), fpgauv.FleetRequest{Seed: 41})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := p.Status().Boards[0]
+		fmt.Printf("  %-8s VCCINT %3.0f mV  VCCBRAM %3.0f mV  power %5.2f W  top-1 %5.2f%%  "+
+			"corrected=%d uncorrectable=%d silent=%d\n",
+			name, b.OperatingMV, b.OperatingBRAMMV, b.PowerW, res.AccuracyPct,
+			res.ECC.Corrected, res.ECC.Detected, res.ECC.Silent)
+		return res
+	}
+
+	fmt.Println("\ngoverned operating points after settling (same die, same workload):")
+	resOff := show("ECC off", off)
+	resOn := show("ECC on", on)
+
+	offB, onB := off.Status().Boards[0], on.Status().Boards[0]
+	fmt.Printf("\nECC moved the usable VCCBRAM floor down %.0f mV (%.0f -> %.0f) at equal accuracy (%.2f%% vs %.2f%%)\n",
+		offB.OperatingBRAMMV-onB.OperatingBRAMMV, offB.OperatingBRAMMV, onB.OperatingBRAMMV,
+		resOff.AccuracyPct, resOn.AccuracyPct)
+	// The paper's §4.1 point stands in the model: >99.9% of on-chip
+	// power is on VCCINT, so the BRAM rail saving is milliwatts — the
+	// interesting result is the voltage floor itself.
+	fmt.Printf("BRAM rail power: %.3f mW -> %.3f mW (%.1f%% of the rail's nominal draw saved)\n",
+		offB.VCCBRAMW*1000, onB.VCCBRAMW*1000,
+		(offB.VCCBRAMW-onB.VCCBRAMW)/0.009*100)
+
+	st := on.Status()
+	fmt.Printf("\nprotected fleet lifetime: %d corrected, %d uncorrectable, %d silent; "+
+		"%d scrub passes repaired %d resident words\n",
+		st.ECC.Corrected, st.ECC.Detected, st.ECC.Silent,
+		st.ECC.ScrubPasses, st.ECC.ScrubCorrected+st.ECC.ScrubReloaded)
+	fmt.Printf("bram governor: %d probes, %d descents, %d climbs, %d corrected words tolerated in canaries\n",
+		st.Governor.BRAMProbes, st.Governor.BRAMDescents, st.Governor.BRAMClimbs,
+		onB.Governor.BRAM.CanaryCorrected)
+}

@@ -39,6 +39,14 @@ type (
 	GovernorStatus = fleet.GovernorStatus
 	// BoardGovernorStatus is one board's adaptive-voltage state.
 	BoardGovernorStatus = fleet.BoardGovernorStatus
+	// ECCConfig parameterizes BRAM SECDED protection and frame
+	// scrubbing — the paper's mitigation path for reduced-voltage BRAM
+	// operation.
+	ECCConfig = fleet.ECCConfig
+	// ECCStatus is the pool-wide protection snapshot.
+	ECCStatus = fleet.ECCStatus
+	// BoardECCStatus is one board's protection and scrubbing snapshot.
+	BoardECCStatus = fleet.BoardECCStatus
 	// ServeConfig parameterizes the HTTP front-end.
 	ServeConfig = serve.Config
 	// Server is the HTTP inference front-end of a fleet.

@@ -326,6 +326,17 @@ func (b *ZCU102) PowerBreakdownAt(vccintMV float64) power.Breakdown {
 	return b.pwr.Breakdown(op)
 }
 
+// PowerBreakdownAtRails is PowerBreakdownAt with both PL rails
+// hypothetical — the baseline evaluation for a governor that walks
+// VCCBRAM down as well as VCCINT.
+func (b *ZCU102) PowerBreakdownAtRails(vccintMV, vccbramMV float64) power.Breakdown {
+	op := b.operatingPoint(b.DieTempC())
+	op.VCCINTmV = vccintMV
+	op.VCCBRAMmV = vccbramMV
+	op.FaultActivityDroop = 0
+	return b.pwr.Breakdown(op)
+}
+
 // RailPowerW implements regulator.Telemetry: live load per rail.
 func (b *ZCU102) RailPowerW(rail string) float64 {
 	switch rail {

@@ -6,6 +6,7 @@ import (
 
 	"fpgauv/internal/board"
 	"fpgauv/internal/dpu"
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/models"
 	"fpgauv/internal/tensor"
 )
@@ -96,6 +97,11 @@ func (t *Task) Unload() error {
 // Board returns the board the task's kernel is loaded on.
 func (t *Task) Board() *board.ZCU102 { return t.rt.brd }
 
+// DPU returns the accelerator the task's kernel is loaded on — the
+// handle mitigation strategies and the fleet use to reach the BRAM
+// SECDED policy.
+func (t *Task) DPU() *dpu.DPU { return t.rt.dp }
+
 // Run classifies one image at the present board conditions.
 func (t *Task) Run(img *tensor.Tensor, rng *rand.Rand) (*dpu.Result, error) {
 	return t.RunWith(nil, img, rng)
@@ -177,6 +183,10 @@ type ClassifyResult struct {
 	AccuracyPct float64
 	MACFaults   int64
 	BRAMFaults  int64
+	// ECC is the pass's SECDED outcome split (zero when the DPU has no
+	// enabled protection). Micro-batch persistence means each batch's
+	// split is reported once here, not once per image.
+	ECC ecc.Counts
 }
 
 // Classify runs the dataset at the present board conditions and scores
@@ -236,6 +246,11 @@ func (t *Task) ClassifyWith(s *dpu.Scratch, ds *models.Dataset, rng *rand.Rand) 
 				out.Preds[lo+i] = results[i].Pred
 				out.MACFaults += results[i].MACFaults
 				out.BRAMFaults += results[i].BRAMFaults
+			}
+			if len(results) > 0 {
+				// Every image of a micro-batch carries the batch's shared
+				// outcome split; count each event once.
+				out.ECC.Add(results[0].ECC)
 			}
 		}
 	}

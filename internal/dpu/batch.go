@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/fabric"
 	"fpgauv/internal/nn"
 	"fpgauv/internal/quant"
@@ -31,9 +32,12 @@ type batchArena struct {
 	lanes []*batchLane // per-DPU-core stacked GEMM buffers
 	res   []Result     // per-image staged results
 	flips []weightFlip // batch-persistent BRAM flip records
-	rngs  []*rand.Rand // pooled per-image fault streams for callers
-	errMu sync.Mutex
-	err   error
+	// eccFlips are the protected path's batch-persistent byte-restore
+	// records (restored newest-first; see Scratch.eccIdx).
+	eccFlips []byteRestore
+	rngs     []*rand.Rand // pooled per-image fault streams for callers
+	errMu    sync.Mutex
+	err      error
 }
 
 // batchLane holds one core's stacked im2col/accumulator buffers and its
@@ -50,6 +54,14 @@ type weightFlip struct {
 	w   *quant.QTensor
 	idx int32
 	bit uint8
+}
+
+// byteRestore records one protected-path byte overwrite (prior value,
+// since SECDED miscorrections are not XOR-invertible).
+type byteRestore struct {
+	w   *quant.QTensor
+	idx int32
+	old int8
 }
 
 // batchBind readies the arena for a batch of n images across w lanes.
@@ -158,8 +170,13 @@ func (d *DPU) runBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*ran
 	// Persistent faults: flip once per batch, before the lanes start, so
 	// the shared weight tensors are immutable while the batch runs.
 	var batchFlips int64
+	var batchECC ecc.Counts
 	if pBRAM > 0 {
-		batchFlips = d.flipBatchWeights(ba, k, pBRAM, rngs[0])
+		if d.prot.Enabled() {
+			batchFlips, batchECC = d.flipBatchWeightsECC(ba, k, pBRAM, rngs[0])
+		} else {
+			batchFlips = d.flipBatchWeights(ba, k, pBRAM, rngs[0])
+		}
 	}
 
 	// Fan the batch across the DPU cores: lane c serves the contiguous
@@ -191,6 +208,7 @@ func (d *DPU) runBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*ran
 	}
 	for i := range ba.res {
 		ba.res[i].BRAMFaults += batchFlips
+		ba.res[i].ECC.Add(batchECC)
 	}
 	if detached {
 		out := make([]Result, n)
@@ -378,11 +396,17 @@ func (d *DPU) flipBatchWeights(ba *batchArena, k *Kernel, pBit float64, rng *ran
 	return total
 }
 
-// restoreBatchWeights undoes the batch's persistent flips (XOR is its own
-// inverse, so re-flipping in any order restores the original codes).
+// restoreBatchWeights undoes the batch's persistent flips: legacy flips
+// by XOR (its own inverse), protected-path byte records newest-first so
+// overlapping word writes unwind correctly.
 func (d *DPU) restoreBatchWeights(ba *batchArena) {
 	for _, f := range ba.flips {
 		f.w.Data[f.idx] ^= 1 << f.bit
 	}
 	ba.flips = ba.flips[:0]
+	for i := len(ba.eccFlips) - 1; i >= 0; i-- {
+		f := ba.eccFlips[i]
+		f.w.Data[f.idx] = f.old
+	}
+	ba.eccFlips = ba.eccFlips[:0]
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"fpgauv/internal/board"
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/fabric"
 	"fpgauv/internal/nn"
 	"fpgauv/internal/quant"
@@ -21,6 +22,11 @@ type DPU struct {
 	// im2col+GEMM lowering — the reference oracle the equivalence tests
 	// and benchmarks compare against.
 	refKernels bool
+	// prot is the BRAM SECDED policy. When enabled, weight-read faults
+	// are sampled per 64-bit word and routed through the codec; when nil
+	// or disabled the legacy unprotected per-bit flip path runs,
+	// bit-exactly as before.
+	prot *ecc.Protection
 }
 
 // New programs nCores instances of the given variant into the board's
@@ -54,6 +60,14 @@ func (d *DPU) Cores() int { return d.nCores }
 // equivalence tests and as the baseline for the kernel benchmarks.
 func (d *DPU) SetReferenceKernels(on bool) { d.refKernels = on }
 
+// SetProtection installs (or removes, with nil) the BRAM SECDED policy.
+// Toggling an installed policy at runtime goes through
+// Protection.SetEnabled; the executor re-checks it on every pass.
+func (d *DPU) SetProtection(p *ecc.Protection) { d.prot = p }
+
+// Protection returns the installed BRAM SECDED policy (nil when none).
+func (d *DPU) Protection() *ecc.Protection { return d.prot }
+
 // Result is the outcome of one inference on the DPU. Results of
 // RunWith/RunCleanWith calls (the Result itself and its Probs tensor) are
 // staged in the Scratch and only valid until the next run on it.
@@ -62,9 +76,15 @@ type Result struct {
 	Probs *tensor.Tensor
 	// Pred is the argmax class.
 	Pred int
-	// MACFaults and BRAMFaults count injected corruption events.
+	// MACFaults and BRAMFaults count injected corruption events. With
+	// SECDED protection enabled, BRAMFaults counts raw flipped bits
+	// exactly like the unprotected path — the physical fault rate is the
+	// same either way; ECC only changes what the consumer observes.
 	MACFaults  int64
 	BRAMFaults int64
+	// ECC splits the pass's faulted BRAM words by SECDED outcome
+	// (all-zero when protection is disabled).
+	ECC ecc.Counts
 }
 
 // Run executes one image through a compiled kernel at the board's present
@@ -340,7 +360,11 @@ func finishRun(s *Scratch, k *Kernel, res *Result) error {
 // activation. The epilogue is shared by all four kernel/op combinations
 // so the oracle and GEMM paths cannot drift apart.
 func (d *DPU) runWeightLayer(s *Scratch, res *Result, i int, n nn.Node, kn *KernelNode, x *quant.QTensor, bits int, pMAC, pBRAM float64, rng *rand.Rand) error {
-	res.BRAMFaults += d.flipWeights(s, kn.WQ, pBRAM, rng)
+	if d.prot.Enabled() {
+		res.BRAMFaults += d.flipWeightsECC(s, res, kn.WQ, pBRAM, rng)
+	} else {
+		res.BRAMFaults += d.flipWeights(s, kn.WQ, pBRAM, rng)
+	}
 	var acc []int32
 	var dims [3]int
 	nd := 0
@@ -416,13 +440,20 @@ func (d *DPU) flipWeights(s *Scratch, w *quant.QTensor, pBit float64, rng *rand.
 }
 
 // restoreWeights undoes the recorded transient flips (XOR is its own
-// inverse, so re-flipping in any order restores the original codes).
+// inverse, so re-flipping in any order restores the original codes) and
+// the protected path's byte records (restored newest-first, so
+// overlapping writes to the same word unwind correctly).
 func (d *DPU) restoreWeights(s *Scratch, w *quant.QTensor) {
 	for i, idx := range s.flipIdx {
 		w.Data[idx] ^= 1 << s.flipBit[i]
 	}
 	s.flipIdx = s.flipIdx[:0]
 	s.flipBit = s.flipBit[:0]
+	for i := len(s.eccIdx) - 1; i >= 0; i-- {
+		w.Data[s.eccIdx[i]] = s.eccOld[i]
+	}
+	s.eccIdx = s.eccIdx[:0]
+	s.eccOld = s.eccOld[:0]
 }
 
 // faultTileSpan is the blast radius of one timing-fault event. The B4096

@@ -1,0 +1,186 @@
+package dpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgauv/internal/ecc"
+)
+
+// kernelWeightSnapshot clones every weight tensor of the kernel.
+func kernelWeightSnapshot(k *Kernel) [][]int8 {
+	var out [][]int8
+	for i := range k.Nodes {
+		if w := k.Nodes[i].WQ; w != nil {
+			out = append(out, append([]int8(nil), w.Data...))
+		}
+	}
+	return out
+}
+
+func checkWeightSnapshot(t *testing.T, k *Kernel, snap [][]int8, when string) {
+	t.Helper()
+	j := 0
+	for i := range k.Nodes {
+		w := k.Nodes[i].WQ
+		if w == nil {
+			continue
+		}
+		for idx, v := range w.Data {
+			if v != snap[j][idx] {
+				t.Fatalf("%s: node %d weight[%d] = %d, want %d (restore broken)", when, i, idx, v, snap[j][idx])
+			}
+		}
+		j++
+	}
+}
+
+// The protected path's corrected/detected/silent counts must be
+// bit-exactly deterministic under a pinned seed, on both executors.
+func TestECCCountsDeterministic(t *testing.T) {
+	d, k, inputs := buildConvNetKernel(t)
+	d.SetProtection(ecc.NewProtection(true))
+	const pBRAM = 2e-3
+
+	run := func(seed int64) *Result {
+		res, err := d.run(nil, k, inputs[0], rand.New(rand.NewSource(seed)), 0, pBRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		a, b := run(seed), run(seed)
+		if a.ECC != b.ECC || a.BRAMFaults != b.BRAMFaults {
+			t.Fatalf("seed %d: ECC %+v/%d vs %+v/%d not deterministic", seed, a.ECC, a.BRAMFaults, b.ECC, b.BRAMFaults)
+		}
+		if a.Pred != b.Pred {
+			t.Fatalf("seed %d: pred %d vs %d", seed, a.Pred, b.Pred)
+		}
+		if a.ECC.Total() == 0 && a.BRAMFaults != 0 {
+			t.Fatalf("seed %d: raw faults %d with no classified words", seed, a.BRAMFaults)
+		}
+	}
+
+	in := makeBatch(inputs, 5)
+	batch := func(seed int64) ([]Result, []float32) {
+		rngs := seededRNGs(seed, len(in))
+		res, err := d.runBatch(nil, k, in, rngs, 0, pBRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, append([]float32(nil), res[0].Probs.Data()...)
+	}
+	a, ap := batch(33)
+	b, bp := batch(33)
+	for i := range a {
+		if a[i].ECC != b[i].ECC || a[i].BRAMFaults != b[i].BRAMFaults {
+			t.Fatalf("batch image %d: %+v vs %+v", i, a[i].ECC, b[i].ECC)
+		}
+		// Persistent-per-batch semantics: every image reports the batch's
+		// shared outcome split.
+		if a[i].ECC != a[0].ECC {
+			t.Fatalf("image %d does not share the batch outcome split: %+v vs %+v", i, a[i].ECC, a[0].ECC)
+		}
+	}
+	for j := range ap {
+		if ap[j] != bp[j] {
+			t.Fatalf("batch probs[%d] differ across identical runs", j)
+		}
+	}
+}
+
+// A pass whose faulted words were all corrected must be bit-exact with
+// the fault-free reference: SECDED made the corruption invisible. Seeds
+// with uncorrectable words must still leave the weights restored.
+func TestECCCorrectedRunsMatchClean(t *testing.T) {
+	d, k, inputs := buildConvNetKernel(t)
+	d.SetProtection(ecc.NewProtection(true))
+	snap := kernelWeightSnapshot(k)
+	clean, err := d.RunClean(k, inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	correctedOnly, uncorrectable := 0, 0
+	for seed := int64(1); seed <= 60; seed++ {
+		res, err := d.run(nil, k, inputs[0], rand.New(rand.NewSource(seed)), 0, 2e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWeightSnapshot(t, k, snap, "after protected run")
+		if res.ECC.Total() == 0 {
+			continue
+		}
+		if res.ECC.Bad() == 0 {
+			correctedOnly++
+			if res.Pred != clean.Pred {
+				t.Fatalf("seed %d: corrected-only pass changed the prediction", seed)
+			}
+			cp, rp := clean.Probs.Data(), res.Probs.Data()
+			for j := range cp {
+				if cp[j] != rp[j] {
+					t.Fatalf("seed %d: corrected-only pass perturbed probs[%d]", seed, j)
+				}
+			}
+		} else {
+			uncorrectable++
+		}
+	}
+	if correctedOnly == 0 {
+		t.Error("no corrected-only pass in 60 seeds; lower pBRAM for the test")
+	}
+}
+
+// An installed-but-disabled protection must leave the executor on the
+// legacy path, bit-exact with no protection at all.
+func TestECCDisabledMatchesLegacy(t *testing.T) {
+	d, k, inputs := buildConvNetKernel(t)
+	const pBRAM = 1e-3
+	legacy, err := d.run(nil, k, inputs[0], rand.New(rand.NewSource(9)), 0, pBRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetProtection(ecc.NewProtection(false))
+	disabled, err := d.run(nil, k, inputs[0], rand.New(rand.NewSource(9)), 0, pBRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Pred != disabled.Pred || legacy.BRAMFaults != disabled.BRAMFaults {
+		t.Fatalf("disabled protection drifted: pred %d/%d faults %d/%d",
+			legacy.Pred, disabled.Pred, legacy.BRAMFaults, disabled.BRAMFaults)
+	}
+	if disabled.ECC != (ecc.Counts{}) {
+		t.Fatalf("disabled protection classified words: %+v", disabled.ECC)
+	}
+	lp, dp := legacy.Probs.Data(), disabled.Probs.Data()
+	for j := range lp {
+		if lp[j] != dp[j] {
+			t.Fatalf("probs[%d] drifted with disabled protection", j)
+		}
+	}
+}
+
+// Batch restore integrity under heavy protected corruption, including
+// silent miscorrections (which rewrite bits the fault never touched).
+func TestECCBatchRestoresWeights(t *testing.T) {
+	d, k, inputs := buildConvNetKernel(t)
+	prot := ecc.NewProtection(true)
+	d.SetProtection(prot)
+	snap := kernelWeightSnapshot(k)
+	in := makeBatch(inputs, 6)
+	for seed := int64(1); seed <= 20; seed++ {
+		rngs := seededRNGs(seed*311, len(in))
+		if _, err := d.runBatch(nil, k, in, rngs, 0, 5e-3); err != nil {
+			t.Fatal(err)
+		}
+		checkWeightSnapshot(t, k, snap, "after protected batch")
+	}
+	c := prot.Counts()
+	if c.Corrected == 0 {
+		t.Error("heavy corruption produced no corrected words")
+	}
+	if c.Bad() == 0 {
+		t.Error("heavy corruption produced no uncorrectable/silent words; raise pBRAM")
+	}
+}

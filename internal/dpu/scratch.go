@@ -52,6 +52,12 @@ type Scratch struct {
 	// call instead of paying an O(weights) clone per faulted layer.
 	flipIdx []int32
 	flipBit []uint8
+	// eccIdx/eccOld are the protected path's byte-restore records: the
+	// SECDED decoder can rewrite a word arbitrarily (miscorrections flip
+	// bits the fault never touched), so restore is by prior value, not
+	// by XOR.
+	eccIdx []int32
+	eccOld []int8
 
 	// batch is the batched-execution extension: per-image sub-arenas,
 	// per-DPU-core stacked GEMM buffers, and batch-persistent BRAM flip

@@ -1,0 +1,112 @@
+package ecc
+
+import "sync/atomic"
+
+// Counts aggregates protected-read outcomes. The three fields are the
+// paper-relevant split: corrected reads cost nothing, detected
+// uncorrectable reads corrupt data visibly (a flag the host could act
+// on), silent reads corrupt data invisibly — the failure mode that
+// actually moves Top-1 accuracy under deep VCCBRAM underscaling.
+type Counts struct {
+	// Corrected counts single-bit words the decoder fixed transparently.
+	Corrected int64 `json:"corrected"`
+	// Detected counts words flagged uncorrectable (even-bit faults).
+	Detected int64 `json:"detected"`
+	// Silent counts words miscorrected to a wrong value (odd ≥3-bit
+	// faults that alias to a valid single-error syndrome).
+	Silent int64 `json:"silent"`
+}
+
+// Add accumulates another count set.
+func (c *Counts) Add(o Counts) {
+	c.Corrected += o.Corrected
+	c.Detected += o.Detected
+	c.Silent += o.Silent
+}
+
+// Total returns all faulted-word events.
+func (c Counts) Total() int64 { return c.Corrected + c.Detected + c.Silent }
+
+// Bad returns the events that corrupt consumed data (everything ECC
+// could not transparently fix).
+func (c Counts) Bad() int64 { return c.Detected + c.Silent }
+
+// Protection is the word-level SECDED policy one board's DPU routes
+// reduced-voltage BRAM reads through. It is safe for concurrent use: the
+// lifetime counters are atomics, and Process is pure apart from them.
+// The zero value is a disabled policy with zeroed counters.
+type Protection struct {
+	enabled atomic.Bool
+
+	corrected atomic.Int64
+	detected  atomic.Int64
+	silent    atomic.Int64
+	scrubbed  atomic.Int64 // words reset by scrub passes (see Scrubber)
+}
+
+// NewProtection returns a policy with the given initial enable state.
+func NewProtection(enabled bool) *Protection {
+	p := &Protection{}
+	p.enabled.Store(enabled)
+	return p
+}
+
+// Enabled reports whether protected decoding is active. A disabled
+// policy leaves the executor on the unprotected raw-bit-flip path.
+func (p *Protection) Enabled() bool { return p != nil && p.enabled.Load() }
+
+// SetEnabled switches protected decoding on or off.
+func (p *Protection) SetEnabled(on bool) { p.enabled.Store(on) }
+
+// Process runs one faulted word through the SECDED decoder: orig is the
+// stored (written) word, faulty the word as the reduced-voltage read
+// returned it. It returns the word the consumer observes and the read's
+// classification, and records the outcome in the lifetime counters.
+//
+// Unlike Decode, Process knows the original word, so it can tell a true
+// correction (decoder output == orig) from a silent miscorrection.
+func (p *Protection) Process(orig, faulty uint64) (uint64, Outcome) {
+	out, o := Decode(faulty, Encode(orig))
+	switch {
+	case o == OutcomeClean:
+		return out, OutcomeClean
+	case o == OutcomeDetected:
+		p.detected.Add(1)
+		return out, OutcomeDetected
+	case out == orig:
+		p.corrected.Add(1)
+		return out, OutcomeCorrected
+	default:
+		// The decoder "corrected" to a word that is not the original:
+		// an aliased multi-bit fault slipped through silently.
+		p.silent.Add(1)
+		return out, OutcomeSilent
+	}
+}
+
+// Counts snapshots the lifetime outcome counters.
+func (p *Protection) Counts() Counts {
+	if p == nil {
+		return Counts{}
+	}
+	return Counts{
+		Corrected: p.corrected.Load(),
+		Detected:  p.detected.Load(),
+		Silent:    p.silent.Load(),
+	}
+}
+
+// ScrubbedWords returns how many corrupted words scrub passes have reset
+// on the image this policy protects.
+func (p *Protection) ScrubbedWords() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.scrubbed.Load()
+}
+
+func (p *Protection) noteScrubbed(n int64) {
+	if p != nil && n > 0 {
+		p.scrubbed.Add(n)
+	}
+}

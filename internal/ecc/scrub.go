@@ -1,0 +1,153 @@
+package ecc
+
+import "sync"
+
+// Scrubber is the periodic frame-scrubbing half of the mitigation: it
+// walks a protected weight image word by word, re-decodes every word
+// against its stored check bits, rewrites correctable words in place and
+// reloads uncorrectable ones from the golden (DDR-staged) copy. Frame
+// scrubbing is what turns persistent reduced-voltage BRAM faults back
+// into transient ones: a flip survives only until the next scrub pass,
+// which is the semantics the batched executor's restore-after-batch
+// already assumes.
+//
+// The image is the kernel's live int8 weight tensors; 8 consecutive
+// codes form one 64-bit BRAM word (little-endian by index, the tail word
+// zero-padded). A Scrubber must be driven under the same lock that
+// serializes executions on the kernel — scrubbing races an in-flight
+// pass's transient in-place flips otherwise.
+type Scrubber struct {
+	mu     sync.Mutex
+	live   [][]int8 // the kernel's weight tensors, shared
+	golden [][]int8 // clean clone (the DDR staging copy)
+	check  [][]uint8
+	words  int64
+
+	passes    int64
+	scanned   int64
+	corrected int64
+	reloaded  int64
+}
+
+// NewScrubber snapshots the given weight tensors as the golden image and
+// computes their SECDED check bytes. The slices are retained and
+// scrubbed in place; they must hold the fault-free weights when the
+// scrubber is built (deploy time, before any reduced-voltage pass).
+func NewScrubber(weights [][]int8) *Scrubber {
+	s := &Scrubber{live: weights}
+	for _, w := range weights {
+		g := make([]int8, len(w))
+		copy(g, w)
+		s.golden = append(s.golden, g)
+		nw := (len(w) + 7) / 8
+		ck := make([]uint8, nw)
+		for i := 0; i < nw; i++ {
+			ck[i] = Encode(packWord(w, i*8))
+		}
+		s.check = append(s.check, ck)
+		s.words += int64(nw)
+	}
+	return s
+}
+
+// Words returns the protected image size in 64-bit words.
+func (s *Scrubber) Words() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.words
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	// Scanned is the words walked; Corrected the single-bit words the
+	// decoder fixed in place; Reloaded the uncorrectable words restored
+	// from the golden copy.
+	Scanned   int64 `json:"scanned"`
+	Corrected int64 `json:"corrected"`
+	Reloaded  int64 `json:"reloaded"`
+}
+
+// Scrub walks the whole image once, repairing every resident fault, and
+// reports what it found. After Scrub returns the live image is
+// bit-identical to the golden copy. prot (optional) has the repaired
+// word count added to its scrubbed counter.
+func (s *Scrubber) Scrub(prot *Protection) ScrubReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep ScrubReport
+	for ti, w := range s.live {
+		nw := (len(w) + 7) / 8
+		for i := 0; i < nw; i++ {
+			rep.Scanned++
+			cur := packWord(w, i*8)
+			fixed, o := Decode(cur, s.check[ti][i])
+			if o == OutcomeClean {
+				continue
+			}
+			gold := packWord(s.golden[ti], i*8)
+			if o == OutcomeCorrected && fixed == gold {
+				unpackWord(w, i*8, fixed)
+				rep.Corrected++
+				continue
+			}
+			// Uncorrectable (or miscorrected): reload from the staged
+			// golden copy, as the host would re-stream the frame from
+			// DDR.
+			unpackWord(w, i*8, gold)
+			rep.Reloaded++
+		}
+	}
+	s.passes++
+	s.scanned += rep.Scanned
+	s.corrected += rep.Corrected
+	s.reloaded += rep.Reloaded
+	prot.noteScrubbed(rep.Corrected + rep.Reloaded)
+	return rep
+}
+
+// Stats returns the scrubber's lifetime counters.
+func (s *Scrubber) Stats() (passes, scanned, corrected, reloaded int64) {
+	if s == nil {
+		return 0, 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.passes, s.scanned, s.corrected, s.reloaded
+}
+
+// PackWord assembles the 64-bit BRAM word starting at code index base of
+// an int8 weight image (little-endian by index; indexes past the end
+// read as zero). It is the shared word geometry of the scrubber and the
+// DPU's protected read path.
+func PackWord(w []int8, base int) uint64 { return packWord(w, base) }
+
+// UnpackWord writes a 64-bit word back over the codes starting at base
+// (indexes past the end are dropped, mirroring PackWord's zero padding).
+func UnpackWord(w []int8, base int, v uint64) { unpackWord(w, base, v) }
+
+// packWord assembles the 64-bit BRAM word starting at code index base
+// (little-endian by index; indexes past the end read as zero).
+func packWord(w []int8, base int) uint64 {
+	var v uint64
+	n := len(w) - base
+	if n > 8 {
+		n = 8
+	}
+	for j := 0; j < n; j++ {
+		v |= uint64(uint8(w[base+j])) << uint(8*j)
+	}
+	return v
+}
+
+// unpackWord writes a 64-bit word back over the codes starting at base
+// (indexes past the end are dropped, mirroring packWord's zero padding).
+func unpackWord(w []int8, base int, v uint64) {
+	n := len(w) - base
+	if n > 8 {
+		n = 8
+	}
+	for j := 0; j < n; j++ {
+		w[base+j] = int8(uint8(v >> uint(8*j)))
+	}
+}

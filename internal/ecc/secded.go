@@ -1,0 +1,148 @@
+// Package ecc models the built-in SECDED ECC of UltraScale+ block RAMs:
+// a word-level Hamming (72,64) codec (64 data bits, 8 check bits —
+// single-error-correcting, double-error-detecting), a Protection policy
+// the DPU executor routes reduced-voltage BRAM read faults through, and a
+// periodic frame Scrubber that walks a protected weight image and resets
+// accumulated persistent faults.
+//
+// The paper's mitigation discussion (§9) centers on exactly this
+// mechanism: reduced-voltage BRAM read flips are overwhelmingly
+// single-bit per word near the fault onset, so SECDED plus scrubbing
+// pushes the usable VCCBRAM floor measurably below the unprotected
+// accuracy cliff (quantified for MLPs in Salami et al.'s companion study
+// and for CNNs by Givaki et al.).
+package ecc
+
+import "math/bits"
+
+// WordBits is the data width of one protected BRAM word. The UltraScale+
+// RAMB36 primitive protects 64-bit words with 8 check bits in SDP mode.
+const WordBits = 64
+
+// CheckBits is the number of SECDED check bits per word.
+const CheckBits = 8
+
+// Outcome classifies one protected read of a faulted word.
+type Outcome int
+
+const (
+	// OutcomeClean: the word carried no fault.
+	OutcomeClean Outcome = iota
+	// OutcomeCorrected: a single-bit fault was corrected by the decoder;
+	// the consumer sees the original data.
+	OutcomeCorrected
+	// OutcomeDetected: the decoder flagged an uncorrectable (even-bit)
+	// fault; the consumer sees corrupted data but knows it is corrupted.
+	OutcomeDetected
+	// OutcomeSilent: an odd multi-bit fault aliased to a valid
+	// single-error syndrome and was "corrected" to the wrong word — the
+	// consumer sees silently corrupted data.
+	OutcomeSilent
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeCorrected:
+		return "corrected"
+	case OutcomeDetected:
+		return "detected-uncorrectable"
+	case OutcomeSilent:
+		return "silent-corrupt"
+	default:
+		return "ecc-outcome-?"
+	}
+}
+
+// The codec uses the classic Hamming layout: codeword bit positions are
+// numbered 1..72, parity bits sit at the power-of-two positions
+// (1,2,4,8,16,32,64) and the 64 data bits fill the rest in order. An
+// eighth, overall-parity bit extends SEC to SECDED. dataPos[i] is the
+// codeword position of data bit i; it is built once at init.
+var dataPos [WordBits]uint8
+
+func init() {
+	i := 0
+	for pos := uint8(1); i < WordBits; pos++ {
+		if pos&(pos-1) == 0 { // power of two: parity position
+			continue
+		}
+		dataPos[i] = pos
+		i++
+	}
+}
+
+// hammingSyndrome computes the 7-bit Hamming syndrome of the data bits:
+// the XOR of the codeword positions of every set data bit. Parity bits
+// are folded in by the caller (each parity bit p contributes its own
+// position p when set).
+func hammingSyndrome(data uint64) uint8 {
+	var syn uint8
+	for d := data; d != 0; d &= d - 1 {
+		syn ^= dataPos[bits.TrailingZeros64(d)]
+	}
+	return syn
+}
+
+// Encode returns the 8 SECDED check bits for a 64-bit data word: the
+// low 7 bits hold the Hamming parity values (bit k of the syndrome is
+// parity position 1<<k), the high bit is overall parity over data and
+// the 7 Hamming bits.
+func Encode(data uint64) uint8 {
+	syn := hammingSyndrome(data)
+	// With parity bits chosen equal to the data syndrome's bits, each
+	// parity position 1<<k contributes 1<<k to the full syndrome iff
+	// bit k of syn is set, zeroing it — the defining property.
+	check := syn & 0x7f
+	overall := uint8(bits.OnesCount64(data)+bits.OnesCount8(check)) & 1
+	return check | overall<<7
+}
+
+// Decode decodes a (data, check) pair as the BRAM read port does. It
+// returns the decoder's output word and the read's Outcome:
+//
+//   - syndrome 0, parity even → clean, data returned as-is
+//   - parity odd → the decoder assumes a single-bit error and corrects
+//     the position the syndrome names (a data bit, a check bit, or — for
+//     a syndrome naming no valid position — the word is flagged instead)
+//   - syndrome ≠ 0, parity even → uncorrectable double(-ish) error;
+//     the raw data is returned flagged
+//
+// A ≥3-bit fault is decoded honestly: odd-weight faults alias to a valid
+// single-error syndrome and are miscorrected (OutcomeSilent from the
+// caller's point of view — Decode itself cannot distinguish a true
+// correction from a miscorrection, so callers that know the original
+// word classify via Protection.Process).
+func Decode(data uint64, check uint8) (uint64, Outcome) {
+	syn := hammingSyndrome(data) ^ (check & 0x7f)
+	overall := uint8(bits.OnesCount64(data)+bits.OnesCount8(check&0x7f)) & 1
+	parityErr := overall != check>>7
+
+	if syn == 0 {
+		if !parityErr {
+			return data, OutcomeClean
+		}
+		// Overall parity bit itself flipped: data is intact.
+		return data, OutcomeCorrected
+	}
+	if !parityErr {
+		// Non-zero syndrome with even overall parity: an even-weight
+		// (≥2 bit) fault. Detected, not correctable.
+		return data, OutcomeDetected
+	}
+	// Odd-weight fault: correct the named position.
+	if syn&(syn-1) == 0 {
+		// Syndrome names a parity position: data bits are intact.
+		return data, OutcomeCorrected
+	}
+	for i, pos := range dataPos {
+		if pos == syn {
+			return data ^ 1<<uint(i), OutcomeCorrected
+		}
+	}
+	// Syndrome names a position outside the 72-bit codeword: only a
+	// multi-bit fault produces this — detectable.
+	return data, OutcomeDetected
+}

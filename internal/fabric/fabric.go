@@ -140,6 +140,99 @@ func SampleFaults(rng *rand.Rand, n int64, p float64) int64 {
 	}
 }
 
+// WordFaults splits one BRAM image's read-fault events by per-word
+// multiplicity. The split is what makes ECC outcomes physically
+// meaningful: SECDED corrects single-bit words, detects double-bit
+// words, and can silently miscorrect words with three or more flips.
+type WordFaults struct {
+	// Singles is the number of words carrying exactly one flipped bit.
+	Singles int64
+	// Doubles is the number of words carrying exactly two flipped bits.
+	Doubles int64
+	// Multis is the number of words carrying three or more flipped bits.
+	Multis int64
+}
+
+// Total returns the number of faulted words.
+func (w WordFaults) Total() int64 { return w.Singles + w.Doubles + w.Multis }
+
+// WordFaultProbs returns the per-word probabilities of exactly one,
+// exactly two, and three-or-more bit flips for a word of bitsPerWord
+// independent bits each flipping with probability pBit. Near the fault
+// onset pBit is tiny and the ratios are p1 : p2 : p3 ≈ 1 : (n-1)p/2 :
+// O((np)²) — single-bit words dominate, which is exactly why SECDED
+// moves the usable voltage floor.
+func WordFaultProbs(bitsPerWord int, pBit float64) (p1, p2, p3 float64) {
+	if bitsPerWord <= 0 || pBit <= 0 {
+		return 0, 0, 0
+	}
+	if pBit >= 1 {
+		pBit = 1
+	}
+	n := float64(bitsPerWord)
+	q := 1 - pBit
+	if q <= 0 {
+		if bitsPerWord >= 3 {
+			return 0, 0, 1
+		}
+		if bitsPerWord == 2 {
+			return 0, 1, 0
+		}
+		return 1, 0, 0
+	}
+	p1 = n * pBit * math.Pow(q, n-1)
+	if bitsPerWord >= 2 {
+		p2 = n * (n - 1) / 2 * pBit * pBit * math.Pow(q, n-2)
+	}
+	// The ≥3 tail is summed term by term (multiplicative binomial
+	// recurrence) instead of as 1 - p0 - p1 - p2: the residual form
+	// cancels catastrophically in the sparse regime where the tail is
+	// orders of magnitude below float epsilon of the head.
+	if bitsPerWord >= 3 {
+		term := n * (n - 1) * (n - 2) / 6 * pBit * pBit * pBit * math.Pow(q, n-3)
+		for k := 3; k <= bitsPerWord && term > 0; k++ {
+			p3 += term
+			term *= (n - float64(k)) / float64(k+1) * pBit / q
+		}
+		if p3 > 1 {
+			p3 = 1
+		}
+	}
+	return p1, p2, p3
+}
+
+// SampleWordFaults draws the per-multiplicity faulted-word counts for an
+// image of nWords words of bitsPerWord bits each, at per-bit flip
+// probability pBit. The three draws use the same sparse/dense sampling
+// machinery as SampleFaults, in a fixed order, so counts are bit-exactly
+// reproducible under a pinned rng.
+func SampleWordFaults(rng *rand.Rand, nWords int64, bitsPerWord int, pBit float64) WordFaults {
+	if nWords <= 0 || bitsPerWord <= 0 || pBit <= 0 {
+		return WordFaults{}
+	}
+	p1, p2, p3 := WordFaultProbs(bitsPerWord, pBit)
+	wf := WordFaults{
+		Singles: SampleFaults(rng, nWords, p1),
+		Doubles: SampleFaults(rng, nWords, p2),
+		Multis:  SampleFaults(rng, nWords, p3),
+	}
+	if total := wf.Total(); total > nWords {
+		// Degenerate dense regime: clamp in priority order (multis are
+		// the rarest and physically the overflow of the other classes).
+		over := total - nWords
+		if take := min(over, wf.Multis); take > 0 {
+			wf.Multis -= take
+			over -= take
+		}
+		if take := min(over, wf.Doubles); take > 0 {
+			wf.Doubles -= take
+			over -= take
+		}
+		wf.Singles -= over
+	}
+	return wf
+}
+
 // samplePoisson draws from Poisson(mean) with Knuth's method for small
 // means and a normal fallback for larger ones.
 func samplePoisson(rng *rand.Rand, mean float64) int64 {

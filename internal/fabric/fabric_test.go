@@ -73,6 +73,137 @@ func TestFaultProbesDelegateToDie(t *testing.T) {
 	}
 }
 
+// Region-edge boundaries of the per-bit BRAM fault law: exactly zero at
+// and above the onset voltage, strictly positive one step below it, and
+// strictly monotonic (with a hard 0.5 clamp) as VCCBRAM keeps dropping
+// through the critical region toward the rail minimum.
+func TestBRAMBitFaultProbBoundaries(t *testing.T) {
+	f := testFabric()
+	onset := f.Die().Params().BRAMVminMV
+	cond := func(mv float64) Conditions {
+		return Conditions{VCCINTmV: 850, VCCBRAMmV: mv, TempC: 34, FreqMHz: 333}
+	}
+	for _, mv := range []float64{silicon.VnomMV, onset + 50, onset + 1, onset} {
+		if p := f.BRAMBitFaultProb(cond(mv)); p != 0 {
+			t.Errorf("p(%0.f mV) = %g, want exactly 0 at/above the %.0f mV onset", mv, p, onset)
+		}
+	}
+	if p := f.BRAMBitFaultProb(cond(onset - 1)); p <= 0 {
+		t.Errorf("p(onset-1) = %g, want > 0 just below the onset", p)
+	}
+	prev := 0.0
+	for mv := onset; mv >= 450; mv-- {
+		p := f.BRAMBitFaultProb(cond(mv))
+		if p < prev {
+			t.Fatalf("p(%.0f mV) = %g < p(%.0f mV) = %g: not monotonic as voltage drops", mv, p, mv+1, prev)
+		}
+		if p > 0.5 {
+			t.Fatalf("p(%.0f mV) = %g exceeds the 0.5 clamp", mv, p)
+		}
+		prev = p
+	}
+	if prev != 0.5 {
+		t.Errorf("deep-underscale probability = %g, want clamped at 0.5 by 450 mV", prev)
+	}
+}
+
+// The per-word split must be consistent with the per-bit law at the
+// region edges: all-zero at the onset, single-bit dominated just below
+// it, and each class monotonically nondecreasing in probability as the
+// voltage drops until its own saturation.
+func TestWordFaultProbsBoundaries(t *testing.T) {
+	f := testFabric()
+	onset := f.Die().Params().BRAMVminMV
+	pAt := func(mv float64) float64 {
+		return f.BRAMBitFaultProb(Conditions{VCCINTmV: 850, VCCBRAMmV: mv, TempC: 34, FreqMHz: 333})
+	}
+	if p1, p2, p3 := WordFaultProbs(64, pAt(onset)); p1 != 0 || p2 != 0 || p3 != 0 {
+		t.Errorf("word probabilities not zero at the onset: %g %g %g", p1, p2, p3)
+	}
+	// Just below the onset the single-bit class must dominate the
+	// uncorrectable classes by orders of magnitude — the headroom SECDED
+	// converts into a deeper usable floor.
+	p1, p2, p3 := WordFaultProbs(64, pAt(onset-5))
+	if p1 <= 0 {
+		t.Fatalf("no single-bit mass just below the onset: %g", p1)
+	}
+	if (p2+p3)/p1 > 1e-6 {
+		t.Errorf("uncorrectable/corrected ratio %g just below onset, want ≪ 1", (p2+p3)/p1)
+	}
+	// Monotonicity of each class in pBit across the critical region.
+	prev1, prev2, prev3 := 0.0, 0.0, 0.0
+	for mv := onset; mv >= 480; mv -= 1 {
+		q1, q2, q3 := WordFaultProbs(64, pAt(mv))
+		// p1 peaks and then falls once multi-bit words take over; only
+		// require monotonicity while the total keeps p1 below 1/2.
+		if q1+q2+q3 > 1+1e-12 {
+			t.Fatalf("word fault classes sum to %g > 1 at %.0f mV", q1+q2+q3, mv)
+		}
+		// P(X≥3) and P(X≥1) are stochastically monotone in pBit; the
+		// exactly-1 and exactly-2 classes legitimately peak and shrink
+		// once words graduate to higher multiplicities.
+		if q3 < prev3 {
+			t.Fatalf("multi class shrank as voltage dropped at %.0f mV", mv)
+		}
+		if q1+q2+q3 < prev1+prev2+prev3-1e-12 {
+			t.Fatalf("total faulted-word probability shrank at %.0f mV", mv)
+		}
+		prev1, prev2, prev3 = q1, q2, q3
+	}
+	// Degenerate inputs.
+	if p1, p2, p3 := WordFaultProbs(0, 0.1); p1 != 0 || p2 != 0 || p3 != 0 {
+		t.Error("bitsPerWord=0 must be all-zero")
+	}
+	if p1, _, _ := WordFaultProbs(64, 0); p1 != 0 {
+		t.Error("pBit=0 must be all-zero")
+	}
+	if _, _, p3 := WordFaultProbs(64, 1); p3 != 1 {
+		t.Errorf("pBit=1: p3 = %g, want 1 (every word multi-faulted)", p3)
+	}
+}
+
+// SampleWordFaults: determinism under a pinned seed, count bounds, and
+// agreement of the sampled means with the analytic probabilities.
+func TestSampleWordFaults(t *testing.T) {
+	const nWords = 200_000
+	const pBit = 2e-5
+	a := SampleWordFaults(rand.New(rand.NewSource(11)), nWords, 64, pBit)
+	b := SampleWordFaults(rand.New(rand.NewSource(11)), nWords, 64, pBit)
+	if a != b {
+		t.Fatalf("pinned seed not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Total() > nWords || a.Singles < 0 || a.Doubles < 0 || a.Multis < 0 {
+		t.Fatalf("counts out of range: %+v", a)
+	}
+	rng := rand.New(rand.NewSource(12))
+	var s, d int64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		wf := SampleWordFaults(rng, nWords, 64, pBit)
+		s += wf.Singles
+		d += wf.Doubles
+	}
+	p1, p2, _ := WordFaultProbs(64, pBit)
+	wantS, wantD := nWords*p1, nWords*p2
+	if got := float64(s) / trials; math.Abs(got-wantS)/wantS > 0.05 {
+		t.Errorf("singles mean %.1f, want ≈%.1f", got, wantS)
+	}
+	if got := float64(d) / trials; math.Abs(got-wantD) > math.Max(0.5, 0.25*wantD) {
+		t.Errorf("doubles mean %.2f, want ≈%.2f", got, wantD)
+	}
+	if wf := SampleWordFaults(rng, 0, 64, 0.5); wf != (WordFaults{}) {
+		t.Error("nWords=0 must be empty")
+	}
+	if wf := SampleWordFaults(rng, 100, 64, 0); wf != (WordFaults{}) {
+		t.Error("pBit=0 must be empty")
+	}
+	// Saturated regime: every word faults, clamp must hold the total.
+	wf := SampleWordFaults(rng, 1000, 64, 1)
+	if wf.Total() != 1000 || wf.Multis != 1000 {
+		t.Errorf("saturated sample %+v, want 1000 multis", wf)
+	}
+}
+
 func TestSampleFaultsSparseRegime(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	const n = 10_000_000

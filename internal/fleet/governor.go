@@ -11,7 +11,9 @@ import (
 
 	"fpgauv/internal/board"
 	"fpgauv/internal/dvfs"
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/models"
+	"fpgauv/internal/silicon"
 )
 
 // GovernorConfig tunes the fleet's per-board adaptive voltage loops: the
@@ -65,6 +67,29 @@ type GovernorConfig struct {
 	RetestDeltaC float64
 	// Seed derives the canary datasets and probe fault streams.
 	Seed int64
+
+	// BRAM enables the VCCBRAM descent loop: each tick also walks the
+	// BRAM rail toward the deepest level whose canary signal stays
+	// acceptable. What "acceptable" means is the ECC-aware part: with
+	// SECDED disabled any raw flip is a boundary (the loop stops at the
+	// unprotected fault onset); with SECDED enabled the loop tolerates
+	// corrected single-bit words up to CorrectedBudget per probe and
+	// bounds on uncorrectable/silent words — the corrected-error rate is
+	// the leading indicator that lets it settle measurably deeper at
+	// equal accuracy.
+	BRAM bool
+	// BRAMStepMV is the VCCBRAM descent/climb granularity (default 5).
+	BRAMStepMV float64
+	// BRAMMarginMV is the headroom kept above the deepest clean VCCBRAM
+	// canary level (default 5).
+	BRAMMarginMV float64
+	// BRAMFloorMV bounds the VCCBRAM descent (default 470 mV, just
+	// above the regulator's 450 mV range floor).
+	BRAMFloorMV float64
+	// CorrectedBudget is the ECC-aware tolerance: the most corrected
+	// words a canary probe may report while still counting as clean
+	// (default 8). Ignored while SECDED is disabled.
+	CorrectedBudget int64
 }
 
 // sanitizeGovernor fills governor defaults.
@@ -98,6 +123,18 @@ func (c GovernorConfig) sanitize() GovernorConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.BRAMStepMV <= 0 {
+		c.BRAMStepMV = 5
+	}
+	if c.BRAMMarginMV <= 0 {
+		c.BRAMMarginMV = 5
+	}
+	if c.BRAMFloorMV <= 0 {
+		c.BRAMFloorMV = 470
+	}
+	if c.CorrectedBudget <= 0 {
+		c.CorrectedBudget = 8
 	}
 	return c
 }
@@ -161,6 +198,29 @@ type memberGov struct {
 	// the static point, in joules (float bits; single writer).
 	savedJBits atomic.Uint64
 
+	// VCCBRAM loop state (active only with GovernorConfig.BRAM). The
+	// plain fields are owned by the tick under the member lock, the
+	// atomics are status telemetry. The BRAM law is simpler than the
+	// VCCINT one because the BRAM fault model has no thermal term:
+	// once the descent is bounded the loop quiesces for good, and only
+	// harmful events in served traffic re-open it.
+	bramCleanMV   float64
+	bramCleanBits atomic.Uint64
+	bramStreak    int
+	bramBound     int
+	bramSettled   bool
+	bramSettledF  atomic.Bool
+
+	bramProbes   atomic.Int64
+	bramClimbs   atomic.Int64
+	bramDescents atomic.Int64
+	// canaryCorrected/canaryBad split the BRAM probes' fault signal the
+	// ECC-aware way: corrected words (tolerated, the leading indicator)
+	// versus harmful events (raw flips unprotected, uncorrectable and
+	// silent words under SECDED).
+	canaryCorrected atomic.Int64
+	canaryBad       atomic.Int64
+
 	snap struct {
 		sync.Mutex
 		action string
@@ -178,6 +238,7 @@ func probeDataset(m *member, cfg GovernorConfig) *models.Dataset {
 func newMemberGov(m *member, cfg GovernorConfig) *memberGov {
 	g := &memberGov{probe: probeDataset(m, cfg)}
 	g.setCleanMV(m.staticMV - cfg.MarginMV)
+	g.setBRAMCleanMV(m.bramOpMV() - cfg.BRAMMarginMV)
 	g.snap.action = "idle"
 	return g
 }
@@ -185,6 +246,25 @@ func newMemberGov(m *member, cfg GovernorConfig) *memberGov {
 func (g *memberGov) setCleanMV(mv float64) {
 	g.cleanMV = mv
 	g.cleanBits.Store(math.Float64bits(mv))
+}
+
+func (g *memberGov) setBRAMCleanMV(mv float64) {
+	g.bramCleanMV = mv
+	g.bramCleanBits.Store(math.Float64bits(mv))
+}
+
+// bramSettle quiesces the VCCBRAM loop at its present point.
+func (g *memberGov) bramSettle() {
+	g.bramSettled = true
+	g.bramStreak, g.bramBound = 0, 0
+	g.bramSettledF.Store(true)
+}
+
+// bramUnsettle re-opens the VCCBRAM seek.
+func (g *memberGov) bramUnsettle() {
+	g.bramSettled = false
+	g.bramStreak, g.bramBound = 0, 0
+	g.bramSettledF.Store(false)
 }
 
 // settle quiesces the loop at the present clean level and temperature.
@@ -275,14 +355,18 @@ func (p *Pool) SetGovernorEnabled(on bool) {
 // GovernorTuning is a partial governor re-configuration: zero-valued
 // fields keep their present setting.
 type GovernorTuning struct {
-	Interval      time.Duration `json:"interval,omitempty"`
-	StepMV        float64       `json:"step_mv,omitempty"`
-	MarginMV      float64       `json:"margin_mv,omitempty"`
-	FloorMarginMV float64       `json:"floor_margin_mv,omitempty"`
-	ProbeImages   int           `json:"probe_images,omitempty"`
-	ConfirmProbes int           `json:"confirm_probes,omitempty"`
-	VerifyEvery   int           `json:"verify_every,omitempty"`
-	RetestDeltaC  float64       `json:"retest_delta_c,omitempty"`
+	Interval        time.Duration `json:"interval,omitempty"`
+	StepMV          float64       `json:"step_mv,omitempty"`
+	MarginMV        float64       `json:"margin_mv,omitempty"`
+	FloorMarginMV   float64       `json:"floor_margin_mv,omitempty"`
+	ProbeImages     int           `json:"probe_images,omitempty"`
+	ConfirmProbes   int           `json:"confirm_probes,omitempty"`
+	VerifyEvery     int           `json:"verify_every,omitempty"`
+	RetestDeltaC    float64       `json:"retest_delta_c,omitempty"`
+	BRAMStepMV      float64       `json:"bram_step_mv,omitempty"`
+	BRAMMarginMV    float64       `json:"bram_margin_mv,omitempty"`
+	BRAMFloorMV     float64       `json:"bram_floor_mv,omitempty"`
+	CorrectedBudget int64         `json:"corrected_budget,omitempty"`
 }
 
 // TuneGovernor applies a partial re-configuration to the running loops.
@@ -292,7 +376,8 @@ func (p *Pool) TuneGovernor(tn GovernorTuning) error {
 		return errors.New("fleet: pool has no governor")
 	}
 	if tn.StepMV < 0 || tn.MarginMV < 0 || tn.FloorMarginMV < 0 || tn.ProbeImages < 0 ||
-		tn.Interval < 0 || tn.VerifyEvery < 0 || tn.ConfirmProbes < 0 || tn.RetestDeltaC < 0 {
+		tn.Interval < 0 || tn.VerifyEvery < 0 || tn.ConfirmProbes < 0 || tn.RetestDeltaC < 0 ||
+		tn.BRAMStepMV < 0 || tn.BRAMMarginMV < 0 || tn.BRAMFloorMV < 0 || tn.CorrectedBudget < 0 {
 		return errors.New("fleet: governor tuning values must be positive")
 	}
 	p.gov.mu.Lock()
@@ -317,6 +402,18 @@ func (p *Pool) TuneGovernor(tn GovernorTuning) error {
 	}
 	if tn.RetestDeltaC > 0 {
 		cfg.RetestDeltaC = tn.RetestDeltaC
+	}
+	if tn.BRAMStepMV > 0 {
+		cfg.BRAMStepMV = tn.BRAMStepMV
+	}
+	if tn.BRAMMarginMV > 0 {
+		cfg.BRAMMarginMV = tn.BRAMMarginMV
+	}
+	if tn.BRAMFloorMV > 0 {
+		cfg.BRAMFloorMV = tn.BRAMFloorMV
+	}
+	if tn.CorrectedBudget > 0 {
+		cfg.CorrectedBudget = tn.CorrectedBudget
 	}
 	rebuildProbe := tn.ProbeImages > 0 && tn.ProbeImages != cfg.ProbeImages
 	if tn.ProbeImages > 0 {
@@ -363,10 +460,12 @@ func governFloorMV(m *member, cfg GovernorConfig) float64 {
 // consecutive fully-clean probes.
 const governClimbFaults = 2
 
-// governTick is one application of the control law to one board. It
-// holds the member lock end to end: the canary probe and any rail moves
-// are serialized against serving, recovery and the monitor, exactly like
-// every other accelerator operation.
+// governTick is one application of the control laws to one board. It
+// holds the member lock end to end: the canary probes and any rail moves
+// are serialized against serving, recovery, scrubbing and the monitor,
+// exactly like every other accelerator operation. The VCCINT phase runs
+// first (it owns crash semantics); the VCCBRAM phase follows when BRAM
+// governing is enabled.
 func (p *Pool) governTick(m *member) {
 	cfg := p.gov.config()
 	m.mu.Lock()
@@ -375,9 +474,9 @@ func (p *Pool) governTick(m *member) {
 	g := m.gov
 	g.ticks++
 
-	// A crashed board is healed first; the restored rail is the
-	// governed point (recover restores opMV), so no control action is
-	// needed beyond the heal.
+	// A crashed board is healed first; the restored rails are the
+	// governed points (recover restores opMV and bramOpMV), so no
+	// control action is needed beyond the heal.
 	if m.brd.Hung() {
 		m.crashes.Add(1)
 		if err := m.recover(); err != nil {
@@ -388,6 +487,21 @@ func (p *Pool) governTick(m *member) {
 		return
 	}
 
+	if !p.governINT(m, cfg) {
+		return
+	}
+	if cfg.BRAM {
+		p.governBRAM(m, cfg)
+	}
+	p.accountSavings(m, cfg)
+}
+
+// governINT is the VCCINT control phase. It reports whether the tick
+// should continue to the BRAM phase and savings accounting (false after
+// a probe crash or error, matching the legacy abort paths). Caller
+// holds m.mu.
+func (p *Pool) governINT(m *member, cfg GovernorConfig) bool {
+	g := m.gov
 	tempC := m.brd.DieTempC()
 	floor := governFloorMV(m, cfg)
 	ceil := m.staticMV
@@ -395,8 +509,14 @@ func (p *Pool) governTick(m *member) {
 
 	// Serving faults since the last tick climb immediately: live
 	// traffic found what the canary missed, and the canary runs a
-	// fraction of the serving trial count.
-	if sf := m.servedFaults.Swap(0); sf > 0 {
+	// fraction of the serving trial count. Without a BRAM loop the
+	// harmful BRAM events fold into this signal (the legacy coupling);
+	// with one, each rail answers only for its own fault class.
+	sf := m.servedFaults.Swap(0)
+	if !cfg.BRAM {
+		sf += m.servedBRAM.Swap(0)
+	}
+	if sf > 0 {
 		g.unsettle()
 		g.cleanStreak, g.verifyFor = 0, cfg.VerifyEvery
 		next, act := dvfs.Plan(op, sf, cfg.StepMV, cfg.MarginMV, floor, ceil)
@@ -410,8 +530,7 @@ func (p *Pool) governTick(m *member) {
 			g.climbs.Add(1)
 			g.note(fmt.Sprintf("climbed to %.0f mV: %d faults in served traffic", next, sf))
 		}
-		p.accountSavings(m, cfg)
-		return
+		return true
 	}
 
 	// The settle gate: a settled board pays zero probe overhead until
@@ -419,8 +538,7 @@ func (p *Pool) governTick(m *member) {
 	// or serving faults (handled above).
 	if g.settled {
 		if math.Abs(tempC-g.settleTempC) < cfg.RetestDeltaC {
-			p.accountSavings(m, cfg)
-			return
+			return true
 		}
 		g.unsettle()
 		g.note(fmt.Sprintf("re-seeking: die moved %.1f C -> %.1f C", g.settleTempC, tempC))
@@ -442,20 +560,24 @@ func (p *Pool) governTick(m *member) {
 		target = g.cleanMV
 	}
 
-	faults, err := m.probeCanary(target, cfg.Seed+int64(m.idx)*1_000_003+g.ticks)
+	sig, err := m.probeCanary(target, cfg.Seed+int64(m.idx)*1_000_003+g.ticks)
 	g.probes.Add(1)
 	if err != nil {
 		if errors.Is(err, board.ErrHung) {
 			m.crashes.Add(1)
 			if rerr := m.recover(); rerr != nil {
 				g.note("probe crash; recover failed: " + rerr.Error())
-				return
+				return false
 			}
 			g.note(fmt.Sprintf("probe at %.0f mV crashed; healed", target))
-			return
+			return false
 		}
 		g.note("probe error: " + err.Error())
-		return
+		return false
+	}
+	faults := sig.mac
+	if !cfg.BRAM {
+		faults += sig.harmfulBRAM(m.prot.Enabled())
 	}
 
 	switch {
@@ -542,7 +664,7 @@ func (p *Pool) governTick(m *member) {
 		g.note(fmt.Sprintf("held: %d canary faults at %.0f mV, boundary %d/%d (die %.1f C)",
 			faults, target, g.boundCount, cfg.ConfirmProbes, tempC))
 	}
-	p.accountSavings(m, cfg)
+	return true
 }
 
 // accountSavings integrates the modeled power saved versus parking at
@@ -557,10 +679,11 @@ func (p *Pool) accountSavings(m *member, cfg GovernorConfig) {
 	}
 }
 
-// savedW is the modeled power saved by the present operating point
-// versus the static startup point (>= 0 when governed deeper).
+// savedW is the modeled power saved by the present operating points
+// versus the static startup points — VCCINT at staticMV, VCCBRAM at
+// nominal — (>= 0 when governed deeper on either rail).
 func (m *member) savedW() float64 {
-	return m.brd.PowerBreakdownAt(m.staticMV).TotalW - m.brd.PowerBreakdown().TotalW
+	return m.brd.PowerBreakdownAtRails(m.staticMV, silicon.VnomMV).TotalW - m.brd.PowerBreakdown().TotalW
 }
 
 // commitOp re-targets the member's steady-state operating point and
@@ -578,45 +701,192 @@ func (m *member) commitOp(mv float64) error {
 	return nil
 }
 
-// probeCanary classifies the canary set at targetMV and restores the
-// serving rail level before returning. Caller holds m.mu.
-func (m *member) probeCanary(targetMV float64, seed int64) (int64, error) {
-	if err := m.setVCCINT(targetMV); err != nil {
-		return 0, err
+// commitBRAM is commitOp for the VCCBRAM rail: the steady-state target
+// moves first so crash recovery restores the governed level, and rolls
+// back if the rail refuses the command. Caller holds m.mu.
+func (m *member) commitBRAM(mv float64) error {
+	prev := m.bramOpMV()
+	m.setBRAMOpMV(mv)
+	if err := m.setVCCBRAM(mv); err != nil {
+		m.setBRAMOpMV(prev)
+		return err
 	}
-	faults, err := m.canaryFaults(seed)
+	return nil
+}
+
+// canarySignal is one probe pass's split error signal: MAC events for
+// the VCCINT loop, raw BRAM flip events and the SECDED outcome split for
+// the VCCBRAM loop.
+type canarySignal struct {
+	mac     int64
+	bramRaw int64
+	ecc     ecc.Counts
+}
+
+// harmfulBRAM returns the BRAM events that corrupt consumed data at the
+// probed point: every raw flip unprotected, only the uncorrectable and
+// silent words under SECDED.
+func (s canarySignal) harmfulBRAM(protected bool) int64 {
+	if protected {
+		return s.ecc.Bad()
+	}
+	return s.bramRaw
+}
+
+// probeCanary classifies the canary set with VCCINT at targetMV and
+// restores the serving rail level before returning. Caller holds m.mu.
+func (m *member) probeCanary(targetMV float64, seed int64) (canarySignal, error) {
+	if err := m.setVCCINT(targetMV); err != nil {
+		return canarySignal{}, err
+	}
+	// The VCCINT decision needs the MAC signal only; stop once it is
+	// decided.
+	sig, err := m.canaryScan(seed, func(s canarySignal) bool {
+		return s.mac >= governClimbFaults
+	})
 	if rerr := m.setVCCINT(m.opMV()); rerr != nil && err == nil {
 		err = rerr
 	}
-	return faults, err
+	return sig, err
 }
 
-// canaryFaults scans the canary at the present conditions and returns
-// the observed fault events. The governor needs an error signal, not
-// accuracy, so the scan short-circuits twice: a fault-free electrical
-// region skips the pass entirely (probability is exactly zero there),
-// and a faulting scan stops once the climb threshold is reached.
-// Caller holds m.mu.
-func (m *member) canaryFaults(seed int64) (int64, error) {
+// probeBRAM classifies the canary set with VCCBRAM at targetMV (VCCINT
+// stays at the serving point) and restores the BRAM rail before
+// returning. Caller holds m.mu.
+func (m *member) probeBRAM(targetMV float64, seed int64, cfg GovernorConfig) (canarySignal, error) {
+	if err := m.setVCCBRAM(targetMV); err != nil {
+		return canarySignal{}, err
+	}
+	prot := m.prot.Enabled()
+	// Stop once the BRAM decision is forced: harmful events at the
+	// climb threshold, or a corrected-rate already past the budget.
+	sig, err := m.canaryScan(seed, func(s canarySignal) bool {
+		return s.harmfulBRAM(prot) >= governClimbFaults ||
+			(prot && s.ecc.Corrected > cfg.CorrectedBudget)
+	})
+	if rerr := m.setVCCBRAM(m.bramOpMV()); rerr != nil && err == nil {
+		err = rerr
+	}
+	return sig, err
+}
+
+// canaryScan runs the canary set at the present conditions, summing the
+// split error signal. The governor needs an error signal, not accuracy,
+// so the scan short-circuits twice: a fault-free electrical region skips
+// the pass entirely (probability is exactly zero there), and a faulting
+// scan stops as soon as the caller's stop predicate says the decision is
+// forced. Caller holds m.mu.
+func (m *member) canaryScan(seed int64, stop func(canarySignal) bool) (canarySignal, error) {
+	var sig canarySignal
 	if err := m.brd.CheckAlive(); err != nil {
-		return 0, err
+		return sig, err
 	}
 	cond := m.brd.Conditions()
 	fab := m.brd.Fabric()
 	if fab.MACFaultProb(cond) == 0 && fab.BRAMBitFaultProb(cond) == 0 {
-		return 0, nil
+		return sig, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var faults int64
 	for _, img := range m.gov.probe.Inputs {
 		res, err := m.task.RunWith(m.scratch, img, rng)
 		if err != nil {
-			return faults, err
+			return sig, err
 		}
-		faults += res.MACFaults + res.BRAMFaults
-		if faults >= governClimbFaults {
+		sig.mac += res.MACFaults
+		sig.bramRaw += res.BRAMFaults
+		sig.ecc.Add(res.ECC)
+		if stop(sig) {
 			break
 		}
 	}
-	return faults, nil
+	return sig, nil
+}
+
+// governBRAM is the VCCBRAM control phase: a confirmation-gated descent
+// toward the deepest level whose canary signal stays acceptable. The
+// BRAM fault law has no thermal term, so a bounded descent settles for
+// good; only harmful events in served traffic re-open the seek. Caller
+// holds m.mu.
+func (p *Pool) governBRAM(m *member, cfg GovernorConfig) {
+	g := m.gov
+	prot := m.prot.Enabled()
+	ceil := silicon.VnomMV
+	floor := cfg.BRAMFloorMV
+	op := m.bramOpMV()
+
+	// Harmful events in served traffic climb immediately, exactly like
+	// the VCCINT loop's served-fault path.
+	if sb := m.servedBRAM.Swap(0); sb > 0 {
+		g.bramUnsettle()
+		next, act := dvfs.Plan(op, sb, cfg.BRAMStepMV, cfg.BRAMMarginMV, floor, ceil)
+		switch {
+		case act != dvfs.ActionUp:
+			g.note(fmt.Sprintf("bram: at ceiling %.0f mV despite %d harmful served events", op, sb))
+		case m.commitBRAM(next) != nil:
+			g.note(fmt.Sprintf("bram: rail command to %.0f mV failed; holding %.0f mV", next, op))
+		default:
+			g.setBRAMCleanMV(next - cfg.BRAMMarginMV)
+			g.bramClimbs.Add(1)
+			g.note(fmt.Sprintf("bram: climbed to %.0f mV: %d harmful events in served traffic", next, sb))
+		}
+		return
+	}
+	if g.bramSettled {
+		return
+	}
+
+	candidate, act := dvfs.Plan(g.bramCleanMV, 0, cfg.BRAMStepMV, cfg.BRAMMarginMV, floor, ceil)
+	if act != dvfs.ActionDown {
+		// The descent hit the floor: the operating point was confirmed
+		// clean on the way down, so quiesce (zero further probe
+		// overhead) after the same evidence a descent needs.
+		g.bramBound++
+		if g.bramBound >= cfg.ConfirmProbes {
+			g.bramSettle()
+			g.note(fmt.Sprintf("bram: settled at %.0f mV (floor %.0f mV)", op, floor))
+		}
+		return
+	}
+
+	sig, err := m.probeBRAM(candidate, cfg.Seed^0x6cc+int64(m.idx)*1_000_003+g.ticks, cfg)
+	g.bramProbes.Add(1)
+	if err != nil {
+		g.note("bram probe error: " + err.Error())
+		return
+	}
+	g.canaryCorrected.Add(sig.ecc.Corrected)
+	bad := sig.harmfulBRAM(prot)
+	overBudget := prot && sig.ecc.Corrected > cfg.CorrectedBudget
+
+	switch {
+	case bad == 0 && !overBudget:
+		g.bramBound = 0
+		g.bramStreak++
+		if g.bramStreak < cfg.ConfirmProbes {
+			g.note(fmt.Sprintf("bram: confirming %.0f mV: clean %d/%d (%d corrected)",
+				candidate, g.bramStreak, cfg.ConfirmProbes, sig.ecc.Corrected))
+			return
+		}
+		g.bramStreak = 0
+		if err := m.commitBRAM(math.Min(candidate+cfg.BRAMMarginMV, ceil)); err != nil {
+			g.note("bram: rail command failed: " + err.Error())
+			return
+		}
+		g.setBRAMCleanMV(candidate)
+		g.bramDescents.Add(1)
+		g.note(fmt.Sprintf("bram: descended, canary acceptable at %.0f mV (%d corrected)",
+			candidate, sig.ecc.Corrected))
+	default:
+		g.canaryBad.Add(bad)
+		g.bramStreak = 0
+		g.bramBound++
+		if g.bramBound >= cfg.ConfirmProbes {
+			g.bramSettle()
+			g.note(fmt.Sprintf("bram: settled at %.0f mV (candidate %.0f mV: %d harmful, %d corrected)",
+				op, candidate, bad, sig.ecc.Corrected))
+			return
+		}
+		g.note(fmt.Sprintf("bram: held, candidate %.0f mV unacceptable (%d harmful, %d corrected), boundary %d/%d",
+			candidate, bad, sig.ecc.Corrected, g.bramBound, cfg.ConfirmProbes))
+	}
 }

@@ -10,8 +10,10 @@ import (
 	"fpgauv/internal/core"
 	"fpgauv/internal/dnndk"
 	"fpgauv/internal/dpu"
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/models"
 	"fpgauv/internal/pmbus"
+	"fpgauv/internal/silicon"
 )
 
 // Member states reported by Status.
@@ -45,6 +47,10 @@ type member struct {
 	// opBits holds the operating point (mV) as float bits so status
 	// snapshots can read it without taking the serving lock.
 	opBits atomic.Uint64
+	// bramOpBits is the VCCBRAM steady-state operating point (mV, float
+	// bits). Nominal at startup; only the ECC-aware governor walks it
+	// down.
+	bramOpBits atomic.Uint64
 	// staticMV is the startup operating point (Vmin+margin or the
 	// configured target): the governor's ceiling and the baseline its
 	// power savings are measured against.
@@ -58,8 +64,18 @@ type member struct {
 	redeploy atomic.Int64
 	// servedFaults accumulates MAC fault events observed in served
 	// passes since the governor's last tick: the serving-path error
-	// signal that forces an immediate climb.
+	// signal that forces an immediate VCCINT climb. servedBRAM
+	// accumulates the harmful BRAM events (raw flips unprotected,
+	// detected+silent words under ECC) that force a VCCBRAM climb.
 	servedFaults atomic.Int64
+	servedBRAM   atomic.Int64
+
+	// prot is this board's BRAM SECDED policy (installed on the DPU at
+	// assembly; per-board so corrected/uncorrectable counters stay
+	// per-board) and scrub its frame scrubber over the deployed weight
+	// image.
+	prot  *ecc.Protection
+	scrub *ecc.Scrubber
 
 	// gov is this board's adaptive-voltage control state; nil until the
 	// pool starts governor loops.
@@ -118,7 +134,27 @@ func newMember(idx int, cfg Config) (*member, error) {
 	if err := m.setVCCINT(op); err != nil {
 		return nil, fmt.Errorf("fleet: %s: %w", m.id, err)
 	}
+	// BRAM SECDED protection: the policy lives on the board's DPU (the
+	// executor consults it per pass), the scrubber snapshots the deployed
+	// fault-free weight image as its golden copy. VCCBRAM starts at
+	// nominal; only the ECC-aware governor walks it down.
+	m.prot = ecc.NewProtection(cfg.ECC.Enabled)
+	m.rt.DPU().SetProtection(m.prot)
+	m.scrub = ecc.NewScrubber(kernelWeights(m.kernel))
+	m.setBRAMOpMV(m.brd.VCCBRAMmV())
 	return m, nil
+}
+
+// kernelWeights collects the kernel's live weight tensors (the protected
+// BRAM image).
+func kernelWeights(k *dpu.Kernel) [][]int8 {
+	var out [][]int8
+	for i := range k.Nodes {
+		if w := k.Nodes[i].WQ; w != nil {
+			out = append(out, w.Data)
+		}
+	}
+	return out
 }
 
 // deploy compiles and loads the benchmark kernel and plants ground-truth
@@ -168,11 +204,22 @@ func (m *member) setVCCINT(mv float64) error {
 	return pmbus.NewAdapter(m.brd.Bus(), board.AddrVCCINT).SetVoltageMV(mv)
 }
 
+// setVCCBRAM commands the VCCBRAM rail through the board's PMBus.
+func (m *member) setVCCBRAM(mv float64) error {
+	return pmbus.NewAdapter(m.brd.Bus(), board.AddrVCCBRAM).SetVoltageMV(mv)
+}
+
 // opMV returns the steady-state operating point in millivolts.
 func (m *member) opMV() float64 { return math.Float64frombits(m.opBits.Load()) }
 
 // setOpMV re-targets the steady-state operating point.
 func (m *member) setOpMV(mv float64) { m.opBits.Store(math.Float64bits(mv)) }
+
+// bramOpMV returns the VCCBRAM steady-state operating point.
+func (m *member) bramOpMV() float64 { return math.Float64frombits(m.bramOpBits.Load()) }
+
+// setBRAMOpMV re-targets the VCCBRAM steady-state operating point.
+func (m *member) setBRAMOpMV(mv float64) { m.bramOpBits.Store(math.Float64bits(mv)) }
 
 // recover runs the crash protocol: power-cycle the board, re-program the
 // bitstream (re-load the kernel and re-plant labels — the FPGA loses its
@@ -198,7 +245,28 @@ func (m *member) recover() error {
 	if err := m.setVCCINT(m.opMV()); err != nil {
 		return fmt.Errorf("fleet: %s: restore %.0f mV: %w", m.id, m.opMV(), err)
 	}
+	// Reboot returned every rail to nominal; the governed VCCBRAM point
+	// must survive the crash exactly like the governed VCCINT point.
+	if mv := m.bramOpMV(); mv > 0 && mv != silicon.VnomMV {
+		if err := m.setVCCBRAM(mv); err != nil {
+			return fmt.Errorf("fleet: %s: restore VCCBRAM %.0f mV: %w", m.id, mv, err)
+		}
+	}
 	return nil
+}
+
+// noteServedFaults feeds one served pass's fault signals to the board's
+// governor loops: MAC events drive the VCCINT climb, harmful BRAM events
+// — raw flips unprotected, detected+silent words under ECC (corrected
+// words are exactly the events the ECC-aware mode tolerates) — drive the
+// VCCBRAM climb.
+func (m *member) noteServedFaults(mac, bram int64, c ecc.Counts) {
+	m.servedFaults.Add(mac)
+	if m.prot.Enabled() {
+		m.servedBRAM.Add(c.Bad())
+	} else {
+		m.servedBRAM.Add(bram)
+	}
 }
 
 // stateName renders the member state for status reports.

@@ -21,6 +21,7 @@ import (
 
 	"fpgauv/internal/board"
 	"fpgauv/internal/dnndk"
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/nn"
 	"fpgauv/internal/silicon"
 	"fpgauv/internal/tensor"
@@ -84,6 +85,10 @@ type Config struct {
 	// GovernorConfig). The zero value builds the loops disabled at the
 	// default cadence; set Governor.Enabled to start them active.
 	Governor GovernorConfig
+	// ECC parameterizes BRAM SECDED protection and frame scrubbing (see
+	// ECCConfig). The zero value assembles the subsystem disabled with
+	// the default scrub cadence.
+	ECC ECCConfig
 }
 
 // sanitize fills config defaults.
@@ -122,6 +127,7 @@ func (c Config) sanitize() Config {
 		c.Cores = 3
 	}
 	c.Governor = c.Governor.sanitize()
+	c.ECC = c.ECC.sanitize()
 	return c
 }
 
@@ -147,6 +153,9 @@ type Result struct {
 	// the guardband).
 	MACFaults  int64 `json:"mac_faults"`
 	BRAMFaults int64 `json:"bram_faults"`
+	// ECC is the pass's SECDED outcome split (all-zero when protection
+	// is disabled).
+	ECC ecc.Counts `json:"ecc"`
 	// Attempts is how many board visits the request needed (>1 means a
 	// crash/reboot cycle happened underneath it).
 	Attempts int `json:"attempts"`
@@ -185,6 +194,9 @@ type InferResult struct {
 	// the job (zero inside the guardband).
 	MACFaults  int64 `json:"mac_faults"`
 	BRAMFaults int64 `json:"bram_faults"`
+	// ECC is the job's SECDED outcome split (all-zero when protection
+	// is disabled).
+	ECC ecc.Counts `json:"ecc"`
 	// Attempts is how many board visits the job needed (>1 means a
 	// crash/reboot cycle happened underneath it).
 	Attempts int `json:"attempts"`
@@ -214,6 +226,7 @@ type job struct {
 	completed    int
 	microBatches int
 	macF, bramF  int64
+	eccC         ecc.Counts
 	// canceled is set when the submitting caller abandons the wait:
 	// workers skip the job instead of burning an accelerator pass
 	// for a caller that is gone.
@@ -234,6 +247,7 @@ type Pool struct {
 	members []*member
 	queue   *workQueue
 	gov     *governor
+	eccSt   eccState
 
 	wg      sync.WaitGroup
 	stop    chan struct{}
@@ -289,6 +303,7 @@ func New(cfg Config) (*Pool, error) {
 		go p.monitor(cfg.MonitorInterval)
 	}
 	p.startGovernor(cfg.Governor)
+	p.startScrubbers(cfg.ECC)
 	return p, nil
 }
 
@@ -460,7 +475,7 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 		cr, err := m.task.ClassifyWith(m.scratch, m.ds, classifyRNG(j.req.Seed, ordinal))
 		if err == nil {
 			m.served.Add(1)
-			m.servedFaults.Add(cr.MACFaults + cr.BRAMFaults)
+			m.noteServedFaults(cr.MACFaults, cr.BRAMFaults, cr.ECC)
 			return Result{
 				Board:       m.id,
 				VCCINTmV:    m.brd.VCCINTmV(),
@@ -468,6 +483,7 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 				AccuracyPct: cr.AccuracyPct,
 				MACFaults:   cr.MACFaults,
 				BRAMFaults:  cr.BRAMFaults,
+				ECC:         cr.ECC,
 				Attempts:    j.attempts,
 			}, nil
 		}
@@ -542,6 +558,11 @@ func (p *Pool) serveInferOn(m *member, j *job) (InferResult, error) {
 					j.macF += results[i].MACFaults
 					j.bramF += results[i].BRAMFaults
 				}
+				if len(results) > 0 {
+					// Every image of a micro-batch carries the batch's
+					// shared outcome split; count each event once.
+					j.eccC.Add(results[0].ECC)
+				}
 				j.microBatches++
 				p.microBatches.Add(1)
 				j.completed = hi
@@ -560,7 +581,7 @@ func (p *Pool) serveInferOn(m *member, j *job) (InferResult, error) {
 	m.served.Add(1)
 	// The completing board absorbs the whole job's fault signal; images
 	// served on a pre-crash board are a negligible sliver of traffic.
-	m.servedFaults.Add(j.macF + j.bramF)
+	m.noteServedFaults(j.macF, j.bramF, j.eccC)
 	return InferResult{
 		Board:        m.id,
 		VCCINTmV:     m.brd.VCCINTmV(),
@@ -568,6 +589,7 @@ func (p *Pool) serveInferOn(m *member, j *job) (InferResult, error) {
 		MicroBatches: j.microBatches,
 		MACFaults:    j.macF,
 		BRAMFaults:   j.bramF,
+		ECC:          j.eccC,
 		Attempts:     j.attempts,
 	}, nil
 }
@@ -719,6 +741,7 @@ func (p *Pool) Close() {
 		for _, m := range p.members {
 			m.mu.Lock()
 			_ = m.setVCCINT(silicon.VnomMV)
+			_ = m.setVCCBRAM(silicon.VnomMV)
 			m.mu.Unlock()
 		}
 	})

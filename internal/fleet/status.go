@@ -29,6 +29,30 @@ type BoardGovernorStatus struct {
 	// BaselineMV; SavedJ integrates it over the loop's lifetime.
 	SavedW float64 `json:"saved_w"`
 	SavedJ float64 `json:"saved_j"`
+	// BRAM reports the VCCBRAM loop (zero-valued when BRAM governing is
+	// off).
+	BRAM BoardBRAMGovernorStatus `json:"bram"`
+}
+
+// BoardBRAMGovernorStatus is one board's VCCBRAM control state.
+type BoardBRAMGovernorStatus struct {
+	// CleanMV is the deepest VCCBRAM level whose canary signal stayed
+	// acceptable; the operating point is CleanMV plus the BRAM margin.
+	CleanMV float64 `json:"clean_mv"`
+	// FloorMV bounds the descent.
+	FloorMV float64 `json:"floor_mv"`
+	// Settled reports the loop has quiesced (the BRAM fault law has no
+	// thermal term; only served harmful events re-open the seek).
+	Settled bool `json:"settled"`
+	// Probes/Climbs/Descents are lifetime loop counters.
+	Probes   int64 `json:"probes"`
+	Climbs   int64 `json:"climbs"`
+	Descents int64 `json:"descents"`
+	// CanaryCorrected counts tolerated corrected words in BRAM probes
+	// (the ECC-aware mode's leading indicator); CanaryBad the harmful
+	// events that bounded the descent.
+	CanaryCorrected int64 `json:"canary_corrected"`
+	CanaryBad       int64 `json:"canary_bad"`
 }
 
 // GovernorStatus is the pool-wide governor snapshot.
@@ -42,11 +66,21 @@ type GovernorStatus struct {
 	ConfirmProbes int     `json:"confirm_probes"`
 	VerifyEvery   int     `json:"verify_every"`
 	RetestDeltaC  float64 `json:"retest_delta_c"`
+	// BRAM mirrors the VCCBRAM loop configuration (see GovernorConfig).
+	BRAM            bool    `json:"bram"`
+	BRAMStepMV      float64 `json:"bram_step_mv"`
+	BRAMMarginMV    float64 `json:"bram_margin_mv"`
+	BRAMFloorMV     float64 `json:"bram_floor_mv"`
+	CorrectedBudget int64   `json:"corrected_budget"`
 	// Aggregates across all boards.
-	Probes       int64   `json:"probes"`
-	Climbs       int64   `json:"climbs"`
-	Descents     int64   `json:"descents"`
-	CanaryFaults int64   `json:"canary_faults"`
+	Probes       int64 `json:"probes"`
+	Climbs       int64 `json:"climbs"`
+	Descents     int64 `json:"descents"`
+	CanaryFaults int64 `json:"canary_faults"`
+	// BRAMProbes/BRAMClimbs/BRAMDescents aggregate the VCCBRAM loops.
+	BRAMProbes   int64   `json:"bram_probes"`
+	BRAMClimbs   int64   `json:"bram_climbs"`
+	BRAMDescents int64   `json:"bram_descents"`
 	SavedW       float64 `json:"saved_w"`
 	SavedJ       float64 `json:"saved_j"`
 }
@@ -63,6 +97,11 @@ type BoardStatus struct {
 	// target inside the guardband.
 	VCCINTmV    float64 `json:"vccint_mv"`
 	OperatingMV float64 `json:"operating_mv"`
+	// VCCBRAMmV is the live BRAM rail level; OperatingBRAMMV its
+	// steady-state target (nominal unless the ECC-aware governor walked
+	// it down).
+	VCCBRAMmV       float64 `json:"vccbram_mv"`
+	OperatingBRAMMV float64 `json:"operating_bram_mv"`
 	// VminMV/VcrashMV are the board's measured characterization.
 	VminMV   float64 `json:"vmin_mv"`
 	VcrashMV float64 `json:"vcrash_mv"`
@@ -87,6 +126,8 @@ type BoardStatus struct {
 	// Governor is the board's adaptive-voltage control state (nil when
 	// the pool has no governor).
 	Governor *BoardGovernorStatus `json:"governor,omitempty"`
+	// ECC is the board's BRAM SECDED protection and scrubbing snapshot.
+	ECC *BoardECCStatus `json:"ecc,omitempty"`
 }
 
 // Status is a whole-pool snapshot.
@@ -127,7 +168,9 @@ type Status struct {
 	// Governor is the pool-wide adaptive-voltage snapshot (nil when
 	// the pool has no governor).
 	Governor *GovernorStatus `json:"governor,omitempty"`
-	Closed   bool            `json:"closed"`
+	// ECC is the pool-wide BRAM protection snapshot.
+	ECC    *ECCStatus `json:"ecc,omitempty"`
+	Closed bool       `json:"closed"`
 }
 
 // Status snapshots the pool without blocking the serving path: counters
@@ -162,6 +205,7 @@ func (p *Pool) Status() Status {
 		st.GOPs += b.GOPs
 	}
 	st.Governor = p.governorSummary(st.Boards)
+	st.ECC = p.eccSummary(st.Boards)
 	return st
 }
 
@@ -175,15 +219,20 @@ func (p *Pool) governorSummary(boards []BoardStatus) *GovernorStatus {
 	}
 	cfg := p.gov.config()
 	gs := &GovernorStatus{
-		Enabled:       p.gov.enabled.Load(),
-		IntervalMS:    float64(cfg.Interval.Microseconds()) / 1000,
-		StepMV:        cfg.StepMV,
-		MarginMV:      cfg.MarginMV,
-		FloorMarginMV: cfg.FloorMarginMV,
-		ProbeImages:   cfg.ProbeImages,
-		ConfirmProbes: cfg.ConfirmProbes,
-		VerifyEvery:   cfg.VerifyEvery,
-		RetestDeltaC:  cfg.RetestDeltaC,
+		Enabled:         p.gov.enabled.Load(),
+		IntervalMS:      float64(cfg.Interval.Microseconds()) / 1000,
+		StepMV:          cfg.StepMV,
+		MarginMV:        cfg.MarginMV,
+		FloorMarginMV:   cfg.FloorMarginMV,
+		ProbeImages:     cfg.ProbeImages,
+		ConfirmProbes:   cfg.ConfirmProbes,
+		VerifyEvery:     cfg.VerifyEvery,
+		RetestDeltaC:    cfg.RetestDeltaC,
+		BRAM:            cfg.BRAM,
+		BRAMStepMV:      cfg.BRAMStepMV,
+		BRAMMarginMV:    cfg.BRAMMarginMV,
+		BRAMFloorMV:     cfg.BRAMFloorMV,
+		CorrectedBudget: cfg.CorrectedBudget,
 	}
 	for _, b := range boards {
 		if b.Governor == nil {
@@ -193,6 +242,9 @@ func (p *Pool) governorSummary(boards []BoardStatus) *GovernorStatus {
 		gs.Climbs += b.Governor.Climbs
 		gs.Descents += b.Governor.Descents
 		gs.CanaryFaults += b.Governor.CanaryFaults
+		gs.BRAMProbes += b.Governor.BRAM.Probes
+		gs.BRAMClimbs += b.Governor.BRAM.Climbs
+		gs.BRAMDescents += b.Governor.BRAM.Descents
 		gs.SavedW += b.Governor.SavedW
 		gs.SavedJ += b.Governor.SavedJ
 	}
@@ -210,24 +262,26 @@ func (p *Pool) boardStatus(m *member) BoardStatus {
 	pb := m.brd.PowerBreakdown()
 	gops := m.kernel.GOPs(m.rt.DPU().Cores(), m.brd.FrequencyMHz())
 	b := BoardStatus{
-		Board:       m.id,
-		Sample:      m.brd.Sample().String(),
-		State:       m.stateName(),
-		VCCINTmV:    m.brd.VCCINTmV(),
-		OperatingMV: m.opMV(),
-		VminMV:      m.regions.VminMV,
-		VcrashMV:    m.regions.VcrashMV,
-		GuardbandMV: m.regions.GuardbandMV(),
-		TempC:       m.brd.DieTempC(),
-		PowerW:      pb.TotalW,
-		VCCINTW:     pb.VCCINTW,
-		VCCBRAMW:    pb.VCCBRAMW,
-		GOPs:        gops,
-		Served:      m.served.Load(),
-		Retries:     m.retries.Load(),
-		Crashes:     m.crashes.Load(),
-		Reboots:     m.brd.Reboots(),
-		Redeploys:   m.redeploy.Load(),
+		Board:           m.id,
+		Sample:          m.brd.Sample().String(),
+		State:           m.stateName(),
+		VCCINTmV:        m.brd.VCCINTmV(),
+		OperatingMV:     m.opMV(),
+		VCCBRAMmV:       m.brd.VCCBRAMmV(),
+		OperatingBRAMMV: m.bramOpMV(),
+		VminMV:          m.regions.VminMV,
+		VcrashMV:        m.regions.VcrashMV,
+		GuardbandMV:     m.regions.GuardbandMV(),
+		TempC:           m.brd.DieTempC(),
+		PowerW:          pb.TotalW,
+		VCCINTW:         pb.VCCINTW,
+		VCCBRAMW:        pb.VCCBRAMW,
+		GOPs:            gops,
+		Served:          m.served.Load(),
+		Retries:         m.retries.Load(),
+		Crashes:         m.crashes.Load(),
+		Reboots:         m.brd.Reboots(),
+		Redeploys:       m.redeploy.Load(),
 	}
 	if pb.TotalW > 0 {
 		b.GOPsPerW = gops / pb.TotalW
@@ -252,6 +306,19 @@ func (p *Pool) boardStatus(m *member) BoardStatus {
 			SavedW:       saved,
 			SavedJ:       m.gov.savedJ(),
 		}
+		if cfg.BRAM {
+			b.Governor.BRAM = BoardBRAMGovernorStatus{
+				CleanMV:         math.Float64frombits(m.gov.bramCleanBits.Load()),
+				FloorMV:         cfg.BRAMFloorMV,
+				Settled:         m.gov.bramSettledF.Load(),
+				Probes:          m.gov.bramProbes.Load(),
+				Climbs:          m.gov.bramClimbs.Load(),
+				Descents:        m.gov.bramDescents.Load(),
+				CanaryCorrected: m.gov.canaryCorrected.Load(),
+				CanaryBad:       m.gov.canaryBad.Load(),
+			}
+		}
 	}
+	b.ECC = m.boardECCStatus()
 	return b
 }

@@ -4,7 +4,7 @@
 // for very low-voltage regions even when the design operates at the
 // maximum frequency").
 //
-// Two strategies are provided:
+// Three strategies are provided:
 //
 //   - TemporalRedundancy: classify each input N times and take the
 //     majority vote. Undervolting faults are transient and independent
@@ -15,6 +15,15 @@
 //     the affected tile replayed. Detection shrinks the effective fault
 //     probability; replays add a small cycle overhead. This mirrors the
 //     §2.2 discussion of Razor [Ernst et al., MICRO'03].
+//   - BRAMECC: enable the BRAMs' built-in SECDED decode for the pass —
+//     the mitigation the paper's §9 names for reduced-voltage BRAM
+//     operation. Single-bit weight words are corrected in hardware at
+//     negligible cost; only multi-bit words still corrupt the pass.
+//
+// Every strategy runs on the batched executor: the evaluation set is
+// sliced into micro-batches of dnndk.MicroBatch images, each executed as
+// one accelerator pass with BRAM faults persistent per batch — the same
+// data path the fleet serves production traffic on.
 package mitigate
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	"fpgauv/internal/dnndk"
 	"fpgauv/internal/dpu"
+	"fpgauv/internal/ecc"
 	"fpgauv/internal/models"
 )
 
@@ -55,30 +65,65 @@ func (t TemporalRedundancy) n() int {
 	return t.N
 }
 
+// forEachMicroBatch slices the dataset into micro-batches and executes
+// each as one batched accelerator pass, with per-image fault streams
+// derived from the caller's rng (one Int63 draw per image, so a pinned
+// rng pins the whole pass). visit sees each micro-batch's staged
+// results; it must consume them before returning (the arena reuses
+// them).
+func forEachMicroBatch(task *dnndk.Task, ds *models.Dataset, scratch *dpu.Scratch, rng *rand.Rand,
+	visit func(lo int, results []dpu.Result) error) error {
+	n := ds.Len()
+	for lo := 0; lo < n; lo += dnndk.MicroBatch {
+		hi := lo + dnndk.MicroBatch
+		if hi > n {
+			hi = n
+		}
+		rngs := scratch.BatchRNGs(hi - lo)
+		for i := range rngs {
+			rngs[i].Seed(rng.Int63())
+		}
+		results, err := task.InferBatch(scratch, ds.Inputs[lo:hi], rngs)
+		if err != nil {
+			return err
+		}
+		if err := visit(lo, results); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Classify implements Strategy. The N runs are combined by averaging
 // their softmax outputs (ensemble averaging) — strictly stronger than a
 // hard majority vote because transient fault perturbations on different
 // runs cancel in probability space even when each run's argmax flipped.
+// Each of the N rounds is a full batched pass over the dataset, so the
+// redundancy cost model matches how a fleet would actually replay
+// traffic.
 func (t TemporalRedundancy) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Rand) ([]int, float64, error) {
 	n := t.n()
-	preds := make([]int, ds.Len())
+	sums := make([][]float64, ds.Len())
 	scratch := dpu.NewScratch()
-	for i, img := range ds.Inputs {
-		var sum []float64
-		for r := 0; r < n; r++ {
-			// res.Probs is arena-staged: consumed before the next run.
-			res, err := task.RunWith(scratch, img, rng)
-			if err != nil {
-				return nil, 0, err
+	for r := 0; r < n; r++ {
+		err := forEachMicroBatch(task, ds, scratch, rng, func(lo int, results []dpu.Result) error {
+			for i := range results {
+				probs := results[i].Probs.Data()
+				if sums[lo+i] == nil {
+					sums[lo+i] = make([]float64, len(probs))
+				}
+				for c, p := range probs {
+					sums[lo+i][c] += float64(p)
+				}
 			}
-			probs := res.Probs.Data()
-			if sum == nil {
-				sum = make([]float64, len(probs))
-			}
-			for c, p := range probs {
-				sum[c] += float64(p)
-			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
 		}
+	}
+	preds := make([]int, ds.Len())
+	for i, sum := range sums {
 		best, bestVal := 0, -1.0
 		for c, v := range sum {
 			if v > bestVal {
@@ -113,7 +158,8 @@ func (r RazorReplay) coverage() float64 {
 
 // Classify implements Strategy. Detection is modeled by suppressing the
 // covered fraction of fault events: the executor's fault probability is
-// scaled via the kernel's VulnScale hook for the duration of the pass.
+// scaled via the kernel's VulnScale hook for the duration of the
+// batched pass.
 func (r RazorReplay) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Rand) ([]int, float64, error) {
 	k := task.Kernel
 	saved := k.VulnScale
@@ -127,20 +173,76 @@ func (r RazorReplay) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Ra
 		overhead = 1e-5 // per-event tile replay, amortized per image
 	}
 	scratch := dpu.NewScratch()
-	for i, img := range ds.Inputs {
-		res, err := task.RunWith(scratch, img, rng)
-		if err != nil {
-			return nil, 0, err
+	err := forEachMicroBatch(task, ds, scratch, rng, func(lo int, results []dpu.Result) error {
+		for i := range results {
+			preds[lo+i] = results[i].Pred
+			// Detected (suppressed) events would each have triggered a
+			// replay; estimate their count from the survivors.
+			if cov := r.coverage(); cov < 1 {
+				replays += int64(float64(results[i].MACFaults) * cov / (1 - cov))
+			}
 		}
-		preds[i] = res.Pred
-		// Detected (suppressed) events would each have triggered a
-		// replay; estimate their count from the survivors.
-		if cov := r.coverage(); cov < 1 {
-			replays += int64(float64(res.MACFaults) * cov / (1 - cov))
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	cost := 1 + overhead*float64(replays)/float64(ds.Len())
 	return preds, cost, nil
+}
+
+// BRAMECC enables the BRAMs' built-in SECDED(72,64) decode for the
+// pass: single-bit weight-word faults are corrected in hardware,
+// double-bit words are flagged, and only aliased multi-bit words still
+// corrupt silently. It protects the BRAM fault class exclusively — MAC
+// timing faults pass through untouched, which is why the comparison
+// against TemporalRedundancy and RazorReplay must name the operating
+// point's faulting rail.
+type BRAMECC struct {
+	// ScrubOverhead is the relative throughput cost of background frame
+	// scrubbing (the scrubber steals BRAM port cycles). Real
+	// deployments measure a fraction of a percent; default 1.002.
+	ScrubOverhead float64
+}
+
+var _ Strategy = BRAMECC{}
+
+// Name implements Strategy.
+func (e BRAMECC) Name() string { return "bram-secded" }
+
+func (e BRAMECC) cost() float64 {
+	if e.ScrubOverhead <= 1 {
+		return 1.002
+	}
+	return e.ScrubOverhead
+}
+
+// Classify implements Strategy: the task's accelerator decodes BRAM
+// reads through the SECDED policy for the duration of the pass, then
+// returns to its previous protection state.
+func (e BRAMECC) Classify(task *dnndk.Task, ds *models.Dataset, rng *rand.Rand) ([]int, float64, error) {
+	dp := task.DPU()
+	if prot := dp.Protection(); prot != nil {
+		prev := prot.Enabled()
+		prot.SetEnabled(true)
+		defer prot.SetEnabled(prev)
+	} else {
+		dp.SetProtection(ecc.NewProtection(true))
+		defer dp.SetProtection(nil)
+	}
+
+	preds := make([]int, ds.Len())
+	scratch := dpu.NewScratch()
+	err := forEachMicroBatch(task, ds, scratch, rng, func(lo int, results []dpu.Result) error {
+		for i := range results {
+			preds[lo+i] = results[i].Pred
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return preds, e.cost(), nil
 }
 
 // Evaluation compares accuracy with and without a strategy at the

@@ -106,6 +106,10 @@ func (s *Server) renderMetrics() string {
 	for _, bd := range st.Boards {
 		fmt.Fprintf(&b, "uvolt_board_vcrash_millivolts{board=%q} %.1f\n", bd.Board, bd.VcrashMV)
 	}
+	perBoard("uvolt_board_vccbram_millivolts", "Live VCCBRAM rail level.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(&b, "uvolt_board_vccbram_millivolts{board=%q} %.2f\n", bd.Board, bd.VCCBRAMmV)
+	}
 	perBoard("uvolt_board_temp_celsius", "Die temperature.", "gauge")
 	for _, bd := range st.Boards {
 		fmt.Fprintf(&b, "uvolt_board_temp_celsius{board=%q} %.2f\n", bd.Board, bd.TempC)
@@ -170,6 +174,54 @@ func (s *Server) renderMetrics() string {
 		}
 	}
 
+	if st.ECC != nil {
+		enabled := 0
+		if st.ECC.Enabled {
+			enabled = 1
+		}
+		gauge("uvolt_ecc_enabled", "Whether BRAM SECDED decoding is active.", enabled)
+		counter("uvolt_ecc_corrected_total", "BRAM words corrected transparently by SECDED.", st.ECC.Corrected)
+		counter("uvolt_ecc_uncorrectable_total", "BRAM words flagged detected-uncorrectable.", st.ECC.Detected)
+		counter("uvolt_ecc_silent_total", "BRAM words silently miscorrected (aliased multi-bit faults).", st.ECC.Silent)
+		gauge("uvolt_scrub_interval_ms", "Frame-scrub period per board.", fmt.Sprintf("%.1f", st.ECC.ScrubIntervalMS))
+		counter("uvolt_scrub_passes_total", "Frame-scrub passes across all boards.", st.ECC.ScrubPasses)
+		counter("uvolt_scrub_corrected_total", "Words repaired in place by scrub passes.", st.ECC.ScrubCorrected)
+		counter("uvolt_scrub_reloaded_total", "Words reloaded from the DDR golden copy by scrub passes.", st.ECC.ScrubReloaded)
+		perBoard("uvolt_ecc_corrected_by_board", "Corrected words by board.", "counter")
+		for _, bd := range st.Boards {
+			if bd.ECC == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "uvolt_ecc_corrected_by_board{board=%q} %d\n", bd.Board, bd.ECC.Corrected)
+		}
+		perBoard("uvolt_ecc_uncorrectable_by_board", "Detected-uncorrectable words by board.", "counter")
+		for _, bd := range st.Boards {
+			if bd.ECC == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "uvolt_ecc_uncorrectable_by_board{board=%q} %d\n", bd.Board, bd.ECC.Detected)
+		}
+		perBoard("uvolt_ecc_silent_by_board", "Silently miscorrected words by board.", "counter")
+		for _, bd := range st.Boards {
+			if bd.ECC == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "uvolt_ecc_silent_by_board{board=%q} %d\n", bd.Board, bd.ECC.Silent)
+		}
+	}
+	if st.Governor != nil && st.Governor.BRAM {
+		counter("uvolt_governor_bram_probes_total", "VCCBRAM canary probes across all boards.", st.Governor.BRAMProbes)
+		counter("uvolt_governor_bram_climbs_total", "Upward VCCBRAM moves.", st.Governor.BRAMClimbs)
+		counter("uvolt_governor_bram_descents_total", "Downward VCCBRAM moves.", st.Governor.BRAMDescents)
+		perBoard("uvolt_governor_bram_operating_millivolts", "Governed VCCBRAM operating point.", "gauge")
+		for _, bd := range st.Boards {
+			if bd.Governor == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "uvolt_governor_bram_operating_millivolts{board=%q} %.2f\n", bd.Board, bd.OperatingBRAMMV)
+		}
+	}
+
 	fmt.Fprintf(&b, "# HELP uvolt_batch_size Accelerator-pass batch sizes by traffic kind (classify: calls, infer: images).\n# TYPE uvolt_batch_size histogram\n")
 	s.batchSizes["classify"].render(&b, "uvolt_batch_size", `kind="classify",`)
 	s.batchSizes["infer"].render(&b, "uvolt_batch_size", `kind="infer",`)
@@ -182,6 +234,7 @@ func (s *Server) renderMetrics() string {
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/status\"} %d\n", s.statusReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/voltage\"} %d\n", s.voltageReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/governor\"} %d\n", s.governorReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/ecc\"} %d\n", s.eccReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/metrics\"} %d\n", s.metricsReqs.Load())
 	counter("uvolt_http_errors_total", "HTTP error responses.", s.errorResps.Load())
 	counter("uvolt_batch_runs_total", "Accelerator passes run for HTTP classify traffic.", s.batch.batches.Load())

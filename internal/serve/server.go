@@ -44,6 +44,7 @@ type Server struct {
 	statusReqs   atomic.Int64
 	voltageReqs  atomic.Int64
 	governorReqs atomic.Int64
+	eccReqs      atomic.Int64
 	metricsReqs  atomic.Int64
 	errorResps   atomic.Int64
 
@@ -73,6 +74,10 @@ func New(pool *fleet.Pool, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/fleet/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/fleet/voltage", s.handleVoltage)
 	s.mux.HandleFunc("/v1/fleet/governor", s.handleGovernor)
+	s.mux.HandleFunc("/v1/fleet/ecc", s.handleECC)
+	// Unknown /v1/fleet/* paths get the API's JSON error shape, not the
+	// mux's plain-text 404.
+	s.mux.HandleFunc("/v1/fleet/", s.handleFleetNotFound)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -351,6 +356,81 @@ func (s *Server) handleGovernor(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.errorJSON(w, http.StatusMethodNotAllowed, "GET or POST required")
 	}
+}
+
+// eccRequest is the /v1/fleet/ecc POST body: a runtime protection
+// toggle, a scrub re-tune and an optional synchronous scrub pass.
+// Omitted fields keep their present setting.
+type eccRequest struct {
+	// Enabled toggles SECDED decoding on every board.
+	Enabled *bool `json:"enabled"`
+	// ScrubIntervalMS re-targets the frame-scrub period.
+	ScrubIntervalMS float64 `json:"scrub_interval_ms"`
+	// ScrubNow runs one synchronous scrub pass on every board before
+	// the reply is built.
+	ScrubNow bool `json:"scrub_now"`
+}
+
+// eccBoard is one board's entry in the ECC report.
+type eccBoard struct {
+	Board           string                `json:"board"`
+	VCCBRAMmV       float64               `json:"vccbram_mv"`
+	OperatingBRAMMV float64               `json:"operating_bram_mv"`
+	ECC             *fleet.BoardECCStatus `json:"ecc"`
+}
+
+// eccResponse is the GET payload (and the POST reply).
+type eccResponse struct {
+	ECC    *fleet.ECCStatus `json:"ecc"`
+	Boards []eccBoard       `json:"boards"`
+}
+
+func (s *Server) eccReport() eccResponse {
+	st := s.pool.Status()
+	out := eccResponse{ECC: st.ECC}
+	for _, b := range st.Boards {
+		out.Boards = append(out.Boards, eccBoard{
+			Board:           b.Board,
+			VCCBRAMmV:       b.VCCBRAMmV,
+			OperatingBRAMMV: b.OperatingBRAMMV,
+			ECC:             b.ECC,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleECC(w http.ResponseWriter, r *http.Request) {
+	s.eccReqs.Add(1)
+	switch r.Method {
+	case http.MethodGet:
+		s.writeJSON(w, http.StatusOK, s.eccReport())
+	case http.MethodPost:
+		var req eccRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.errorJSON(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if req.ScrubIntervalMS < 0 {
+			s.errorJSON(w, http.StatusBadRequest, "scrub_interval_ms must be positive")
+			return
+		}
+		if req.Enabled != nil {
+			s.pool.SetECCEnabled(*req.Enabled)
+		}
+		if req.ScrubIntervalMS > 0 {
+			s.pool.SetScrubInterval(time.Duration(req.ScrubIntervalMS * float64(time.Millisecond)))
+		}
+		if req.ScrubNow {
+			s.pool.ScrubNow()
+		}
+		s.writeJSON(w, http.StatusOK, s.eccReport())
+	default:
+		s.errorJSON(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
+func (s *Server) handleFleetNotFound(w http.ResponseWriter, r *http.Request) {
+	s.errorJSON(w, http.StatusNotFound, "unknown fleet endpoint "+r.URL.Path)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
