@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json
+.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs
 
 all: vet build test
 
@@ -45,6 +45,17 @@ bench-ecc:
 # the batched executor's per-core lanes actually run in parallel.
 # Two steps (not a pipeline) so a benchmark failure fails the target
 # instead of being masked by benchjson's exit status.
+# Tracing overhead snapshot: BenchmarkTracedInfer runs the instrumented
+# infer path with tracing off and on. The off mode pins the zero-cost
+# contract (0 allocs/request added when -trace is disabled); the on mode
+# records what a fully traced request costs. Emitted as BENCH_6.json.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkTracedInfer' \
+		-benchmem -benchtime 0.3s -count 1 ./internal/serve > BENCH_6.raw
+	$(GO) run ./cmd/benchjson -label BENCH_6 < BENCH_6.raw > BENCH_6.json
+	@rm -f BENCH_6.raw
+	@cat BENCH_6.json
+
 BENCH_NUM ?= 5
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkConvKernels|BenchmarkClassifySteadyState|BenchmarkInferBatched|BenchmarkScrubOverhead' \

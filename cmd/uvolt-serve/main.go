@@ -11,13 +11,17 @@
 //	            [-governor] [-governor-interval 25ms] [-governor-step 5]
 //	            [-governor-margin 5] [-governor-probe 12]
 //	            [-ecc] [-scrub-interval 250ms] [-governor-bram]
+//	            [-trace] [-trace-ring 256] [-debug-addr :6060] [-log-level info]
 //
 // Endpoints:
 //
 //	POST /v1/infer         {"pixels": [...]}      classify one image
 //	                       {"image_b64": "..."}   (base64 LE float32 CHW)
 //	POST /v1/classify      {"seed": 7}            one evaluation-set pass
+//	GET  /v1/trace/{id}                           one request's span tree
+//	GET  /v1/traces?limit=N                       recent traces, newest first
 //	GET  /v1/fleet/status                         pool + per-board snapshot
+//	GET  /v1/fleet/events?cursor=K                fleet event journal
 //	POST /v1/fleet/voltage {"board": 0, "mv": 500}  command a VCCINT rail
 //	GET  /v1/fleet/governor                       adaptive-voltage state
 //	POST /v1/fleet/governor {"enabled": true}     toggle / tune the governor
@@ -25,6 +29,9 @@
 //	POST /v1/fleet/ecc     {"enabled": true}      toggle ECC / tune scrubbing
 //	GET  /metrics                                 Prometheus text metrics
 //	GET  /healthz                                 liveness
+//
+// With -debug-addr set, net/http/pprof is served on that separate
+// listener under /debug/pprof/ — keep it off public interfaces.
 package main
 
 import (
@@ -32,7 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,9 +71,21 @@ func main() {
 	eccOn := flag.Bool("ecc", false, "enable BRAM SECDED protection")
 	scrubInterval := flag.Duration("scrub-interval", 250*time.Millisecond, "frame-scrub period per board")
 	govBRAM := flag.Bool("governor-bram", false, "let the governor walk VCCBRAM down (ECC-aware when -ecc)")
+	trace := flag.Bool("trace", true, "record request traces (served by /v1/trace and /v1/traces)")
+	traceRing := flag.Int("trace-ring", 256, "recent traces retained")
+	debugAddr := flag.String("debug-addr", "", "optional separate listener for /debug/pprof (empty = off)")
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn or error")
 	flag.Parse()
 
-	log.Printf("uvolt-serve: bringing up %d boards serving %s (characterizing Vmin/Vcrash)...", *boards, *bench)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "uvolt-serve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	log := slog.Default()
+
+	log.Info("bringing up fleet (characterizing Vmin/Vcrash)", "boards", *boards, "benchmark", *bench)
 	t0 := time.Now()
 	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
 		Boards:     *boards,
@@ -92,42 +111,61 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatalf("uvolt-serve: %v", err)
+		log.Error("fleet bring-up failed", "err", err)
+		os.Exit(1)
 	}
+	// Mirror journal events (crashes, rail moves, governor traffic) onto
+	// the structured log at -log-level granularity.
+	pool.Journal().SetLogger(log)
 	for _, b := range pool.Status().Boards {
-		log.Printf("uvolt-serve: %s Vmin=%.0fmV Vcrash=%.0fmV -> operating at %.0f mV (guardband %.0f mV reclaimed)",
-			b.Board, b.VminMV, b.VcrashMV, b.OperatingMV, fpgauv.VnomMV-b.OperatingMV)
+		log.Info("board characterized", "board", b.Board,
+			"vmin_mv", b.VminMV, "vcrash_mv", b.VcrashMV, "operating_mv", b.OperatingMV,
+			"guardband_reclaimed_mv", fpgauv.VnomMV-b.OperatingMV)
 	}
 	if *governor {
-		log.Printf("uvolt-serve: adaptive voltage governor enabled (interval %s, step %.0f mV)", *govInterval, *govStep)
+		log.Info("adaptive voltage governor enabled", "interval", *govInterval, "step_mv", *govStep)
 	}
 	if *eccOn {
-		log.Printf("uvolt-serve: BRAM SECDED protection enabled (scrub every %s)", *scrubInterval)
+		log.Info("BRAM SECDED protection enabled", "scrub_interval", *scrubInterval)
 	}
 	if *govBRAM {
-		log.Printf("uvolt-serve: governor will walk VCCBRAM (ECC-aware: %t)", *eccOn)
+		log.Info("governor will walk VCCBRAM", "ecc_aware", *eccOn)
 	}
-	log.Printf("uvolt-serve: fleet ready in %s", time.Since(t0).Round(time.Millisecond))
+	log.Info("fleet ready", "elapsed", time.Since(t0).Round(time.Millisecond))
 
 	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{
 		BatchSize:   *batch,
 		BatchImages: *batchImages,
 		BatchWindow: *window,
+		Trace:       *trace,
+		TraceRing:   *traceRing,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: fpgauv.DebugHandler()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		log.Info("pprof debug listener up", "addr", *debugAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("uvolt-serve: listening on %s", *addr)
+	log.Info("listening", "addr", *addr, "trace", *trace)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("uvolt-serve: %v — draining", s)
+		log.Info("draining on signal", "signal", s.String())
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("uvolt-serve: %v", err)
+			log.Error("listener failed", "err", err)
+			os.Exit(1)
 		}
 	}
 
@@ -136,7 +174,10 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("uvolt-serve: http shutdown: %v", err)
+		log.Warn("http shutdown", "err", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	srv.Close()
 	st := pool.Status()

@@ -1,0 +1,150 @@
+// Request tracing: follow one /v1/infer request through the whole
+// pipeline — HTTP decode, fleet queue, per-board execute attempts — while
+// a board crashes mid-request. The span tree shows the failed attempts,
+// the requeue, and the retry landing on different hardware; the fleet
+// event journal replays the crash -> reboot -> redeploy -> requeue chain
+// with per-board sequence numbers.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"fpgauv"
+)
+
+// span mirrors the /v1/trace/{id} span tree.
+type span struct {
+	Name      string  `json:"name"`
+	StartNS   int64   `json:"start_ns"`
+	DurNS     int64   `json:"dur_ns"`
+	Board     string  `json:"board,omitempty"`
+	Attempt   int32   `json:"attempt,omitempty"`
+	Images    int32   `json:"images,omitempty"`
+	VCCINTmV  float64 `json:"vccint_mv,omitempty"`
+	MACFaults int64   `json:"mac_faults,omitempty"`
+	Err       string  `json:"error,omitempty"`
+	Children  []*span `json:"children,omitempty"`
+}
+
+type trace struct {
+	TraceID string `json:"trace_id"`
+	DurNS   int64  `json:"dur_ns"`
+	Spans   int    `json:"spans"`
+	Root    *span  `json:"root"`
+}
+
+type eventsPage struct {
+	Events     []fpgauv.FleetEvent `json:"events"`
+	NextCursor uint64              `json:"next_cursor"`
+}
+
+func main() {
+	fmt.Println("bringing up a 2-board fleet (characterizing Vmin/Vcrash per sample)...")
+	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{Boards: 2, Tiny: true, Images: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shape := pool.InputShape()
+	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{Trace: true, BatchWindow: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// Arm a double execute failure on board 0 and post single-image infer
+	// requests until one is traced across a crash: the injection is only
+	// consumed when the job lands on board 0, so retry until it does.
+	rng := rand.New(rand.NewSource(1))
+	img := make([]float32, shape.C*shape.H*shape.W)
+	var tr trace
+	for try := 1; ; try++ {
+		if try > 50 {
+			log.Fatal("no request landed on the injected board in 50 tries")
+		}
+		if err := pool.InjectFailures(0, 2); err != nil {
+			log.Fatal(err)
+		}
+		for p := range img {
+			img[p] = float32(rng.NormFloat64())
+		}
+		body, _ := json.Marshal(map[string]any{"pixels": img, "seed": 7})
+		resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := resp.Header.Get("X-Uvolt-Trace")
+		resp.Body.Close()
+
+		resp, err = http.Get(ts.URL + "/v1/trace/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+
+		failed, boards := 0, map[string]bool{}
+		var walk func(*span)
+		walk = func(s *span) {
+			if s.Name == "execute" {
+				boards[s.Board] = true
+				if s.Err != "" {
+					failed++
+				}
+			}
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		walk(tr.Root)
+		if failed > 0 && len(boards) > 1 {
+			fmt.Printf("try %d: request %s crashed a board mid-flight and finished elsewhere\n\n", try, tr.TraceID)
+			break
+		}
+	}
+
+	fmt.Printf("trace %s: %d spans, %.2f ms end to end\n", tr.TraceID, tr.Spans, float64(tr.DurNS)/1e6)
+	var dump func(*span, int)
+	dump = func(s *span, depth int) {
+		line := fmt.Sprintf("%s%-10s %8.3f ms", strings.Repeat("  ", depth), s.Name, float64(s.DurNS)/1e6)
+		if s.Board != "" {
+			line += fmt.Sprintf("  board=%s attempt=%d", s.Board, s.Attempt)
+		}
+		if s.VCCINTmV > 0 {
+			line += fmt.Sprintf(" VCCINT=%.0fmV", s.VCCINTmV)
+		}
+		if s.Err != "" {
+			line += "  ERR=" + s.Err
+		}
+		fmt.Println(line)
+		for _, c := range s.Children {
+			dump(c, depth+1)
+		}
+	}
+	dump(tr.Root, 1)
+
+	// The journal replays the recovery the trace summarized: the crashed
+	// board's own sequence numbers order crash, reboot, redeploy, requeue.
+	resp, err := http.Get(ts.URL + "/v1/fleet/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var page eventsPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nfleet journal (%d events, next cursor %d):\n", len(page.Events), page.NextCursor)
+	for _, ev := range page.Events {
+		fmt.Printf("  seq=%-3d %-18s board=%-13s board_seq=%d %s\n",
+			ev.Seq, ev.Kind, ev.Board, ev.BoardSeq, ev.Detail)
+	}
+}

@@ -1,7 +1,10 @@
 package fpgauv
 
 import (
+	"net/http"
+
 	"fpgauv/internal/fleet"
+	"fpgauv/internal/obs"
 	"fpgauv/internal/serve"
 )
 
@@ -51,7 +54,24 @@ type (
 	ServeConfig = serve.Config
 	// Server is the HTTP inference front-end of a fleet.
 	Server = serve.Server
+	// FleetEvent is one structured fleet journal entry (crash, reboot,
+	// redeploy, requeue, rail move, governor move, scrub pass).
+	FleetEvent = obs.Event
+	// FleetJournal is the bounded ring of fleet events, cursor-paged by
+	// Fleet.Journal().Since and GET /v1/fleet/events.
+	FleetJournal = obs.Journal
+	// Tracer owns request tracing: the enable switch, trace-id
+	// generation and the ring of recent traces.
+	Tracer = obs.Tracer
+	// Trace is one request's span tree.
+	Trace = obs.Trace
+	// Span is one timed stage of a trace.
+	Span = obs.Span
 )
+
+// DebugHandler serves net/http/pprof profiling endpoints under
+// /debug/pprof/ — mount it on a separate, non-public listener.
+func DebugHandler() http.Handler { return obs.DebugHandler() }
 
 // ErrFleetClosed is returned by Fleet.Classify after Close has begun.
 var ErrFleetClosed = fleet.ErrClosed

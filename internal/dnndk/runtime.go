@@ -187,6 +187,10 @@ type ClassifyResult struct {
 	// enabled protection). Micro-batch persistence means each batch's
 	// split is reported once here, not once per image.
 	ECC ecc.Counts
+	// ExecNS sums the device time of the pass's micro-batches in
+	// nanoseconds (zero on the cached fault-free reference path) —
+	// execute-attempt spans report it alongside their wall time.
+	ExecNS int64
 }
 
 // Classify runs the dataset at the present board conditions and scores
@@ -249,8 +253,9 @@ func (t *Task) ClassifyWith(s *dpu.Scratch, ds *models.Dataset, rng *rand.Rand) 
 			}
 			if len(results) > 0 {
 				// Every image of a micro-batch carries the batch's shared
-				// outcome split; count each event once.
+				// outcome split and pass time; count each once.
 				out.ECC.Add(results[0].ECC)
+				out.ExecNS += results[0].ExecNS
 			}
 		}
 	}

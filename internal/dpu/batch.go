@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"fpgauv/internal/ecc"
 	"fpgauv/internal/fabric"
@@ -125,6 +126,7 @@ func (d *DPU) RunBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*ran
 		pMAC = 0.5
 	}
 	pBRAM := fab.BRAMBitFaultProb(cond)
+	start := time.Now()
 	res, err := d.runBatch(s, k, imgs, rngs, pMAC, pBRAM)
 	if err != nil {
 		return nil, err
@@ -132,6 +134,10 @@ func (d *DPU) RunBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*ran
 	// A fault storm near Vcrash can also hang the board mid-batch.
 	if err := d.brd.CheckAlive(); err != nil {
 		return nil, err
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	for i := range res {
+		res[i].ExecNS = elapsed
 	}
 	return res, nil
 }

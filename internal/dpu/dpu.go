@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"fpgauv/internal/board"
 	"fpgauv/internal/ecc"
@@ -85,6 +86,12 @@ type Result struct {
 	// ECC splits the pass's faulted BRAM words by SECDED outcome
 	// (all-zero when protection is disabled).
 	ECC ecc.Counts
+	// ExecNS is the wall-clock device time of the pass that produced
+	// this result, in nanoseconds; a batched pass stamps every image of
+	// the micro-batch with the batch's shared pass time. Observability
+	// layers use it to split pure execute time from lock/queue overhead
+	// around the call. Zero on the clean reference paths.
+	ExecNS int64
 }
 
 // Run executes one image through a compiled kernel at the board's present
@@ -121,6 +128,7 @@ func (d *DPU) RunWith(s *Scratch, k *Kernel, img *tensor.Tensor, rng *rand.Rand)
 		pMAC = 0.5
 	}
 	pBRAM := fab.BRAMBitFaultProb(cond)
+	start := time.Now()
 	res, err := d.run(s, k, img, rng, pMAC, pBRAM)
 	if err != nil {
 		return nil, err
@@ -129,6 +137,7 @@ func (d *DPU) RunWith(s *Scratch, k *Kernel, img *tensor.Tensor, rng *rand.Rand)
 	if err := d.brd.CheckAlive(); err != nil {
 		return nil, err
 	}
+	res.ExecNS = time.Since(start).Nanoseconds()
 	return res, nil
 }
 

@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"fpgauv/internal/ecc"
+	"fpgauv/internal/obs"
 )
 
 // ECCConfig parameterizes the fleet's BRAM SECDED protection and frame
@@ -125,7 +127,16 @@ func (p *Pool) scrubTick(m *member) ecc.ScrubReport {
 	if m.brd.Hung() {
 		return ecc.ScrubReport{}
 	}
-	return m.scrub.Scrub(m.prot)
+	rep := m.scrub.Scrub(m.prot)
+	// Only passes that repaired words are journaled: clean passes at the
+	// scrub rate would wrap the bounded ring in minutes and drown the
+	// crash/recovery chains it exists to replay. Pass counts live in the
+	// uvolt_scrub_* metrics.
+	if rep.Corrected+rep.Reloaded > 0 {
+		m.event(obs.EvScrub, m.brd.VCCBRAMmV(),
+			fmt.Sprintf("scanned=%d corrected=%d reloaded=%d", rep.Scanned, rep.Corrected, rep.Reloaded))
+	}
+	return rep
 }
 
 // BoardECCStatus is one board's protection and scrubbing snapshot.

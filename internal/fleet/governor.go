@@ -13,6 +13,7 @@ import (
 	"fpgauv/internal/dvfs"
 	"fpgauv/internal/ecc"
 	"fpgauv/internal/models"
+	"fpgauv/internal/obs"
 	"fpgauv/internal/silicon"
 )
 
@@ -478,7 +479,7 @@ func (p *Pool) governTick(m *member) {
 	// governed points (recover restores opMV and bramOpMV), so no
 	// control action is needed beyond the heal.
 	if m.brd.Hung() {
-		m.crashes.Add(1)
+		m.noteCrash()
 		if err := m.recover(); err != nil {
 			g.note("recover failed: " + err.Error())
 			return
@@ -528,6 +529,7 @@ func (p *Pool) governINT(m *member, cfg GovernorConfig) bool {
 		default:
 			g.setCleanMV(next - cfg.MarginMV)
 			g.climbs.Add(1)
+			m.event(obs.EvGovClimb, next, fmt.Sprintf("%d faults in served traffic", sf))
 			g.note(fmt.Sprintf("climbed to %.0f mV: %d faults in served traffic", next, sf))
 		}
 		return true
@@ -564,7 +566,7 @@ func (p *Pool) governINT(m *member, cfg GovernorConfig) bool {
 	g.probes.Add(1)
 	if err != nil {
 		if errors.Is(err, board.ErrHung) {
-			m.crashes.Add(1)
+			m.noteCrash()
 			if rerr := m.recover(); rerr != nil {
 				g.note("probe crash; recover failed: " + rerr.Error())
 				return false
@@ -579,6 +581,7 @@ func (p *Pool) governINT(m *member, cfg GovernorConfig) bool {
 	if !cfg.BRAM {
 		faults += sig.harmfulBRAM(m.prot.Enabled())
 	}
+	m.event(obs.EvGovProbe, target, fmt.Sprintf("faults=%d verify=%t", faults, verify))
 
 	switch {
 	case faults == 0 && verify:
@@ -614,6 +617,7 @@ func (p *Pool) governINT(m *member, cfg GovernorConfig) bool {
 		}
 		g.setCleanMV(target)
 		g.descents.Add(1)
+		m.event(obs.EvGovDescent, m.opMV(), fmt.Sprintf("canary clean at %.0f mV", target))
 		g.note(fmt.Sprintf("descended: canary clean at %.0f mV (die %.1f C)", target, tempC))
 	case verify:
 		g.canaryFaults.Add(faults)
@@ -641,6 +645,7 @@ func (p *Pool) governINT(m *member, cfg GovernorConfig) bool {
 		}
 		g.setCleanMV(newClean)
 		g.climbs.Add(1)
+		m.event(obs.EvGovClimb, m.opMV(), fmt.Sprintf("%d canary faults at %.0f mV", faults, target))
 		g.note(fmt.Sprintf("climbed to %.0f mV: %d canary faults at %.0f mV (die %.1f C)",
 			newClean+cfg.MarginMV, faults, target, tempC))
 	case faults < governClimbFaults:
@@ -827,6 +832,7 @@ func (p *Pool) governBRAM(m *member, cfg GovernorConfig) {
 		default:
 			g.setBRAMCleanMV(next - cfg.BRAMMarginMV)
 			g.bramClimbs.Add(1)
+			m.event(obs.EvGovBRAMClimb, next, fmt.Sprintf("%d harmful events in served traffic", sb))
 			g.note(fmt.Sprintf("bram: climbed to %.0f mV: %d harmful events in served traffic", next, sb))
 		}
 		return
@@ -857,6 +863,8 @@ func (p *Pool) governBRAM(m *member, cfg GovernorConfig) {
 	g.canaryCorrected.Add(sig.ecc.Corrected)
 	bad := sig.harmfulBRAM(prot)
 	overBudget := prot && sig.ecc.Corrected > cfg.CorrectedBudget
+	m.event(obs.EvGovBRAMProbe, candidate,
+		fmt.Sprintf("harmful=%d corrected=%d", bad, sig.ecc.Corrected))
 
 	switch {
 	case bad == 0 && !overBudget:
@@ -874,6 +882,8 @@ func (p *Pool) governBRAM(m *member, cfg GovernorConfig) {
 		}
 		g.setBRAMCleanMV(candidate)
 		g.bramDescents.Add(1)
+		m.event(obs.EvGovBRAMDescent, m.bramOpMV(),
+			fmt.Sprintf("canary acceptable at %.0f mV (%d corrected)", candidate, sig.ecc.Corrected))
 		g.note(fmt.Sprintf("bram: descended, canary acceptable at %.0f mV (%d corrected)",
 			candidate, sig.ecc.Corrected))
 	default:

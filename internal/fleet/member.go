@@ -12,6 +12,7 @@ import (
 	"fpgauv/internal/dpu"
 	"fpgauv/internal/ecc"
 	"fpgauv/internal/models"
+	"fpgauv/internal/obs"
 	"fpgauv/internal/pmbus"
 	"fpgauv/internal/silicon"
 )
@@ -80,6 +81,16 @@ type member struct {
 	// gov is this board's adaptive-voltage control state; nil until the
 	// pool starts governor loops.
 	gov *memberGov
+
+	// jr is the pool's shared event journal (set at pool assembly; nil
+	// only for members built outside a pool, which tests never do —
+	// journal methods are nil-safe regardless).
+	jr *obs.Journal
+	// failInject is the chaos knob: each positive count makes one
+	// execute attempt on this board fail exactly as a crash does,
+	// driving the crash→reboot→redeploy→requeue machinery on demand
+	// without moving a rail. Armed by Pool.InjectFailures.
+	failInject atomic.Int64
 }
 
 // regionCache shares one measured characterization per (sample, workload)
@@ -221,6 +232,32 @@ func (m *member) bramOpMV() float64 { return math.Float64frombits(m.bramOpBits.L
 // setBRAMOpMV re-targets the VCCBRAM steady-state operating point.
 func (m *member) setBRAMOpMV(mv float64) { m.bramOpBits.Store(math.Float64bits(mv)) }
 
+// event appends one structured occurrence for this board to the pool's
+// journal (a no-op off-pool: Journal methods are nil-safe).
+func (m *member) event(kind string, mv float64, detail string) {
+	m.jr.Append(obs.Event{Board: m.id, Kind: kind, MV: mv, Detail: detail})
+}
+
+// noteCrash is the single crash-accounting point: every detected hang —
+// serving path, monitor, governor — counts the crash and journals it.
+func (m *member) noteCrash() {
+	m.crashes.Add(1)
+	m.event(obs.EvCrash, m.brd.VCCINTmV(), "")
+}
+
+// takeInjectedFailure consumes one armed chaos failure, if any.
+func (m *member) takeInjectedFailure() bool {
+	for {
+		n := m.failInject.Load()
+		if n <= 0 {
+			return false
+		}
+		if m.failInject.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
 // recover runs the crash protocol: power-cycle the board, re-program the
 // bitstream (re-load the kernel and re-plant labels — the FPGA loses its
 // configuration on power cycle), and restore the underscaled operating
@@ -230,6 +267,7 @@ func (m *member) recover() error {
 	defer m.state.Store(stateHealthy)
 
 	m.brd.Reboot()
+	m.event(obs.EvReboot, m.brd.VCCINTmV(), "power-on reset complete; rails at nominal")
 	if m.task != nil {
 		_ = m.task.Unload()
 	}
@@ -242,6 +280,7 @@ func (m *member) recover() error {
 	}
 	m.task = task
 	m.redeploy.Add(1)
+	m.event(obs.EvRedeploy, m.opMV(), "kernel re-deployed; restoring governed rails")
 	if err := m.setVCCINT(m.opMV()); err != nil {
 		return fmt.Errorf("fleet: %s: restore %.0f mV: %w", m.id, m.opMV(), err)
 	}
@@ -266,6 +305,10 @@ func (m *member) noteServedFaults(mac, bram int64, c ecc.Counts) {
 		m.servedBRAM.Add(c.Bad())
 	} else {
 		m.servedBRAM.Add(bram)
+	}
+	if c.Detected > 0 {
+		m.event(obs.EvECCUncorrectable, m.brd.VCCBRAMmV(),
+			fmt.Sprintf("%d uncorrectable words in served traffic", c.Detected))
 	}
 }
 

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"fpgauv/internal/obs"
+)
+
+// An injected double failure on one board drives the full recovery
+// machinery and leaves a causal journal: crash → reboot → redeploy
+// (the first failed attempt heals in place, the local retry's failure
+// hands the job back) → requeue, with dense per-board sequence numbers.
+// The caller's trace records one queue-wait span per board visit and
+// one execute span per attempt.
+func TestJournalAndTraceAcrossInjectedCrash(t *testing.T) {
+	// One board keeps the schedule deterministic: the requeued job can
+	// only land back on the same (now-healed) board.
+	p, err := New(Config{Boards: 1, Tiny: true, Images: 4, CharRepeats: 1,
+		MonitorInterval: -1,
+		Governor:        GovernorConfig{Interval: -1},
+		ECC:             ECCConfig{ScrubInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+
+	// Both execute attempts of the first visit fail; the job must
+	// requeue and finish on the second visit.
+	if err := p.InjectFailures(0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer(8)
+	tracer.SetEnabled(true)
+	tr := tracer.Start("")
+	res, err := p.Classify(context.Background(), Request{Seed: 42, Span: tr.Root()})
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (requeue must have happened)", res.Attempts)
+	}
+
+	// Trace: >= 2 fleet_wait spans (one per visit), >= 3 execute spans
+	// (two failed attempts on the first visit, at least one more on the
+	// second), one requeue.
+	var waits, execs, requeues, failedExecs int
+	for i := 0; i < tr.Len(); i++ {
+		sp := tr.At(i)
+		switch sp.Name() {
+		case obs.StageFleetWait:
+			waits++
+			if sp.EndNS() == 0 {
+				t.Errorf("fleet_wait span %d left open", i)
+			}
+		case obs.StageExecute:
+			execs++
+			if sp.Err != "" {
+				failedExecs++
+			}
+			if sp.Board == "" || sp.VCCINTmV <= 0 {
+				t.Errorf("execute span missing annotations: %+v", sp)
+			}
+		case obs.StageRequeue:
+			requeues++
+			if sp.Board == "" || sp.Err == "" {
+				t.Errorf("requeue span missing annotations: %+v", sp)
+			}
+		}
+	}
+	if waits < 2 || execs < 3 || requeues != 1 || failedExecs != 2 {
+		t.Errorf("span census: waits=%d execs=%d requeues=%d failed=%d", waits, execs, requeues, failedExecs)
+	}
+
+	// Journal: the board's chain must read crash → reboot → redeploy
+	// (the first failed attempt heals in place) → requeue (the local
+	// retry's failure returns the job to the queue) with dense BoardSeq
+	// and increasing Seq.
+	evs, _, gap := p.Journal().Since(0, 0)
+	if gap {
+		t.Fatal("journal gapped under a handful of events")
+	}
+	var b0 []obs.Event
+	crashedBoard := ""
+	for _, ev := range evs {
+		if crashedBoard == "" && ev.Kind == obs.EvCrash {
+			crashedBoard = ev.Board
+		}
+		if ev.Board == crashedBoard {
+			b0 = append(b0, ev)
+		}
+	}
+	wantKinds := []string{obs.EvCrash, obs.EvReboot, obs.EvRedeploy, obs.EvRequeue}
+	if len(b0) < len(wantKinds) {
+		t.Fatalf("crashed board journal has %d events, want >= %d: %+v", len(b0), len(wantKinds), b0)
+	}
+	lastSeq := uint64(0)
+	for i, want := range wantKinds {
+		ev := b0[i]
+		if ev.Kind != want {
+			t.Errorf("event %d kind = %q, want %q", i, ev.Kind, want)
+		}
+		if ev.BoardSeq != uint64(i+1) {
+			t.Errorf("event %d board_seq = %d, want %d", i, ev.BoardSeq, i+1)
+		}
+		if ev.Seq <= lastSeq {
+			t.Errorf("event %d seq %d not increasing past %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+	if counts := p.Journal().Counts(); counts[obs.EvCrash] < 1 || counts[obs.EvRequeue] < 1 {
+		t.Errorf("event counts = %v", counts)
+	}
+}
+
+// Externally commanded rail moves land in the journal.
+func TestJournalRailEvents(t *testing.T) {
+	p, err := New(Config{Boards: 1, Tiny: true, Images: 4, CharRepeats: 1,
+		MonitorInterval: -1,
+		Governor:        GovernorConfig{Interval: -1},
+		ECC:             ECCConfig{ScrubInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	if err := p.SetVCCINTmV(0, 600); err != nil {
+		t.Fatal(err)
+	}
+	evs, _, _ := p.Journal().Since(0, 0)
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == obs.EvRailVCCINT && ev.MV == 600 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no rail_vccint event at 600 mV in %+v", evs)
+	}
+}
+
+// An untraced request through the instrumented path records nothing and
+// pays nothing (nil spans end to end).
+func TestUntracedRequestRecordsNothing(t *testing.T) {
+	p, err := New(Config{Boards: 1, Tiny: true, Images: 4, CharRepeats: 1,
+		MonitorInterval: -1,
+		Governor:        GovernorConfig{Interval: -1},
+		ECC:             ECCConfig{ScrubInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	if _, err := p.Classify(context.Background(), Request{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	imgs := inferImages(t, p, 2, 11)
+	if _, err := p.Infer(context.Background(), InferRequest{Images: imgs, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,8 +21,10 @@ import (
 
 	"fpgauv/internal/board"
 	"fpgauv/internal/dnndk"
+	"fpgauv/internal/dpu"
 	"fpgauv/internal/ecc"
 	"fpgauv/internal/nn"
+	"fpgauv/internal/obs"
 	"fpgauv/internal/silicon"
 	"fpgauv/internal/tensor"
 )
@@ -89,6 +91,11 @@ type Config struct {
 	// ECCConfig). The zero value assembles the subsystem disabled with
 	// the default scrub cadence.
 	ECC ECCConfig
+	// EventCap bounds the fleet event journal: the ring retains the most
+	// recent EventCap structured events (default 4096). The journal is
+	// always assembled — event emission is off the request hot path and
+	// costs nothing when nobody reads it.
+	EventCap int
 }
 
 // sanitize fills config defaults.
@@ -126,6 +133,9 @@ func (c Config) sanitize() Config {
 	if c.Cores <= 0 {
 		c.Cores = 3
 	}
+	if c.EventCap <= 0 {
+		c.EventCap = 4096
+	}
 	c.Governor = c.Governor.sanitize()
 	c.ECC = c.ECC.sanitize()
 	return c
@@ -137,6 +147,11 @@ type Request struct {
 	// Seed derives the fault-injection stream for this pass; 0 draws a
 	// fresh deterministic seed from the pool's sequence.
 	Seed int64
+	// Span, when non-nil, is the caller's trace node for this job: the
+	// pool records queue-wait, per-board execute attempts and requeues
+	// as its children. Nil (the default) records nothing and costs
+	// nothing.
+	Span *obs.Span `json:"-"`
 }
 
 // Result reports one served request.
@@ -169,6 +184,9 @@ type InferRequest struct {
 	// Seed derives the per-image fault-injection streams; 0 draws a
 	// fresh deterministic seed from the pool's sequence.
 	Seed int64
+	// Span, when non-nil, is the caller's trace node for this job (see
+	// Request.Span).
+	Span *obs.Span `json:"-"`
 }
 
 // InferOutput is one image's classification.
@@ -232,6 +250,14 @@ type job struct {
 	// for a caller that is gone.
 	canceled atomic.Bool
 	done     chan jobOut
+	// span is the caller's trace node (nil when untraced); wait is the
+	// open fleet-queue-wait span of the current board visit, ended by
+	// the worker that pops the job and re-created per requeue.
+	span *obs.Span
+	wait *obs.Span
+	// lastBoard is the board that failed the job's previous visit; the
+	// queue hands such a job to a different board when one is idle.
+	lastBoard string
 }
 
 type jobOut struct {
@@ -248,6 +274,7 @@ type Pool struct {
 	queue   *workQueue
 	gov     *governor
 	eccSt   eccState
+	journal *obs.Journal
 
 	wg      sync.WaitGroup
 	stop    chan struct{}
@@ -283,15 +310,17 @@ type Pool struct {
 func New(cfg Config) (*Pool, error) {
 	cfg = cfg.sanitize()
 	p := &Pool{
-		cfg:   cfg,
-		queue: newWorkQueue(),
-		stop:  make(chan struct{}),
+		cfg:     cfg,
+		queue:   newWorkQueue(),
+		stop:    make(chan struct{}),
+		journal: obs.NewJournal(cfg.EventCap),
 	}
 	for i := 0; i < cfg.Boards; i++ {
 		m, err := newMember(i, cfg)
 		if err != nil {
 			return nil, err
 		}
+		m.jr = p.journal
 		p.members = append(p.members, m)
 	}
 	for _, m := range p.members {
@@ -319,7 +348,7 @@ func (p *Pool) Classify(ctx context.Context, req Request) (Result, error) {
 	if req.Seed == 0 {
 		req.Seed = p.cfg.Seed + p.seq.Add(1)*7919
 	}
-	out, err := p.submit(ctx, &job{req: req, done: make(chan jobOut, 1)})
+	out, err := p.submit(ctx, &job{req: req, span: req.Span, done: make(chan jobOut, 1)})
 	return out.res, err
 }
 
@@ -351,6 +380,7 @@ func (p *Pool) Infer(ctx context.Context, req InferRequest) (InferResult, error)
 	j := &job{
 		kind: jobInfer,
 		inf:  req,
+		span: req.Span,
 		outs: make([]InferOutput, len(req.Images)),
 		done: make(chan jobOut, 1),
 	}
@@ -371,6 +401,7 @@ func (p *Pool) submit(ctx context.Context, j *job) (jobOut, error) {
 	} else {
 		p.evalReqs.Add(1)
 	}
+	j.wait = j.span.Child(obs.StageFleetWait)
 	p.queue.Push(j)
 	p.admit.RUnlock()
 	select {
@@ -390,10 +421,11 @@ func (p *Pool) submit(ctx context.Context, j *job) (jobOut, error) {
 func (p *Pool) worker(m *member) {
 	defer p.wg.Done()
 	for {
-		j, ok := p.queue.Pop()
+		j, ok := p.queue.Pop(m.id)
 		if !ok {
 			return
 		}
+		j.wait.End()
 		if j.canceled.Load() {
 			p.canceled.Add(1)
 			continue
@@ -432,6 +464,14 @@ func (p *Pool) worker(m *member) {
 		}
 		if j.attempts < p.cfg.MaxAttempts && !p.closing.Load() {
 			p.requeues.Add(1)
+			m.event(obs.EvRequeue, 0, fmt.Sprintf("visit %d failed (%v); handing job to another board", j.attempts, err))
+			if rq := j.span.Child(obs.StageRequeue); rq != nil {
+				rq.Board = m.id
+				rq.Err = err.Error()
+				rq.End()
+			}
+			j.wait = j.span.Child(obs.StageFleetWait)
+			j.lastBoard = m.id
 			p.queue.Push(j)
 			continue
 		}
@@ -463,7 +503,7 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 	defer m.mu.Unlock()
 
 	if m.brd.Hung() {
-		m.crashes.Add(1)
+		m.noteCrash()
 		if err := m.recover(); err != nil {
 			return Result{}, err
 		}
@@ -472,8 +512,32 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 		// Global attempt ordinal across board visits: each visit gets
 		// at most two tries (initial + one local post-crash retry).
 		ordinal := int64(j.attempts-1)*2 + int64(attempt)
-		cr, err := m.task.ClassifyWith(m.scratch, m.ds, classifyRNG(j.req.Seed, ordinal))
+		exec := j.span.Child(obs.StageExecute)
+		if exec != nil {
+			exec.Board = m.id
+			exec.Attempt = int32(ordinal)
+			exec.Images = int32(m.ds.Len())
+			exec.Batch = int32(m.ds.Len())
+			exec.VCCINTmV = m.brd.VCCINTmV()
+			exec.VCCBRAMmV = m.brd.VCCBRAMmV()
+		}
+		var cr *dnndk.ClassifyResult
+		var err error
+		if m.takeInjectedFailure() {
+			err = board.ErrHung
+		} else {
+			cr, err = m.task.ClassifyWith(m.scratch, m.ds, classifyRNG(j.req.Seed, ordinal))
+		}
 		if err == nil {
+			if exec != nil {
+				exec.MACFaults = cr.MACFaults
+				exec.BRAMFaults = cr.BRAMFaults
+				exec.ECCCorrected = cr.ECC.Corrected
+				exec.ECCDetected = cr.ECC.Detected
+				exec.ECCSilent = cr.ECC.Silent
+				exec.ExecNS = cr.ExecNS
+			}
+			exec.End()
 			m.served.Add(1)
 			m.noteServedFaults(cr.MACFaults, cr.BRAMFaults, cr.ECC)
 			return Result{
@@ -487,10 +551,14 @@ func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 				Attempts:    j.attempts,
 			}, nil
 		}
+		if exec != nil {
+			exec.Err = err.Error()
+		}
+		exec.End()
 		if !errors.Is(err, board.ErrHung) || attempt >= 1 {
 			return Result{}, err
 		}
-		m.crashes.Add(1)
+		m.noteCrash()
 		m.retries.Add(1)
 		if rerr := m.recover(); rerr != nil {
 			return Result{}, rerr
@@ -523,7 +591,7 @@ func (p *Pool) serveInferOn(m *member, j *job) (InferResult, error) {
 	defer m.mu.Unlock()
 
 	if m.brd.Hung() {
-		m.crashes.Add(1)
+		m.noteCrash()
 		if err := m.recover(); err != nil {
 			return InferResult{}, err
 		}
@@ -545,33 +613,63 @@ func (p *Pool) serveInferOn(m *member, j *job) (InferResult, error) {
 			// Global attempt ordinal across board visits: each visit gets
 			// at most two tries (initial + one local post-crash retry).
 			ordinal := int64(j.attempts-1)*2 + int64(attempt)
-			rngs := m.scratch.BatchRNGs(hi - lo)
-			for i := range rngs {
-				rngs[i].Seed(inferSeed(j.inf.Seed, lo+i, ordinal))
+			exec := j.span.Child(obs.StageExecute)
+			if exec != nil {
+				exec.Board = m.id
+				exec.Attempt = int32(ordinal)
+				exec.Batch = int32(hi - lo)
+				exec.VCCINTmV = m.brd.VCCINTmV()
+				exec.VCCBRAMmV = m.brd.VCCBRAMmV()
 			}
-			results, err := m.task.InferBatch(m.scratch, imgs[lo:hi], rngs)
+			var results []dpu.Result
+			var err error
+			if m.takeInjectedFailure() {
+				err = board.ErrHung
+			} else {
+				rngs := m.scratch.BatchRNGs(hi - lo)
+				for i := range rngs {
+					rngs[i].Seed(inferSeed(j.inf.Seed, lo+i, ordinal))
+				}
+				results, err = m.task.InferBatch(m.scratch, imgs[lo:hi], rngs)
+			}
 			if err == nil {
+				var mb, bb int64
 				for i := range results {
 					out := &j.outs[lo+i]
 					out.Pred = results[i].Pred
 					out.Probs = append(out.Probs[:0], results[i].Probs.Data()...)
-					j.macF += results[i].MACFaults
-					j.bramF += results[i].BRAMFaults
+					mb += results[i].MACFaults
+					bb += results[i].BRAMFaults
 				}
+				j.macF += mb
+				j.bramF += bb
 				if len(results) > 0 {
 					// Every image of a micro-batch carries the batch's
 					// shared outcome split; count each event once.
 					j.eccC.Add(results[0].ECC)
+					if exec != nil {
+						exec.MACFaults = mb
+						exec.BRAMFaults = bb
+						exec.ECCCorrected = results[0].ECC.Corrected
+						exec.ECCDetected = results[0].ECC.Detected
+						exec.ECCSilent = results[0].ECC.Silent
+						exec.ExecNS = results[0].ExecNS
+					}
 				}
+				exec.End()
 				j.microBatches++
 				p.microBatches.Add(1)
 				j.completed = hi
 				break
 			}
+			if exec != nil {
+				exec.Err = err.Error()
+			}
+			exec.End()
 			if !errors.Is(err, board.ErrHung) || attempt >= 1 {
 				return InferResult{}, err
 			}
-			m.crashes.Add(1)
+			m.noteCrash()
 			m.retries.Add(1)
 			if rerr := m.recover(); rerr != nil {
 				return InferResult{}, rerr
@@ -612,7 +710,7 @@ func (p *Pool) monitor(interval time.Duration) {
 					continue
 				}
 				if m.brd.CheckAlive() != nil {
-					m.crashes.Add(1)
+					m.noteCrash()
 					_ = m.recover()
 				}
 				m.mu.Unlock()
@@ -653,6 +751,7 @@ func (p *Pool) SetVCCINTmV(idx int, mv float64) error {
 		if err != nil {
 			return fmt.Errorf("fleet: %s: %w", m.id, err)
 		}
+		m.event(obs.EvRailVCCINT, mv, "externally commanded rail move")
 	}
 	return nil
 }
@@ -693,6 +792,31 @@ func (p *Pool) SetOperatingMV(idx int, mv float64) error {
 		if err != nil {
 			return fmt.Errorf("fleet: %s: %w", m.id, err)
 		}
+		m.event(obs.EvRailVCCINT, mv, "operating point re-targeted")
+	}
+	return nil
+}
+
+// Journal returns the pool's bounded fleet event journal — the causal
+// record behind /v1/fleet/events and uvolt_events_total.
+func (p *Pool) Journal() *obs.Journal { return p.journal }
+
+// InjectFailures arms the chaos-testing knob on one board (idx < 0: all
+// boards): each of the next n execute attempts there fails exactly as a
+// crash does, driving the crash→reboot→redeploy→requeue machinery on
+// demand without moving a rail. n <= 0 disarms. Used by recovery tests
+// and the tracing walkthrough; harmless in production (it defaults to
+// disarmed and only an operator can arm it).
+func (p *Pool) InjectFailures(idx, n int) error {
+	targets, err := p.targets(idx)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		n = 0
+	}
+	for _, m := range targets {
+		m.failInject.Store(int64(n))
 	}
 	return nil
 }

@@ -7,10 +7,13 @@ import "sync"
 // always be able to hand its in-flight job back to the queue without
 // blocking or dropping it.
 type workQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*job
-	closed bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []*job
+	// waiters counts workers blocked in Pop — the signal that a requeued
+	// job can go to a different board than the one that just failed it.
+	waiters int
+	closed  bool
 }
 
 func newWorkQueue() *workQueue {
@@ -31,19 +34,40 @@ func (q *workQueue) Push(j *job) {
 
 // Pop blocks until a job is available or the queue is closed and fully
 // drained. The second return is false only when no job will ever arrive.
-func (q *workQueue) Pop() (*job, bool) {
+//
+// avoid is the calling board's id: a requeued job that this very board
+// just failed is left for an idle peer when one is waiting, so the
+// retry genuinely lands on different hardware. Without the affinity
+// check the failing worker — already running hot — re-pops its own
+// hand-off before the signaled peer can wake. When no peer is waiting
+// the board takes its own retry rather than stall the caller.
+func (q *workQueue) Pop(avoid string) (*job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for {
+		skipped := false
+		for i, j := range q.items {
+			if j.lastBoard == avoid && avoid != "" && q.waiters > 0 {
+				skipped = true
+				continue
+			}
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return j, true
+		}
+		if len(q.items) == 0 && q.closed {
+			return nil, false
+		}
+		q.waiters++
+		if skipped {
+			// Pass the wakeup on: the job this worker declined must
+			// reach the waiting peer the skip deferred to.
+			q.cond.Signal()
+		}
 		q.cond.Wait()
+		q.waiters--
 	}
-	if len(q.items) == 0 {
-		return nil, false
-	}
-	j := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	return j, true
 }
 
 // Len reports the present backlog.

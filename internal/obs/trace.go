@@ -1,0 +1,429 @@
+// Package obs is the serving stack's observability substrate: request
+// tracing (span trees over the stages a request passes through), a
+// bounded journal of structured fleet events (crash, reboot, redeploy,
+// requeue, governor moves, scrub passes), and the shared monotonic clock
+// both are stamped with.
+//
+// The tracing side is built for a hot path that must not pay for it:
+// a disabled Tracer hands out nil traces, every Trace/Span method is
+// nil-receiver-safe, and the instrumented code runs the exact same
+// instructions with zero additional allocations. Enabled, spans are
+// carved out of a fixed arena inside each Trace (one allocation per
+// traced request, none per span) and the shared per-batch span buffers
+// are recycled through a sync.Pool.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Version identifies the build in uvolt_build_info; override with
+// -ldflags "-X fpgauv/internal/obs.Version=v1.2.3".
+var Version = "dev"
+
+// epoch anchors the package's monotonic clock: every span timestamp and
+// journal event is nanoseconds since process start, immune to wall-clock
+// steps.
+var epoch = time.Now()
+
+// NowNS returns the monotonic clock reading in nanoseconds.
+func NowNS() int64 { return int64(time.Since(epoch)) }
+
+// Stage names used by the serving path's spans. The per-stage latency
+// histograms (uvolt_stage_seconds) are keyed by the same strings.
+const (
+	// StageRequest is a caller trace's root span.
+	StageRequest = "request"
+	// StageDecode covers HTTP body decode and validation.
+	StageDecode = "http_decode"
+	// StageBatchWait is the time a call waited in the front-end batcher
+	// for company before its micro-batch was claimed.
+	StageBatchWait = "batch_wait"
+	// StageFleet is the root of the shared fleet-job subtree (one per
+	// accelerator job, grafted into every coalesced caller's trace).
+	StageFleet = "fleet"
+	// StageAssemble covers micro-batch assembly (merging callers'
+	// images into one fleet submission).
+	StageAssemble = "assemble"
+	// StageFleetWait is the time a job waited in the fleet queue for a
+	// board (one span per board visit).
+	StageFleetWait = "fleet_wait"
+	// StageExecute is one accelerator execution attempt on one board
+	// (annotated with board, rails, batch size and fault counts).
+	StageExecute = "execute"
+	// StageRequeue marks a job handed to another board after a failure.
+	StageRequeue = "requeue"
+	// StageRespond covers response serialization.
+	StageRespond = "respond"
+)
+
+// MaxSpans is the span arena capacity per trace. A trace that outgrows
+// it keeps serving a shared sink span (annotations still write, timing
+// is lost) and counts the overflow in Dropped — bounded memory beats a
+// complete tree under pathological retry storms.
+const MaxSpans = 48
+
+// Span is one timed stage of a trace. The navigation fields are
+// unexported (spans live in a Trace's arena and reference each other by
+// index, so the arena can grow-free and the tree survives copies); the
+// annotation fields are exported and written directly by instrumented
+// code under a nil-check of the span pointer.
+type Span struct {
+	tr      *Trace
+	idx     int32
+	parent  int32
+	name    string
+	startNS int64
+	endNS   int64
+
+	// Board is the serving board id; Attempt the global attempt ordinal
+	// across board visits.
+	Board   string
+	Attempt int32
+	// Batch is the accelerator-pass size in images (or calls for
+	// classify passes); Images the evaluation-set size of an eval pass.
+	Batch  int32
+	Images int32
+	// VCCINTmV and VCCBRAMmV are the rails the attempt ran at.
+	VCCINTmV  float64
+	VCCBRAMmV float64
+	// MACFaults/BRAMFaults and the ECC split are the attempt's injected
+	// fault outcome, straight from the executor's Result.
+	MACFaults    int64
+	BRAMFaults   int64
+	ECCCorrected int64
+	ECCDetected  int64
+	ECCSilent    int64
+	// ExecNS is the executor-reported device time of the attempt (the
+	// span's own duration additionally includes lock and retry
+	// overhead).
+	ExecNS int64
+	// Err is the attempt's failure, empty on success.
+	Err string
+}
+
+// Child starts a sub-span. Safe on a nil receiver (returns nil, the
+// disabled-tracing path).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.idx < 0 {
+		s.tr.dropped++
+		return s // overflow sink: keep absorbing writes
+	}
+	return s.tr.newSpan(s.idx, name)
+}
+
+// End stamps the span's end time (first call wins). Nil-safe.
+func (s *Span) End() {
+	if s != nil && s.endNS == 0 {
+		s.endNS = NowNS()
+	}
+}
+
+// EndAt stamps an explicit end time (a timestamp captured on another
+// goroutine, e.g. the instant a batch was claimed). Nil-safe.
+func (s *Span) EndAt(ns int64) {
+	if s != nil && ns != 0 {
+		s.endNS = ns
+	}
+}
+
+// Name returns the span's stage name.
+func (s *Span) Name() string { return s.name }
+
+// Parent returns the parent span's index in the trace (-1 for roots).
+func (s *Span) Parent() int { return int(s.parent) }
+
+// StartNS and EndNS are monotonic-clock stamps (see NowNS).
+func (s *Span) StartNS() int64 { return s.startNS }
+func (s *Span) EndNS() int64   { return s.endNS }
+
+// DurNS is the span's duration (0 while still open).
+func (s *Span) DurNS() int64 {
+	if s.endNS == 0 {
+		return 0
+	}
+	return s.endNS - s.startNS
+}
+
+// Graft copies every span of src into the receiver's trace as a subtree
+// under the receiver — how the shared fleet-job span buffer of a
+// coalesced batch lands in each participating caller's trace. Spans
+// that do not fit the destination arena are counted as dropped. src
+// must be quiescent (no concurrent recording); the copy never mutates
+// it, so any number of callers may graft the same buffer concurrently.
+func (s *Span) Graft(src *Trace) {
+	if s == nil || src == nil {
+		return
+	}
+	dst := s.tr
+	base := dst.n
+	space := int32(MaxSpans) - base
+	n := src.n
+	copied := n
+	if copied > space {
+		copied = space
+	}
+	for i := int32(0); i < copied; i++ {
+		sp := &dst.spans[base+i]
+		*sp = src.spans[i]
+		sp.tr = dst
+		sp.idx = base + i
+		if sp.parent < 0 {
+			sp.parent = s.idx
+		} else {
+			sp.parent += base
+		}
+	}
+	dst.n += copied
+	dst.dropped += (n - copied) + src.dropped
+}
+
+// Trace is one request's span tree (or one fleet job's shared span
+// buffer, before it is grafted). Spans live in a fixed arena inside the
+// trace: recording allocates nothing per span, indices stay valid for
+// the life of the trace, and a published trace is immutable — readers
+// need no locks.
+type Trace struct {
+	id      string
+	seq     uint64
+	startNS int64
+	endNS   int64
+	n       int32
+	dropped int32
+	spans   [MaxSpans]Span
+	sink    Span
+	refs    atomic.Int32
+}
+
+func (t *Trace) reset(id, rootName string) {
+	t.id = id
+	t.seq = 0
+	t.startNS = NowNS()
+	t.endNS = 0
+	t.n = 0
+	t.dropped = 0
+	t.refs.Store(0)
+	t.newSpan(-1, rootName)
+}
+
+func (t *Trace) newSpan(parent int32, name string) *Span {
+	if int(t.n) >= MaxSpans {
+		t.dropped++
+		t.sink = Span{tr: t, idx: -1, parent: parent, name: name, startNS: NowNS()}
+		return &t.sink
+	}
+	sp := &t.spans[t.n]
+	*sp = Span{tr: t, idx: t.n, parent: parent, name: name, startNS: NowNS()}
+	t.n++
+	return sp
+}
+
+// Root returns the trace's root span. Nil-safe.
+func (t *Trace) Root() *Span {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	return &t.spans[0]
+}
+
+// ID returns the trace id ("" for job buffers). Nil-safe.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Seq is the publish sequence number (0 until published).
+func (t *Trace) Seq() uint64 { return t.seq }
+
+// StartNS and EndNS bound the trace on the monotonic clock.
+func (t *Trace) StartNS() int64 { return t.startNS }
+func (t *Trace) EndNS() int64   { return t.endNS }
+
+// Len is the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.n)
+}
+
+// At returns span i (0 <= i < Len), in recording order. Parents always
+// precede children.
+func (t *Trace) At(i int) *Span { return &t.spans[i] }
+
+// Dropped counts spans lost to arena overflow.
+func (t *Trace) Dropped() int { return int(t.dropped) }
+
+// Finish stamps the trace's end time (first call wins). Nil-safe.
+func (t *Trace) Finish() {
+	if t != nil && t.endNS == 0 {
+		t.endNS = NowNS()
+		if root := t.Root(); root != nil && root.endNS == 0 {
+			root.endNS = t.endNS
+		}
+	}
+}
+
+// SetRefs arms the shared-buffer refcount (one per coalesced caller
+// about to graft). Nil-safe.
+func (t *Trace) SetRefs(n int) {
+	if t != nil {
+		t.refs.Store(int32(n))
+	}
+}
+
+// Release drops one reference and reports whether this was the last —
+// the signal that the buffer may be recycled. Nil-safe (returns false).
+func (t *Trace) Release() bool {
+	return t != nil && t.refs.Add(-1) == 0
+}
+
+// Tracer owns the enable switch, trace-id generation, the recycling
+// pool for fleet-job span buffers, and the ring of recent published
+// traces. All methods are nil-receiver-safe, so an entirely un-wired
+// instrumentation path costs a few predictable branches.
+type Tracer struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	ids     atomic.Uint64
+	salt    uint64
+	slots   []atomic.Pointer[Trace]
+	jobs    sync.Pool
+}
+
+// NewTracer builds a disabled tracer whose ring retains the most recent
+// capacity traces (default 256).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{
+		salt:  uint64(time.Now().UnixNano()),
+		slots: make([]atomic.Pointer[Trace], capacity),
+		jobs:  sync.Pool{New: func() any { return new(Trace) }},
+	}
+}
+
+// Enabled reports the switch. Nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled flips tracing at runtime. Traces mid-flight when the
+// switch moves finish under their start-time decision. Nil-safe.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Start begins a request trace, honoring a caller-supplied id (the
+// X-Uvolt-Trace contract) or generating one. Returns nil when tracing
+// is disabled — the zero-cost path every instrumentation site must
+// tolerate. Nil-safe.
+func (t *Tracer) Start(id string) *Trace {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	if id == "" {
+		id = t.genID()
+	}
+	tr := new(Trace)
+	tr.reset(id, StageRequest)
+	return tr
+}
+
+// JobTrace hands out a recycled span buffer for one fleet job (the
+// shared subtree of a coalesced batch). Nil when tracing is disabled.
+// Return it with ReleaseJob once every caller has grafted. Nil-safe.
+func (t *Tracer) JobTrace() *Trace {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	tr := t.jobs.Get().(*Trace)
+	tr.reset("", StageFleet)
+	return tr
+}
+
+// ReleaseJob recycles a job buffer that was never published. Callers
+// must have finished reading it (the batcher's refcount guarantees
+// this). Nil-safe on both receiver and argument.
+func (t *Tracer) ReleaseJob(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.jobs.Put(tr)
+}
+
+// Publish stamps and installs a finished trace in the ring, evicting
+// the oldest. Published traces are immutable; eviction hands the slot's
+// previous trace to the garbage collector (never back to a pool), so
+// concurrent readers of an evicted trace stay safe. Nil-safe on both
+// receiver and argument.
+func (t *Tracer) Publish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.Finish()
+	seq := t.seq.Add(1)
+	tr.seq = seq
+	t.slots[(seq-1)%uint64(len(t.slots))].Store(tr)
+}
+
+// Get returns the retained trace with the given id, or nil.
+func (t *Tracer) Get(id string) *Trace {
+	if t == nil || id == "" {
+		return nil
+	}
+	for i := range t.slots {
+		if tr := t.slots[i].Load(); tr != nil && tr.id == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Recent returns up to limit retained traces, newest first.
+func (t *Tracer) Recent(limit int) []*Trace {
+	if t == nil {
+		return nil
+	}
+	if limit <= 0 || limit > len(t.slots) {
+		limit = len(t.slots)
+	}
+	out := make([]*Trace, 0, limit)
+	for i := range t.slots {
+		if tr := t.slots[i].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	// Insertion sort by descending seq: the ring is small and nearly
+	// ordered already.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].seq > out[j-1].seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// genID derives a fresh 16-hex-digit trace id from a counter mixed
+// through SplitMix64 — unique per process, no global RNG contention.
+func (t *Tracer) genID() string {
+	x := t.salt + t.ids.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return fmt.Sprintf("%016x", x)
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// A disabled tracer hands out nil traces, and every method tolerates
+// them — the whole zero-cost contract.
+func TestDisabledTracerNilSafety(t *testing.T) {
+	tr := NewTracer(4)
+	if tr.Enabled() {
+		t.Fatal("new tracer should start disabled")
+	}
+	trace := tr.Start("abc")
+	if trace != nil {
+		t.Fatalf("disabled Start = %v, want nil", trace)
+	}
+	if jt := tr.JobTrace(); jt != nil {
+		t.Fatalf("disabled JobTrace = %v, want nil", jt)
+	}
+
+	// Every operation on the nil results must be a no-op.
+	sp := trace.Root().Child("x")
+	sp.End()
+	sp.EndAt(5)
+	sp.Graft(nil)
+	trace.Finish()
+	trace.SetRefs(3)
+	if trace.Release() {
+		t.Error("nil Release = true, want false")
+	}
+	if trace.Len() != 0 || trace.ID() != "" || trace.Root() != nil {
+		t.Error("nil trace readers should return zero values")
+	}
+	tr.Publish(trace)
+	tr.ReleaseJob(trace)
+
+	// A nil *Tracer is equally inert (un-wired instrumentation).
+	var none *Tracer
+	if none.Enabled() || none.Start("") != nil || none.JobTrace() != nil {
+		t.Error("nil tracer must be disabled and hand out nil")
+	}
+	none.SetEnabled(true)
+	none.Publish(nil)
+	none.ReleaseJob(nil)
+	if none.Get("x") != nil || none.Recent(1) != nil {
+		t.Error("nil tracer lookups must return nil")
+	}
+}
+
+// Span trees record parentage, timing, and annotations; overflow past
+// MaxSpans goes to the sink and is counted as dropped.
+func TestSpanTreeAndOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	trace := tr.Start("")
+	if trace == nil || trace.ID() == "" {
+		t.Fatal("enabled Start must return a trace with a generated id")
+	}
+	root := trace.Root()
+	if root.Name() != StageRequest || root.Parent() != -1 {
+		t.Fatalf("root = %q parent %d", root.Name(), root.Parent())
+	}
+	a := root.Child("a")
+	b := a.Child("b")
+	a.End()
+	b.End()
+	if a.Parent() != 0 || trace.At(int(2)).Parent() != 1 {
+		t.Errorf("parent indices wrong: a=%d b=%d", a.Parent(), b.Parent())
+	}
+	if a.DurNS() < 0 || a.EndNS() < a.StartNS() {
+		t.Errorf("span timing inverted: [%d, %d]", a.StartNS(), a.EndNS())
+	}
+	b.Board = "board-7"
+	if trace.At(2).Board != "board-7" {
+		t.Error("annotation did not land in the arena")
+	}
+
+	for i := trace.Len(); i < MaxSpans; i++ {
+		root.Child(fmt.Sprintf("fill-%d", i))
+	}
+	over := root.Child("overflow")
+	over.Board = "sink" // must absorb writes without exploding
+	over.End()
+	deeper := over.Child("deeper")
+	deeper.End()
+	if trace.Len() != MaxSpans {
+		t.Errorf("len = %d, want %d", trace.Len(), MaxSpans)
+	}
+	if trace.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", trace.Dropped())
+	}
+}
+
+// Graft copies a job buffer's spans under a caller span, remapping
+// parent indices, leaving the source untouched.
+func TestGraft(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+
+	job := tr.JobTrace()
+	ex := job.Root().Child(StageExecute)
+	ex.Board = "board-1"
+	ex.End()
+	srcLen := job.Len()
+
+	caller := tr.Start("req-1")
+	wait := caller.Root().Child(StageBatchWait)
+	wait.End()
+	wait.Graft(job)
+
+	if job.Len() != srcLen {
+		t.Fatalf("graft mutated source: len %d -> %d", srcLen, job.Len())
+	}
+	if caller.Len() != 2+srcLen {
+		t.Fatalf("caller len = %d, want %d", caller.Len(), 2+srcLen)
+	}
+	// Grafted root ("fleet") hangs off the wait span; its child keeps
+	// relative structure and annotations.
+	g := caller.At(2)
+	if g.Name() != StageFleet || g.Parent() != 1 {
+		t.Errorf("grafted root = %q parent %d, want %q parent 1", g.Name(), g.Parent(), StageFleet)
+	}
+	ge := caller.At(3)
+	if ge.Name() != StageExecute || ge.Parent() != 2 || ge.Board != "board-1" {
+		t.Errorf("grafted child = %q parent %d board %q", ge.Name(), ge.Parent(), ge.Board)
+	}
+
+	// Refcounted release: last caller recycles.
+	job.SetRefs(2)
+	if job.Release() {
+		t.Error("first release reported last")
+	}
+	if !job.Release() {
+		t.Error("second release should report last")
+	}
+	tr.ReleaseJob(job)
+}
+
+// The ring retains the newest traces, evicts the oldest, and serves
+// Get/Recent without locks.
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(3)
+	tr.SetEnabled(true)
+	ids := make([]string, 5)
+	for i := range ids {
+		trace := tr.Start(fmt.Sprintf("id-%d", i))
+		trace.Finish()
+		tr.Publish(trace)
+		ids[i] = trace.ID()
+	}
+	for i := 0; i < 2; i++ {
+		if tr.Get(ids[i]) != nil {
+			t.Errorf("evicted trace %q still retrievable", ids[i])
+		}
+	}
+	for i := 2; i < 5; i++ {
+		got := tr.Get(ids[i])
+		if got == nil || got.ID() != ids[i] {
+			t.Errorf("retained trace %q not retrievable", ids[i])
+		}
+	}
+	recent := tr.Recent(2)
+	if len(recent) != 2 || recent[0].ID() != "id-4" || recent[1].ID() != "id-3" {
+		t.Errorf("Recent(2) = %v, want [id-4 id-3]", traceIDs(recent))
+	}
+	if all := tr.Recent(0); len(all) != 3 {
+		t.Errorf("Recent(0) len = %d, want ring size 3", len(all))
+	}
+	if seq := tr.Get("id-4").Seq(); seq != 5 {
+		t.Errorf("seq = %d, want 5", seq)
+	}
+}
+
+func traceIDs(ts []*Trace) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID()
+	}
+	return out
+}
+
+// Concurrent publishers and readers on the ring under -race: readers
+// must only ever observe fully formed traces.
+func TestRingConcurrentPublishAndRead(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				trace := tr.Start(fmt.Sprintf("w%d-%d", w, i))
+				sp := trace.Root().Child(StageExecute)
+				sp.Board = "board-0"
+				sp.End()
+				tr.Publish(trace)
+			}
+		}(w)
+	}
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, trace := range tr.Recent(0) {
+				if trace.ID() == "" || trace.Len() < 2 {
+					t.Errorf("torn trace observed: id=%q len=%d", trace.ID(), trace.Len())
+					return
+				}
+				_ = trace.At(1).Board
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+}
+
+// Generated ids are unique and well-formed.
+func TestGenIDUnique(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		trace := tr.Start("")
+		id := trace.ID()
+		if len(id) != 16 || seen[id] {
+			t.Fatalf("bad or duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fpgauv/internal/fleet"
+	"fpgauv/internal/obs"
 	"fpgauv/internal/tensor"
 )
 
@@ -32,6 +33,11 @@ type batcher struct {
 	size   int // classify calls coalesced per eval pass
 	images int // images coalesced per inference pass
 	window time.Duration
+
+	// tracer supplies recycled span buffers for the shared fleet-job
+	// subtree of each coalesced batch. A nil tracer (tests building the
+	// batcher directly) traces nothing.
+	tracer *obs.Tracer
 
 	mu     sync.Mutex
 	cls    group // pending classify waiters
@@ -65,10 +71,13 @@ type group struct {
 }
 
 // call is one waiter and its result slot. imgs is nil for classify
-// calls; for infer calls it is the caller's images.
+// calls; for infer calls it is the caller's images. traced marks a
+// waiter whose submitter carries a request trace — one traced waiter is
+// enough to make the batch record its shared fleet subtree.
 type call struct {
-	imgs []*tensor.Tensor
-	ch   chan callOut
+	imgs   []*tensor.Tensor
+	ch     chan callOut
+	traced bool
 }
 
 type callOut struct {
@@ -78,6 +87,11 @@ type callOut struct {
 	mv    float64
 	batch int
 	err   error
+	// jt is the batch's shared fleet-job span buffer (nil when no waiter
+	// was traced); claimedNS is the instant the batch left the queue, the
+	// end stamp for each caller's batch_wait span.
+	jt        *obs.Trace
+	claimedNS int64
 }
 
 func newBatcher(pool *fleet.Pool, size, images int, window time.Duration) *batcher {
@@ -98,7 +112,7 @@ func newBatcher(pool *fleet.Pool, size, images int, window time.Duration) *batch
 // amortized across. A non-zero seed bypasses coalescing: sharing a
 // batch-mate's pass would silently serve the caller a different fault
 // stream than the one it pinned.
-func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, error) {
+func (b *batcher) Submit(ctx context.Context, seed int64, tr *obs.Trace) (fleet.Result, int, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -108,15 +122,20 @@ func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, er
 		b.mu.Unlock()
 		b.batches.Add(1)
 		b.observe("classify", 1)
-		res, err := b.pool.Classify(ctx, fleet.Request{Seed: seed})
+		sp := tr.Root().Child(obs.StageFleet)
+		res, err := b.pool.Classify(ctx, fleet.Request{Seed: seed, Span: sp})
+		sp.End()
 		return res, 1, err
 	}
-	c := &call{ch: make(chan callOut, 1)}
+	c := &call{ch: make(chan callOut, 1), traced: tr != nil}
+	wait := tr.Root().Child(obs.StageBatchWait)
 	b.enqueue(&b.cls, c, 1, b.size, b.runEval)
 	select {
 	case out := <-c.ch:
+		b.graft(tr, wait, out)
 		return out.res, out.batch, out.err
 	case <-ctx.Done():
+		wait.End()
 		b.abandon(c)
 		return fleet.Result{}, 0, ctx.Err()
 	}
@@ -127,7 +146,7 @@ func (b *batcher) Submit(ctx context.Context, seed int64) (fleet.Result, int, er
 // per-image outputs, the serving board and rail, and the image count of
 // the accelerator submission the call was amortized across. A non-zero
 // seed (or a call that alone fills a micro-batch) gets a dedicated pass.
-func (b *batcher) SubmitInfer(ctx context.Context, imgs []*tensor.Tensor, seed int64) ([]fleet.InferOutput, string, float64, int, error) {
+func (b *batcher) SubmitInfer(ctx context.Context, imgs []*tensor.Tensor, seed int64, tr *obs.Trace) ([]fleet.InferOutput, string, float64, int, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -137,21 +156,70 @@ func (b *batcher) SubmitInfer(ctx context.Context, imgs []*tensor.Tensor, seed i
 		b.mu.Unlock()
 		b.inferBatches.Add(1)
 		b.observe("infer", len(imgs))
-		res, err := b.pool.Infer(ctx, fleet.InferRequest{Images: imgs, Seed: seed})
+		sp := tr.Root().Child(obs.StageFleet)
+		res, err := b.pool.Infer(ctx, fleet.InferRequest{Images: imgs, Seed: seed, Span: sp})
+		sp.End()
 		if err != nil {
 			return nil, "", 0, 0, err
 		}
 		return res.Outputs, res.Board, res.VCCINTmV, len(imgs), nil
 	}
-	c := &call{imgs: imgs, ch: make(chan callOut, 1)}
+	c := &call{imgs: imgs, ch: make(chan callOut, 1), traced: tr != nil}
+	wait := tr.Root().Child(obs.StageBatchWait)
 	b.enqueue(&b.inf, c, len(imgs), b.images, b.runInfer)
 	select {
 	case out := <-c.ch:
+		b.graft(tr, wait, out)
 		return out.inf, out.board, out.mv, out.batch, out.err
 	case <-ctx.Done():
+		wait.End()
 		b.abandon(c)
 		return nil, "", 0, 0, ctx.Err()
 	}
+}
+
+// graft lands a flushed batch's shared fleet subtree in one caller's
+// trace: the batch_wait span ends at the instant the batch was claimed,
+// the job buffer's spans are copied under the caller's root, and the
+// last waiter to finish returns the buffer to the tracer's pool. An
+// abandoned waiter never releases its reference; its batch's buffer
+// falls to the garbage collector instead of the pool, which is safe.
+func (b *batcher) graft(tr *obs.Trace, wait *obs.Span, out callOut) {
+	if out.claimedNS != 0 {
+		wait.EndAt(out.claimedNS)
+	} else {
+		wait.End()
+	}
+	if out.jt == nil {
+		return
+	}
+	tr.Root().Graft(out.jt)
+	if out.jt.Release() {
+		b.tracer.ReleaseJob(out.jt)
+	}
+}
+
+// jobTrace builds the shared fleet-job span buffer for a claimed batch
+// when at least one waiter is traced, arming one buffer reference per
+// waiter. The claim timestamp it returns is each caller's batch_wait
+// end stamp.
+func (b *batcher) jobTrace(batch []*call) (*obs.Trace, int64) {
+	traced := false
+	for _, c := range batch {
+		if c.traced {
+			traced = true
+			break
+		}
+	}
+	if !traced {
+		return nil, 0
+	}
+	jt := b.tracer.JobTrace()
+	if jt == nil {
+		return nil, 0
+	}
+	jt.SetRefs(len(batch))
+	return jt, obs.NowNS()
 }
 
 // enqueue appends a waiter to a group under b.mu (held on entry,
@@ -244,9 +312,11 @@ func (b *batcher) runEval(batch []*call) {
 		b.batches.Add(1)
 		b.coalesced.Add(int64(len(batch) - 1))
 		b.observe("classify", len(batch))
-		res, err := b.pool.Classify(context.Background(), fleet.Request{})
+		jt, claimed := b.jobTrace(batch)
+		res, err := b.pool.Classify(context.Background(), fleet.Request{Span: jt.Root()})
+		jt.Root().End()
 		for _, c := range batch {
-			c.ch <- callOut{res: res, batch: len(batch), err: err}
+			c.ch <- callOut{res: res, batch: len(batch), err: err, jt: jt, claimedNS: claimed}
 		}
 	}()
 }
@@ -261,18 +331,22 @@ func (b *batcher) runInfer(batch []*call) {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		jt, claimed := b.jobTrace(batch)
+		asm := jt.Root().Child(obs.StageAssemble)
 		var imgs []*tensor.Tensor
 		for _, c := range batch {
 			imgs = append(imgs, c.imgs...)
 		}
+		asm.End()
 		b.inferBatches.Add(1)
 		b.inferCoalesced.Add(int64(len(batch) - 1))
 		b.observe("infer", len(imgs))
-		res, err := b.pool.Infer(context.Background(), fleet.InferRequest{Images: imgs})
+		res, err := b.pool.Infer(context.Background(), fleet.InferRequest{Images: imgs, Span: jt.Root()})
+		jt.Root().End()
 		lo := 0
 		for _, c := range batch {
 			hi := lo + len(c.imgs)
-			out := callOut{batch: len(imgs), err: err}
+			out := callOut{batch: len(imgs), err: err, jt: jt, claimedNS: claimed}
 			if err == nil {
 				out.inf = res.Outputs[lo:hi]
 				out.board = res.Board

@@ -36,7 +36,7 @@ func TestBatcherStaleTimerDoesNotStealFreshBatch(t *testing.T) {
 	firstDone := make(chan struct{})
 	go func() {
 		defer close(firstDone)
-		if _, _, err := b.Submit(context.Background(), 0); err != nil {
+		if _, _, err := b.Submit(context.Background(), 0, nil); err != nil {
 			t.Errorf("first submit: %v", err)
 		}
 	}()
@@ -91,7 +91,7 @@ func TestBatcherCanceledWaiterRemoved(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := b.Submit(ctx, 0)
+		_, _, err := b.Submit(ctx, 0, nil)
 		done <- err
 	}()
 	for {
@@ -130,7 +130,7 @@ func TestBatcherCanceledWaiterRemoved(t *testing.T) {
 
 	// A live call still flushes normally, with batch size 1 — not
 	// padded by the ghost of the canceled waiter.
-	_, size, err := b.Submit(context.Background(), 0)
+	_, size, err := b.Submit(context.Background(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestBatcherCancelMidBatch(t *testing.T) {
 	ctxA, cancelA := context.WithCancel(context.Background())
 	resA := make(chan error, 1)
 	go func() {
-		_, _, err := b.Submit(ctxA, 0)
+		_, _, err := b.Submit(ctxA, 0, nil)
 		resA <- err
 	}()
 	for {
@@ -168,7 +168,7 @@ func TestBatcherCancelMidBatch(t *testing.T) {
 	}
 	resB := make(chan out, 1)
 	go func() {
-		_, size, err := b.Submit(context.Background(), 0)
+		_, size, err := b.Submit(context.Background(), 0, nil)
 		resB <- out{size, err}
 	}()
 	for {

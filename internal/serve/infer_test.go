@@ -250,10 +250,10 @@ func TestBatcherConcurrencyRace(t *testing.T) {
 				var err error
 				n := 0
 				if w%2 == 0 {
-					_, _, err = b.Submit(ctx, seed)
+					_, _, err = b.Submit(ctx, seed, nil)
 				} else {
 					var outs []fleet.InferOutput
-					outs, _, _, _, err = b.SubmitInfer(ctx, mkimg(int64(w*1000+i)), seed)
+					outs, _, _, _, err = b.SubmitInfer(ctx, mkimg(int64(w*1000+i)), seed, nil)
 					n = len(outs)
 				}
 				if cancel != nil {

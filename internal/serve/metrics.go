@@ -3,9 +3,14 @@ package serve
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"fpgauv/internal/obs"
 )
 
 // histogram is a fixed-bucket Prometheus histogram: lock-free observes,
@@ -70,6 +75,10 @@ func (s *Server) renderMetrics() string {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 
+	fmt.Fprintf(&b, "# HELP uvolt_build_info Build identity (value is always 1).\n# TYPE uvolt_build_info gauge\n")
+	fmt.Fprintf(&b, "uvolt_build_info{version=%q,go=%q} 1\n", obs.Version, runtime.Version())
+	gauge("uvolt_uptime_seconds", "Seconds since the server started.",
+		fmt.Sprintf("%.3f", time.Since(s.started).Seconds()))
 	gauge("uvolt_fleet_boards", "Boards in the pool.", len(st.Boards))
 	gauge("uvolt_fleet_queue_depth", "Requests waiting for a board.", st.Queued)
 	gauge("uvolt_fleet_throughput_gops", "Aggregate modeled throughput (GOPs).", fmt.Sprintf("%.2f", st.GOPs))
@@ -227,6 +236,23 @@ func (s *Server) renderMetrics() string {
 	s.batchSizes["infer"].render(&b, "uvolt_batch_size", `kind="infer",`)
 	fmt.Fprintf(&b, "# HELP uvolt_infer_latency_seconds End-to-end /v1/infer request latency.\n# TYPE uvolt_infer_latency_seconds histogram\n")
 	s.inferLatency.render(&b, "uvolt_infer_latency_seconds", "")
+	fmt.Fprintf(&b, "# HELP uvolt_classify_latency_seconds End-to-end /v1/classify request latency.\n# TYPE uvolt_classify_latency_seconds histogram\n")
+	s.classifyLatency.render(&b, "uvolt_classify_latency_seconds", "")
+	fmt.Fprintf(&b, "# HELP uvolt_stage_seconds Time spent per traced request stage.\n# TYPE uvolt_stage_seconds histogram\n")
+	for _, st := range stageOrder {
+		s.stageHist[st].render(&b, "uvolt_stage_seconds", fmt.Sprintf("stage=%q,", st))
+	}
+
+	fmt.Fprintf(&b, "# HELP uvolt_events_total Fleet journal events by kind.\n# TYPE uvolt_events_total counter\n")
+	counts := s.pool.Journal().Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "uvolt_events_total{kind=%q} %d\n", k, counts[k])
+	}
 
 	fmt.Fprintf(&b, "# HELP uvolt_http_requests_total HTTP requests by path.\n# TYPE uvolt_http_requests_total counter\n")
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/classify\"} %d\n", s.classifyReqs.Load())
@@ -235,7 +261,14 @@ func (s *Server) renderMetrics() string {
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/voltage\"} %d\n", s.voltageReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/governor\"} %d\n", s.governorReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/ecc\"} %d\n", s.eccReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/trace\"} %d\n", s.traceReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/traces\"} %d\n", s.tracesReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/events\"} %d\n", s.eventsReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/metrics\"} %d\n", s.metricsReqs.Load())
+	fmt.Fprintf(&b, "# HELP uvolt_http_responses_total HTTP responses by status class.\n# TYPE uvolt_http_responses_total counter\n")
+	fmt.Fprintf(&b, "uvolt_http_responses_total{code=\"2xx\"} %d\n", s.resp2xx.Load())
+	fmt.Fprintf(&b, "uvolt_http_responses_total{code=\"4xx\"} %d\n", s.resp4xx.Load())
+	fmt.Fprintf(&b, "uvolt_http_responses_total{code=\"5xx\"} %d\n", s.resp5xx.Load())
 	counter("uvolt_http_errors_total", "HTTP error responses.", s.errorResps.Load())
 	counter("uvolt_batch_runs_total", "Accelerator passes run for HTTP classify traffic.", s.batch.batches.Load())
 	counter("uvolt_batch_coalesced_total", "Requests answered by a batch-mate's pass.", s.batch.coalesced.Load())

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"fpgauv/internal/fleet"
+	"fpgauv/internal/obs"
 	"fpgauv/internal/tensor"
 )
 
@@ -31,13 +32,28 @@ type Config struct {
 	// BatchWindow is how long the first call in a batch waits for
 	// company (default 2 ms).
 	BatchWindow time.Duration
+	// Trace enables request tracing: every classify/infer call records a
+	// span tree served back by /v1/trace/{id} and /v1/traces.
+	Trace bool
+	// TraceRing is how many recent traces are retained (default 256).
+	TraceRing int
+}
+
+// stageOrder fixes the exposition order of the per-stage latency
+// histograms (and enumerates the stages that get one).
+var stageOrder = []string{
+	obs.StageRequest, obs.StageDecode, obs.StageBatchWait, obs.StageAssemble,
+	obs.StageFleet, obs.StageFleetWait, obs.StageExecute, obs.StageRequeue,
+	obs.StageRespond,
 }
 
 // Server routes HTTP traffic onto a fleet pool.
 type Server struct {
-	pool  *fleet.Pool
-	batch *batcher
-	mux   *http.ServeMux
+	pool    *fleet.Pool
+	batch   *batcher
+	mux     *http.ServeMux
+	tracer  *obs.Tracer
+	started time.Time
 
 	classifyReqs atomic.Int64
 	inferReqs    atomic.Int64
@@ -46,35 +62,60 @@ type Server struct {
 	governorReqs atomic.Int64
 	eccReqs      atomic.Int64
 	metricsReqs  atomic.Int64
+	traceReqs    atomic.Int64
+	tracesReqs   atomic.Int64
+	eventsReqs   atomic.Int64
 	errorResps   atomic.Int64
 
+	// resp2xx/4xx/5xx count responses by status class (499 lands in 4xx).
+	resp2xx atomic.Int64
+	resp4xx atomic.Int64
+	resp5xx atomic.Int64
+
 	// batchSizes tracks accelerator-pass batch sizes by traffic kind;
-	// inferLatency tracks /v1/infer request latency end to end.
-	batchSizes   map[string]*histogram
-	inferLatency *histogram
+	// inferLatency and classifyLatency track request latency end to end;
+	// stageHist holds one duration histogram per traced request stage.
+	batchSizes      map[string]*histogram
+	inferLatency    *histogram
+	classifyLatency *histogram
+	stageHist       map[string]*histogram
 }
 
 // New wires a server to a running pool.
 func New(pool *fleet.Pool, cfg Config) *Server {
+	latencyBounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
 	s := &Server{
-		pool:  pool,
-		batch: newBatcher(pool, cfg.BatchSize, cfg.BatchImages, cfg.BatchWindow),
-		mux:   http.NewServeMux(),
+		pool:    pool,
+		batch:   newBatcher(pool, cfg.BatchSize, cfg.BatchImages, cfg.BatchWindow),
+		mux:     http.NewServeMux(),
+		tracer:  obs.NewTracer(cfg.TraceRing),
+		started: time.Now(),
 		batchSizes: map[string]*histogram{
 			"classify": newHistogram(1, 2, 4, 8, 16, 32, 64),
 			"infer":    newHistogram(1, 2, 4, 8, 16, 32, 64),
 		},
-		inferLatency: newHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
+		inferLatency:    newHistogram(latencyBounds...),
+		classifyLatency: newHistogram(latencyBounds...),
+		stageHist:       make(map[string]*histogram, len(stageOrder)),
 	}
+	for _, st := range stageOrder {
+		s.stageHist[st] = newHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+			0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1)
+	}
+	s.tracer.SetEnabled(cfg.Trace)
+	s.batch.tracer = s.tracer
 	s.batch.onBatch = func(kind string, units int) {
 		s.batchSizes[kind].Observe(float64(units))
 	}
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/v1/trace/", s.handleTrace)
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
 	s.mux.HandleFunc("/v1/fleet/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/fleet/voltage", s.handleVoltage)
 	s.mux.HandleFunc("/v1/fleet/governor", s.handleGovernor)
 	s.mux.HandleFunc("/v1/fleet/ecc", s.handleECC)
+	s.mux.HandleFunc("/v1/fleet/events", s.handleEvents)
 	// Unknown /v1/fleet/* paths get the API's JSON error shape, not the
 	// mux's plain-text 404.
 	s.mux.HandleFunc("/v1/fleet/", s.handleFleetNotFound)
@@ -82,6 +123,9 @@ func New(pool *fleet.Pool, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
+
+// Tracer exposes the request tracer (runtime toggling, tests).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Handler returns the HTTP handler (for http.Server or httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -107,25 +151,82 @@ type classifyResponse struct {
 	// BatchSize is how many concurrent requests shared this
 	// accelerator pass.
 	BatchSize int `json:"batch_size"`
+	// TraceID identifies the request's retained trace when tracing is on
+	// (GET /v1/trace/{id} replays it).
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// startTrace opens a request trace, honoring a well-formed caller
+// X-Uvolt-Trace id and echoing the final id back in the same response
+// header. Nil when tracing is disabled — every span call downstream of
+// a nil trace is a nil-receiver no-op.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *obs.Trace {
+	tr := s.tracer.Start(sanitizeTraceID(r.Header.Get("X-Uvolt-Trace")))
+	if tr != nil {
+		w.Header().Set("X-Uvolt-Trace", tr.ID())
+	}
+	return tr
+}
+
+// sanitizeTraceID accepts caller-supplied ids of at most 64 characters
+// from [A-Za-z0-9_-]; anything else is discarded so a hostile header
+// cannot smuggle arbitrary bytes into responses and the trace ring.
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '-' || c == '_'
+		if !ok {
+			return ""
+		}
+	}
+	return id
+}
+
+// publishTrace finishes a request trace, installs it in the ring, and
+// feeds every closed span's duration into the per-stage histograms.
+func (s *Server) publishTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	s.tracer.Publish(tr)
+	for i := 0; i < tr.Len(); i++ {
+		sp := tr.At(i)
+		if h := s.stageHist[sp.Name()]; h != nil && sp.EndNS() > 0 {
+			h.Observe(float64(sp.DurNS()) / 1e9)
+		}
+	}
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.classifyReqs.Add(1)
+	tr := s.startTrace(w, r)
+	defer s.publishTrace(tr)
 	if r.Method != http.MethodPost {
 		s.errorJSON(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	dec := tr.Root().Child(obs.StageDecode)
 	var req classifyRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			dec.End()
 			s.errorJSON(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 			return
 		}
 	}
-	res, batchSize, err := s.batch.Submit(r.Context(), req.Seed)
+	dec.End()
+	start := time.Now()
+	res, batchSize, err := s.batch.Submit(r.Context(), req.Seed, tr)
+	s.classifyLatency.Observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
-		s.writeJSON(w, http.StatusOK, classifyResponse{Result: res, BatchSize: batchSize})
+		rsp := tr.Root().Child(obs.StageRespond)
+		s.writeJSON(w, http.StatusOK, classifyResponse{Result: res, BatchSize: batchSize, TraceID: tr.ID()})
+		rsp.End()
 	case errors.Is(err, ErrShutdown), errors.Is(err, fleet.ErrClosed):
 		s.errorJSON(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -159,6 +260,8 @@ type inferResponse struct {
 	VCCINTmV float64 `json:"vccint_mv"`
 	// BatchSize is how many images shared this accelerator pass.
 	BatchSize int `json:"batch_size"`
+	// TraceID identifies the request's retained trace when tracing is on.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // decodeInferImage resolves the request body into a CHW tensor matching
@@ -192,32 +295,40 @@ func (s *Server) decodeInferImage(req inferRequest) (*tensor.Tensor, error) {
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	s.inferReqs.Add(1)
+	tr := s.startTrace(w, r)
+	defer s.publishTrace(tr)
 	if r.Method != http.MethodPost {
 		s.errorJSON(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	dec := tr.Root().Child(obs.StageDecode)
 	var req inferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		dec.End()
 		s.errorJSON(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	img, err := s.decodeInferImage(req)
+	dec.End()
 	if err != nil {
 		s.errorJSON(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	start := time.Now()
-	outs, board, mv, batch, err := s.batch.SubmitInfer(r.Context(), []*tensor.Tensor{img}, req.Seed)
+	outs, board, mv, batch, err := s.batch.SubmitInfer(r.Context(), []*tensor.Tensor{img}, req.Seed, tr)
 	s.inferLatency.Observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
+		rsp := tr.Root().Child(obs.StageRespond)
 		s.writeJSON(w, http.StatusOK, inferResponse{
 			Pred:      outs[0].Pred,
 			Probs:     outs[0].Probs,
 			Board:     board,
 			VCCINTmV:  mv,
 			BatchSize: batch,
+			TraceID:   tr.ID(),
 		})
+		rsp.End()
 	case errors.Is(err, ErrShutdown), errors.Is(err, fleet.ErrClosed):
 		s.errorJSON(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -439,6 +550,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	s.resp2xx.Add(1) // bypasses writeJSON's class counting
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, s.renderMetrics())
 }
@@ -459,6 +571,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	switch {
+	case code >= 500:
+		s.resp5xx.Add(1)
+	case code >= 400:
+		s.resp4xx.Add(1)
+	default:
+		s.resp2xx.Add(1)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
