@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs
+.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs bench-cluster
 
 all: vet build test
 
@@ -55,6 +55,19 @@ bench-obs:
 	$(GO) run ./cmd/benchjson -label BENCH_6 < BENCH_6.raw > BENCH_6.json
 	@rm -f BENCH_6.raw
 	@cat BENCH_6.json
+
+# Cluster saturation snapshot: BenchmarkClusterOpenLoop calibrates a
+# 2-pool cluster's closed-loop capacity, then offers open-loop traffic
+# at 1x/2x/4x. The p50_ms/p99_ms/shed_rate metrics pin the
+# load-shedding contract: past capacity the shed rate rises while p99
+# stays bounded — overload becomes 429s, not unbounded queueing.
+# Emitted as BENCH_7.json.
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterOpenLoop' \
+		-benchtime 1x -count 1 . > BENCH_7.raw
+	$(GO) run ./cmd/benchjson -label BENCH_7 < BENCH_7.raw > BENCH_7.json
+	@rm -f BENCH_7.raw
+	@cat BENCH_7.json
 
 BENCH_NUM ?= 5
 bench-json:

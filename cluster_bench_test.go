@@ -1,0 +1,90 @@
+package fpgauv_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgauv"
+	"fpgauv/internal/load"
+)
+
+// BenchmarkClusterOpenLoop measures the cluster router at and past
+// saturation. A 2-pool x 2-board cluster is calibrated closed-loop for
+// its service capacity, then offered open-loop classify traffic at 1x,
+// 2x and 4x that capacity. The metrics pin the load-shedding contract:
+// at 1x the shed rate stays near zero and p99 tracks the service time;
+// past capacity the bounded queues turn overload into sheds (a rising
+// shed_rate) instead of an unbounded p99 — the whole point of admission
+// control over the seed's unbounded queues.
+func BenchmarkClusterOpenLoop(b *testing.B) {
+	cl, err := fpgauv.NewCluster(fpgauv.ClusterConfig{
+		Pools: 2,
+		Pool: fpgauv.FleetConfig{
+			Boards: 2, Tiny: true, Images: 8, CharRepeats: 1,
+			MaxQueue: 4, MonitorInterval: -1,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Closed-loop calibration: one worker per board, each with a single
+	// outstanding request, measures the sustainable aggregate throughput
+	// including router and scheduling overhead — the honest "capacity"
+	// an open-loop 1x offering should be servable at.
+	boards := len(cl.Status().Boards)
+	const perWorker = 25
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < boards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := cl.Classify(ctx, fpgauv.FleetRequest{}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Failed() {
+		return
+	}
+	capacity := float64(boards*perWorker) / time.Since(start).Seconds()
+	b.Logf("calibrated: %d boards, capacity=%.0f req/s", boards, capacity)
+
+	for _, mult := range []float64{1, 2, 4} {
+		b.Run(fmt.Sprintf("load%gx", mult), func(b *testing.B) {
+			var res load.Result
+			for i := 0; i < b.N; i++ {
+				res = load.Run(ctx, load.Options{
+					Rate:     capacity * mult,
+					Requests: 200,
+					Warmup:   20,
+				}, func(ctx context.Context, seq int) error {
+					_, err := cl.Classify(ctx, fpgauv.FleetRequest{})
+					var sat fpgauv.SaturatedError
+					if errors.As(err, &sat) {
+						return fmt.Errorf("%w: %v", load.ErrShed, err)
+					}
+					return err
+				})
+			}
+			b.ReportMetric(float64(res.P50.Microseconds())/1000, "p50_ms")
+			b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99_ms")
+			b.ReportMetric(res.ShedRate, "shed_rate")
+			b.ReportMetric(res.ServedRPS, "served_rps")
+			if res.Failed > 0 {
+				b.Fatalf("%d shots failed outright (served=%d shed=%d)", res.Failed, res.Served, res.Shed)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Command uvolt-load is an open-loop load generator for a running
+// uvolt-serve instance. It offers classify traffic at a fixed rate
+// regardless of how the service keeps up — the open loop is what makes
+// saturation visible: a backed-up service shows up as rising tail
+// latency and 429 sheds instead of silently slowing the generator.
+//
+// Usage:
+//
+//	uvolt-load [-addr http://localhost:8090] [-rate 50] [-n 500]
+//	           [-warmup 20] [-timeout 10s] [-pin]
+//
+// With -pin, each shot carries a pinned seed (its sequence number), so
+// against a cluster every shot exercises rendezvous affinity routing
+// and bypasses server-side batching; without it, shots ride the
+// batcher. Exit status is 1 when any shot fails outright (sheds are an
+// expected outcome, not a failure).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fpgauv/internal/load"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8090", "base URL of the uvolt-serve instance")
+	rate := flag.Float64("rate", 50, "offered load in requests per second")
+	n := flag.Int("n", 500, "total requests to fire")
+	warmup := flag.Int("warmup", 20, "leading shots excluded from latency percentiles")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request budget")
+	pin := flag.Bool("pin", false, "pin each shot's seed (exercises affinity routing, bypasses batching)")
+	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	client := &http.Client{}
+	url := strings.TrimRight(*addr, "/") + "/v1/classify"
+	shot := func(ctx context.Context, seq int) error {
+		body := `{}`
+		if *pin {
+			body = fmt.Sprintf(`{"seed":%d}`, seq+1)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			return fmt.Errorf("%w (Retry-After %s)", load.ErrShed, resp.Header.Get("Retry-After"))
+		default:
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "uvolt-load: offering %.1f req/s, %d requests against %s\n", *rate, *n, *addr)
+	res := load.Run(ctx, load.Options{
+		Rate: *rate, Requests: *n, Warmup: *warmup, Timeout: *timeout,
+	}, shot)
+
+	fmt.Printf("sent=%d served=%d shed=%d failed=%d elapsed=%s\n",
+		res.Sent, res.Served, res.Shed, res.Failed, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("offered=%.1f req/s served=%.1f req/s shed_rate=%.3f\n",
+		res.OfferedRPS, res.ServedRPS, res.ShedRate)
+	fmt.Printf("latency p50=%s p90=%s p99=%s (from scheduled fire time)\n",
+		res.P50.Round(time.Microsecond), res.P90.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	if res.Failed > 0 {
+		os.Exit(1)
+	}
+}

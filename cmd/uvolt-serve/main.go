@@ -8,6 +8,7 @@
 //	uvolt-serve [-addr :8090] [-boards 3] [-bench VGGNet] [-images 32]
 //	            [-margin 10] [-batch 8] [-batch-images 16] [-micro-batch 16]
 //	            [-batch-window 2ms]
+//	            [-pools 1] [-pool-boards 0] [-max-queue 0] [-spares 0]
 //	            [-governor] [-governor-interval 25ms] [-governor-step 5]
 //	            [-governor-margin 5] [-governor-probe 12]
 //	            [-ecc] [-scrub-interval 250ms] [-governor-bram]
@@ -20,8 +21,8 @@
 //	POST /v1/classify      {"seed": 7}            one evaluation-set pass
 //	GET  /v1/trace/{id}                           one request's span tree
 //	GET  /v1/traces?limit=N                       recent traces, newest first
-//	GET  /v1/fleet/status                         pool + per-board snapshot
-//	GET  /v1/fleet/events?cursor=K                fleet event journal
+//	GET  /v1/fleet/status[?pool=P]                pool + per-board snapshot
+//	GET  /v1/fleet/events?cursor=K[&pool=P]       fleet event journal
 //	POST /v1/fleet/voltage {"board": 0, "mv": 500}  command a VCCINT rail
 //	GET  /v1/fleet/governor                       adaptive-voltage state
 //	POST /v1/fleet/governor {"enabled": true}     toggle / tune the governor
@@ -29,6 +30,14 @@
 //	POST /v1/fleet/ecc     {"enabled": true}      toggle ECC / tune scrubbing
 //	GET  /metrics                                 Prometheus text metrics
 //	GET  /healthz                                 liveness
+//
+// With -pools N (N > 1) or -spares, the service runs a sharded cluster:
+// N pools built from the same template (-pool-boards boards each,
+// default -boards) behind a rendezvous router with admission control
+// and load shedding (saturation answers 429 + Retry-After). -max-queue
+// bounds each pool's backlog; -spares parks warm spare pools that
+// promote when aggregate backlog crosses the shed threshold. The
+// /v1/fleet/* endpoints then accept ?pool=P to scope one pool.
 //
 // With -debug-addr set, net/http/pprof is served on that separate
 // listener under /debug/pprof/ — keep it off public interfaces.
@@ -63,6 +72,10 @@ func main() {
 	batchImages := flag.Int("batch-images", 16, "max images coalesced per inference micro-batch")
 	microBatch := flag.Int("micro-batch", 16, "accelerator-pass size for inference jobs")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "batching window")
+	pools := flag.Int("pools", 1, "pools in the cluster (1 = single pool, no router)")
+	poolBoards := flag.Int("pool-boards", 0, "boards per pool when clustered (default: -boards)")
+	maxQueue := flag.Int("max-queue", 0, "per-pool backlog bound; saturation sheds with 429 (0 = unbounded single pool, 8 per clustered pool)")
+	spares := flag.Int("spares", 0, "warm-spare pools parked for promotion under backlog")
 	governor := flag.Bool("governor", false, "start the adaptive voltage governor enabled")
 	govInterval := flag.Duration("governor-interval", 25*time.Millisecond, "governor control period per board")
 	govStep := flag.Float64("governor-step", 5, "governor step in mV")
@@ -85,9 +98,7 @@ func main() {
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 	log := slog.Default()
 
-	log.Info("bringing up fleet (characterizing Vmin/Vcrash)", "boards", *boards, "benchmark", *bench)
-	t0 := time.Now()
-	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+	fcfg := fpgauv.FleetConfig{
 		Boards:     *boards,
 		Benchmark:  *bench,
 		Tiny:       *tiny,
@@ -97,6 +108,7 @@ func main() {
 		MarginMV:   *margin,
 		TargetMV:   *target,
 		MicroBatch: *microBatch,
+		MaxQueue:   *maxQueue,
 		Governor: fpgauv.GovernorConfig{
 			Enabled:     *governor,
 			Interval:    *govInterval,
@@ -109,15 +121,40 @@ func main() {
 			Enabled:       *eccOn,
 			ScrubInterval: *scrubInterval,
 		},
-	})
-	if err != nil {
-		log.Error("fleet bring-up failed", "err", err)
-		os.Exit(1)
 	}
-	// Mirror journal events (crashes, rail moves, governor traffic) onto
-	// the structured log at -log-level granularity.
-	pool.Journal().SetLogger(log)
-	for _, b := range pool.Status().Boards {
+	t0 := time.Now()
+	var sched fpgauv.Scheduler
+	if *pools > 1 || *spares > 0 {
+		if *poolBoards > 0 {
+			fcfg.Boards = *poolBoards
+		}
+		log.Info("bringing up cluster (characterizing Vmin/Vcrash)",
+			"pools", *pools, "spares", *spares, "boards_per_pool", fcfg.Boards, "benchmark", *bench)
+		cl, err := fpgauv.NewCluster(fpgauv.ClusterConfig{
+			Pools: *pools, Spares: *spares, Pool: fcfg,
+		})
+		if err != nil {
+			log.Error("cluster bring-up failed", "err", err)
+			os.Exit(1)
+		}
+		sched = cl
+	} else {
+		log.Info("bringing up fleet (characterizing Vmin/Vcrash)", "boards", *boards, "benchmark", *bench)
+		pool, err := fpgauv.NewFleet(fcfg)
+		if err != nil {
+			log.Error("fleet bring-up failed", "err", err)
+			os.Exit(1)
+		}
+		sched = pool
+	}
+	// Mirror journal events (routes and sheds for a cluster; crashes,
+	// rail moves and governor traffic per pool) onto the structured log
+	// at -log-level granularity.
+	sched.Journal().SetLogger(log)
+	for _, p := range sched.Pools() {
+		p.Journal().SetLogger(log)
+	}
+	for _, b := range sched.Status().Boards {
 		log.Info("board characterized", "board", b.Board,
 			"vmin_mv", b.VminMV, "vcrash_mv", b.VcrashMV, "operating_mv", b.OperatingMV,
 			"guardband_reclaimed_mv", fpgauv.VnomMV-b.OperatingMV)
@@ -133,7 +170,7 @@ func main() {
 	}
 	log.Info("fleet ready", "elapsed", time.Since(t0).Round(time.Millisecond))
 
-	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{
+	srv := fpgauv.NewServer(sched, fpgauv.ServeConfig{
 		BatchSize:   *batch,
 		BatchImages: *batchImages,
 		BatchWindow: *window,
@@ -180,10 +217,22 @@ func main() {
 		_ = debugSrv.Close()
 	}
 	srv.Close()
-	st := pool.Status()
+	st := sched.Status()
 	fmt.Printf("served=%d (eval=%d infer=%d images=%d) crashes=%d reboots=%d redeploys=%d canceled=%d\n",
 		st.Served, st.EvalServed, st.InferServed, st.InferImages,
 		st.Crashes, st.Reboots, st.Redeploys, st.Canceled)
+	if st.Cluster != nil {
+		fmt.Printf("cluster: pools=%d(+%d spare) routes=%d hops=%d sheds=%d spare_activations=%d\n",
+			st.Cluster.ActivePools, st.Cluster.SparePools,
+			st.Cluster.Routes, st.Cluster.Hops, st.Cluster.Sheds, st.Cluster.SpareActivations)
+		for _, ps := range st.Cluster.Pools {
+			fmt.Printf("  %s: active=%t boards=%d routes=%d sheds=%d\n",
+				ps.Pool, ps.Active, ps.Boards, ps.Routes, ps.Sheds)
+		}
+	}
+	if st.Shed > 0 {
+		fmt.Printf("shed=%d (admission control refused with 429 + Retry-After)\n", st.Shed)
+	}
 	if st.Governor != nil && st.Governor.Enabled {
 		// Rails are back at nominal after Close, so only the cumulative
 		// energy saving is meaningful here.

@@ -3,6 +3,7 @@ package fpgauv
 import (
 	"net/http"
 
+	"fpgauv/internal/cluster"
 	"fpgauv/internal/fleet"
 	"fpgauv/internal/obs"
 	"fpgauv/internal/serve"
@@ -32,6 +33,26 @@ type (
 	FleetStatus = fleet.Status
 	// FleetBoardStatus is one board's health and telemetry snapshot.
 	FleetBoardStatus = fleet.BoardStatus
+	// Scheduler is the serving contract the HTTP front-end programs
+	// against: a single Fleet and a Cluster router implement it
+	// interchangeably.
+	Scheduler = fleet.Scheduler
+	// SaturatedError is the typed admission-control refusal: the
+	// scheduler's backlog bound was hit and the request was shed. It
+	// carries the backlog depth and a RetryAfter drain estimate (mapped
+	// to HTTP 429 + Retry-After by the front-end).
+	SaturatedError = fleet.ErrSaturated
+	// Cluster is a sharded router scheduling requests across N fleets
+	// with rendezvous affinity, admission control, load shedding and
+	// warm spares.
+	Cluster = cluster.Router
+	// ClusterConfig sizes and parameterizes a cluster.
+	ClusterConfig = cluster.Config
+	// ClusterStatus is the router tier's snapshot, attached to
+	// FleetStatus.Cluster by Cluster.Status.
+	ClusterStatus = fleet.ClusterStatus
+	// PoolRouteStatus is one pool as the router sees it.
+	PoolRouteStatus = fleet.PoolRouteStatus
 	// GovernorConfig tunes the fleet's per-board adaptive voltage
 	// loops (the paper's §9 dynamic-voltage-adjustment future work).
 	GovernorConfig = fleet.GovernorConfig
@@ -82,6 +103,11 @@ var ErrFleetClosed = fleet.ErrClosed
 // Vmin+MarginMV inside the guardband.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
+// NewCluster assembles N pools (plus warm spares) from one template and
+// starts the router that schedules requests across them.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
 // NewServer wires an HTTP front-end (JSON API, request batching, text
-// metrics) to a running fleet.
-func NewServer(pool *Fleet, cfg ServeConfig) *Server { return serve.New(pool, cfg) }
+// metrics) to a running scheduler — a single Fleet or a Cluster,
+// interchangeably.
+func NewServer(sched Scheduler, cfg ServeConfig) *Server { return serve.New(sched, cfg) }

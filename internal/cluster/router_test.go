@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpgauv/internal/fleet"
+	"fpgauv/internal/obs"
+	"fpgauv/internal/tensor"
+)
+
+func testPoolCfg(boards int) fleet.Config {
+	return fleet.Config{
+		Boards:          boards,
+		Benchmark:       "VGGNet",
+		Tiny:            true,
+		Images:          8,
+		CharRepeats:     1,
+		MonitorInterval: -1,
+	}
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// Rendezvous hashing must be deterministic (the same key always ranks
+// the same pool first), spread distinct keys across the pool set, and
+// exhibit HRW's minimal-disruption property: removing a pool a key did
+// NOT win never remaps that key.
+func TestRendezvousDeterministicAndSpread(t *testing.T) {
+	pools := []string{"pool0", "pool1", "pool2"}
+	winner := func(key int64, set []string) string {
+		best, bestScore := "", math.Inf(-1)
+		for _, p := range set {
+			if s := rendezvousScore(key, p, 3); s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+		return best
+	}
+	seen := map[string]bool{}
+	for key := int64(1); key <= 64; key++ {
+		w := winner(key, pools)
+		for rep := 0; rep < 3; rep++ {
+			if got := winner(key, pools); got != w {
+				t.Fatalf("key %d: winner flapped %s -> %s", key, w, got)
+			}
+		}
+		seen[w] = true
+		// Remove each losing pool in turn: the winner must hold.
+		for _, drop := range pools {
+			if drop == w {
+				continue
+			}
+			reduced := make([]string, 0, 2)
+			for _, p := range pools {
+				if p != drop {
+					reduced = append(reduced, p)
+				}
+			}
+			if got := winner(key, reduced); got != w {
+				t.Errorf("key %d: dropping loser %s remapped winner %s -> %s", key, drop, w, got)
+			}
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("64 keys landed on %d of 3 pools; want all three in play", len(seen))
+	}
+}
+
+// A pinned affinity key must keep landing on the same pool, and the
+// candidate fallback chain for that key must be stable call over call.
+func TestRouterAffinityPinsPool(t *testing.T) {
+	r := newTestRouter(t, Config{Pools: 3, Pool: testPoolCfg(1)})
+
+	for i := 0; i < 4; i++ {
+		if _, err := r.Classify(context.Background(), fleet.Request{Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs, _, _ := r.journal.Since(0, 0)
+	var routed []string
+	for _, ev := range evs {
+		if ev.Kind == obs.EvRoute {
+			routed = append(routed, ev.Board)
+		}
+	}
+	if len(routed) != 4 {
+		t.Fatalf("route events = %d, want 4", len(routed))
+	}
+	for _, b := range routed[1:] {
+		if b != routed[0] {
+			t.Errorf("affinity 42 flapped pools: %v", routed)
+		}
+	}
+
+	c1 := r.candidates(classBulk, 42)
+	c2 := r.candidates(classBulk, 42)
+	if len(c1) != 3 || len(c2) != 3 {
+		t.Fatalf("candidate chains %d/%d, want 3/3", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Errorf("fallback chain unstable at position %d: %s vs %s", i, c1[i].name, c2[i].name)
+		}
+	}
+}
+
+// occupyWorkers parks one long inference job on the scheduler and waits
+// until the target pool has it in flight.
+func occupyWorkers(t *testing.T, r *Router, p *fleet.Pool, wg *sync.WaitGroup) {
+	t.Helper()
+	shape := r.InputShape()
+	imgs := make([]*tensor.Tensor, 64)
+	for i := range imgs {
+		imgs[i] = tensor.New(shape.C, shape.H, shape.W)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := r.Infer(context.Background(), fleet.InferRequest{Images: imgs, Seed: 3}); err != nil {
+			t.Errorf("long job: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for p.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for worker to pick up the long job")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// When every active pool is at its caps the router must promote a warm
+// spare and serve the request there rather than shedding it.
+func TestRouterPromotesSpareWhenSaturated(t *testing.T) {
+	pc := testPoolCfg(1)
+	pc.MaxQueue = 1
+	pc.MicroBatch = 1
+	r := newTestRouter(t, Config{Pools: 1, Spares: 1, Pool: pc, MaxInFlight: 1, SpareDepth: 1})
+
+	var wg sync.WaitGroup
+	occupyWorkers(t, r, r.entries[0].pool, &wg)
+
+	// pool0 is at MaxInFlight: this request must ride the spare.
+	if _, err := r.Classify(context.Background(), fleet.Request{Seed: 7}); err != nil {
+		t.Fatalf("classify with a parked spare available: %v", err)
+	}
+	if got := r.spareActs.Load(); got != 1 {
+		t.Errorf("spare activations = %d, want 1", got)
+	}
+	if !r.entries[1].active.Load() {
+		t.Error("spare pool1 not activated")
+	}
+	counts := r.journal.Counts()
+	if counts[obs.EvSpareActivate] != 1 {
+		t.Errorf("journal spare_activate = %d, want 1", counts[obs.EvSpareActivate])
+	}
+	if counts[obs.EvShed] == 0 {
+		t.Error("journal recorded no shed for the saturated pool0 attempt")
+	}
+	st := r.Status()
+	if st.Cluster == nil {
+		t.Fatal("Status.Cluster nil")
+	}
+	if st.Cluster.ActivePools != 2 || st.Cluster.SparePools != 0 {
+		t.Errorf("active/spare = %d/%d, want 2/0", st.Cluster.ActivePools, st.Cluster.SparePools)
+	}
+	wg.Wait()
+}
+
+// With no spare left, a fully saturated cluster must shed to the caller
+// with the typed error and a positive retry hint, and count it.
+func TestRouterShedsWhenNoSpare(t *testing.T) {
+	pc := testPoolCfg(1)
+	pc.MaxQueue = 1
+	pc.MicroBatch = 1
+	r := newTestRouter(t, Config{Pools: 1, Pool: pc, MaxInFlight: 1})
+
+	var wg sync.WaitGroup
+	occupyWorkers(t, r, r.entries[0].pool, &wg)
+
+	_, err := r.Classify(context.Background(), fleet.Request{Seed: 9})
+	var sat fleet.ErrSaturated
+	if !errors.As(err, &sat) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if sat.Scheduler != "cluster" {
+		t.Errorf("Scheduler = %q, want cluster", sat.Scheduler)
+	}
+	if sat.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", sat.RetryAfter)
+	}
+	if got := r.sheds.Load(); got != 1 {
+		t.Errorf("terminal sheds = %d, want 1", got)
+	}
+	st := r.Status()
+	if st.Shed != 1 {
+		t.Errorf("Status.Shed = %d, want 1", st.Shed)
+	}
+	wg.Wait()
+}
+
+// Chaos under -race: concurrent Classify and Infer across two pools
+// while every board of pool0 crashes via injected failures. Every
+// request must either complete or shed with the typed error — nothing
+// hangs, nothing is lost — and each pool's board journal must keep its
+// per-board sequence strictly increasing.
+func TestRouterConcurrentCrashChaos(t *testing.T) {
+	pc := testPoolCfg(2)
+	pc.MaxQueue = 4
+	pc.MaxAttempts = 6
+	r := newTestRouter(t, Config{Pools: 2, Pool: pc})
+
+	if err := r.Pools()[0].InjectFailures(-1, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	shape := r.InputShape()
+	const n = 24
+	var wg sync.WaitGroup
+	var served, shed atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if i%3 == 0 {
+				img := tensor.New(shape.C, shape.H, shape.W)
+				_, err = r.Infer(ctx, fleet.InferRequest{Images: []*tensor.Tensor{img}, Seed: int64(i % 5)})
+			} else {
+				_, err = r.Classify(ctx, fleet.Request{Seed: int64(i % 7)})
+			}
+			var sat fleet.ErrSaturated
+			switch {
+			case err == nil:
+				served.Add(1)
+			case errors.As(err, &sat):
+				shed.Add(1)
+			default:
+				t.Errorf("request %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Error("no request served")
+	}
+	if got := served.Load() + shed.Load(); got != n {
+		t.Errorf("served+shed = %d, want %d", got, n)
+	}
+	for pi, p := range r.Pools() {
+		evs, _, _ := p.Journal().Since(0, 0)
+		last := map[string]uint64{}
+		for _, ev := range evs {
+			if ev.Board == "" || ev.BoardSeq == 0 {
+				continue
+			}
+			if prev, ok := last[ev.Board]; ok && ev.BoardSeq <= prev {
+				t.Errorf("pool %d: board %s seq went %d -> %d", pi, ev.Board, prev, ev.BoardSeq)
+			}
+			last[ev.Board] = ev.BoardSeq
+		}
+	}
+	st := r.Status()
+	if st.Cluster == nil {
+		t.Fatal("Status.Cluster nil")
+	}
+	if st.Cluster.Routes == 0 {
+		t.Error("cluster routed nothing")
+	}
+	if crashes := st.Crashes; crashes == 0 {
+		t.Error("injected failures produced no crashes")
+	}
+}

@@ -119,9 +119,15 @@ func newMember(idx int, cfg Config) (*member, error) {
 	if err != nil {
 		return nil, err
 	}
+	id := fmt.Sprintf("%s#%d", sample, idx)
+	if cfg.Name != "" {
+		// Pool-qualified board ids keep journals, traces and metrics
+		// unambiguous when N pools serve behind one router.
+		id = cfg.Name + "/" + id
+	}
 	m := &member{
 		idx:     idx,
-		id:      fmt.Sprintf("%s#%d", sample, idx),
+		id:      id,
 		brd:     brd,
 		rt:      rt,
 		scratch: dpu.NewScratch(),

@@ -39,10 +39,20 @@ var errAbandoned = errors.New("fleet: caller abandoned the job")
 
 // Config sizes and parameterizes a pool.
 type Config struct {
+	// Name labels the pool. When set, board ids are prefixed with it
+	// ("pool1/platform-A#0"), keeping ids unique across a multi-pool
+	// cluster. Empty (the default) keeps the historical single-pool ids.
+	Name string
 	// Boards is the pool size (default 3 — one of each silicon sample).
 	// Boards cycle through the paper's three samples: board i is
 	// sample i mod 3.
 	Boards int
+	// MaxQueue bounds the shared work queue: once MaxQueue jobs are
+	// backlogged, Classify/Infer shed with ErrSaturated instead of
+	// queuing. 0 (the default) keeps the historical unbounded behavior.
+	// Requeues after a crash are never bounded — the no-lost-work
+	// guarantee outranks the admission limit.
+	MaxQueue int
 	// Benchmark is the Table 1 workload every board serves
 	// (default "VGGNet").
 	Benchmark string
@@ -290,8 +300,15 @@ type Pool struct {
 	rejected atomic.Int64
 	failed   atomic.Int64
 	canceled atomic.Int64
-	macF     atomic.Int64
-	bramF    atomic.Int64
+	shed     atomic.Int64
+	inFlight atomic.Int64
+	// svcNS is a smoothed per-job service time (EWMA, nanoseconds) —
+	// the drain-rate estimate behind ErrSaturated.RetryAfter. Updated
+	// with plain load/store: a lost update under contention only costs
+	// smoothing accuracy on a hint.
+	svcNS atomic.Int64
+	macF  atomic.Int64
+	bramF atomic.Int64
 	// Per-kind traffic counters. Kept separately (instead of deriving
 	// one split from totals) so every exported figure is individually
 	// monotonic: a derived difference can transiently dip when a
@@ -341,6 +358,52 @@ func (p *Pool) Size() int { return len(p.members) }
 
 // Benchmark returns the workload the pool serves.
 func (p *Pool) Benchmark() string { return p.cfg.Benchmark }
+
+// Name returns the pool's configured label ("pool" when unnamed).
+func (p *Pool) Name() string {
+	if p.cfg.Name == "" {
+		return "pool"
+	}
+	return p.cfg.Name
+}
+
+// QueueDepth is the present backlog: jobs admitted but not yet picked
+// up by a worker. Part of the Scheduler admission surface.
+func (p *Pool) QueueDepth() int { return p.queue.Len() }
+
+// InFlight is the number of jobs currently executing on boards.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
+
+// Pools returns the pool itself: a *Pool is the one-pool Scheduler.
+func (p *Pool) Pools() []*Pool { return []*Pool{p} }
+
+// QuiescentBoards reports how many of the pool's boards have settled
+// voltage control — the SLO routing signal for latency-sensitive
+// traffic. A board counts as quiescent when its governor loop is
+// disabled (static rails never move mid-request) or has settled at a
+// verified operating point.
+func (p *Pool) QuiescentBoards() (settled, total int) {
+	total = len(p.members)
+	enabled := p.gov != nil && p.gov.enabled.Load()
+	for _, m := range p.members {
+		if !enabled || m.gov == nil || m.gov.settledFlag.Load() {
+			settled++
+		}
+	}
+	return settled, total
+}
+
+// OperatingPowerW estimates the pool's present accelerator power: the
+// sum over boards of the silicon power model evaluated at each board's
+// live rails. The bulk-traffic routing cost signal — cheaper pools
+// (settled deeper into the guardband) attract eval passes.
+func (p *Pool) OperatingPowerW() float64 {
+	var w float64
+	for _, m := range p.members {
+		w += m.brd.PowerBreakdownAtRails(m.opMV(), m.bramOpMV()).TotalW
+	}
+	return w
+}
 
 // Classify enqueues one evaluation-set pass and blocks until a board
 // serves it, the context is canceled, or the pool is closed.
@@ -396,13 +459,21 @@ func (p *Pool) submit(ctx context.Context, j *job) (jobOut, error) {
 		p.rejected.Add(1)
 		return jobOut{}, ErrClosed
 	}
+	// The wait span must exist before the push: a worker may pop the job
+	// immediately and end it.
+	j.wait = j.span.Child(obs.StageFleetWait)
+	depth, ok := p.queue.TryPush(j, p.cfg.MaxQueue)
+	if !ok {
+		p.admit.RUnlock()
+		j.wait.End()
+		p.shed.Add(1)
+		return jobOut{}, p.saturatedErr(depth)
+	}
 	if j.kind == jobInfer {
 		p.inferReqs.Add(1)
 	} else {
 		p.evalReqs.Add(1)
 	}
-	j.wait = j.span.Child(obs.StageFleetWait)
-	p.queue.Push(j)
 	p.admit.RUnlock()
 	select {
 	case out := <-j.done:
@@ -431,6 +502,8 @@ func (p *Pool) worker(m *member) {
 			continue
 		}
 		j.attempts++
+		p.inFlight.Add(1)
+		start := time.Now()
 		var out jobOut
 		var err error
 		switch j.kind {
@@ -448,6 +521,17 @@ func (p *Pool) worker(m *member) {
 				p.evalServed.Add(1)
 				p.macF.Add(out.res.MACFaults)
 				p.bramF.Add(out.res.BRAMFaults)
+			}
+		}
+		p.inFlight.Add(-1)
+		if err == nil {
+			// Fold the visit into the smoothed service time (α = 1/8).
+			dur := time.Since(start).Nanoseconds()
+			old := p.svcNS.Load()
+			if old == 0 {
+				p.svcNS.Store(dur)
+			} else {
+				p.svcNS.Store(old + (dur-old)/8)
 			}
 		}
 		if err == nil {

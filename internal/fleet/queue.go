@@ -2,10 +2,11 @@ package fleet
 
 import "sync"
 
-// workQueue is the pool's unbounded FIFO of pending classification jobs.
-// Unbounded matters for the no-lost-work guarantee: a crashed board must
-// always be able to hand its in-flight job back to the queue without
-// blocking or dropping it.
+// workQueue is the pool's FIFO of pending classification jobs. New
+// admissions may be depth-bounded (TryPush), but requeues always land
+// (Push): the no-lost-work guarantee requires that a crashed board can
+// hand its in-flight job back to the queue without blocking or dropping
+// it, so the bound applies only at the admission edge.
 type workQueue struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -24,12 +25,27 @@ func newWorkQueue() *workQueue {
 
 // Push appends a job. Pushes are accepted even after Close so that a
 // worker can requeue a job it picked up during the drain; admission
-// control for *new* work lives in Pool.Classify.
+// control for *new* work lives in Pool.submit.
 func (q *workQueue) Push(j *job) {
+	q.TryPush(j, 0)
+}
+
+// TryPush appends a job unless the backlog already holds max jobs
+// (max <= 0: unbounded). The depth observed under the lock is returned
+// either way, so a refused push can report how saturated the queue was.
+// The check-and-append is atomic: two racing admissions cannot both
+// squeeze past the same last slot.
+func (q *workQueue) TryPush(j *job, max int) (depth int, ok bool) {
 	q.mu.Lock()
+	depth = len(q.items)
+	if max > 0 && depth >= max {
+		q.mu.Unlock()
+		return depth, false
+	}
 	q.items = append(q.items, j)
 	q.mu.Unlock()
 	q.cond.Signal()
+	return depth, true
 }
 
 // Pop blocks until a job is available or the queue is closed and fully

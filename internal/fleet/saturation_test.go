@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgauv/internal/tensor"
+)
+
+// A pool with MaxQueue set must shed with a typed ErrSaturated once the
+// backlog bound is hit, instead of queuing without limit: the saturated
+// submissions return immediately (not after a queue drain), the error
+// carries a positive RetryAfter drain estimate, and Status counts the
+// sheds. Admitted work still completes.
+func TestSaturatedPoolReturnsErrSaturated(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MaxQueue = 1
+	cfg.MonitorInterval = -1
+	// One image per accelerator pass: a many-image infer job holds the
+	// single worker busy long enough to fill the backlog behind it.
+	cfg.MicroBatch = 1
+	p := newTestPool(t, cfg)
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	// Occupy the only worker with a long job (64 single-image passes).
+	shape := p.InputShape()
+	imgs := make([]*tensor.Tensor, 64)
+	for i := range imgs {
+		imgs[i] = tensor.New(shape.C, shape.H, shape.W)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Infer(context.Background(), InferRequest{Images: imgs, Seed: 3}); err != nil {
+			t.Errorf("long job: %v", err)
+		}
+	}()
+	waitFor("worker busy", func() bool { return p.InFlight() == 1 })
+
+	// Fill the single backlog slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Classify(context.Background(), Request{Seed: 5}); err != nil {
+			t.Errorf("queued job: %v", err)
+		}
+	}()
+	waitFor("backlog full", func() bool { return p.QueueDepth() == 1 })
+
+	// Worker busy, queue full: the next submission must shed, now.
+	_, err := p.Classify(context.Background(), Request{Seed: 9})
+	var sat ErrSaturated
+	if !errors.As(err, &sat) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if sat.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", sat.RetryAfter)
+	}
+	if sat.Scheduler == "" {
+		t.Errorf("ErrSaturated.Scheduler empty")
+	}
+	if sat.Depth != 1 {
+		t.Errorf("Depth = %d, want 1", sat.Depth)
+	}
+	st := p.Status()
+	if st.Shed != 1 {
+		t.Errorf("Status.Shed = %d, want 1", st.Shed)
+	}
+	if st.MaxQueue != 1 {
+		t.Errorf("Status.MaxQueue = %d, want 1", st.MaxQueue)
+	}
+	// The shed request was never admitted.
+	if st.EvalRequests != 1 {
+		t.Errorf("EvalRequests = %d, want 1 (sheds must not count as admissions)", st.EvalRequests)
+	}
+	wg.Wait()
+}
+
+// MaxQueue = 0 keeps the historical unbounded admission: no submission
+// ever sheds regardless of backlog.
+func TestUnboundedPoolNeverSheds(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MonitorInterval = -1
+	p := newTestPool(t, cfg)
+
+	const flood = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, flood)
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			_, err := p.Classify(context.Background(), Request{Seed: seed})
+			errs <- err
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("unbounded pool returned %v", err)
+		}
+	}
+	if st := p.Status(); st.Shed != 0 {
+		t.Errorf("Status.Shed = %d, want 0", st.Shed)
+	}
+}
+
+// A requeue after a board failure must never be refused by the bound:
+// the no-lost-work guarantee outranks admission control. One board,
+// MaxQueue 1, a job that fails mid-flight via injected crashes while
+// the queue is full — the requeued job must still complete or fail by
+// attempts, never vanish.
+func TestRequeueBypassesQueueBound(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MaxQueue = 1
+	cfg.MonitorInterval = -1
+	cfg.MaxAttempts = 3
+	p := newTestPool(t, cfg)
+
+	// Two armed failures per board: the first visit fails its initial
+	// try AND its local post-crash retry, forcing a genuine requeue
+	// (possibly onto a full queue).
+	if err := p.InjectFailures(-1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := p.Classify(ctx, Request{Seed: 7})
+	if err != nil {
+		t.Fatalf("requeued job lost: %v", err)
+	}
+	if res.Attempts < 1 {
+		t.Errorf("attempts = %d", res.Attempts)
+	}
+}

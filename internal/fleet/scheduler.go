@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fpgauv/internal/nn"
+	"fpgauv/internal/obs"
+)
+
+// Scheduler is the serving contract the HTTP front-end programs against:
+// everything a request needs (classify, infer, introspection, shutdown)
+// without naming the scheduling topology behind it. A single *Pool and a
+// cluster router over N pools both implement it, so the front-end is
+// interchangeable between one board-set and a sharded fleet.
+//
+// The admission surface is part of the contract: Classify and Infer
+// return ErrSaturated (carrying a RetryAfter hint) instead of queuing
+// without bound when the scheduler's backlog limit is reached, and
+// QueueDepth/Status expose the live backlog so callers and routers can
+// make load decisions without submitting work.
+type Scheduler interface {
+	// Classify runs one evaluation-set pass.
+	Classify(ctx context.Context, req Request) (Result, error)
+	// Infer classifies caller-supplied images.
+	Infer(ctx context.Context, req InferRequest) (InferResult, error)
+	// Status snapshots the scheduler without blocking the serving path.
+	Status() Status
+	// Journal is the scheduler's bounded event journal. For a cluster
+	// this is the router tier's journal (route/shed/spare events);
+	// per-pool board journals stay addressable through Pools.
+	Journal() *obs.Journal
+	// InputShape is the CHW geometry inference images must have.
+	InputShape() nn.Shape
+	// QueueDepth is the present backlog (jobs admitted, not yet picked
+	// up) — the admission surface's live signal.
+	QueueDepth() int
+	// Pools enumerates the concrete pools behind the scheduler in stable
+	// index order (a single pool returns itself), for pool-scoped
+	// operations: per-board rail moves, governor tuning, chaos injection.
+	Pools() []*Pool
+	// Close stops admission, drains queued work and releases the boards.
+	Close()
+}
+
+// Pool is the degenerate one-pool scheduler.
+var _ Scheduler = (*Pool)(nil)
+
+// ErrSaturated reports that admission control refused a request because
+// the scheduler's backlog limit was reached. It is a typed error — not a
+// sentinel — because the shed itself carries data: how deep the backlog
+// was and how long the caller should wait before retrying (the HTTP
+// layer maps it to 429 with a Retry-After header). Check with
+// errors.As(err, &fleet.ErrSaturated{}).
+type ErrSaturated struct {
+	// Scheduler names the pool (or router) that shed the request.
+	Scheduler string
+	// Depth is the backlog observed at rejection.
+	Depth int
+	// RetryAfter is the shedding scheduler's drain estimate: roughly how
+	// long until the present backlog has been served.
+	RetryAfter time.Duration
+}
+
+func (e ErrSaturated) Error() string {
+	who := e.Scheduler
+	if who == "" {
+		who = "pool"
+	}
+	return fmt.Sprintf("fleet: %s saturated (%d queued); retry in %s", who, e.Depth, e.RetryAfter)
+}
+
+// saturatedErr builds this pool's shed error: the retry hint is the
+// backlog drain estimate from the pool's smoothed per-job service time,
+// clamped to a sane [10ms, 5s] operator window.
+func (p *Pool) saturatedErr(depth int) ErrSaturated {
+	svc := time.Duration(p.svcNS.Load())
+	if svc <= 0 {
+		svc = 25 * time.Millisecond
+	}
+	ra := time.Duration(depth+1) * svc / time.Duration(len(p.members))
+	if ra < 10*time.Millisecond {
+		ra = 10 * time.Millisecond
+	}
+	if ra > 5*time.Second {
+		ra = 5 * time.Second
+	}
+	return ErrSaturated{Scheduler: p.Name(), Depth: depth, RetryAfter: ra}
+}

@@ -130,11 +130,62 @@ type BoardStatus struct {
 	ECC *BoardECCStatus `json:"ecc,omitempty"`
 }
 
+// ClusterStatus is the router tier's snapshot, present on Status only
+// when the scheduler is a multi-pool cluster.
+type ClusterStatus struct {
+	// Pools is one routing-level entry per pool, spares included, in
+	// stable index order.
+	Pools []PoolRouteStatus `json:"pools"`
+	// ActivePools/SparePools split the pool set by activation state.
+	ActivePools int `json:"active_pools"`
+	SparePools  int `json:"spare_pools"`
+	// Routes counts dispatch decisions; Hops counts shed-and-retry
+	// handoffs to the next candidate pool.
+	Routes int64 `json:"routes"`
+	Hops   int64 `json:"hops"`
+	// Sheds counts requests the router refused outright (every
+	// candidate pool saturated); SpareActivations counts warm spares
+	// promoted to active.
+	Sheds            int64 `json:"sheds"`
+	SpareActivations int64 `json:"spare_activations"`
+}
+
+// PoolRouteStatus is one pool as the router sees it.
+type PoolRouteStatus struct {
+	// Pool is the pool's configured name.
+	Pool string `json:"pool"`
+	// Active is false for a warm spare that has not been promoted.
+	Active bool `json:"active"`
+	Boards int  `json:"boards"`
+	// Queued/InFlight/MaxQueue are the pool's live admission signals.
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+	MaxQueue int `json:"max_queue"`
+	// Routes counts requests dispatched to this pool; Sheds counts
+	// attempts refused here (router pre-check or pool admission).
+	Routes int64 `json:"routes"`
+	Sheds  int64 `json:"sheds"`
+	// Quiescent is the pool's settled-board count (the latency-SLO
+	// routing signal) and PowerW its modeled accelerator power at the
+	// present rails (the bulk-traffic cost signal).
+	Quiescent int     `json:"quiescent_boards"`
+	PowerW    float64 `json:"power_w"`
+}
+
 // Status is a whole-pool snapshot.
 type Status struct {
+	// Pool names the scheduler that produced the snapshot ("pool" for an
+	// unnamed single pool, "cluster" for a router aggregate).
+	Pool      string        `json:"pool"`
 	Benchmark string        `json:"benchmark"`
 	Boards    []BoardStatus `json:"boards"`
 	Queued    int           `json:"queued"`
+	// InFlight is the number of jobs executing on boards right now;
+	// MaxQueue the admission bound (0 = unbounded) and Shed the
+	// requests refused with ErrSaturated since startup.
+	InFlight int   `json:"in_flight"`
+	MaxQueue int   `json:"max_queue"`
+	Shed     int64 `json:"shed"`
 	// Requests/Served span both job kinds; the eval/infer splits below
 	// partition them by traffic class.
 	Requests int64 `json:"requests"`
@@ -171,6 +222,8 @@ type Status struct {
 	// ECC is the pool-wide BRAM protection snapshot.
 	ECC    *ECCStatus `json:"ecc,omitempty"`
 	Closed bool       `json:"closed"`
+	// Cluster is the router tier's view (nil for a single pool).
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // Status snapshots the pool without blocking the serving path: counters
@@ -178,8 +231,12 @@ type Status struct {
 // snapshot can be taken while every board is mid-classification.
 func (p *Pool) Status() Status {
 	st := Status{
+		Pool:              p.Name(),
 		Benchmark:         p.cfg.Benchmark,
 		Queued:            p.queue.Len(),
+		InFlight:          int(p.inFlight.Load()),
+		MaxQueue:          p.cfg.MaxQueue,
+		Shed:              p.shed.Load(),
 		EvalRequests:      p.evalReqs.Load(),
 		EvalServed:        p.evalServed.Load(),
 		InferRequests:     p.inferReqs.Load(),

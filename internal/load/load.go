@@ -1,0 +1,132 @@
+// Package load is an open-loop request generator for measuring a
+// scheduler's behavior at and past saturation. Open-loop means shots
+// fire on an absolute schedule derived from the offered rate, never
+// gated on earlier responses: a closed loop (fire, wait, fire) slows
+// itself down exactly when the system under test backs up, hiding the
+// queueing it should be measuring (coordinated omission). Here a shot
+// that finds the system slow still fires on time in its own goroutine,
+// and latency is measured from the scheduled fire time — so backlog
+// shows up in the percentiles instead of disappearing from them.
+package load
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrShed classifies a shot refused by admission control. Shot
+// functions return it (or wrap it) when the target sheds the request —
+// an HTTP 429, a fleet.ErrSaturated — so the run separates "the system
+// said no quickly" from "the system failed".
+var ErrShed = errors.New("load: request shed")
+
+// Options parameterizes one open-loop run.
+type Options struct {
+	// Rate is the offered load in requests per second (required).
+	Rate float64
+	// Requests is the total number of shots to fire (required).
+	Requests int
+	// Warmup excludes the first N shots from the latency percentiles
+	// (they still count in Sent/Served/Shed).
+	Warmup int
+	// Timeout bounds each shot's context (0 = inherit the run context).
+	Timeout time.Duration
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Sent is the number of shots fired; Served/Shed/Failed partition
+	// their outcomes.
+	Sent, Served, Shed, Failed int
+	// P50/P90/P99 are served-shot latencies measured from each shot's
+	// *scheduled* fire time, so queueing delay is included.
+	P50, P90, P99 time.Duration
+	// Elapsed is the wall-clock span from first scheduled shot to last
+	// completion.
+	Elapsed time.Duration
+	// OfferedRPS and ServedRPS are the realized offered and served
+	// throughputs; ShedRate is Shed/Sent.
+	OfferedRPS, ServedRPS float64
+	ShedRate              float64
+}
+
+// Run fires opts.Requests shots at opts.Rate, classifying each shot's
+// error as served (nil), shed (ErrShed via errors.Is) or failed, and
+// reports latency percentiles over the served shots. The run stops
+// early when ctx is canceled; shots already in flight are awaited.
+func Run(ctx context.Context, opts Options, shot func(ctx context.Context, seq int) error) Result {
+	if opts.Rate <= 0 || opts.Requests <= 0 {
+		return Result{}
+	}
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		res       Result
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < opts.Requests; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				i = opts.Requests // stop scheduling; fall through to wait
+				continue
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(seq int, scheduled time.Time) {
+			defer wg.Done()
+			sctx := ctx
+			if opts.Timeout > 0 {
+				var cancel context.CancelFunc
+				sctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+				defer cancel()
+			}
+			err := shot(sctx, seq)
+			lat := time.Since(scheduled)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Sent++
+			switch {
+			case err == nil:
+				res.Served++
+				if seq >= opts.Warmup {
+					latencies = append(latencies, lat)
+				}
+			case errors.Is(err, ErrShed):
+				res.Shed++
+			default:
+				res.Failed++
+			}
+		}(i, scheduled)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	res.P50, res.P90, res.P99 = pct(0.50), pct(0.90), pct(0.99)
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.OfferedRPS = float64(res.Sent) / secs
+		res.ServedRPS = float64(res.Served) / secs
+	}
+	if res.Sent > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Sent)
+	}
+	return res
+}

@@ -1,0 +1,68 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The engine must fire every shot, partition outcomes by error class,
+// and keep firing at the offered rate while shots are slow (open loop:
+// a stalled target never throttles the generator).
+func TestRunOpenLoop(t *testing.T) {
+	var calls atomic.Int64
+	res := Run(context.Background(), Options{Rate: 2000, Requests: 40}, func(ctx context.Context, seq int) error {
+		calls.Add(1)
+		switch {
+		case seq%4 == 1:
+			return ErrShed
+		case seq%4 == 3:
+			return errors.New("boom")
+		}
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if got := calls.Load(); got != 40 {
+		t.Fatalf("shots fired = %d, want 40", got)
+	}
+	if res.Sent != 40 || res.Served != 20 || res.Shed != 10 || res.Failed != 10 {
+		t.Errorf("sent/served/shed/failed = %d/%d/%d/%d, want 40/20/10/10",
+			res.Sent, res.Served, res.Shed, res.Failed)
+	}
+	if res.ShedRate != 0.25 {
+		t.Errorf("shed rate = %v, want 0.25", res.ShedRate)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("percentiles unsorted: p50=%v p99=%v", res.P50, res.P99)
+	}
+	// 40 shots at 2000/s is a 20ms schedule; even with 2ms shots the
+	// open loop must finish near the schedule, not 40×2ms serialized.
+	if res.Elapsed > 200*time.Millisecond {
+		t.Errorf("elapsed %v: generator appears closed-loop", res.Elapsed)
+	}
+}
+
+// Wrapped shed errors must classify as sheds, and cancellation must
+// stop scheduling.
+func TestRunShedWrappingAndCancel(t *testing.T) {
+	res := Run(context.Background(), Options{Rate: 5000, Requests: 10}, func(ctx context.Context, seq int) error {
+		return &wrapErr{ErrShed}
+	})
+	if res.Shed != 10 {
+		t.Errorf("wrapped sheds = %d, want 10", res.Shed)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res = Run(ctx, Options{Rate: 10, Requests: 1000}, func(ctx context.Context, seq int) error { return nil })
+	if res.Sent > 1 {
+		t.Errorf("canceled run sent %d shots", res.Sent)
+	}
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "shot: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }

@@ -36,6 +36,13 @@ const (
 	// EvECCUncorrectable: served traffic hit detected-but-uncorrectable
 	// BRAM corruption.
 	EvECCUncorrectable = "ecc_uncorrectable"
+	// EvRoute: the cluster router dispatched a request to a pool.
+	EvRoute = "route"
+	// EvShed: admission control refused a request attempt (pool queue
+	// full or router caps hit).
+	EvShed = "shed"
+	// EvSpareActivate: a warm-spare pool was promoted to active.
+	EvSpareActivate = "spare_activate"
 )
 
 // Event is one structured fleet occurrence. Seq is a journal-global
@@ -130,7 +137,8 @@ func eventLevel(kind string) slog.Level {
 	switch kind {
 	case EvCrash, EvECCUncorrectable:
 		return slog.LevelWarn
-	case EvReboot, EvRedeploy, EvRequeue, EvRailVCCINT, EvRailVCCBRAM:
+	case EvReboot, EvRedeploy, EvRequeue, EvRailVCCINT, EvRailVCCBRAM,
+		EvShed, EvSpareActivate:
 		return slog.LevelInfo
 	default:
 		return slog.LevelDebug

@@ -29,7 +29,7 @@ var ErrShutdown = errors.New("serve: server is shutting down")
 // caller that pins its own seed is asking for a specific fault stream
 // and gets a dedicated pass.
 type batcher struct {
-	pool   *fleet.Pool
+	sched  fleet.Scheduler
 	size   int // classify calls coalesced per eval pass
 	images int // images coalesced per inference pass
 	window time.Duration
@@ -94,7 +94,7 @@ type callOut struct {
 	claimedNS int64
 }
 
-func newBatcher(pool *fleet.Pool, size, images int, window time.Duration) *batcher {
+func newBatcher(sched fleet.Scheduler, size, images int, window time.Duration) *batcher {
 	if size <= 0 {
 		size = 8
 	}
@@ -104,7 +104,7 @@ func newBatcher(pool *fleet.Pool, size, images int, window time.Duration) *batch
 	if window <= 0 {
 		window = 2 * time.Millisecond
 	}
-	return &batcher{pool: pool, size: size, images: images, window: window}
+	return &batcher{sched: sched, size: size, images: images, window: window}
 }
 
 // Submit runs one classify call and blocks until it is served or ctx is
@@ -123,7 +123,7 @@ func (b *batcher) Submit(ctx context.Context, seed int64, tr *obs.Trace) (fleet.
 		b.batches.Add(1)
 		b.observe("classify", 1)
 		sp := tr.Root().Child(obs.StageFleet)
-		res, err := b.pool.Classify(ctx, fleet.Request{Seed: seed, Span: sp})
+		res, err := b.sched.Classify(ctx, fleet.Request{Seed: seed, Span: sp})
 		sp.End()
 		return res, 1, err
 	}
@@ -157,7 +157,7 @@ func (b *batcher) SubmitInfer(ctx context.Context, imgs []*tensor.Tensor, seed i
 		b.inferBatches.Add(1)
 		b.observe("infer", len(imgs))
 		sp := tr.Root().Child(obs.StageFleet)
-		res, err := b.pool.Infer(ctx, fleet.InferRequest{Images: imgs, Seed: seed, Span: sp})
+		res, err := b.sched.Infer(ctx, fleet.InferRequest{Images: imgs, Seed: seed, Span: sp})
 		sp.End()
 		if err != nil {
 			return nil, "", 0, 0, err
@@ -313,7 +313,7 @@ func (b *batcher) runEval(batch []*call) {
 		b.coalesced.Add(int64(len(batch) - 1))
 		b.observe("classify", len(batch))
 		jt, claimed := b.jobTrace(batch)
-		res, err := b.pool.Classify(context.Background(), fleet.Request{Span: jt.Root()})
+		res, err := b.sched.Classify(context.Background(), fleet.Request{Span: jt.Root()})
 		jt.Root().End()
 		for _, c := range batch {
 			c.ch <- callOut{res: res, batch: len(batch), err: err, jt: jt, claimedNS: claimed}
@@ -341,7 +341,7 @@ func (b *batcher) runInfer(batch []*call) {
 		b.inferBatches.Add(1)
 		b.inferCoalesced.Add(int64(len(batch) - 1))
 		b.observe("infer", len(imgs))
-		res, err := b.pool.Infer(context.Background(), fleet.InferRequest{Images: imgs, Span: jt.Root()})
+		res, err := b.sched.Infer(context.Background(), fleet.InferRequest{Images: imgs, Span: jt.Root()})
 		jt.Root().End()
 		lo := 0
 		for _, c := range batch {

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgauv/internal/cluster"
+	"fpgauv/internal/fleet"
+	"fpgauv/internal/tensor"
+)
+
+// clusterConfig wraps a pool template into a pools-wide router config
+// with no spares and no background loops.
+func clusterConfig(pools int, pc fleet.Config) cluster.Config {
+	return cluster.Config{Pools: pools, Pool: pc}
+}
+
+// newClusterTestServer wires the HTTP front-end to a cluster router —
+// the same New call sites use for a single pool, proving the Scheduler
+// seam.
+func newClusterTestServer(t *testing.T, ccfg cluster.Config, scfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	r, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(r, scfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// A router-backed server must serve the same API a pool-backed one
+// does, and expose the cluster through it: aggregate status with a
+// cluster block, ?pool= scoping down to one pool, the router journal on
+// /v1/fleet/events (with ?pool= selecting a board journal), and
+// uvolt_cluster_* metrics.
+func TestServeClusterEndToEnd(t *testing.T) {
+	_, ts := newClusterTestServer(t, clusterConfig(2, eccFleetConfig(false)), Config{BatchWindow: time.Millisecond})
+
+	// Serve a few classifications through the router.
+	for seed := int64(1); seed <= 3; seed++ {
+		resp := postJSON(t, ts.URL+"/v1/classify", classifyRequest{Seed: seed})
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("classify seed %d: status %d (%s)", seed, resp.StatusCode, body)
+		}
+		res := decode[classifyResponse](t, resp)
+		if res.Images == 0 {
+			t.Fatalf("classify seed %d served no images", seed)
+		}
+	}
+
+	// Aggregate status carries the cluster block and pool-qualified
+	// board ids from both pools.
+	resp, err := http.Get(ts.URL + "/v1/fleet/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[fleet.Status](t, resp)
+	if st.Pool != "cluster" {
+		t.Errorf("aggregate Status.Pool = %q, want cluster", st.Pool)
+	}
+	if st.Cluster == nil {
+		t.Fatal("aggregate status missing cluster block")
+	}
+	if st.Cluster.ActivePools != 2 || len(st.Cluster.Pools) != 2 {
+		t.Errorf("cluster block pools = %d active / %d listed, want 2/2", st.Cluster.ActivePools, len(st.Cluster.Pools))
+	}
+	if st.Cluster.Routes < 3 {
+		t.Errorf("cluster routes = %d, want >= 3", st.Cluster.Routes)
+	}
+	if len(st.Boards) != 2 {
+		t.Fatalf("aggregate boards = %d, want 2", len(st.Boards))
+	}
+	if !strings.HasPrefix(st.Boards[0].Board, "pool0/") {
+		t.Errorf("board id %q not pool-qualified", st.Boards[0].Board)
+	}
+
+	// ?pool=0 narrows to one pool's own status.
+	resp, err = http.Get(ts.URL + "/v1/fleet/status?pool=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := decode[fleet.Status](t, resp)
+	if p0.Pool != "pool0" {
+		t.Errorf("scoped Status.Pool = %q, want pool0", p0.Pool)
+	}
+	if p0.Cluster != nil {
+		t.Error("scoped status must not carry a cluster block")
+	}
+	if len(p0.Boards) != 1 {
+		t.Errorf("scoped boards = %d, want 1", len(p0.Boards))
+	}
+
+	// The default events feed is the router tier: route decisions.
+	type eventsResponse struct {
+		Events []struct {
+			Kind  string `json:"kind"`
+			Board string `json:"board"`
+		} `json:"events"`
+		NextCursor uint64 `json:"next_cursor"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/fleet/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := decode[eventsResponse](t, resp)
+	routes := 0
+	for _, ev := range evs.Events {
+		if ev.Kind == "route" {
+			routes++
+		}
+	}
+	if routes < 3 {
+		t.Errorf("router journal shows %d route events, want >= 3", routes)
+	}
+
+	// ?pool=0 selects that pool's board journal instead (rails, scrubs,
+	// crashes — never route events). A scoped rail move seeds it: 850 mV
+	// is the nominal rail, so the move is harmless.
+	postJSON(t, ts.URL+"/v1/fleet/voltage?pool=0", map[string]any{"board": 0, "mv": 850}).Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/fleet/events?pool=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pevs := decode[eventsResponse](t, resp)
+	if len(pevs.Events) == 0 {
+		t.Error("pool journal empty after a scoped rail move")
+	}
+	rails := 0
+	for _, ev := range pevs.Events {
+		if ev.Kind == "rail_vccint" {
+			rails++
+		}
+		if ev.Kind == "route" || ev.Kind == "shed" || ev.Kind == "spare_activate" {
+			t.Errorf("pool journal leaked router event %q", ev.Kind)
+		}
+		if ev.Board != "" && !strings.HasPrefix(ev.Board, "pool0/") {
+			t.Errorf("pool0 journal carries board %q", ev.Board)
+		}
+	}
+	if rails == 0 {
+		t.Error("scoped rail move left no rail_vccint event in pool0's journal")
+	}
+
+	// The scoped mutation must not have touched pool1's journal.
+	resp, err = http.Get(ts.URL + "/v1/fleet/events?pool=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 := decode[eventsResponse](t, resp); len(p1.Events) != 0 {
+		t.Errorf("?pool=0 rail move leaked events into pool1: %+v", p1.Events)
+	}
+
+	// Cluster metric families are exposed with per-pool labels.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"uvolt_cluster_pools 2",
+		"uvolt_cluster_active_pools 2",
+		"uvolt_cluster_routes_total",
+		"uvolt_cluster_sheds_total",
+		"uvolt_cluster_spare_activations_total",
+		`uvolt_cluster_pool_active{pool="pool0"}`,
+		`uvolt_cluster_pool_queue_depth{pool="pool1"}`,
+		`uvolt_cluster_pool_routes_total{pool="pool0"}`,
+		`uvolt_cluster_pool_power_watts{pool="pool0"}`,
+		"uvolt_fleet_shed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// A saturated scheduler must surface as HTTP 429 with a Retry-After
+// header and the JSON error shape — the load-shedding contract clients
+// key off.
+func TestServeSaturationReturns429(t *testing.T) {
+	fcfg := fleet.Config{Boards: 1, Tiny: true, Images: 4, CharRepeats: 1,
+		MonitorInterval: -1, MaxQueue: 1, MicroBatch: 1}
+	s, ts := newTestServer(t, fcfg, Config{BatchWindow: time.Millisecond})
+	pool := s.pools[0]
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	// Occupy the only worker with a long job, then fill the single
+	// backlog slot, exactly like the fleet-layer saturation test — but
+	// assert the HTTP shape of the refusal.
+	shape := pool.InputShape()
+	// 512 single-image passes: long enough that an HTTP round trip
+	// cannot outlast the occupied worker.
+	imgs := make([]*tensor.Tensor, 512)
+	for i := range imgs {
+		imgs[i] = tensor.New(shape.C, shape.H, shape.W)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := pool.Infer(context.Background(), fleet.InferRequest{Images: imgs, Seed: 3}); err != nil {
+			t.Errorf("long job: %v", err)
+		}
+	}()
+	waitFor("worker busy", func() bool { return pool.InFlight() == 1 })
+	go func() {
+		defer wg.Done()
+		if _, err := pool.Classify(context.Background(), fleet.Request{Seed: 5}); err != nil {
+			t.Errorf("queued job: %v", err)
+		}
+	}()
+	waitFor("backlog full", func() bool { return pool.QueueDepth() == 1 })
+
+	// Pinned seed bypasses the batcher: the submission hits the pool's
+	// admission edge and must shed as 429.
+	resp := postJSON(t, ts.URL+"/v1/classify", classifyRequest{Seed: 9})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if !strings.Contains(string(body), "saturated") {
+		t.Errorf("error body %q does not name saturation", body)
+	}
+	wg.Wait()
+}

@@ -136,7 +136,7 @@ func TestMetricsExpositionConformance(t *testing.T) {
 
 	// Drive enough traffic to populate histograms, journal events and
 	// every response class.
-	if err := s.pool.InjectFailures(0, 2); err != nil {
+	if err := s.pools[0].InjectFailures(0, 2); err != nil {
 		t.Fatal(err)
 	}
 	pixels := testImage(s, 9)

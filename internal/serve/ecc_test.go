@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -101,10 +102,23 @@ func TestServeECCMetrics(t *testing.T) {
 
 // The API audit gate: every endpoint must reject wrong methods with the
 // JSON error shape, reject malformed bodies with 400, and unknown fleet
-// paths must 404 through errorJSON — not the mux's plain-text page.
+// paths must 404 through errorJSON — not the mux's plain-text page. The
+// audit runs against both schedulers the front-end accepts — a single
+// pool and a cluster router — because the error contract must not
+// depend on what is behind the Scheduler interface.
 func TestServeEndpointAudit(t *testing.T) {
-	_, ts := newTestServer(t, eccFleetConfig(false), Config{BatchWindow: time.Millisecond})
+	t.Run("pool", func(t *testing.T) {
+		_, ts := newTestServer(t, eccFleetConfig(false), Config{BatchWindow: time.Millisecond})
+		auditEndpoints(t, ts)
+	})
+	t.Run("cluster", func(t *testing.T) {
+		pc := eccFleetConfig(false)
+		_, ts := newClusterTestServer(t, clusterConfig(2, pc), Config{BatchWindow: time.Millisecond})
+		auditEndpoints(t, ts)
+	})
+}
 
+func auditEndpoints(t *testing.T, ts *httptest.Server) {
 	do := func(method, path, body string) *http.Response {
 		t.Helper()
 		var rd io.Reader
@@ -151,6 +165,16 @@ func TestServeEndpointAudit(t *testing.T) {
 		{"fleet not found", http.MethodGet, "/v1/fleet/nope", "", http.StatusNotFound},
 		{"fleet root", http.MethodGet, "/v1/fleet/", "", http.StatusNotFound},
 		{"fleet not found POST", http.MethodPost, "/v1/fleet/ecc/extra", "{}", http.StatusNotFound},
+		// Pool scoping: out-of-range and non-integer ?pool= values get
+		// the JSON 400 shape on every scoped endpoint.
+		{"status pool out of range", http.MethodGet, "/v1/fleet/status?pool=9", "", http.StatusBadRequest},
+		{"status pool negative", http.MethodGet, "/v1/fleet/status?pool=-1", "", http.StatusBadRequest},
+		{"status pool not int", http.MethodGet, "/v1/fleet/status?pool=x", "", http.StatusBadRequest},
+		{"events pool out of range", http.MethodGet, "/v1/fleet/events?pool=9", "", http.StatusBadRequest},
+		{"events pool not int", http.MethodGet, "/v1/fleet/events?pool=x", "", http.StatusBadRequest},
+		{"governor pool out of range", http.MethodGet, "/v1/fleet/governor?pool=9", "", http.StatusBadRequest},
+		{"ecc pool out of range", http.MethodGet, "/v1/fleet/ecc?pool=9", "", http.StatusBadRequest},
+		{"voltage pool out of range", http.MethodPost, "/v1/fleet/voltage?pool=9", `{"board":0,"mv":600}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		resp := do(tc.method, tc.path, tc.body)

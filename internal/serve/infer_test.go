@@ -19,7 +19,7 @@ import (
 
 // testImage builds one valid inference input for the server's pool.
 func testImage(s *Server, seed int64) []float32 {
-	shape := s.pool.InputShape()
+	shape := s.sched.InputShape()
 	img := tensor.New(shape.C, shape.H, shape.W)
 	img.FillRandn(rand.New(rand.NewSource(seed)), 1)
 	return img.Data()
@@ -114,7 +114,7 @@ func TestServeInferCoalesces(t *testing.T) {
 	if s.batch.inferCoalesced.Load() == 0 {
 		t.Error("inferCoalesced = 0, want > 0")
 	}
-	st := s.pool.Status()
+	st := s.sched.Status()
 	if st.InferImages != calls {
 		t.Errorf("fleet classified %d images, want %d", st.InferImages, calls)
 	}

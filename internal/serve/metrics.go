@@ -10,8 +10,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fpgauv/internal/fleet"
 	"fpgauv/internal/obs"
 )
+
+// poolJournals collects the per-pool board journals.
+func poolJournals(pools []*fleet.Pool) []*obs.Journal {
+	out := make([]*obs.Journal, len(pools))
+	for i, p := range pools {
+		out[i] = p.Journal()
+	}
+	return out
+}
 
 // histogram is a fixed-bucket Prometheus histogram: lock-free observes,
 // rendered as cumulative le buckets plus _sum and _count.
@@ -65,7 +75,7 @@ func (h *histogram) render(b *strings.Builder, name, labels string) {
 // front-end state: throughput GOPs, per-rail watts, fault counters,
 // reboot counts and HTTP/batching counters.
 func (s *Server) renderMetrics() string {
-	st := s.pool.Status()
+	st := s.sched.Status()
 	var b strings.Builder
 
 	gauge := func(name, help string, v any) {
@@ -81,6 +91,9 @@ func (s *Server) renderMetrics() string {
 		fmt.Sprintf("%.3f", time.Since(s.started).Seconds()))
 	gauge("uvolt_fleet_boards", "Boards in the pool.", len(st.Boards))
 	gauge("uvolt_fleet_queue_depth", "Requests waiting for a board.", st.Queued)
+	gauge("uvolt_fleet_in_flight", "Jobs executing on boards right now.", st.InFlight)
+	gauge("uvolt_fleet_max_queue", "Admission bound on the backlog (0 = unbounded).", st.MaxQueue)
+	counter("uvolt_fleet_shed_total", "Requests refused by admission control (HTTP 429).", st.Shed)
 	gauge("uvolt_fleet_throughput_gops", "Aggregate modeled throughput (GOPs).", fmt.Sprintf("%.2f", st.GOPs))
 	counter("uvolt_fleet_requests_total", "Classification requests admitted.", st.Requests)
 	counter("uvolt_fleet_served_total", "Classification requests completed.", st.Served)
@@ -231,6 +244,50 @@ func (s *Server) renderMetrics() string {
 		}
 	}
 
+	if cl := st.Cluster; cl != nil {
+		gauge("uvolt_cluster_pools", "Pools behind the router, spares included.", len(cl.Pools))
+		gauge("uvolt_cluster_active_pools", "Pools currently accepting routed traffic.", cl.ActivePools)
+		counter("uvolt_cluster_routes_total", "Dispatch decisions made by the router.", cl.Routes)
+		counter("uvolt_cluster_hops_total", "Shed-and-retry handoffs to the next candidate pool.", cl.Hops)
+		counter("uvolt_cluster_sheds_total", "Requests refused outright (every candidate pool saturated).", cl.Sheds)
+		counter("uvolt_cluster_spare_activations_total", "Warm-spare pools promoted to active.", cl.SpareActivations)
+		perPool := func(name, help, typ string) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		}
+		perPool("uvolt_cluster_pool_active", "Whether the pool accepts routed traffic.", "gauge")
+		for _, p := range cl.Pools {
+			v := 0
+			if p.Active {
+				v = 1
+			}
+			fmt.Fprintf(&b, "uvolt_cluster_pool_active{pool=%q} %d\n", p.Pool, v)
+		}
+		perPool("uvolt_cluster_pool_queue_depth", "Backlog per pool.", "gauge")
+		for _, p := range cl.Pools {
+			fmt.Fprintf(&b, "uvolt_cluster_pool_queue_depth{pool=%q} %d\n", p.Pool, p.Queued)
+		}
+		perPool("uvolt_cluster_pool_inflight", "Jobs executing per pool.", "gauge")
+		for _, p := range cl.Pools {
+			fmt.Fprintf(&b, "uvolt_cluster_pool_inflight{pool=%q} %d\n", p.Pool, p.InFlight)
+		}
+		perPool("uvolt_cluster_pool_routes_total", "Requests dispatched per pool.", "counter")
+		for _, p := range cl.Pools {
+			fmt.Fprintf(&b, "uvolt_cluster_pool_routes_total{pool=%q} %d\n", p.Pool, p.Routes)
+		}
+		perPool("uvolt_cluster_pool_sheds_total", "Attempts refused per pool (router pre-check or pool admission).", "counter")
+		for _, p := range cl.Pools {
+			fmt.Fprintf(&b, "uvolt_cluster_pool_sheds_total{pool=%q} %d\n", p.Pool, p.Sheds)
+		}
+		perPool("uvolt_cluster_pool_quiescent_boards", "Boards with settled voltage control per pool.", "gauge")
+		for _, p := range cl.Pools {
+			fmt.Fprintf(&b, "uvolt_cluster_pool_quiescent_boards{pool=%q} %d\n", p.Pool, p.Quiescent)
+		}
+		perPool("uvolt_cluster_pool_power_watts", "Modeled accelerator power per pool at present rails.", "gauge")
+		for _, p := range cl.Pools {
+			fmt.Fprintf(&b, "uvolt_cluster_pool_power_watts{pool=%q} %.3f\n", p.Pool, p.PowerW)
+		}
+	}
+
 	fmt.Fprintf(&b, "# HELP uvolt_batch_size Accelerator-pass batch sizes by traffic kind (classify: calls, infer: images).\n# TYPE uvolt_batch_size histogram\n")
 	s.batchSizes["classify"].render(&b, "uvolt_batch_size", `kind="classify",`)
 	s.batchSizes["infer"].render(&b, "uvolt_batch_size", `kind="infer",`)
@@ -244,7 +301,20 @@ func (s *Server) renderMetrics() string {
 	}
 
 	fmt.Fprintf(&b, "# HELP uvolt_events_total Fleet journal events by kind.\n# TYPE uvolt_events_total counter\n")
-	counts := s.pool.Journal().Counts()
+	// Aggregate counts across the scheduler journal and every distinct
+	// pool journal: for a single pool those are the same object (counted
+	// once), for a cluster the router tier and N board journals merge.
+	counts := map[string]int64{}
+	seen := map[*obs.Journal]bool{}
+	for _, jr := range append([]*obs.Journal{s.sched.Journal()}, poolJournals(s.pools)...) {
+		if jr == nil || seen[jr] {
+			continue
+		}
+		seen[jr] = true
+		for k, v := range jr.Counts() {
+			counts[k] += v
+		}
+	}
 	kinds := make([]string, 0, len(counts))
 	for k := range counts {
 		kinds = append(kinds, k)

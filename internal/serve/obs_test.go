@@ -56,7 +56,7 @@ func TestTracedInferAcrossCrash(t *testing.T) {
 	var tj traceJSON
 	found := false
 	for try := 0; try < 25 && !found; try++ {
-		if err := s.pool.InjectFailures(0, 2); err != nil {
+		if err := s.pools[0].InjectFailures(0, 2); err != nil {
 			t.Fatal(err)
 		}
 		resp := postJSON(t, ts.URL+"/v1/infer", inferRequest{Pixels: pixels, Seed: int64(100 + try)})

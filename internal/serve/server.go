@@ -1,6 +1,8 @@
-// Package serve is the HTTP inference front-end of a fleet.Pool: a JSON
+// Package serve is the HTTP inference front-end of a fleet.Scheduler —
+// a single pool or a multi-pool cluster router, interchangeably: a JSON
 // API for classification and fleet operations, request batching that
-// amortizes concurrent callers over shared accelerator passes, and
+// amortizes concurrent callers over shared accelerator passes,
+// admission-control mapping (ErrSaturated → 429 + Retry-After), and
 // Prometheus-style text metrics.
 package serve
 
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -47,9 +50,13 @@ var stageOrder = []string{
 	obs.StageRespond,
 }
 
-// Server routes HTTP traffic onto a fleet pool.
+// Server routes HTTP traffic onto a fleet scheduler (one pool or a
+// cluster router — the front-end cannot tell them apart).
 type Server struct {
-	pool    *fleet.Pool
+	sched fleet.Scheduler
+	// pools caches sched.Pools() for ?pool=-scoped operations (the pool
+	// set is fixed for a scheduler's lifetime; spares exist from startup).
+	pools   []*fleet.Pool
 	batch   *batcher
 	mux     *http.ServeMux
 	tracer  *obs.Tracer
@@ -81,12 +88,14 @@ type Server struct {
 	stageHist       map[string]*histogram
 }
 
-// New wires a server to a running pool.
-func New(pool *fleet.Pool, cfg Config) *Server {
+// New wires a server to a running scheduler: a *fleet.Pool or a
+// *cluster.Router, interchangeably.
+func New(sched fleet.Scheduler, cfg Config) *Server {
 	latencyBounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
 	s := &Server{
-		pool:    pool,
-		batch:   newBatcher(pool, cfg.BatchSize, cfg.BatchImages, cfg.BatchWindow),
+		sched:   sched,
+		pools:   sched.Pools(),
+		batch:   newBatcher(sched, cfg.BatchSize, cfg.BatchImages, cfg.BatchWindow),
 		mux:     http.NewServeMux(),
 		tracer:  obs.NewTracer(cfg.TraceRing),
 		started: time.Now(),
@@ -130,11 +139,53 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 // Handler returns the HTTP handler (for http.Server or httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the batcher and shuts the pool down; queued work finishes
-// first. Call after the HTTP listener has stopped accepting.
+// Close drains the batcher and shuts the scheduler down; queued work
+// finishes first. Call after the HTTP listener has stopped accepting.
 func (s *Server) Close() {
 	s.batch.Close()
-	s.pool.Close()
+	s.sched.Close()
+}
+
+// poolScope resolves the optional ?pool= query parameter to a pool
+// index. Absent returns -1 (whole scheduler); a non-integer or
+// out-of-range value returns an error for the caller to map to 400.
+func (s *Server) poolScope(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("pool")
+	if v == "" {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 || n >= len(s.pools) {
+		return 0, fmt.Errorf("pool %q out of range (cluster has %d pools)", v, len(s.pools))
+	}
+	return n, nil
+}
+
+// scopedPools resolves a poolScope result to the pools it addresses.
+func (s *Server) scopedPools(k int) []*fleet.Pool {
+	if k < 0 {
+		return s.pools
+	}
+	return s.pools[k : k+1]
+}
+
+// scopedStatus resolves a poolScope result to one status snapshot: the
+// scheduler-wide aggregate, or one pool's view.
+func (s *Server) scopedStatus(k int) fleet.Status {
+	if k < 0 {
+		return s.sched.Status()
+	}
+	return s.pools[k].Status()
+}
+
+// retryAfterSecs renders an ErrSaturated drain estimate for the
+// Retry-After header: whole seconds, rounded up, at least 1.
+func retryAfterSecs(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // classifyRequest is the /v1/classify body (all fields optional).
@@ -227,6 +278,21 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		rsp := tr.Root().Child(obs.StageRespond)
 		s.writeJSON(w, http.StatusOK, classifyResponse{Result: res, BatchSize: batchSize, TraceID: tr.ID()})
 		rsp.End()
+	default:
+		s.errorForSubmit(w, err)
+	}
+}
+
+// errorForSubmit maps a classify/infer submission error to its HTTP
+// shape. Saturation gets 429 with a Retry-After header carrying the
+// scheduler's drain estimate — the load-shedding contract clients and
+// load generators key off.
+func (s *Server) errorForSubmit(w http.ResponseWriter, err error) {
+	var sat fleet.ErrSaturated
+	switch {
+	case errors.As(err, &sat):
+		w.Header().Set("Retry-After", retryAfterSecs(sat.RetryAfter))
+		s.errorJSON(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrShutdown), errors.Is(err, fleet.ErrClosed):
 		s.errorJSON(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -267,7 +333,7 @@ type inferResponse struct {
 // decodeInferImage resolves the request body into a CHW tensor matching
 // the pool's input shape.
 func (s *Server) decodeInferImage(req inferRequest) (*tensor.Tensor, error) {
-	shape := s.pool.InputShape()
+	shape := s.sched.InputShape()
 	want := shape.C * shape.H * shape.W
 	pixels := req.Pixels
 	if req.ImageB64 != "" {
@@ -329,12 +395,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			TraceID:   tr.ID(),
 		})
 		rsp.End()
-	case errors.Is(err, ErrShutdown), errors.Is(err, fleet.ErrClosed):
-		s.errorJSON(w, http.StatusServiceUnavailable, err.Error())
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		s.errorJSON(w, 499, "client went away") // nginx's client-closed-request
 	default:
-		s.errorJSON(w, http.StatusInternalServerError, err.Error())
+		s.errorForSubmit(w, err)
 	}
 }
 
@@ -344,7 +406,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.pool.Status())
+	k, err := s.poolScope(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.scopedStatus(k))
 }
 
 // voltageRequest is the /v1/fleet/voltage body.
@@ -375,15 +442,22 @@ func (s *Server) handleVoltage(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusBadRequest, "mv must be positive")
 		return
 	}
-	var err error
-	if req.Operating {
-		err = s.pool.SetOperatingMV(req.Board, req.MV)
-	} else {
-		err = s.pool.SetVCCINTmV(req.Board, req.MV)
-	}
+	k, err := s.poolScope(r)
 	if err != nil {
 		s.errorJSON(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	for _, p := range s.scopedPools(k) {
+		var err error
+		if req.Operating {
+			err = p.SetOperatingMV(req.Board, req.MV)
+		} else {
+			err = p.SetVCCINTmV(req.Board, req.MV)
+		}
+		if err != nil {
+			s.errorJSON(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"ok": true, "board": req.Board, "mv": req.MV, "operating": req.Operating,
@@ -420,8 +494,8 @@ type governorResponse struct {
 	Boards   []governorBoard       `json:"boards"`
 }
 
-func (s *Server) governorReport() governorResponse {
-	st := s.pool.Status()
+func (s *Server) governorReport(k int) governorResponse {
+	st := s.scopedStatus(k)
 	out := governorResponse{Governor: st.Governor}
 	for _, b := range st.Boards {
 		out.Boards = append(out.Boards, governorBoard{
@@ -437,9 +511,14 @@ func (s *Server) governorReport() governorResponse {
 
 func (s *Server) handleGovernor(w http.ResponseWriter, r *http.Request) {
 	s.governorReqs.Add(1)
+	k, err := s.poolScope(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
-		s.writeJSON(w, http.StatusOK, s.governorReport())
+		s.writeJSON(w, http.StatusOK, s.governorReport(k))
 	case http.MethodPost:
 		var req governorRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -456,14 +535,18 @@ func (s *Server) handleGovernor(w http.ResponseWriter, r *http.Request) {
 			VerifyEvery:   req.VerifyEvery,
 			RetestDeltaC:  req.RetestDeltaC,
 		}
-		if err := s.pool.TuneGovernor(tn); err != nil {
-			s.errorJSON(w, http.StatusBadRequest, err.Error())
-			return
+		for _, p := range s.scopedPools(k) {
+			if err := p.TuneGovernor(tn); err != nil {
+				s.errorJSON(w, http.StatusBadRequest, err.Error())
+				return
+			}
 		}
 		if req.Enabled != nil {
-			s.pool.SetGovernorEnabled(*req.Enabled)
+			for _, p := range s.scopedPools(k) {
+				p.SetGovernorEnabled(*req.Enabled)
+			}
 		}
-		s.writeJSON(w, http.StatusOK, s.governorReport())
+		s.writeJSON(w, http.StatusOK, s.governorReport(k))
 	default:
 		s.errorJSON(w, http.StatusMethodNotAllowed, "GET or POST required")
 	}
@@ -496,8 +579,8 @@ type eccResponse struct {
 	Boards []eccBoard       `json:"boards"`
 }
 
-func (s *Server) eccReport() eccResponse {
-	st := s.pool.Status()
+func (s *Server) eccReport(k int) eccResponse {
+	st := s.scopedStatus(k)
 	out := eccResponse{ECC: st.ECC}
 	for _, b := range st.Boards {
 		out.Boards = append(out.Boards, eccBoard{
@@ -512,9 +595,14 @@ func (s *Server) eccReport() eccResponse {
 
 func (s *Server) handleECC(w http.ResponseWriter, r *http.Request) {
 	s.eccReqs.Add(1)
+	k, err := s.poolScope(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
-		s.writeJSON(w, http.StatusOK, s.eccReport())
+		s.writeJSON(w, http.StatusOK, s.eccReport(k))
 	case http.MethodPost:
 		var req eccRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -525,16 +613,18 @@ func (s *Server) handleECC(w http.ResponseWriter, r *http.Request) {
 			s.errorJSON(w, http.StatusBadRequest, "scrub_interval_ms must be positive")
 			return
 		}
-		if req.Enabled != nil {
-			s.pool.SetECCEnabled(*req.Enabled)
+		for _, p := range s.scopedPools(k) {
+			if req.Enabled != nil {
+				p.SetECCEnabled(*req.Enabled)
+			}
+			if req.ScrubIntervalMS > 0 {
+				p.SetScrubInterval(time.Duration(req.ScrubIntervalMS * float64(time.Millisecond)))
+			}
+			if req.ScrubNow {
+				p.ScrubNow()
+			}
 		}
-		if req.ScrubIntervalMS > 0 {
-			s.pool.SetScrubInterval(time.Duration(req.ScrubIntervalMS * float64(time.Millisecond)))
-		}
-		if req.ScrubNow {
-			s.pool.ScrubNow()
-		}
-		s.writeJSON(w, http.StatusOK, s.eccReport())
+		s.writeJSON(w, http.StatusOK, s.eccReport(k))
 	default:
 		s.errorJSON(w, http.StatusMethodNotAllowed, "GET or POST required")
 	}
@@ -556,7 +646,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.pool.Status()
+	st := s.sched.Status()
 	healthy := 0
 	for _, b := range st.Boards {
 		if b.State == "healthy" {

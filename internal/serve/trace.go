@@ -128,14 +128,22 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleEvents serves GET /v1/fleet/events?cursor=K&limit=N: the fleet
-// journal after global sequence K. The reply's next_cursor feeds the
-// next poll; gap reports that the ring dropped events between the
-// caller's cursor and the oldest retained entry.
+// handleEvents serves GET /v1/fleet/events?cursor=K&limit=N[&pool=P]:
+// the scheduler's journal after global sequence K — for a cluster that
+// is the router tier's route/shed/spare_activate record, while ?pool=P
+// selects one pool's board journal (crashes, rails, governor traffic)
+// with its own cursor space. The reply's next_cursor feeds the next
+// poll; gap reports that the ring dropped events between the caller's
+// cursor and the oldest retained entry.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.eventsReqs.Add(1)
 	if r.Method != http.MethodGet {
 		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	k, err := s.poolScope(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	q := r.URL.Query()
@@ -157,7 +165,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	evs, next, gap := s.pool.Journal().Since(cursor, limit)
+	jr := s.sched.Journal()
+	if k >= 0 {
+		jr = s.pools[k].Journal()
+	}
+	evs, next, gap := jr.Since(cursor, limit)
 	if evs == nil {
 		evs = []obs.Event{}
 	}
