@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs bench-cluster
+.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs bench-cluster bench-gemm
 
 all: vet build test
 
@@ -68,6 +68,20 @@ bench-cluster:
 	$(GO) run ./cmd/benchjson -label BENCH_7 < BENCH_7.raw > BENCH_7.json
 	@rm -f BENCH_7.raw
 	@cat BENCH_7.json
+
+# GEMM scaling snapshot: the conv kernels comparison plus the tiled
+# GEMM engine (single-image conv + 8-image multi-RHS batch) swept
+# across -cpu 1,2,4. The tile worker pool is GOMAXPROCS-aware, so each
+# -cpu width runs a matching pool width: the sweep pins both the
+# parallel speedup trajectory and the -cpu 1 no-regression contract
+# (the 1-worker path is the serial kernel loop verbatim). Emitted as
+# BENCH_8.json.
+bench-gemm:
+	$(GO) test -run '^$$' -bench 'BenchmarkConvKernels|BenchmarkGemmScaling' \
+		-benchmem -benchtime 0.3s -count 1 -cpu 1,2,4 . > BENCH_8.raw
+	$(GO) run ./cmd/benchjson -label BENCH_8 < BENCH_8.raw > BENCH_8.json
+	@rm -f BENCH_8.raw
+	@cat BENCH_8.json
 
 BENCH_NUM ?= 5
 bench-json:

@@ -210,6 +210,60 @@ func BenchmarkConvKernels(b *testing.B) {
 	})
 }
 
+// BenchmarkGemmScaling measures the tiled GEMM engine's parallel
+// scaling on the two serving-dominant shapes: the single-image conv
+// lowering (64×32×3×3 over 32×32, ≈19M MACs) and the batched multi-RHS
+// variant (8 images stacked into one wide GEMM). The tile worker pool
+// is left in its GOMAXPROCS-aware automatic mode, so running with
+// -cpu 1,2,4 sweeps the pool width; the workers metric records the
+// effective width per run. The -cpu 1 case must stay within noise of
+// the serial pre-parallel kernel (the pool's serial path is the old
+// kernel loop verbatim), and wider runs bound the macro-tile speedup.
+// Run via `make bench-gemm` (emits BENCH_8.json).
+func BenchmarkGemmScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.New(64, 32, 3, 3)
+	w.FillRandn(rng, 0.2)
+	wq, _ := quant.Quantize(w, 8)
+	bias := make([]int32, 64)
+	const batch = 8
+	xqs := make([]*quant.QTensor, batch)
+	for i := range xqs {
+		x := tensor.New(32, 32, 32)
+		x.FillRandn(rng, 1)
+		xqs[i], _ = quant.Quantize(x, 8)
+	}
+	b.Run("conv", func(b *testing.B) {
+		var col []int8
+		var acc []int32
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := quant.Conv2DInt8Gemm(xqs[0], wq, bias, 1, 1, &col, &acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(quant.Workers()), "workers")
+	})
+	b.Run("conv-batch", func(b *testing.B) {
+		var col []int8
+		var acc []int32
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := quant.Conv2DInt8GemmBatch(xqs, wq, bias, 1, 1, &col, &acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(quant.Workers()), "workers")
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)*batch/secs, "images/s")
+		}
+	})
+}
+
 // BenchmarkClassifySteadyState measures a full serving-path evaluation
 // pass (16 images, VGGNet tiny) at a critical-region operating point —
 // the steady-state work a fleet worker performs per request. The

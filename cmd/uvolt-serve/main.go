@@ -7,7 +7,7 @@
 //
 //	uvolt-serve [-addr :8090] [-boards 3] [-bench VGGNet] [-images 32]
 //	            [-margin 10] [-batch 8] [-batch-images 16] [-micro-batch 16]
-//	            [-batch-window 2ms]
+//	            [-batch-window 2ms] [-gemm-workers 0]
 //	            [-pools 1] [-pool-boards 0] [-max-queue 0] [-spares 0]
 //	            [-governor] [-governor-interval 25ms] [-governor-step 5]
 //	            [-governor-margin 5] [-governor-probe 12]
@@ -72,6 +72,7 @@ func main() {
 	batchImages := flag.Int("batch-images", 16, "max images coalesced per inference micro-batch")
 	microBatch := flag.Int("micro-batch", 16, "accelerator-pass size for inference jobs")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "batching window")
+	gemmWorkers := flag.Int("gemm-workers", 0, "GEMM tile worker pool width shared by conv macro-tiles and batch lanes (0 = GOMAXPROCS-aware automatic)")
 	pools := flag.Int("pools", 1, "pools in the cluster (1 = single pool, no router)")
 	poolBoards := flag.Int("pool-boards", 0, "boards per pool when clustered (default: -boards)")
 	maxQueue := flag.Int("max-queue", 0, "per-pool backlog bound; saturation sheds with 429 (0 = unbounded single pool, 8 per clustered pool)")
@@ -99,16 +100,17 @@ func main() {
 	log := slog.Default()
 
 	fcfg := fpgauv.FleetConfig{
-		Boards:     *boards,
-		Benchmark:  *bench,
-		Tiny:       *tiny,
-		Images:     *images,
-		Bits:       *bits,
-		Sparsity:   *sparsity,
-		MarginMV:   *margin,
-		TargetMV:   *target,
-		MicroBatch: *microBatch,
-		MaxQueue:   *maxQueue,
+		Boards:      *boards,
+		Benchmark:   *bench,
+		Tiny:        *tiny,
+		Images:      *images,
+		Bits:        *bits,
+		Sparsity:    *sparsity,
+		MarginMV:    *margin,
+		TargetMV:    *target,
+		MicroBatch:  *microBatch,
+		MaxQueue:    *maxQueue,
+		GemmWorkers: *gemmWorkers,
 		Governor: fpgauv.GovernorConfig{
 			Enabled:     *governor,
 			Interval:    *govInterval,

@@ -6,6 +6,7 @@ import (
 	"fpgauv/internal/cluster"
 	"fpgauv/internal/fleet"
 	"fpgauv/internal/obs"
+	"fpgauv/internal/quant"
 	"fpgauv/internal/serve"
 )
 
@@ -111,3 +112,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 // metrics) to a running scheduler — a single Fleet or a Cluster,
 // interchangeably.
 func NewServer(sched Scheduler, cfg ServeConfig) *Server { return serve.New(sched, cfg) }
+
+// GemmWorkers reports the effective width of the process-wide GEMM tile
+// worker pool: the compute engine splits convolution/FC macro-tiles and
+// batch lanes across this many executors (the calling goroutine
+// included). Also surfaced as FleetStatus.GemmWorkers and the
+// uvolt_gemm_workers gauge.
+func GemmWorkers() int { return quant.Workers() }
+
+// SetGemmWorkers retunes the GEMM worker pool at runtime: n >= 1 pins
+// the width (capped internally), n <= 0 restores the GOMAXPROCS-aware
+// automatic default. Results are bit-exact at every width — only
+// latency changes. FleetConfig.GemmWorkers applies the same setting at
+// fleet construction.
+func SetGemmWorkers(n int) { quant.SetWorkers(n) }

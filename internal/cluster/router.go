@@ -141,6 +141,12 @@ type Router struct {
 	hops      atomic.Int64
 	sheds     atomic.Int64
 	spareActs atomic.Int64
+	// satErrs interns the router's terminal shed errors so refusing a
+	// request when every pool is saturated allocates nothing — under
+	// sustained overload the refusal path runs far more often than the
+	// dispatch path, and BENCH_7 measured served throughput sagging as
+	// offered load (and thus shed-path garbage) rose.
+	satErrs fleet.SatErrCache
 }
 
 var _ fleet.Scheduler = (*Router)(nil)
@@ -202,52 +208,70 @@ const (
 	classLatency                     // per-image inference: latency-first
 )
 
-// candidates orders the active pools for one request. A pinned affinity
-// key gets deterministic rendezvous order — the same key keeps landing
-// on the same pool (warm scratch arenas, reproducible fault streams)
-// with a stable fallback chain. Unpinned latency-sensitive traffic
-// prefers pools whose boards are quiescent (settled governor loops
-// never steal mid-request canary passes), then the shortest backlog;
-// unpinned bulk traffic prefers the cheapest pool by modeled power —
-// the pools settled deepest into the guardband — then backlog.
-func (r *Router) candidates(class trafficClass, affinity int64) []*entry {
-	act := make([]*entry, 0, len(r.entries))
+// ranked is one candidate pool with its ordering keys.
+type ranked struct {
+	e   *entry
+	key float64
+	tie float64
+}
+
+// routeScratch is the reusable working set of one routing decision
+// (candidate list and ranking keys), pooled so the route path — and in
+// particular the shed path, which runs hottest exactly when the cluster
+// is overloaded — performs no per-request slice allocation. It
+// implements sort.Interface over rk so ordering needs no reflection
+// swapper or comparison closure either.
+type routeScratch struct {
+	act []*entry
+	rk  []ranked
+}
+
+var routeScratches = sync.Pool{New: func() any { return new(routeScratch) }}
+
+func (s *routeScratch) Len() int { return len(s.rk) }
+func (s *routeScratch) Less(a, b int) bool {
+	if s.rk[a].key != s.rk[b].key {
+		return s.rk[a].key < s.rk[b].key
+	}
+	return s.rk[a].tie < s.rk[b].tie
+}
+func (s *routeScratch) Swap(a, b int) { s.rk[a], s.rk[b] = s.rk[b], s.rk[a] }
+
+// candidates orders the active pools for one request into s (the
+// returned slice is s.act — valid until s is re-used). A pinned
+// affinity key gets deterministic rendezvous order — the same key keeps
+// landing on the same pool (warm scratch arenas, reproducible fault
+// streams) with a stable fallback chain. Unpinned latency-sensitive
+// traffic prefers pools whose boards are quiescent (settled governor
+// loops never steal mid-request canary passes), then the shortest
+// backlog; unpinned bulk traffic prefers the cheapest pool by modeled
+// power — the pools settled deepest into the guardband — then backlog.
+func (r *Router) candidates(class trafficClass, affinity int64, s *routeScratch) []*entry {
+	s.act = s.act[:0]
+	s.rk = s.rk[:0]
 	for _, e := range r.entries {
 		if e.active.Load() {
-			act = append(act, e)
+			s.act = append(s.act, e)
 		}
 	}
-	type ranked struct {
-		e   *entry
-		key float64
-		tie float64
-	}
-	rk := make([]ranked, len(act))
-	for i, e := range act {
+	for _, e := range s.act {
 		load := float64(e.pool.QueueDepth() + e.pool.InFlight())
 		switch {
 		case affinity != 0:
-			rk[i] = ranked{e, -rendezvousScore(affinity, e.name, e.pool.Size()), 0}
+			s.rk = append(s.rk, ranked{e, -rendezvousScore(affinity, e.name, e.pool.Size()), 0})
 		case class == classLatency:
-			q, p := e.signals(r.cfg.SignalTTL)
-			_ = p
-			rk[i] = ranked{e, -float64(q) / float64(e.pool.Size()), load}
+			q, _ := e.signals(r.cfg.SignalTTL)
+			s.rk = append(s.rk, ranked{e, -float64(q) / float64(e.pool.Size()), load})
 		default:
 			_, p := e.signals(r.cfg.SignalTTL)
-			rk[i] = ranked{e, p, load}
+			s.rk = append(s.rk, ranked{e, p, load})
 		}
 	}
-	sort.SliceStable(rk, func(a, b int) bool {
-		if rk[a].key != rk[b].key {
-			return rk[a].key < rk[b].key
-		}
-		return rk[a].tie < rk[b].tie
-	})
-	out := make([]*entry, len(rk))
-	for i := range rk {
-		out[i] = rk[i].e
+	sort.Stable(s)
+	for i := range s.rk {
+		s.act[i] = s.rk[i].e
 	}
-	return out
+	return s.act
 }
 
 // admit is the router-side pre-check: refuse a pool whose backlog or
@@ -262,61 +286,106 @@ func (r *Router) admit(e *entry) bool {
 	return true
 }
 
+// detailSet holds one verb's per-hop journal strings, precomputed at
+// init so the route and shed paths append only static strings — no
+// fmt.Sprintf on the hot path. Hops at or beyond maxHopDetail collapse
+// into the final "+" entry.
+type detailSet struct {
+	route [maxHopDetail]string
+	shed  [maxHopDetail]string
+}
+
+const maxHopDetail = 4
+
+func newDetailSet(verb string) *detailSet {
+	d := &detailSet{}
+	for i := range d.route {
+		suffix := fmt.Sprintf("hop %d", i)
+		if i == maxHopDetail-1 {
+			suffix += "+"
+		}
+		d.route[i] = verb + " " + suffix
+		d.shed[i] = verb + " " + suffix + ": pool saturated"
+	}
+	return d
+}
+
+var (
+	classifyDetails = newDetailSet("classify")
+	inferDetails    = newDetailSet("infer")
+)
+
+func hopIdx(hop int) int {
+	if hop >= maxHopDetail {
+		return maxHopDetail - 1
+	}
+	return hop
+}
+
+// tryDispatch offers the job to one pool. done reports the attempt is
+// final (served or failed terminally, with err the outcome); retry
+// carries the pool's RetryAfter hint when it shed the job after winning
+// admission. A method rather than a closure so the shed path allocates
+// no captures.
+func (r *Router) tryDispatch(e *entry, hop int, det *detailSet, dispatch func(*fleet.Pool) error) (done bool, retry time.Duration, err error) {
+	if !r.admit(e) {
+		e.sheds.Add(1)
+		r.journal.Append(obs.Event{Board: e.name, Kind: obs.EvShed, Detail: det.shed[hopIdx(hop)]})
+		return false, 0, nil
+	}
+	e.routes.Add(1)
+	r.routes.Add(1)
+	if hop > 0 {
+		r.hops.Add(1)
+	}
+	r.journal.Append(obs.Event{Board: e.name, Kind: obs.EvRoute, Detail: det.route[hopIdx(hop)]})
+	err = dispatch(e.pool)
+	var sat fleet.ErrSaturated
+	if errors.As(err, &sat) {
+		// Lost the race between the pre-check and the pool's own
+		// admission: treat exactly like a failed pre-check.
+		e.sheds.Add(1)
+		r.journal.Append(obs.Event{Board: e.name, Kind: obs.EvShed, Detail: det.shed[hopIdx(hop)]})
+		return false, sat.RetryAfter, nil
+	}
+	return true, 0, err
+}
+
 // route runs the shared dispatch protocol: order the candidates, try
 // each in turn (shedding to the next on saturation), promote a warm
 // spare if every active pool is saturated, and shed to the caller only
 // when no pool anywhere will take the job.
-func (r *Router) route(class trafficClass, affinity int64, detail string, dispatch func(*fleet.Pool) error) error {
+func (r *Router) route(class trafficClass, affinity int64, det *detailSet, dispatch func(*fleet.Pool) error) error {
 	if r.closing.Load() {
 		return fleet.ErrClosed
 	}
 	r.maybePromoteSpare()
 	minRetry := time.Duration(0)
 	noteSat := func(ra time.Duration) {
-		if minRetry == 0 || (ra > 0 && ra < minRetry) {
+		if ra > 0 && (minRetry == 0 || ra < minRetry) {
 			minRetry = ra
 		}
 	}
-	try := func(e *entry, hop int) (done bool, err error) {
-		if !r.admit(e) {
-			e.sheds.Add(1)
-			r.journal.Append(obs.Event{Board: e.name, Kind: obs.EvShed,
-				Detail: fmt.Sprintf("%s hop %d: pool at caps (queued=%d inflight=%d)",
-					detail, hop, e.pool.QueueDepth(), e.pool.InFlight())})
-			return false, nil
-		}
-		e.routes.Add(1)
-		r.routes.Add(1)
-		if hop > 0 {
-			r.hops.Add(1)
-		}
-		r.journal.Append(obs.Event{Board: e.name, Kind: obs.EvRoute,
-			Detail: fmt.Sprintf("%s hop %d", detail, hop)})
-		err = dispatch(e.pool)
-		var sat fleet.ErrSaturated
-		if errors.As(err, &sat) {
-			// Lost the race between the pre-check and the pool's own
-			// admission: treat exactly like a failed pre-check.
-			e.sheds.Add(1)
-			noteSat(sat.RetryAfter)
-			r.journal.Append(obs.Event{Board: e.name, Kind: obs.EvShed,
-				Detail: fmt.Sprintf("%s hop %d: %v", detail, hop, err)})
-			return false, nil
-		}
-		return true, err
-	}
 	hop := 0
-	for _, e := range r.candidates(class, affinity) {
-		done, err := try(e, hop)
+	s := routeScratches.Get().(*routeScratch)
+	served, result := false, error(nil)
+	for _, e := range r.candidates(class, affinity, s) {
+		done, retry, err := r.tryDispatch(e, hop, det, dispatch)
+		noteSat(retry)
 		if done {
-			return err
+			served, result = true, err
+			break
 		}
 		hop++
+	}
+	routeScratches.Put(s)
+	if served {
+		return result
 	}
 	// Every active pool refused: promote a spare for this job if one is
 	// left, and give the request to it directly.
 	if e := r.promoteSpare("all active pools saturated"); e != nil {
-		done, err := try(e, hop)
+		done, _, err := r.tryDispatch(e, hop, det, dispatch)
 		if done {
 			return err
 		}
@@ -325,7 +394,7 @@ func (r *Router) route(class trafficClass, affinity int64, detail string, dispat
 	if minRetry == 0 {
 		minRetry = 50 * time.Millisecond
 	}
-	return fleet.ErrSaturated{Scheduler: "cluster", Depth: r.QueueDepth(), RetryAfter: minRetry}
+	return r.satErrs.Err("cluster", r.QueueDepth(), minRetry)
 }
 
 // maybePromoteSpare promotes one warm spare when the aggregate backlog
@@ -369,7 +438,7 @@ func (r *Router) promoteSpare(why string) *entry {
 // cost-first unless the seed pins an affinity).
 func (r *Router) Classify(ctx context.Context, req fleet.Request) (fleet.Result, error) {
 	var out fleet.Result
-	err := r.route(classBulk, req.Seed, "classify", func(p *fleet.Pool) error {
+	err := r.route(classBulk, req.Seed, classifyDetails, func(p *fleet.Pool) error {
 		res, err := p.Classify(ctx, req)
 		if err == nil {
 			out = res
@@ -383,7 +452,7 @@ func (r *Router) Classify(ctx context.Context, req fleet.Request) (fleet.Result,
 // to quiescent pools unless the seed pins an affinity).
 func (r *Router) Infer(ctx context.Context, req fleet.InferRequest) (fleet.InferResult, error) {
 	var out fleet.InferResult
-	err := r.route(classLatency, req.Seed, "infer", func(p *fleet.Pool) error {
+	err := r.route(classLatency, req.Seed, inferDetails, func(p *fleet.Pool) error {
 		res, err := p.Infer(ctx, req)
 		if err == nil {
 			out = res

@@ -106,8 +106,8 @@ func TestRouterAffinityPinsPool(t *testing.T) {
 		}
 	}
 
-	c1 := r.candidates(classBulk, 42)
-	c2 := r.candidates(classBulk, 42)
+	c1 := r.candidates(classBulk, 42, new(routeScratch))
+	c2 := r.candidates(classBulk, 42, new(routeScratch))
 	if len(c1) != 3 || len(c2) != 3 {
 		t.Fatalf("candidate chains %d/%d, want 3/3", len(c1), len(c2))
 	}

@@ -51,6 +51,9 @@ func (r *Router) Status() fleet.Status {
 		agg.MACFaults += st.MACFaults
 		agg.BRAMFaults += st.BRAMFaults
 		agg.GOPs += st.GOPs
+		// The GEMM worker pool is process-wide, so every pool reports the
+		// same value; carry it rather than summing.
+		agg.GemmWorkers = st.GemmWorkers
 		gov = mergeGovernor(gov, st.Governor)
 		ecc = mergeECC(ecc, st.ECC)
 

@@ -26,7 +26,14 @@ type Runtime struct {
 // NewRuntime programs nCores B4096 cores (the paper's baseline is 3) and
 // returns the runtime.
 func NewRuntime(brd *board.ZCU102, nCores int) (*Runtime, error) {
-	dp, err := dpu.New(brd, dpu.B4096(), nCores)
+	return NewRuntimeConfig(brd, dpu.B4096(), nCores)
+}
+
+// NewRuntimeConfig is NewRuntime with an explicit core variant — the
+// hook through which deployment-level tuning (e.g. the GEMM worker-pool
+// width in Config.GemmWorkers) reaches the accelerator.
+func NewRuntimeConfig(brd *board.ZCU102, cfg dpu.Config, nCores int) (*Runtime, error) {
+	dp, err := dpu.New(brd, cfg, nCores)
 	if err != nil {
 		return nil, err
 	}

@@ -186,26 +186,22 @@ func (d *DPU) runBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*ran
 	}
 
 	// Fan the batch across the DPU cores: lane c serves the contiguous
-	// image range [lo, hi). A single lane runs inline.
+	// image range [lo, hi). The lanes run on the same process-wide
+	// worker pool as the GEMM macro-tiles (quant.RunTiles), so lane- and
+	// tile-level parallelism draw from one budget and an oversubscribed
+	// box degrades to serial execution instead of thrashing; because
+	// each image's fault stream is its own rng and the lane split
+	// depends only on (n, nCores), results are identical at every pool
+	// width. A single lane runs inline.
 	if w == 1 {
 		d.runBatchLane(ba, ba.lanes[0], k, imgs, rngs, 0, n, pMAC)
 	} else {
-		var wg sync.WaitGroup
-		lo := 0
-		for c := 0; c < w; c++ {
-			span := n / w
-			if c < n%w {
-				span++
-			}
-			hi := lo + span
-			wg.Add(1)
-			go func(ln *batchLane, lo, hi int) {
-				defer wg.Done()
-				d.runBatchLane(ba, ln, k, imgs, rngs, lo, hi, pMAC)
-			}(ba.lanes[c], lo, hi)
-			lo = hi
-		}
-		wg.Wait()
+		lj := laneJobs.Get().(*laneJob)
+		lj.d, lj.ba, lj.k = d, ba, k
+		lj.imgs, lj.rngs = imgs, rngs
+		lj.pMAC = pMAC
+		lj.n, lj.w = n, w
+		quant.RunTiles(w, lj)
 	}
 
 	d.restoreBatchWeights(ba)
@@ -225,6 +221,42 @@ func (d *DPU) runBatch(s *Scratch, k *Kernel, imgs []*tensor.Tensor, rngs []*ran
 		return out, nil
 	}
 	return ba.res, nil
+}
+
+// laneJob is the pooled work descriptor that fans a batch's lanes out
+// over the shared quant worker pool: tile index c is DPU core c,
+// serving the same contiguous image range the dedicated per-lane
+// goroutines used to (span n/w rounded up for the first n%w lanes).
+// Lanes write disjoint arena state (per-image sub-arenas and result
+// slots, per-lane GEMM buffers); the shared weight tensors are
+// immutable while the lanes run.
+type laneJob struct {
+	quant.TileJob
+	d    *DPU
+	ba   *batchArena
+	k    *Kernel
+	imgs []*tensor.Tensor
+	rngs []*rand.Rand
+	pMAC float64
+	n, w int
+}
+
+var laneJobs = sync.Pool{New: func() any { return new(laneJob) }}
+
+func (lj *laneJob) Job() *quant.TileJob { return &lj.TileJob }
+
+func (lj *laneJob) Recycle() {
+	lj.d, lj.ba, lj.k, lj.imgs, lj.rngs = nil, nil, nil, nil, nil
+	laneJobs.Put(lj)
+}
+
+func (lj *laneJob) Tile(c int) {
+	span := lj.n / lj.w
+	lo := c*span + min(c, lj.n%lj.w)
+	if c < lj.n%lj.w {
+		span++
+	}
+	lj.d.runBatchLane(lj.ba, lj.ba.lanes[c], lj.k, lj.imgs, lj.rngs, lo, lo+span, lj.pMAC)
 }
 
 // runBatchLane advances images [lo, hi) through the graph in layer

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"fpgauv/internal/quant"
 	"fpgauv/internal/tensor"
 )
 
@@ -227,6 +228,60 @@ func TestRunBatchValidation(t *testing.T) {
 	}
 	if _, err := d.runBatch(nil, k, makeBatch(inputs, 2), nil, 1e-4, 0); err == nil {
 		t.Fatal("fault injection without streams accepted")
+	}
+}
+
+// TestRunBatchDeterministicAcrossWorkerCounts pins the parallel-GEMM
+// determinism contract: with live MAC and BRAM fault injection, a batch
+// run at 1 pool worker and at N pool workers produces bit-identical
+// results (predictions, probabilities, fault statistics). The lane
+// split depends only on (batch, cores) and each image owns its fault
+// stream, so the pool width must never be observable in the output.
+func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer quant.SetWorkers(0)
+	d, k, inputs := buildConvNetKernel(t)
+	in := makeBatch(inputs, 6)
+	type snap struct {
+		pred       int
+		macF, brmF int64
+		probs      []float32
+	}
+	run := func(workers int, seed int64) []snap {
+		quant.SetWorkers(workers)
+		rngs := seededRNGs(seed, len(in))
+		res, err := d.runBatch(nil, k, in, rngs, 2e-4, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]snap, len(res))
+		for i, r := range res {
+			out[i] = snap{
+				pred:  r.Pred,
+				macF:  r.MACFaults,
+				brmF:  r.BRAMFaults,
+				probs: append([]float32(nil), r.Probs.Data()...),
+			}
+		}
+		return out
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		want := run(1, seed)
+		for _, w := range []int{2, 4, 16} {
+			got := run(w, seed)
+			for i := range want {
+				if got[i].pred != want[i].pred || got[i].macF != want[i].macF || got[i].brmF != want[i].brmF {
+					t.Fatalf("seed=%d workers=%d image %d: pred %d/%d MAC %d/%d BRAM %d/%d",
+						seed, w, i, got[i].pred, want[i].pred,
+						got[i].macF, want[i].macF, got[i].brmF, want[i].brmF)
+				}
+				for j := range want[i].probs {
+					if got[i].probs[j] != want[i].probs[j] {
+						t.Fatalf("seed=%d workers=%d image %d: probs[%d] %v != %v",
+							seed, w, i, j, got[i].probs[j], want[i].probs[j])
+					}
+				}
+			}
+		}
 	}
 }
 

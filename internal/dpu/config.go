@@ -25,6 +25,13 @@ type Config struct {
 	// Util is the per-core fabric utilization (paper §3.1 for B4096:
 	// 24.3% BRAM, 25.6% DSP).
 	Util fabric.Utilization
+	// GemmWorkers tunes the process-wide GEMM tile worker pool that the
+	// compute engine's macro-tiles and the batch executor's per-core
+	// lanes share (quant.SetWorkers): > 0 pins the pool width, 0 leaves
+	// the current setting (GOMAXPROCS-aware automatic by default)
+	// untouched. The pool is one per process, so the last DPU programmed
+	// with a non-zero value wins.
+	GemmWorkers int
 }
 
 // B4096 returns the largest DPU variant, the paper's configuration.

@@ -43,6 +43,9 @@ func New(brd *board.ZCU102, cfg Config, nCores int) (*DPU, error) {
 	if err := brd.Fabric().Configure(total); err != nil {
 		return nil, fmt.Errorf("dpu: %d x %s does not fit: %w", nCores, cfg.Arch, err)
 	}
+	if cfg.GemmWorkers > 0 {
+		quant.SetWorkers(cfg.GemmWorkers)
+	}
 	return &DPU{brd: brd, cfg: cfg, nCores: nCores}, nil
 }
 

@@ -115,7 +115,9 @@ func newMember(idx int, cfg Config) (*member, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := dnndk.NewRuntime(brd, cfg.Cores)
+	dcfg := dpu.B4096()
+	dcfg.GemmWorkers = cfg.GemmWorkers
+	rt, err := dnndk.NewRuntimeConfig(brd, dcfg, cfg.Cores)
 	if err != nil {
 		return nil, err
 	}

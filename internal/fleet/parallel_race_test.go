@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"fpgauv/internal/quant"
+)
+
+// TestConcurrentClassifiesSharedGemmPool hammers the process-wide GEMM
+// tile worker pool from many directions at once: the pool is pinned
+// wider than one, several boards serve concurrently (each batch fans
+// its lanes into the shared pool, and every lane's tiled GEMMs fan out
+// again), and classify/infer traffic arrives from many caller
+// goroutines. Under -race this proves tile jobs from unrelated requests
+// never share mutable state — disjoint dst tiles, refcounted job
+// recycling, and per-lane arena scratch all hold up under
+// oversubscription.
+func TestConcurrentClassifiesSharedGemmPool(t *testing.T) {
+	defer quant.SetWorkers(0)
+	quant.SetWorkers(4)
+	p := newTestPool(t, testConfig(2))
+	imgs := inferImages(t, p, 8, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 4; n++ {
+				if g%2 == 0 {
+					if _, err := p.Classify(context.Background(), Request{Seed: int64(1 + (g+n)%3)}); err != nil {
+						t.Errorf("classify: %v", err)
+						return
+					}
+				} else {
+					if _, err := p.Infer(context.Background(), InferRequest{Images: imgs}); err != nil {
+						t.Errorf("infer: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Status()
+	if st.GemmWorkers != 4 {
+		t.Fatalf("Status().GemmWorkers = %d, want 4", st.GemmWorkers)
+	}
+	if st.Served == 0 {
+		t.Fatal("no requests served")
+	}
+}

@@ -93,6 +93,12 @@ type Config struct {
 	// Cores is the DPU core count per board (default 3, the paper's
 	// baseline).
 	Cores int
+	// GemmWorkers pins the process-wide GEMM tile worker pool shared by
+	// the compute engine's macro-tiles and the batch executor's lanes
+	// (quant.SetWorkers); 0 keeps the GOMAXPROCS-aware automatic
+	// default. The pool is global, so the value from the most recently
+	// built pool wins.
+	GemmWorkers int
 	// Governor tunes the per-board adaptive voltage loops (see
 	// GovernorConfig). The zero value builds the loops disabled at the
 	// default cadence; set Governor.Enabled to start them active.
@@ -319,6 +325,9 @@ type Pool struct {
 	inferServed  atomic.Int64
 	inferImages  atomic.Int64
 	microBatches atomic.Int64
+	// satErrs interns shed errors so a saturated pool refuses work
+	// without allocating (see SatErrCache).
+	satErrs SatErrCache
 }
 
 // New assembles, deploys, characterizes and starts a pool. On return
@@ -408,11 +417,32 @@ func (p *Pool) OperatingPowerW() float64 {
 // Classify enqueues one evaluation-set pass and blocks until a board
 // serves it, the context is canceled, or the pool is closed.
 func (p *Pool) Classify(ctx context.Context, req Request) (Result, error) {
+	if err := p.quickShed(); err != nil {
+		return Result{}, err
+	}
 	if req.Seed == 0 {
 		req.Seed = p.cfg.Seed + p.seq.Add(1)*7919
 	}
 	out, err := p.submit(ctx, &job{req: req, span: req.Span, done: make(chan jobOut, 1)})
 	return out.res, err
+}
+
+// quickShed is the allocation-free admission pre-check: when the
+// backlog is already at its bound, refuse with the interned shed error
+// before the caller's job struct and done channel are even built. A
+// saturated scheduler sees mostly refusals, so the refusal path must
+// stay off the heap. The check is advisory — a losing race just falls
+// through to submit's authoritative bounded TryPush. Skipped while
+// closing so ErrClosed keeps precedence over ErrSaturated.
+func (p *Pool) quickShed() error {
+	if p.cfg.MaxQueue <= 0 || p.closing.Load() {
+		return nil
+	}
+	if depth := p.queue.Len(); depth >= p.cfg.MaxQueue {
+		p.shed.Add(1)
+		return p.saturatedErr(depth)
+	}
+	return nil
 }
 
 // InputShape returns the CHW geometry inference images must have.
@@ -436,6 +466,9 @@ func (p *Pool) Infer(ctx context.Context, req InferRequest) (InferResult, error)
 			return InferResult{}, fmt.Errorf("fleet: image %d does not match input shape %dx%dx%d",
 				i, shape.C, shape.H, shape.W)
 		}
+	}
+	if err := p.quickShed(); err != nil {
+		return InferResult{}, err
 	}
 	if req.Seed == 0 {
 		req.Seed = p.cfg.Seed + p.seq.Add(1)*7919

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"fpgauv/internal/nn"
@@ -71,20 +72,67 @@ func (e ErrSaturated) Error() string {
 	return fmt.Sprintf("fleet: %s saturated (%d queued); retry in %s", who, e.Depth, e.RetryAfter)
 }
 
+// satRetryBuckets quantizes RetryAfter hints so shed errors can be
+// interned: the drain estimate rounds up to the next bucket. The ladder
+// spans the same [10ms, 5s] operator window the un-cached construction
+// clamped to.
+var satRetryBuckets = [...]time.Duration{
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 5 * time.Second,
+}
+
+// satDepthCap bounds the distinct backlog depths a cached shed error
+// reports; deeper backlogs all read as "at least satDepthCap".
+const satDepthCap = 64
+
+// SatErrCache interns boxed ErrSaturated values keyed by (clamped
+// depth, retry bucket), making shed-path error construction
+// allocation-free in the steady state: the first shed at a given cell
+// boxes one error, every later shed re-serves it. A shed storm is
+// exactly when the scheduler is overloaded, so the refusal path must
+// not add GC pressure of its own (BENCH_7 measured served throughput
+// sagging under offered overload before this existed). Concurrent
+// first-use may race two equal Stores on one cell — both values are
+// identical, so either winning is fine.
+type SatErrCache struct {
+	cells [satDepthCap + 1][len(satRetryBuckets)]atomic.Value
+}
+
+// Err returns the interned shed error for the given scheduler name,
+// backlog depth, and drain estimate. The name must be the same for
+// every call on one cache (it is stamped into the cell on first use).
+func (c *SatErrCache) Err(name string, depth int, ra time.Duration) error {
+	d := depth
+	if d < 0 {
+		d = 0
+	}
+	if d > satDepthCap {
+		d = satDepthCap
+	}
+	b := 0
+	for b < len(satRetryBuckets)-1 && satRetryBuckets[b] < ra {
+		b++
+	}
+	if v := c.cells[d][b].Load(); v != nil {
+		// any→error is an interface-to-interface assertion: no boxing,
+		// no allocation.
+		return v.(error)
+	}
+	err := error(ErrSaturated{Scheduler: name, Depth: d, RetryAfter: satRetryBuckets[b]})
+	c.cells[d][b].Store(err)
+	return err
+}
+
 // saturatedErr builds this pool's shed error: the retry hint is the
 // backlog drain estimate from the pool's smoothed per-job service time,
-// clamped to a sane [10ms, 5s] operator window.
-func (p *Pool) saturatedErr(depth int) ErrSaturated {
+// quantized onto the [10ms, 5s] bucket ladder so the error value can be
+// served from the pool's intern cache without allocating.
+func (p *Pool) saturatedErr(depth int) error {
 	svc := time.Duration(p.svcNS.Load())
 	if svc <= 0 {
 		svc = 25 * time.Millisecond
 	}
 	ra := time.Duration(depth+1) * svc / time.Duration(len(p.members))
-	if ra < 10*time.Millisecond {
-		ra = 10 * time.Millisecond
-	}
-	if ra > 5*time.Second {
-		ra = 5 * time.Second
-	}
-	return ErrSaturated{Scheduler: p.Name(), Depth: depth, RetryAfter: ra}
+	return p.satErrs.Err(p.Name(), depth, ra)
 }

@@ -1,6 +1,10 @@
 package fleet
 
-import "math"
+import (
+	"math"
+
+	"fpgauv/internal/quant"
+)
 
 // BoardGovernorStatus is one board's adaptive-voltage control state.
 type BoardGovernorStatus struct {
@@ -216,6 +220,9 @@ type Status struct {
 	BRAMFaults int64 `json:"bram_faults"`
 	// GOPs is the aggregate modeled throughput of all boards.
 	GOPs float64 `json:"gops"`
+	// GemmWorkers is the effective width of the process-wide GEMM tile
+	// worker pool (shared by conv macro-tiles and batch lanes).
+	GemmWorkers int `json:"gemm_workers"`
 	// Governor is the pool-wide adaptive-voltage snapshot (nil when
 	// the pool has no governor).
 	Governor *GovernorStatus `json:"governor,omitempty"`
@@ -249,6 +256,7 @@ func (p *Pool) Status() Status {
 		Canceled:          p.canceled.Load(),
 		MACFaults:         p.macF.Load(),
 		BRAMFaults:        p.bramF.Load(),
+		GemmWorkers:       quant.Workers(),
 		Closed:            p.closing.Load(),
 	}
 	st.Requests = st.EvalRequests + st.InferRequests

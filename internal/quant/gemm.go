@@ -48,15 +48,26 @@ const (
 // of dot products over contiguous memory: branch-free, store-free, and
 // bounds-check-free in the steady state.
 func gemmInt8(dst []int32, a, bt []int8, m, k, n int, bias []int32) {
-	i := 0
-	for ; i+gemmRows <= m; i += gemmRows {
+	gemmInt8Block(dst, a, bt, 0, m, 0, n, k, n, bias)
+}
+
+// gemmInt8Block is the register-blocked kernel generalized to a
+// sub-rectangle: it computes dst rows [i0,i1) × columns [j0,j1) of the
+// m×n product, with ld the row stride of dst (ld == n for a full
+// matrix). Each output element's accumulation — bias, then the full K
+// reduction in p order — is self-contained, so any macro-tile partition
+// of the output plane yields results bit-identical to one full-matrix
+// call: tiling and parallelization never change a single int32.
+func gemmInt8Block(dst []int32, a, bt []int8, i0, i1, j0, j1, k, ld int, bias []int32) {
+	i := i0
+	for ; i+gemmRows <= i1; i += gemmRows {
 		a0 := a[(i+0)*k : (i+1)*k]
 		a1 := a[(i+1)*k : (i+2)*k]
 		a2 := a[(i+2)*k : (i+3)*k]
 		a3 := a[(i+3)*k : (i+4)*k]
 		bi0, bi1, bi2, bi3 := bias[i], bias[i+1], bias[i+2], bias[i+3]
-		j := 0
-		for ; j+gemmCols <= n; j += gemmCols {
+		j := j0
+		for ; j+gemmCols <= j1; j += gemmCols {
 			x0 := bt[(j+0)*k : (j+1)*k]
 			x1 := bt[(j+1)*k : (j+2)*k]
 			s00, s01 := bi0, bi0
@@ -79,12 +90,12 @@ func gemmInt8(dst []int32, a, bt []int8, m, k, n int, bias []int32) {
 				s30 += w3 * v0
 				s31 += w3 * v1
 			}
-			dst[(i+0)*n+j], dst[(i+0)*n+j+1] = s00, s01
-			dst[(i+1)*n+j], dst[(i+1)*n+j+1] = s10, s11
-			dst[(i+2)*n+j], dst[(i+2)*n+j+1] = s20, s21
-			dst[(i+3)*n+j], dst[(i+3)*n+j+1] = s30, s31
+			dst[(i+0)*ld+j], dst[(i+0)*ld+j+1] = s00, s01
+			dst[(i+1)*ld+j], dst[(i+1)*ld+j+1] = s10, s11
+			dst[(i+2)*ld+j], dst[(i+2)*ld+j+1] = s20, s21
+			dst[(i+3)*ld+j], dst[(i+3)*ld+j+1] = s30, s31
 		}
-		for ; j < n; j++ {
+		for ; j < j1; j++ {
 			x0 := bt[j*k : (j+1)*k]
 			s0, s1, s2, s3 := bi0, bi1, bi2, bi3
 			for p, xv := range x0 {
@@ -94,30 +105,32 @@ func gemmInt8(dst []int32, a, bt []int8, m, k, n int, bias []int32) {
 				s2 += int32(a2[p]) * v
 				s3 += int32(a3[p]) * v
 			}
-			dst[(i+0)*n+j] = s0
-			dst[(i+1)*n+j] = s1
-			dst[(i+2)*n+j] = s2
-			dst[(i+3)*n+j] = s3
+			dst[(i+0)*ld+j] = s0
+			dst[(i+1)*ld+j] = s1
+			dst[(i+2)*ld+j] = s2
+			dst[(i+3)*ld+j] = s3
 		}
 	}
-	for ; i < m; i++ {
+	for ; i < i1; i++ {
 		ar := a[i*k : (i+1)*k]
 		bi := bias[i]
-		for j := 0; j < n; j++ {
+		for j := j0; j < j1; j++ {
 			x0 := bt[j*k : (j+1)*k]
 			sum := bi
 			for p, xv := range x0 {
 				sum += int32(ar[p]) * int32(xv)
 			}
-			dst[i*n+j] = sum
+			dst[i*ld+j] = sum
 		}
 	}
 }
 
 // Conv2DInt8Gemm is the GEMM lowering of Conv2DInt8: im2col into *col,
-// then one blocked GEMM into *acc. Both buffers are grown in place and
-// reused across calls; the returned shape describes the accumulator
-// layout ((*acc)[:shape.AccLen()] is valid). Bit-exact with Conv2DInt8.
+// then one tiled GEMM into *acc, its macro-tiles split across the
+// worker pool (see gemm_tiled.go / parallel.go). Both buffers are grown
+// in place and reused across calls; the returned shape describes the
+// accumulator layout ((*acc)[:shape.AccLen()] is valid). Bit-exact with
+// Conv2DInt8 at every worker count.
 func Conv2DInt8Gemm(x, w *QTensor, biasQ []int32, stride, pad int, col *[]int8, acc *[]int32) (ConvShape, error) {
 	sh, err := ConvShapeOf(x, w, biasQ, stride, pad)
 	if err != nil {
@@ -126,12 +139,14 @@ func Conv2DInt8Gemm(x, w *QTensor, biasQ []int32, stride, pad int, col *[]int8, 
 	*col = growInt8(*col, sh.Cols()*sh.Pixels())
 	*acc = growInt32(*acc, sh.AccLen())
 	Im2colInt8(x, sh, *col)
-	gemmInt8(*acc, w.Data, *col, sh.OutC, sh.Cols(), sh.Pixels(), biasQ)
+	gemmInt8Tiled(*acc, w.Data, *col, sh.OutC, sh.Cols(), 1, sh.Pixels(), biasQ)
 	return sh, nil
 }
 
 // DenseInt8Gemm is the blocked-GEMV lowering of DenseInt8 into a reused
-// accumulator; it returns the output width. Bit-exact with DenseInt8.
+// accumulator, its output rows band-split across the worker pool; it
+// returns the output width. Bit-exact with DenseInt8 at every worker
+// count.
 func DenseInt8Gemm(x, w *QTensor, biasQ []int32, acc *[]int32) (int, error) {
 	if len(w.Dims) != 2 {
 		return 0, fmt.Errorf("quant: fc weights must be 2-D, got %v", w.Dims)
@@ -144,15 +159,24 @@ func DenseInt8Gemm(x, w *QTensor, biasQ []int32, acc *[]int32) (int, error) {
 		return 0, fmt.Errorf("quant: fc bias length %d != %d", len(biasQ), out)
 	}
 	*acc = growInt32(*acc, out)
-	dst := *acc
-	xd := x.Data
-	o := 0
-	for ; o+gemmRows <= out; o += gemmRows {
-		r0 := w.Data[(o+0)*in : (o+1)*in]
-		r1 := w.Data[(o+1)*in : (o+2)*in]
-		r2 := w.Data[(o+2)*in : (o+3)*in]
-		r3 := w.Data[(o+3)*in : (o+4)*in]
-		s0, s1, s2, s3 := biasQ[o], biasQ[o+1], biasQ[o+2], biasQ[o+3]
+	denseInt8Tiled(*acc, w.Data, biasQ, x.Data, nil, in, out)
+	return out, nil
+}
+
+// denseInt8GEMV computes output rows [o0,o1) of the single-image FC
+// product dst[o] = bias[o] + w[o]·x: four weight rows stream the input
+// together so each loaded x byte feeds four MACs. Restricting the row
+// range never changes an element — each row's reduction is independent
+// and runs in input order — so row-banded parallel calls are bit-exact
+// with one full-range call.
+func denseInt8GEMV(dst []int32, wd []int8, bias []int32, xd []int8, in, o0, o1 int) {
+	o := o0
+	for ; o+gemmRows <= o1; o += gemmRows {
+		r0 := wd[(o+0)*in : (o+1)*in]
+		r1 := wd[(o+1)*in : (o+2)*in]
+		r2 := wd[(o+2)*in : (o+3)*in]
+		r3 := wd[(o+3)*in : (o+4)*in]
+		s0, s1, s2, s3 := bias[o], bias[o+1], bias[o+2], bias[o+3]
 		for i, v := range xd {
 			xv := int32(v)
 			s0 += xv * int32(r0[i])
@@ -162,15 +186,14 @@ func DenseInt8Gemm(x, w *QTensor, biasQ []int32, acc *[]int32) (int, error) {
 		}
 		dst[o], dst[o+1], dst[o+2], dst[o+3] = s0, s1, s2, s3
 	}
-	for ; o < out; o++ {
-		row := w.Data[o*in : (o+1)*in]
-		sum := biasQ[o]
+	for ; o < o1; o++ {
+		row := wd[o*in : (o+1)*in]
+		sum := bias[o]
 		for i, v := range xd {
 			sum += int32(v) * int32(row[i])
 		}
 		dst[o] = sum
 	}
-	return out, nil
 }
 
 // RequantizeInto is the fused GEMM epilogue: it maps int32 accumulators to

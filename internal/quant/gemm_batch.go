@@ -60,20 +60,15 @@ func Conv2DInt8GemmBatch(xs []*QTensor, w *QTensor, biasQ []int32, stride, pad i
 
 // gemmInt8MultiRHS computes the stacked product: a[m×k] against n
 // patch-major RHS slabs of pix columns each (bt[b*pix*k:] is slab b),
-// writing per-slab output blocks dst[b*m*pix:] in row-major m×pix layout.
-// Slabs are consumed one at a time — the small weight matrix stays
-// cache-resident across the whole stacked walk while each patch slab is
-// streamed exactly once (slab-outer measures ~12% faster than
-// row-tile-outer, whose per-tile sweep over all slabs evicts them
-// between row tiles). Per-element accumulation order is identical to
-// gemmInt8, so the stacked product is bit-exact with n independent
-// single-image GEMMs.
+// writing per-slab output blocks dst[b*m*pix:] in row-major m×pix
+// layout. The slab × macro-tile grid is split across the worker pool
+// (gemm_tiled.go); at one worker the slabs run in order, keeping the
+// small weight matrix cache-resident across the whole stacked walk
+// while each patch slab streams exactly once. Per-element accumulation
+// order is identical to gemmInt8 at every width, so the stacked product
+// is bit-exact with n independent single-image GEMMs.
 func gemmInt8MultiRHS(dst []int32, a, bt []int8, m, k, n, pix int, bias []int32) {
-	block := m * pix
-	slab := pix * k
-	for b := 0; b < n; b++ {
-		gemmInt8(dst[b*block:(b+1)*block], a, bt[b*slab:(b+1)*slab], m, k, pix, bias)
-	}
+	gemmInt8Tiled(dst, a, bt, m, k, n, pix, bias)
 }
 
 // DenseInt8GemmBatch is the batched lowering of DenseInt8Gemm: the
@@ -98,14 +93,25 @@ func DenseInt8GemmBatch(xs []*QTensor, w *QTensor, biasQ []int32, acc *[]int32) 
 	}
 	n := len(xs)
 	*acc = growInt32(*acc, n*out)
-	dst := *acc
-	o := 0
-	for ; o+gemmRows <= out; o += gemmRows {
-		r0 := w.Data[(o+0)*in : (o+1)*in]
-		r1 := w.Data[(o+1)*in : (o+2)*in]
-		r2 := w.Data[(o+2)*in : (o+3)*in]
-		r3 := w.Data[(o+3)*in : (o+4)*in]
-		bi0, bi1, bi2, bi3 := biasQ[o], biasQ[o+1], biasQ[o+2], biasQ[o+3]
+	denseInt8Tiled(*acc, w.Data, biasQ, nil, xs, in, out)
+	return out, nil
+}
+
+// denseInt8Rows computes output rows [o0,o1) of the batched FC product
+// for every image: image b's row o lands at dst[b*out+o]. Weight rows
+// are the outer loop so each gemmRows-row group streams the batch once;
+// restricting the row range leaves every element's reduction untouched,
+// so row-banded parallel calls are bit-exact with one full-range call
+// and with DenseInt8Gemm per image.
+func denseInt8Rows(dst []int32, wd []int8, bias []int32, xs []*QTensor, in, out, o0, o1 int) {
+	n := len(xs)
+	o := o0
+	for ; o+gemmRows <= o1; o += gemmRows {
+		r0 := wd[(o+0)*in : (o+1)*in]
+		r1 := wd[(o+1)*in : (o+2)*in]
+		r2 := wd[(o+2)*in : (o+3)*in]
+		r3 := wd[(o+3)*in : (o+4)*in]
+		bi0, bi1, bi2, bi3 := bias[o], bias[o+1], bias[o+2], bias[o+3]
 		b := 0
 		for ; b+gemmCols <= n; b += gemmCols {
 			x0 := xs[b].Data
@@ -148,9 +154,9 @@ func DenseInt8GemmBatch(xs []*QTensor, w *QTensor, biasQ []int32, acc *[]int32) 
 			dst[b*out+o], dst[b*out+o+1], dst[b*out+o+2], dst[b*out+o+3] = s0, s1, s2, s3
 		}
 	}
-	for ; o < out; o++ {
-		row := w.Data[o*in : (o+1)*in]
-		bi := biasQ[o]
+	for ; o < o1; o++ {
+		row := wd[o*in : (o+1)*in]
+		bi := bias[o]
 		for b := 0; b < n; b++ {
 			xd := xs[b].Data
 			sum := bi
@@ -160,5 +166,4 @@ func DenseInt8GemmBatch(xs []*QTensor, w *QTensor, biasQ []int32, acc *[]int32) 
 			dst[b*out+o] = sum
 		}
 	}
-	return out, nil
 }

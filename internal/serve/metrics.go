@@ -95,6 +95,7 @@ func (s *Server) renderMetrics() string {
 	gauge("uvolt_fleet_max_queue", "Admission bound on the backlog (0 = unbounded).", st.MaxQueue)
 	counter("uvolt_fleet_shed_total", "Requests refused by admission control (HTTP 429).", st.Shed)
 	gauge("uvolt_fleet_throughput_gops", "Aggregate modeled throughput (GOPs).", fmt.Sprintf("%.2f", st.GOPs))
+	gauge("uvolt_gemm_workers", "Effective width of the shared GEMM tile worker pool.", st.GemmWorkers)
 	counter("uvolt_fleet_requests_total", "Classification requests admitted.", st.Requests)
 	counter("uvolt_fleet_served_total", "Classification requests completed.", st.Served)
 	counter("uvolt_fleet_eval_requests_total", "Evaluation-set passes admitted.", st.EvalRequests)
