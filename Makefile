@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs bench-cluster bench-gemm
+.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs bench-cluster bench-gemm bench-sparse
 
 all: vet build test
 
@@ -82,6 +82,20 @@ bench-gemm:
 	$(GO) run ./cmd/benchjson -label BENCH_8 < BENCH_8.raw > BENCH_8.json
 	@rm -f BENCH_8.raw
 	@cat BENCH_8.json
+
+# Sparse backend snapshot: the skip-zero GEMM engine versus the dense
+# tiled engine on the same block-pruned weights, swept across sparsity
+# 0/0.25/0.50/0.90 and -cpu 1,2,4 (both engines ride the same tile
+# worker pool), plus the end-to-end prune→quantize→deploy serving
+# comparison at a live-fault operating point. The gate: sparse must
+# beat dense by >=1.8x at 90% block sparsity, with 0 allocs/op on both
+# paths. Emitted as BENCH_9.json.
+bench-sparse:
+	$(GO) test -run '^$$' -bench 'BenchmarkSparseGemm|BenchmarkClassifyPruned' \
+		-benchmem -benchtime 0.3s -count 1 -cpu 1,2,4 . > BENCH_9.raw
+	$(GO) run ./cmd/benchjson -label BENCH_9 < BENCH_9.raw > BENCH_9.json
+	@rm -f BENCH_9.raw
+	@cat BENCH_9.json
 
 BENCH_NUM ?= 5
 bench-json:

@@ -124,6 +124,13 @@ type DeployOptions struct {
 	// Sparsity applies DECENT magnitude pruning before quantization
 	// (§6.2).
 	Sparsity float64
+	// PruneBlocks selects block-structured pruning matched to the
+	// sparse backend's skip geometry (whole skip blocks are zeroed, so
+	// the realized block sparsity equals the requested fraction).
+	PruneBlocks bool
+	// Backend selects the compute backend: "" or "auto" picks per
+	// kernel by realized block sparsity; "dense" / "sparse" force one.
+	Backend string
 	// Images is the evaluation-set size (default 64).
 	Images int
 	// Seed derives the dataset and label planting (default 1).
@@ -144,11 +151,13 @@ type Deployment struct {
 // "our design @Vnom" value.
 func (p *Platform) Deploy(benchmark string, opts DeployOptions) (*Deployment, error) {
 	dep, err := dnndk.DeployBenchmark(p.rt, benchmark, dnndk.DeployOptions{
-		Tiny:     opts.Tiny,
-		Bits:     opts.Bits,
-		Sparsity: opts.Sparsity,
-		Images:   opts.Images,
-		Seed:     opts.Seed,
+		Tiny:        opts.Tiny,
+		Bits:        opts.Bits,
+		Sparsity:    opts.Sparsity,
+		PruneBlocks: opts.PruneBlocks,
+		Backend:     opts.Backend,
+		Images:      opts.Images,
+		Seed:        opts.Seed,
 	})
 	if err != nil {
 		return nil, err

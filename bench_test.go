@@ -264,6 +264,131 @@ func BenchmarkGemmScaling(b *testing.B) {
 	})
 }
 
+// BenchmarkSparseGemm measures the block-sparse skip-zero GEMM against
+// the dense tiled engine on the serving-dominant conv shape (64×32×3×3
+// over 32×32, ≈19M dense MACs) across a block-sparsity sweep. Whole
+// SparseBlockRows×1 skip blocks are zeroed — the geometry the
+// prune→quantize→deploy pipeline produces — so the realized skip
+// fraction equals the sweep point. Results are bit-exact with the dense
+// kernel at every point; the acceptance gate is sparse ≥ 1.8× dense at
+// 90% sparsity. The tile worker pool stays in automatic mode, so
+// -cpu 1,2,4 sweeps the pool width (the workers metric records it).
+// Run via `make bench-sparse` (emits BENCH_9.json).
+func BenchmarkSparseGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(32, 32, 32)
+	x.FillRandn(rng, 1)
+	xq, _ := quant.Quantize(x, 8)
+	bias := make([]int32, 64)
+	for _, sp := range []float64{0, 0.25, 0.5, 0.9} {
+		w := tensor.New(64, 32, 3, 3)
+		w.FillRandn(rng, 0.2)
+		wq, _ := quant.Quantize(w, 8)
+		// Zero whole skip blocks at the sweep fraction.
+		zrng := rand.New(rand.NewSource(42))
+		m := wq.Dims[0]
+		kk := len(wq.Data) / m
+		for g := 0; g*quant.SparseBlockRows < m; g++ {
+			i0 := g * quant.SparseBlockRows
+			for p := 0; p < kk; p++ {
+				if zrng.Float64() >= sp {
+					continue
+				}
+				for q := 0; q < quant.SparseBlockRows && i0+q < m; q++ {
+					wq.Data[(i0+q)*kk+p] = 0
+				}
+			}
+		}
+		sw, err := quant.PackSparse(wq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("dense/sp=%.2f", sp), func(b *testing.B) {
+			var col []int8
+			var acc []int32
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := quant.Conv2DInt8Gemm(xq, wq, bias, 1, 1, &col, &acc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(quant.Workers()), "workers")
+		})
+		b.Run(fmt.Sprintf("sparse/sp=%.2f", sp), func(b *testing.B) {
+			var col []int8
+			var acc []int32
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := quant.Conv2DInt8GemmSparse(xq, sw, bias, 1, 1, &col, &acc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(quant.Workers()), "workers")
+			b.ReportMetric(sw.BlockSparsity(), "block_sparsity")
+		})
+	}
+}
+
+// BenchmarkClassifyPruned is BenchmarkClassifySteadyState through the
+// prune→quantize→deploy pipeline: the same VGGNet-tiny evaluation pass
+// in the critical region (565 mV — above the pruned configuration's
+// raised ≈556 mV Vcrash, faults live), dense baseline versus
+// block-pruned at 50% and 90% — where auto backend selection compiles
+// the kernel for the sparse skip-zero engine and the packed image
+// halves the BRAM footprint. The throughput gap between the dense and
+// pruned runs is the end-to-end serving win of the sparse backend.
+func BenchmarkClassifyPruned(b *testing.B) {
+	run := func(b *testing.B, sparsity float64) {
+		brd := board.MustNew(board.SampleB)
+		rt, err := dnndk.NewRuntime(brd, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench, _ := models.New("VGGNet", models.Tiny)
+		qopts := dnndk.DefaultQuantizeOptions()
+		qopts.Sparsity = sparsity
+		qopts.PruneBlocks = sparsity > 0
+		k, err := dnndk.Quantize(bench, qopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		task, err := rt.LoadKernel(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds := bench.MakeDataset(16, 1)
+		if err := task.PlantLabels(ds, bench.TargetAccPct, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := pmbus.NewAdapter(brd.Bus(), board.AddrVCCINT).SetVoltageMV(565); err != nil {
+			b.Fatal(err)
+		}
+		if sparsity > 0 && k.Backend != dpu.BackendSparse {
+			b.Fatalf("pruned kernel compiled for %q, want sparse", k.BackendName())
+		}
+		scratch := dpu.NewScratch()
+		rng := rand.New(rand.NewSource(2))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := task.ClassifyWith(scratch, ds, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)*16/secs, "images/s")
+		}
+	}
+	b.Run("dense", func(b *testing.B) { run(b, 0) })
+	b.Run("pruned=0.50", func(b *testing.B) { run(b, 0.5) })
+	b.Run("pruned=0.90", func(b *testing.B) { run(b, 0.9) })
+}
+
 // BenchmarkClassifySteadyState measures a full serving-path evaluation
 // pass (16 images, VGGNet tiny) at a critical-region operating point —
 // the steady-state work a fleet worker performs per request. The

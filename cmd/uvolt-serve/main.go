@@ -6,6 +6,7 @@
 // Usage:
 //
 //	uvolt-serve [-addr :8090] [-boards 3] [-bench VGGNet] [-images 32]
+//	            [-bits 8] [-sparsity 0] [-prune-sparsity 0] [-sparse-backend auto]
 //	            [-margin 10] [-batch 8] [-batch-images 16] [-micro-batch 16]
 //	            [-batch-window 2ms] [-gemm-workers 0]
 //	            [-pools 1] [-pool-boards 0] [-max-queue 0] [-spares 0]
@@ -65,7 +66,9 @@ func main() {
 	tiny := flag.Bool("tiny", true, "use the tiny model preset")
 	images := flag.Int("images", 32, "evaluation images per request")
 	bits := flag.Int("bits", 0, "quantization bits (default 8)")
-	sparsity := flag.Float64("sparsity", 0, "DECENT pruning sparsity")
+	sparsity := flag.Float64("sparsity", 0, "DECENT pruning sparsity (unstructured)")
+	pruneSparsity := flag.Float64("prune-sparsity", 0, "block-structured pruning sparsity matched to the sparse backend's skip geometry (overrides -sparsity)")
+	sparseBackend := flag.String("sparse-backend", "", "compute backend: auto (default; per-kernel by realized block sparsity), dense or sparse")
 	margin := flag.Float64("margin", 10, "mV of headroom above each board's Vmin")
 	target := flag.Float64("target", 0, "explicit operating point in mV (0 = Vmin+margin)")
 	batch := flag.Int("batch", 8, "max classify requests coalesced per accelerator pass")
@@ -100,17 +103,19 @@ func main() {
 	log := slog.Default()
 
 	fcfg := fpgauv.FleetConfig{
-		Boards:      *boards,
-		Benchmark:   *bench,
-		Tiny:        *tiny,
-		Images:      *images,
-		Bits:        *bits,
-		Sparsity:    *sparsity,
-		MarginMV:    *margin,
-		TargetMV:    *target,
-		MicroBatch:  *microBatch,
-		MaxQueue:    *maxQueue,
-		GemmWorkers: *gemmWorkers,
+		Boards:        *boards,
+		Benchmark:     *bench,
+		Tiny:          *tiny,
+		Images:        *images,
+		Bits:          *bits,
+		Sparsity:      *sparsity,
+		PruneSparsity: *pruneSparsity,
+		SparseBackend: *sparseBackend,
+		MarginMV:      *margin,
+		TargetMV:      *target,
+		MicroBatch:    *microBatch,
+		MaxQueue:      *maxQueue,
+		GemmWorkers:   *gemmWorkers,
 		Governor: fpgauv.GovernorConfig{
 			Enabled:     *governor,
 			Interval:    *govInterval,

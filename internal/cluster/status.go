@@ -29,6 +29,10 @@ func (r *Router) Status() fleet.Status {
 		active := e.active.Load()
 		if agg.Benchmark == "" {
 			agg.Benchmark = st.Benchmark
+			// Every pool is built from the same template, so the first
+			// pool's deployed sparsity and backend speak for the cluster.
+			agg.Sparsity = st.Sparsity
+			agg.Backend = st.Backend
 		}
 		agg.Boards = append(agg.Boards, st.Boards...)
 		agg.Queued += st.Queued

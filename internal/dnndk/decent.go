@@ -28,9 +28,29 @@ type QuantizeOptions struct {
 	// CalibSeed derives the calibration set.
 	CalibSeed int64
 	// Sparsity, when non-zero, applies magnitude pruning before
-	// quantization (§6.2).
+	// quantization (§6.2). Unstructured per-weight pruning by default;
+	// PruneBlocks selects the block-structured mode.
 	Sparsity float64
+	// PruneBlocks prunes in quant.SparseBlockRows×1 blocks
+	// (prune.ApplyBlocks) so the zeroed weights land on whole skip
+	// blocks the sparse backend elides, making the realized block
+	// sparsity equal the requested fraction.
+	PruneBlocks bool
+	// Backend selects the compute backend the kernel compiles for:
+	// "" or dpu.BackendAuto picks per kernel — sparse when the
+	// realized block sparsity of the quantized weights reaches
+	// SparseAutoThreshold, dense otherwise; dpu.BackendDense and
+	// dpu.BackendSparse force one.
+	Backend string
 }
+
+// SparseAutoThreshold is the realized block-sparsity fraction at which
+// auto backend selection deploys a kernel on the sparse backend: below
+// it the bitmap-walk overhead outweighs the skipped blocks. Unstructured
+// pruning only clears it at extreme sparsity (skip probability is s^4);
+// block-structured pruning (PruneBlocks) realizes it at the requested
+// fraction.
+const SparseAutoThreshold = 0.25
 
 // DefaultQuantizeOptions returns the paper's baseline: INT8, no pruning.
 func DefaultQuantizeOptions() QuantizeOptions {
@@ -53,10 +73,20 @@ func Quantize(b *models.Benchmark, opts QuantizeOptions) (*dpu.Kernel, error) {
 		opts.CalibImages = 8
 	}
 
+	if !dpu.ValidBackend(opts.Backend) {
+		return nil, fmt.Errorf("dnndk: unknown backend %q", opts.Backend)
+	}
+
 	sparsity := 0.0
 	vuln := 1.0
 	if opts.Sparsity > 0 {
-		rep, err := prune.Apply(b.Graph, opts.Sparsity)
+		var rep prune.Report
+		var err error
+		if opts.PruneBlocks {
+			rep, err = prune.ApplyBlocks(b.Graph, opts.Sparsity, quant.SparseBlockRows)
+		} else {
+			rep, err = prune.Apply(b.Graph, opts.Sparsity)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("dnndk: pruning: %w", err)
 		}
@@ -145,11 +175,55 @@ func Quantize(b *models.Benchmark, opts QuantizeOptions) (*dpu.Kernel, error) {
 		}
 	}
 
+	if err := selectBackend(k, opts.Backend); err != nil {
+		return nil, err
+	}
+
 	k.Program = compileProgram(b, opts.Bits, sparsity)
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("dnndk: compiled kernel invalid: %w", err)
 	}
 	return k, nil
+}
+
+// selectBackend resolves the kernel's compute backend and, when sparse
+// is chosen, packs every weight node into the block-sparse BRAM image.
+// Auto mode measures the realized block sparsity of the quantized
+// weights — the fraction of SparseBlockRows×1 blocks that are entirely
+// zero, i.e. exactly what the sparse engine can skip — and deploys
+// sparse when it reaches SparseAutoThreshold.
+func selectBackend(k *dpu.Kernel, requested string) error {
+	if requested == dpu.BackendDense {
+		k.Backend = dpu.BackendDense
+		return nil
+	}
+	var blocks, slots int64
+	for i := range k.Nodes {
+		kn := &k.Nodes[i]
+		if kn.WQ == nil {
+			continue
+		}
+		sw, err := quant.PackSparse(kn.WQ)
+		if err != nil {
+			return fmt.Errorf("dnndk: packing sparse weights: %w", err)
+		}
+		kn.SW = sw
+		blocks += int64(sw.Blocks())
+		slots += int64(sw.Groups()) * int64(sw.K)
+	}
+	blockSparsity := 0.0
+	if slots > 0 {
+		blockSparsity = 1 - float64(blocks)/float64(slots)
+	}
+	if requested == dpu.BackendSparse || blockSparsity >= SparseAutoThreshold {
+		k.Backend = dpu.BackendSparse
+		return nil
+	}
+	k.Backend = dpu.BackendDense
+	for i := range k.Nodes {
+		k.Nodes[i].SW = nil
+	}
+	return nil
 }
 
 // nodeKey is the calibrator key for node index i.

@@ -15,6 +15,12 @@ type DeployOptions struct {
 	// Sparsity applies DECENT magnitude pruning before quantization
 	// (§6.2).
 	Sparsity float64
+	// PruneBlocks selects block-structured pruning matched to the
+	// sparse backend's skip geometry (see QuantizeOptions.PruneBlocks).
+	PruneBlocks bool
+	// Backend selects the compute backend ("" / auto / dense / sparse;
+	// see QuantizeOptions.Backend).
+	Backend string
 	// Images is the evaluation-set size (default 64).
 	Images int
 	// Seed derives the dataset and label planting (default 1).
@@ -61,6 +67,8 @@ func DeployBenchmark(rt *Runtime, benchmark string, opts DeployOptions) (*Deploy
 		qopts.Bits = opts.Bits
 	}
 	qopts.Sparsity = opts.Sparsity
+	qopts.PruneBlocks = opts.PruneBlocks
+	qopts.Backend = opts.Backend
 	k, err := Quantize(bench, qopts)
 	if err != nil {
 		return nil, err

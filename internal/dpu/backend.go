@@ -1,0 +1,191 @@
+package dpu
+
+import (
+	"fmt"
+
+	"fpgauv/internal/quant"
+)
+
+// Compute backend names. Auto is resolved at compile (dnndk.Quantize)
+// time into dense or sparse per kernel; naive is not deployable — it is
+// the test oracle SetReferenceKernels forces.
+const (
+	BackendAuto   = "auto"
+	BackendDense  = "dense"
+	BackendSparse = "sparse"
+	BackendNaive  = "naive"
+)
+
+// ValidBackend reports whether name is a deployable backend selector
+// ("" means auto).
+func ValidBackend(name string) bool {
+	switch name {
+	case "", BackendAuto, BackendDense, BackendSparse:
+		return true
+	}
+	return false
+}
+
+// ComputeBackend is one weight-layer execution strategy: how a compiled
+// conv/FC node runs against the quant engine. All backends share the
+// executor's fault injection and requantize epilogue and are bit-exact
+// with each other on the same weight image at every worker count —
+// only where the int8 MACs come from differs:
+//
+//   - dense: im2col + tiled int8 GEMM over the dense weight tensor
+//   - sparse: the same tiling over the block-sparse packed image,
+//     skipping fully-zero SparseBlockRows×1 weight blocks
+//   - naive: the direct conv/FC reference kernels (the oracle)
+//
+// Conv/Dense run one image; ConvBatch/DenseBatch run a lane's stacked
+// sub-batch with image b's accumulators at block b of *acc, in the exact
+// single-image layout.
+type ComputeBackend interface {
+	Name() string
+	Conv(kn *KernelNode, x *quant.QTensor, stride, pad int, col *[]int8, acc *[]int32) (quant.ConvShape, error)
+	Dense(kn *KernelNode, x *quant.QTensor, acc *[]int32) (int, error)
+	ConvBatch(kn *KernelNode, xs []*quant.QTensor, stride, pad int, col *[]int8, acc *[]int32) (quant.ConvShape, error)
+	DenseBatch(kn *KernelNode, xs []*quant.QTensor, acc *[]int32) (int, error)
+}
+
+// backendFor resolves the backend one kernel executes on: the naive
+// oracle when reference kernels are forced, otherwise the kernel's
+// compiled backend.
+func (d *DPU) backendFor(k *Kernel) ComputeBackend {
+	if d.refKernels {
+		return naiveBackend{}
+	}
+	if k.Backend == BackendSparse {
+		return sparseBackend{}
+	}
+	return denseBackend{}
+}
+
+// bramImage returns the node's BRAM-resident weight image — the tensor
+// BRAM fault injection corrupts and the ECC scrubber protects. On the
+// sparse backend that is the packed image (smaller: fewer protected
+// words at the same fault rate; the dense WQ is host-side DDR staging).
+// When reference kernels are forced the naive oracle reads WQ, so
+// faults target it to stay visible to the compute.
+func (d *DPU) bramImage(kn *KernelNode) *quant.QTensor {
+	if kn.SW != nil && !d.refKernels {
+		return kn.SW.Packed
+	}
+	return kn.WQ
+}
+
+// denseBackend is the im2col+GEMM engine over dense weights.
+type denseBackend struct{}
+
+func (denseBackend) Name() string { return BackendDense }
+
+func (denseBackend) Conv(kn *KernelNode, x *quant.QTensor, stride, pad int, col *[]int8, acc *[]int32) (quant.ConvShape, error) {
+	return quant.Conv2DInt8Gemm(x, kn.WQ, kn.BiasQ, stride, pad, col, acc)
+}
+
+func (denseBackend) Dense(kn *KernelNode, x *quant.QTensor, acc *[]int32) (int, error) {
+	return quant.DenseInt8Gemm(x, kn.WQ, kn.BiasQ, acc)
+}
+
+func (denseBackend) ConvBatch(kn *KernelNode, xs []*quant.QTensor, stride, pad int, col *[]int8, acc *[]int32) (quant.ConvShape, error) {
+	return quant.Conv2DInt8GemmBatch(xs, kn.WQ, kn.BiasQ, stride, pad, col, acc)
+}
+
+func (denseBackend) DenseBatch(kn *KernelNode, xs []*quant.QTensor, acc *[]int32) (int, error) {
+	return quant.DenseInt8GemmBatch(xs, kn.WQ, kn.BiasQ, acc)
+}
+
+// sparseBackend is the same engine over the block-sparse packed image.
+type sparseBackend struct{}
+
+func (sparseBackend) Name() string { return BackendSparse }
+
+func (sparseBackend) Conv(kn *KernelNode, x *quant.QTensor, stride, pad int, col *[]int8, acc *[]int32) (quant.ConvShape, error) {
+	return quant.Conv2DInt8GemmSparse(x, kn.SW, kn.BiasQ, stride, pad, col, acc)
+}
+
+func (sparseBackend) Dense(kn *KernelNode, x *quant.QTensor, acc *[]int32) (int, error) {
+	return quant.DenseInt8GemmSparse(x, kn.SW, kn.BiasQ, acc)
+}
+
+func (sparseBackend) ConvBatch(kn *KernelNode, xs []*quant.QTensor, stride, pad int, col *[]int8, acc *[]int32) (quant.ConvShape, error) {
+	return quant.Conv2DInt8GemmBatchSparse(xs, kn.SW, kn.BiasQ, stride, pad, col, acc)
+}
+
+func (sparseBackend) DenseBatch(kn *KernelNode, xs []*quant.QTensor, acc *[]int32) (int, error) {
+	return quant.DenseInt8GemmBatchSparse(xs, kn.SW, kn.BiasQ, acc)
+}
+
+// naiveBackend is the direct conv/FC reference oracle. Its results land
+// in the caller's acc arena like the engine backends, so the executor
+// epilogue is shared verbatim and the paths cannot drift apart.
+type naiveBackend struct{}
+
+func (naiveBackend) Name() string { return BackendNaive }
+
+func (naiveBackend) Conv(kn *KernelNode, x *quant.QTensor, stride, pad int, _ *[]int8, acc *[]int32) (quant.ConvShape, error) {
+	a, dd, err := quant.Conv2DInt8(x, kn.WQ, kn.BiasQ, stride, pad)
+	if err != nil {
+		return quant.ConvShape{}, err
+	}
+	sh := quant.ConvShape{OutC: dd[0], OutH: dd[1], OutW: dd[2]}
+	*acc = growAcc(*acc, len(a))
+	copy(*acc, a)
+	return sh, nil
+}
+
+func (naiveBackend) Dense(kn *KernelNode, x *quant.QTensor, acc *[]int32) (int, error) {
+	a, dd, err := quant.DenseInt8(x, kn.WQ, kn.BiasQ)
+	if err != nil {
+		return 0, err
+	}
+	*acc = growAcc(*acc, len(a))
+	copy(*acc, a)
+	return dd[0], nil
+}
+
+func (naiveBackend) ConvBatch(kn *KernelNode, xs []*quant.QTensor, stride, pad int, _ *[]int8, acc *[]int32) (quant.ConvShape, error) {
+	var sh quant.ConvShape
+	blockLen := 0
+	for b, x := range xs {
+		a, dd, err := quant.Conv2DInt8(x, kn.WQ, kn.BiasQ, stride, pad)
+		if err != nil {
+			return sh, err
+		}
+		if b == 0 {
+			sh = quant.ConvShape{OutC: dd[0], OutH: dd[1], OutW: dd[2]}
+			blockLen = len(a)
+			*acc = growAcc(*acc, blockLen*len(xs))
+		} else if len(a) != blockLen {
+			return sh, fmt.Errorf("dpu: batch image %d accumulator length %d != %d", b, len(a), blockLen)
+		}
+		copy((*acc)[b*blockLen:], a)
+	}
+	return sh, nil
+}
+
+func (naiveBackend) DenseBatch(kn *KernelNode, xs []*quant.QTensor, acc *[]int32) (int, error) {
+	width := 0
+	for b, x := range xs {
+		a, dd, err := quant.DenseInt8(x, kn.WQ, kn.BiasQ)
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			width = dd[0]
+			*acc = growAcc(*acc, width*len(xs))
+		} else if len(a) != width {
+			return 0, fmt.Errorf("dpu: batch image %d accumulator length %d != %d", b, len(a), width)
+		}
+		copy((*acc)[b*width:], a)
+	}
+	return width, nil
+}
+
+// growAcc resizes an accumulator arena to n, reusing capacity.
+func growAcc(a []int32, n int) []int32 {
+	if cap(a) < n {
+		return make([]int32, n)
+	}
+	return a[:n]
+}

@@ -306,12 +306,13 @@ func (d *DPU) runBatchLane(ba *batchArena, ln *batchLane, k *Kernel, imgs []*ten
 	}
 }
 
-// runBatchWeightLayer executes one conv/FC node for a lane's sub-batch:
-// one stacked multi-RHS GEMM (or the per-image naive oracle when
-// reference kernels are forced), then per-image MAC-fault injection and
-// the fused requantize(+ReLU) epilogue — each image's accumulator block
-// has the exact single-image layout, so injection and epilogue are
-// bit-exact with the per-image path.
+// runBatchWeightLayer executes one conv/FC node for a lane's sub-batch
+// on the kernel's compute backend: one stacked multi-RHS GEMM (dense or
+// sparse; the naive oracle loops the images into the same block
+// layout), then per-image MAC-fault injection and the fused
+// requantize(+ReLU) epilogue — each image's accumulator block has the
+// exact single-image layout, so injection and epilogue are bit-exact
+// with the per-image path.
 func (d *DPU) runBatchWeightLayer(ba *batchArena, ln *batchLane, idx int, n nn.Node, kn *KernelNode, k *Kernel, rngs []*rand.Rand, lo, hi int, pMAC float64) error {
 	nb := hi - lo
 	if cap(ln.xs) < nb {
@@ -326,14 +327,12 @@ func (d *DPU) runBatchWeightLayer(ba *batchArena, ln *batchLane, idx int, n nn.N
 		xs[b] = x
 	}
 
+	be := d.backendFor(k)
 	var blockLen, nd int
 	var dims [3]int
 	switch op := n.Op.(type) {
 	case *nn.Conv2D:
-		if d.refKernels {
-			return d.refBatchWeightLayer(ba, idx, n, kn, k, rngs, lo, hi, pMAC)
-		}
-		sh, err := quant.Conv2DInt8GemmBatch(xs, kn.WQ, kn.BiasQ, op.Stride, op.Pad, &ln.col, &ln.acc)
+		sh, err := be.ConvBatch(kn, xs, op.Stride, op.Pad, &ln.col, &ln.acc)
 		if err != nil {
 			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
 		}
@@ -341,10 +340,7 @@ func (d *DPU) runBatchWeightLayer(ba *batchArena, ln *batchLane, idx int, n nn.N
 		dims = [3]int{sh.OutC, sh.OutH, sh.OutW}
 		nd = 3
 	case *nn.Dense:
-		if d.refKernels {
-			return d.refBatchWeightLayer(ba, idx, n, kn, k, rngs, lo, hi, pMAC)
-		}
-		width, err := quant.DenseInt8GemmBatch(xs, kn.WQ, kn.BiasQ, &ln.acc)
+		width, err := be.DenseBatch(kn, xs, &ln.acc)
 		if err != nil {
 			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
 		}
@@ -372,52 +368,17 @@ func (d *DPU) runBatchWeightLayer(ba *batchArena, ln *batchLane, idx int, n nn.N
 	return nil
 }
 
-// refBatchWeightLayer is the reference-kernel (naive oracle) form of a
-// batched weight layer: per-image direct conv/FC, with the shared
-// injection and epilogue.
-func (d *DPU) refBatchWeightLayer(ba *batchArena, idx int, n nn.Node, kn *KernelNode, k *Kernel, rngs []*rand.Rand, lo, hi int, pMAC float64) error {
-	for i := lo; i < hi; i++ {
-		sc := ba.imgs[i]
-		x, err := sc.fetch(n.Inputs[0])
-		if err != nil {
-			return err
-		}
-		var acc []int32
-		var dd []int
-		switch op := n.Op.(type) {
-		case *nn.Conv2D:
-			acc, dd, err = quant.Conv2DInt8(x, kn.WQ, kn.BiasQ, op.Stride, op.Pad)
-		case *nn.Dense:
-			acc, dd, err = quant.DenseInt8(x, kn.WQ, kn.BiasQ)
-		}
-		if err != nil {
-			return fmt.Errorf("dpu: node %q: %w", n.Label, err)
-		}
-		var rng *rand.Rand
-		if rngs != nil {
-			rng = rngs[i]
-		}
-		ba.res[i].MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
-		out := sc.act(idx)
-		relu := sc.fuseReLU[idx] >= 0
-		if err := quant.RequantizeInto(out, acc, kn.AccScale, kn.OutScale, k.Bits, relu, dd...); err != nil {
-			return err
-		}
-		sc.refs[idx] = out
-	}
-	return nil
-}
-
 // flipBatchWeights applies the batch's persistent BRAM faults: per weight
 // layer, in node order, flips are sampled exactly as the single-image
 // path samples them (same per-layer distribution) and applied in place on
-// the shared tensors, recorded for restoreBatchWeights. The returned
-// count is the batch's total flip events.
+// the shared BRAM-resident images (the packed image on the sparse
+// backend), recorded for restoreBatchWeights. The returned count is the
+// batch's total flip events.
 func (d *DPU) flipBatchWeights(ba *batchArena, k *Kernel, pBit float64, rng *rand.Rand) int64 {
 	ba.flips = ba.flips[:0]
 	var total int64
 	for i := range k.Nodes {
-		w := k.Nodes[i].WQ
+		w := d.bramImage(&k.Nodes[i])
 		if w == nil {
 			continue
 		}

@@ -32,6 +32,13 @@ type Config struct {
 	// untouched. The pool is one per process, so the last DPU programmed
 	// with a non-zero value wins.
 	GemmWorkers int
+	// Backend selects the compute backend kernels deploy on ("" or
+	// BackendAuto: per-kernel selection by realized block sparsity at
+	// quantization time; BackendDense / BackendSparse force one). The
+	// DPU itself executes whatever backend each kernel was compiled
+	// for — this field is deployment plumbing, threaded through the
+	// fleet to the DNNDK compile step.
+	Backend string
 }
 
 // B4096 returns the largest DPU variant, the paper's configuration.

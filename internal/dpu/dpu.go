@@ -195,7 +195,7 @@ func (d *DPU) runWith(s *Scratch, k *Kernel, img *tensor.Tensor, rng *rand.Rand,
 			if err != nil {
 				return nil, err
 			}
-			if err := d.runWeightLayer(s, res, i, n, kn, x, k.Bits, pMAC, pBRAM, rng); err != nil {
+			if err := d.runWeightLayer(s, res, i, n, kn, k, x, pMAC, pBRAM, rng); err != nil {
 				return nil, err
 			}
 		default:
@@ -365,60 +365,49 @@ func finishRun(s *Scratch, k *Kernel, res *Result) error {
 	return nil
 }
 
-// runWeightLayer executes one conv/FC node: transient BRAM flips, the
-// compute kernel (im2col+GEMM, or the naive oracle when reference
-// kernels are forced), MAC-fault injection on the int32 accumulators,
-// and the fused requantize(+ReLU) epilogue into the node's arena
-// activation. The epilogue is shared by all four kernel/op combinations
-// so the oracle and GEMM paths cannot drift apart.
-func (d *DPU) runWeightLayer(s *Scratch, res *Result, i int, n nn.Node, kn *KernelNode, x *quant.QTensor, bits int, pMAC, pBRAM float64, rng *rand.Rand) error {
+// runWeightLayer executes one conv/FC node: transient BRAM flips on the
+// node's BRAM-resident weight image, the kernel's compute backend
+// (dense GEMM, sparse skip-zero GEMM, or the naive oracle when
+// reference kernels are forced), MAC-fault injection on the int32
+// accumulators, and the fused requantize(+ReLU) epilogue into the
+// node's arena activation. The epilogue is shared by every backend/op
+// combination so the oracle and engine paths cannot drift apart.
+func (d *DPU) runWeightLayer(s *Scratch, res *Result, i int, n nn.Node, kn *KernelNode, k *Kernel, x *quant.QTensor, pMAC, pBRAM float64, rng *rand.Rand) error {
+	img := d.bramImage(kn)
 	if d.prot.Enabled() {
-		res.BRAMFaults += d.flipWeightsECC(s, res, kn.WQ, pBRAM, rng)
+		res.BRAMFaults += d.flipWeightsECC(s, res, img, pBRAM, rng)
 	} else {
-		res.BRAMFaults += d.flipWeights(s, kn.WQ, pBRAM, rng)
+		res.BRAMFaults += d.flipWeights(s, img, pBRAM, rng)
 	}
+	be := d.backendFor(k)
 	var acc []int32
 	var dims [3]int
 	nd := 0
 	var cerr error
 	switch op := n.Op.(type) {
 	case *nn.Conv2D:
-		if d.refKernels {
-			var dd []int
-			if acc, dd, cerr = quant.Conv2DInt8(x, kn.WQ, kn.BiasQ, op.Stride, op.Pad); cerr == nil {
-				nd = copy(dims[:], dd)
-			}
-		} else {
-			var sh quant.ConvShape
-			if sh, cerr = quant.Conv2DInt8Gemm(x, kn.WQ, kn.BiasQ, op.Stride, op.Pad, &s.col, &s.acc); cerr == nil {
-				acc = s.acc[:sh.AccLen()]
-				dims = [3]int{sh.OutC, sh.OutH, sh.OutW}
-				nd = 3
-			}
+		var sh quant.ConvShape
+		if sh, cerr = be.Conv(kn, x, op.Stride, op.Pad, &s.col, &s.acc); cerr == nil {
+			acc = s.acc[:sh.AccLen()]
+			dims = [3]int{sh.OutC, sh.OutH, sh.OutW}
+			nd = 3
 		}
 	case *nn.Dense:
-		if d.refKernels {
-			var dd []int
-			if acc, dd, cerr = quant.DenseInt8(x, kn.WQ, kn.BiasQ); cerr == nil {
-				nd = copy(dims[:], dd)
-			}
-		} else {
-			var width int
-			if width, cerr = quant.DenseInt8Gemm(x, kn.WQ, kn.BiasQ, &s.acc); cerr == nil {
-				acc = s.acc[:width]
-				dims[0] = width
-				nd = 1
-			}
+		var width int
+		if width, cerr = be.Dense(kn, x, &s.acc); cerr == nil {
+			acc = s.acc[:width]
+			dims[0] = width
+			nd = 1
 		}
 	}
-	d.restoreWeights(s, kn.WQ)
+	d.restoreWeights(s, img)
 	if cerr != nil {
 		return fmt.Errorf("dpu: node %q: %w", n.Label, cerr)
 	}
 	res.MACFaults += injectMACFaults(acc, kn.MACs, pMAC, rng)
 	out := s.act(i)
 	relu := s.fuseReLU[i] >= 0
-	if err := quant.RequantizeInto(out, acc, kn.AccScale, kn.OutScale, bits, relu, dims[:nd]...); err != nil {
+	if err := quant.RequantizeInto(out, acc, kn.AccScale, kn.OutScale, k.Bits, relu, dims[:nd]...); err != nil {
 		return err
 	}
 	s.refs[i] = out

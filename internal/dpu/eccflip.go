@@ -124,7 +124,7 @@ func (d *DPU) flipBatchWeightsECC(ba *batchArena, k *Kernel, pBit float64, rng *
 	var total int64
 	var counts ecc.Counts
 	for i := range k.Nodes {
-		w := k.Nodes[i].WQ
+		w := d.bramImage(&k.Nodes[i])
 		if w == nil {
 			continue
 		}

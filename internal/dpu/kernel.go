@@ -103,6 +103,19 @@ type Kernel struct {
 	// VulnScale amplifies fault counts for pruned kernels (see
 	// prune.VulnerabilityScale).
 	VulnScale float64
+	// Backend is the compute backend this kernel deploys on
+	// (BackendDense or BackendSparse; "" means dense). Resolved at
+	// compile time — dnndk's auto mode picks sparse when the realized
+	// block sparsity clears the skip threshold.
+	Backend string
+}
+
+// BackendName returns the kernel's effective compute backend name.
+func (k *Kernel) BackendName() string {
+	if k.Backend == "" {
+		return BackendDense
+	}
+	return k.Backend
 }
 
 // KernelNode is the compiled form of one graph node.
@@ -110,6 +123,12 @@ type KernelNode struct {
 	// WQ/BiasQ are set for conv and FC nodes.
 	WQ    *quant.QTensor
 	BiasQ []int32
+	// SW is the block-sparse packed weight image, set on every conv/FC
+	// node of a sparse-backend kernel. When set it — not WQ — is the
+	// BRAM-resident image that fault injection corrupts and the ECC
+	// scrubber protects; WQ stays as the host-side (DDR staging) dense
+	// copy the naive oracle and recompilation read.
+	SW *quant.SparseWeights
 	// OutScale is the calibrated activation scale of this node's
 	// output; AccScale is the int32 accumulator scale (inScale*wScale).
 	OutScale float32
@@ -136,6 +155,12 @@ func (k *Kernel) Validate() error {
 	if k.ComputeFrac <= 0 || k.ComputeFrac > 1 {
 		return fmt.Errorf("dpu: kernel %q compute fraction %g", k.Name, k.ComputeFrac)
 	}
+	switch k.Backend {
+	case "", BackendDense, BackendSparse:
+	default:
+		return fmt.Errorf("dpu: kernel %q backend %q unsupported", k.Name, k.Backend)
+	}
+	sparse := k.Backend == BackendSparse
 	for i, n := range k.Graph.Nodes() {
 		kn := k.Nodes[i]
 		switch n.Op.(type) {
@@ -145,6 +170,12 @@ func (k *Kernel) Validate() error {
 			}
 			if kn.AccScale <= 0 || kn.OutScale <= 0 {
 				return fmt.Errorf("dpu: kernel %q node %q has invalid scales", k.Name, n.Label)
+			}
+			if sparse && kn.SW == nil {
+				return fmt.Errorf("dpu: kernel %q node %q missing packed sparse weights", k.Name, n.Label)
+			}
+			if !sparse && kn.SW != nil {
+				return fmt.Errorf("dpu: kernel %q node %q has packed weights on backend %q", k.Name, n.Label, k.BackendName())
 			}
 		}
 	}

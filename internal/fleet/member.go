@@ -100,9 +100,9 @@ type member struct {
 var regionCache sync.Map // string -> core.Regions
 
 func regionKey(sample board.SampleID, cfg Config) string {
-	return fmt.Sprintf("%d|%s|tiny=%t|bits=%d|sp=%.4f|img=%d|seed=%d|step=%.1f|rep=%d",
-		sample, cfg.Benchmark, cfg.Tiny, cfg.Bits, cfg.Sparsity,
-		cfg.Images, cfg.Seed, cfg.CharStepMV, cfg.CharRepeats)
+	return fmt.Sprintf("%d|%s|tiny=%t|bits=%d|sp=%.4f|psp=%.4f|be=%s|img=%d|seed=%d|step=%.1f|rep=%d",
+		sample, cfg.Benchmark, cfg.Tiny, cfg.Bits, cfg.Sparsity, cfg.PruneSparsity,
+		cfg.SparseBackend, cfg.Images, cfg.Seed, cfg.CharStepMV, cfg.CharRepeats)
 }
 
 // newMember assembles board idx (cycling the paper's three silicon
@@ -117,6 +117,7 @@ func newMember(idx int, cfg Config) (*member, error) {
 	}
 	dcfg := dpu.B4096()
 	dcfg.GemmWorkers = cfg.GemmWorkers
+	dcfg.Backend = cfg.SparseBackend
 	rt, err := dnndk.NewRuntimeConfig(brd, dcfg, cfg.Cores)
 	if err != nil {
 		return nil, err
@@ -165,12 +166,19 @@ func newMember(idx int, cfg Config) (*member, error) {
 }
 
 // kernelWeights collects the kernel's live weight tensors (the protected
-// BRAM image).
+// BRAM image). Sparse-backend kernels keep the compacted packed image in
+// BRAM — fewer words to protect, so the scrubber's golden copy (and the
+// ECC corrected-rate at a given VCCBRAM) shrinks with pruning.
 func kernelWeights(k *dpu.Kernel) [][]int8 {
 	var out [][]int8
 	for i := range k.Nodes {
-		if w := k.Nodes[i].WQ; w != nil {
-			out = append(out, w.Data)
+		kn := &k.Nodes[i]
+		if kn.SW != nil {
+			out = append(out, kn.SW.Packed.Data)
+			continue
+		}
+		if kn.WQ != nil {
+			out = append(out, kn.WQ.Data)
 		}
 	}
 	return out
@@ -179,12 +187,18 @@ func kernelWeights(k *dpu.Kernel) [][]int8 {
 // deploy compiles and loads the benchmark kernel and plants ground-truth
 // labels through the shared single-platform deployment protocol.
 func (m *member) deploy(cfg Config) error {
+	sp, pruneBlocks := cfg.Sparsity, false
+	if cfg.PruneSparsity > 0 {
+		sp, pruneBlocks = cfg.PruneSparsity, true
+	}
 	dep, err := dnndk.DeployBenchmark(m.rt, cfg.Benchmark, dnndk.DeployOptions{
-		Tiny:     cfg.Tiny,
-		Bits:     cfg.Bits,
-		Sparsity: cfg.Sparsity,
-		Images:   cfg.Images,
-		Seed:     cfg.Seed,
+		Tiny:        cfg.Tiny,
+		Bits:        cfg.Bits,
+		Sparsity:    sp,
+		PruneBlocks: pruneBlocks,
+		Backend:     cfg.SparseBackend,
+		Images:      cfg.Images,
+		Seed:        cfg.Seed,
 	})
 	if err != nil {
 		return err

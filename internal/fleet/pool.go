@@ -60,8 +60,19 @@ type Config struct {
 	Tiny bool
 	// Bits is the quantization precision (default 8).
 	Bits int
-	// Sparsity applies DECENT pruning before quantization.
+	// Sparsity applies unstructured DECENT pruning before quantization.
 	Sparsity float64
+	// PruneSparsity, when non-zero, replaces Sparsity with
+	// block-structured pruning at this fraction: whole sparse skip
+	// blocks are zeroed, so the realized block sparsity the sparse
+	// backend can elide equals the requested fraction (the
+	// `-prune-sparsity` serving flag).
+	PruneSparsity float64
+	// SparseBackend selects the compute backend kernels deploy on:
+	// "" or "auto" picks per kernel by realized block sparsity at
+	// quantization time, "dense" / "sparse" force one (the
+	// `-sparse-backend` serving flag).
+	SparseBackend string
 	// Images is the evaluation-set size classified per request
 	// (default 32).
 	Images int

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"fpgauv/internal/dpu"
+)
+
+// The prune→quantize→deploy economics pin: a block-pruned deployment
+// compiles for the sparse backend, keeps the compacted packed image in
+// BRAM, and so under SECDED the scrubber protects fewer words. At a
+// given VCCBRAM that means a lower corrected-word rate, which the
+// ECC-aware governor's corrected-rate budget converts into an equal or
+// deeper settled rail than the dense deployment's — at equal Top-1
+// accuracy, because every event either fleet tolerated was corrected
+// before the consumer saw it.
+func TestPrunedECCSettlesAtOrBelowDenseRail(t *testing.T) {
+	dense := newTestPool(t, eccTestConfig(1, true))
+	pcfg := eccTestConfig(1, true)
+	pcfg.PruneSparsity = 0.5
+	pruned := newTestPool(t, pcfg)
+
+	// The pruned pool must have compiled for the sparse backend (auto
+	// selection: realized block sparsity 0.5 clears the threshold) and
+	// must report it through the status snapshot.
+	pst, dst := pruned.Status(), dense.Status()
+	if pst.Backend != dpu.BackendSparse {
+		t.Fatalf("pruned pool backend = %q, want %q", pst.Backend, dpu.BackendSparse)
+	}
+	if dst.Backend != dpu.BackendDense {
+		t.Fatalf("dense pool backend = %q, want %q", dst.Backend, dpu.BackendDense)
+	}
+	if pst.Sparsity <= 0.4 {
+		t.Fatalf("pruned pool sparsity = %.2f, want ~0.5", pst.Sparsity)
+	}
+
+	// Fewer protected words: the scrubber's golden image is the packed
+	// BRAM image, strictly smaller than the dense weight image.
+	pw, dw := pst.Boards[0].ECC.Words, dst.Boards[0].ECC.Words
+	if pw == 0 || dw == 0 {
+		t.Fatalf("protected image sizes not reported: pruned=%d dense=%d", pw, dw)
+	}
+	if pw >= dw {
+		t.Fatalf("pruned protected image %d words, want below dense %d", pw, dw)
+	}
+
+	if err := dense.HoldTemperatureC(0, 34); err != nil {
+		t.Fatal(err)
+	}
+	if err := pruned.HoldTemperatureC(0, 34); err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 220
+	settleMember(dense, 0, ticks)
+	settleMember(pruned, 0, ticks)
+
+	denseB := dense.Status().Boards[0]
+	prunedB := pruned.Status().Boards[0]
+	if !denseB.Governor.BRAM.Settled || !prunedB.Governor.BRAM.Settled {
+		t.Fatalf("BRAM loops did not settle in %d ticks: dense=%+v pruned=%+v",
+			ticks, denseB.Governor.BRAM, prunedB.Governor.BRAM)
+	}
+	if prunedB.OperatingBRAMMV > denseB.OperatingBRAMMV {
+		t.Fatalf("pruned+ECC settled at %.0f mV VCCBRAM, want at or below dense+ECC %.0f mV",
+			prunedB.OperatingBRAMMV, denseB.OperatingBRAMMV)
+	}
+
+	// Equal Top-1 at the settled points under pinned fault streams: both
+	// deployments plant the same target accuracy, and everything either
+	// protected fleet absorbed at its rail was corrected.
+	const seed = 41
+	resDense, err := dense.Classify(context.Background(), Request{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPruned, err := pruned.Classify(context.Background(), Request{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPruned.AccuracyPct != resDense.AccuracyPct {
+		t.Fatalf("accuracy at settled points: pruned %.2f%% vs dense %.2f%%",
+			resPruned.AccuracyPct, resDense.AccuracyPct)
+	}
+	if resPruned.ECC.Silent != 0 || resPruned.ECC.Detected != 0 {
+		t.Errorf("harmful events served at the pruned settled point: %+v", resPruned.ECC)
+	}
+}

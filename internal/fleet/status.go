@@ -180,10 +180,16 @@ type PoolRouteStatus struct {
 type Status struct {
 	// Pool names the scheduler that produced the snapshot ("pool" for an
 	// unnamed single pool, "cluster" for a router aggregate).
-	Pool      string        `json:"pool"`
-	Benchmark string        `json:"benchmark"`
-	Boards    []BoardStatus `json:"boards"`
-	Queued    int           `json:"queued"`
+	Pool      string `json:"pool"`
+	Benchmark string `json:"benchmark"`
+	// Sparsity is the deployed kernels' pruned-away weight fraction
+	// (0 = dense); Backend the compute backend they were compiled for
+	// ("dense" or "sparse" — the result of auto selection, not the
+	// requested mode).
+	Sparsity float64       `json:"sparsity"`
+	Backend  string        `json:"backend"`
+	Boards   []BoardStatus `json:"boards"`
+	Queued   int           `json:"queued"`
 	// InFlight is the number of jobs executing on boards right now;
 	// MaxQueue the admission bound (0 = unbounded) and Shed the
 	// requests refused with ErrSaturated since startup.
@@ -261,6 +267,13 @@ func (p *Pool) Status() Status {
 	}
 	st.Requests = st.EvalRequests + st.InferRequests
 	st.Served = st.EvalServed + st.InferServed
+	if len(p.members) > 0 {
+		// Every member deploys the same kernel configuration, so the
+		// first board's compiled kernel speaks for the pool.
+		k := p.members[0].kernel
+		st.Sparsity = k.Sparsity
+		st.Backend = k.BackendName()
+	}
 	for _, m := range p.members {
 		b := p.boardStatus(m)
 		st.Boards = append(st.Boards, b)

@@ -10,7 +10,6 @@ package prune
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"fpgauv/internal/nn"
 )
@@ -25,7 +24,11 @@ type Report struct {
 	WeightsBefore int64
 	WeightsZeroed int64
 	// MACsBefore and MACsEffective give the dense and expected sparse
-	// MAC counts per inference.
+	// MAC counts per inference. MACsEffective is MAC-weighted per layer:
+	// a zeroed conv weight removes OutH×OutW multiply-accumulates (one
+	// per output pixel its filter tap would have fed) while a zeroed FC
+	// weight removes exactly one, so layers are discounted by their own
+	// zeroed fraction rather than the graph-global weight fraction.
 	MACsBefore    int64
 	MACsEffective int64
 }
@@ -49,52 +52,184 @@ func (r Report) String() string {
 // fully-connected layer's weights in g, in place. Biases are kept. It
 // returns a report of the reduction.
 func Apply(g *nn.Graph, sparsity float64) (Report, error) {
+	return apply(g, sparsity, 0)
+}
+
+// ApplyBlocks is the block-structured form of Apply, the pruning mode
+// matched to the sparse executor's skip geometry (quant.SparseWeights):
+// the unit scored and zeroed is the blockRows×1 column slice of a
+// layer's weight matrix — blockRows consecutive output channels at one
+// reduction index — ranked by the block's summed magnitude. Every
+// zeroed block is a whole skip block, so the realized block sparsity
+// the sparse kernel exploits equals the requested fraction instead of
+// the far smaller fraction unstructured pruning yields by chance.
+func ApplyBlocks(g *nn.Graph, sparsity float64, blockRows int) (Report, error) {
+	if blockRows < 1 {
+		return Report{}, fmt.Errorf("prune: block rows %d < 1", blockRows)
+	}
+	return apply(g, sparsity, blockRows)
+}
+
+// apply is the shared pruning core; blockRows == 0 selects unstructured
+// per-weight pruning.
+func apply(g *nn.Graph, sparsity float64, blockRows int) (Report, error) {
 	if sparsity < 0 || sparsity >= 1 {
 		return Report{}, fmt.Errorf("prune: sparsity %.3f outside [0, 1)", sparsity)
 	}
 	rep := Report{Sparsity: sparsity, MACsBefore: g.TotalMACs()}
+	var macsSaved int64
 	for _, node := range g.Nodes() {
 		var weights []float32
+		var cols int
 		switch op := node.Op.(type) {
 		case *nn.Conv2D:
 			weights = op.Weights.Data()
+			cols = op.InC * op.Kernel * op.Kernel
 		case *nn.Dense:
 			weights = op.Weights.Data()
+			cols = op.In
 		default:
 			continue
 		}
 		rep.LayersPruned++
 		rep.WeightsBefore += int64(len(weights))
-		rep.WeightsZeroed += pruneSlice(weights, sparsity)
+		var zeroed int64
+		if blockRows > 0 {
+			zeroed = pruneBlocks(weights, cols, blockRows, sparsity)
+		} else {
+			zeroed = pruneSlice(weights, sparsity)
+		}
+		rep.WeightsZeroed += zeroed
+		if len(weights) > 0 {
+			layerMACs := node.Op.MACs(g.InputShapesOf(node))
+			macsSaved += int64(math.Round(float64(layerMACs) * float64(zeroed) / float64(len(weights))))
+		}
 	}
-	eff := 1 - rep.EffectiveSparsity()
-	rep.MACsEffective = int64(math.Round(float64(rep.MACsBefore) * eff))
+	rep.MACsEffective = rep.MACsBefore - macsSaved
 	return rep, nil
+}
+
+// abs32 is |v| without the float64 round trip.
+func abs32(v float32) float32 {
+	return math.Float32frombits(math.Float32bits(v) &^ (1 << 31))
 }
 
 // pruneSlice zeroes the smallest-magnitude fraction of w and returns how
 // many entries were zeroed (already-zero entries count toward the quota).
+// The magnitude threshold is found by quickselect over one float32
+// scratch slice — O(n) expected, one n-sized allocation — instead of the
+// former full sort copy (O(n log n), two n-sized float64 slices).
 func pruneSlice(w []float32, sparsity float64) int64 {
 	n := len(w)
 	k := int(math.Floor(float64(n) * sparsity))
 	if k <= 0 {
 		return 0
 	}
-	mags := make([]float64, n)
+	scratch := make([]float32, n)
 	for i, v := range w {
-		mags[i] = math.Abs(float64(v))
+		scratch[i] = abs32(v)
 	}
-	sorted := append([]float64(nil), mags...)
-	sort.Float64s(sorted)
-	threshold := sorted[k-1]
+	threshold := quickselect(scratch, k-1)
 	var zeroed int64
-	for i := range w {
-		if mags[i] <= threshold && zeroed < int64(k) {
+	for i, v := range w {
+		if abs32(v) <= threshold && zeroed < int64(k) {
 			w[i] = 0
 			zeroed++
 		}
 	}
 	return zeroed
+}
+
+// pruneBlocks zeroes the smallest-magnitude fraction of a layer's
+// blockRows×1 column blocks (rows = output channels, cols = reduction
+// indices) and returns the zeroed weight count. Block score is the mean
+// magnitude over its (up to blockRows) weights — mean, not sum, so a
+// ragged last group's short blocks compete fairly; ties and the block
+// quota resolve in block index order, mirroring pruneSlice.
+func pruneBlocks(w []float32, cols, blockRows int, sparsity float64) int64 {
+	if cols <= 0 || len(w)%cols != 0 {
+		return 0
+	}
+	m := len(w) / cols
+	groups := (m + blockRows - 1) / blockRows
+	total := groups * cols
+	k := int(math.Floor(float64(total) * sparsity))
+	if k <= 0 {
+		return 0
+	}
+	score := func(r, p int) float32 {
+		var s float32
+		q0, q1 := r*blockRows, min((r+1)*blockRows, m)
+		for q := q0; q < q1; q++ {
+			s += abs32(w[q*cols+p])
+		}
+		return s / float32(q1-q0)
+	}
+	scratch := make([]float32, total)
+	for r := 0; r < groups; r++ {
+		for p := 0; p < cols; p++ {
+			scratch[r*cols+p] = score(r, p)
+		}
+	}
+	threshold := quickselect(scratch, k-1)
+	var zeroed int64
+	pruned := 0
+	for r := 0; r < groups && pruned < k; r++ {
+		for p := 0; p < cols && pruned < k; p++ {
+			if score(r, p) > threshold {
+				continue
+			}
+			for q := r * blockRows; q < min((r+1)*blockRows, m); q++ {
+				w[q*cols+p] = 0
+				zeroed++
+			}
+			pruned++
+		}
+	}
+	return zeroed
+}
+
+// quickselect returns the k-th smallest element (0-indexed) of a,
+// partially reordering it in place: expected O(n) via Hoare partition
+// with a median-of-three pivot.
+func quickselect(a []float32, k int) float32 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[k]
 }
 
 // VulnerabilityScale returns the factor by which pruning amplifies

@@ -3,6 +3,7 @@ package prune
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"fpgauv/internal/nn"
@@ -128,6 +129,216 @@ func TestPrunedModelStillInfers(t *testing.T) {
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// macsEffectiveOracle recomputes the per-layer MAC-weighted expectation
+// from the pruned graph: each layer's MACs discounted by its own
+// realized zeroed fraction.
+func macsEffectiveOracle(g *nn.Graph) int64 {
+	total := g.TotalMACs()
+	var saved int64
+	for _, n := range g.Nodes() {
+		var w []float32
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			w = op.Weights.Data()
+		case *nn.Dense:
+			w = op.Weights.Data()
+		default:
+			continue
+		}
+		zeros := 0
+		for _, v := range w {
+			if v == 0 {
+				zeros++
+			}
+		}
+		macs := n.Op.MACs(g.InputShapesOf(n))
+		saved += int64(math.Round(float64(macs) * float64(zeros) / float64(len(w))))
+	}
+	return total - saved
+}
+
+// TestMACsEffectivePerLayer is the regression test for the MAC
+// accounting fix: a zeroed conv weight removes OutH×OutW MACs while a
+// zeroed FC weight removes one, so MACsEffective must be the per-layer
+// MAC-weighted value, not total MACs scaled by the global zeroed-weight
+// fraction. The conv-heavy and FC-heavy graphs have deliberately
+// non-divisible layer sizes so the realized per-layer fractions differ
+// and the two formulas disagree.
+func TestMACsEffectivePerLayer(t *testing.T) {
+	build := func(convOut, fcOut int) *nn.Graph {
+		rng := rand.New(rand.NewSource(9))
+		g := nn.NewGraph(nn.Shape{C: 1, H: 8, W: 8})
+		g.Add("conv1", nn.NewConv2D(rng, 1, convOut, 3, 1, 1))
+		g.Add("flatten", nn.Flatten{})
+		g.Add("fc", nn.NewDense(rng, convOut*8*8, fcOut))
+		return g
+	}
+	for _, tc := range []struct {
+		name           string
+		convOut, fcOut int
+	}{
+		// conv-heavy: 63 conv weights drive 4032 of 5376 MACs.
+		{"conv-heavy", 7, 3},
+		// FC-heavy: 28k FC weights dominate both counts, but the conv
+		// layer's 64 MACs/weight must still be discounted at its own rate.
+		{"fc-heavy", 7, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := build(tc.convOut, tc.fcOut)
+			rep, err := Apply(g, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := macsEffectiveOracle(g)
+			if rep.MACsEffective != want {
+				t.Fatalf("MACsEffective = %d, want per-layer value %d", rep.MACsEffective, want)
+			}
+			if rep.MACsBefore != g.TotalMACs() {
+				t.Fatalf("MACsBefore = %d, want %d", rep.MACsBefore, g.TotalMACs())
+			}
+		})
+	}
+	// The asymmetric case must actually distinguish the formulas: with
+	// 63 conv weights at sparsity 0.9 the conv zeroes 56/63 (88.9%)
+	// while the FC zeroes ~90%, so the old global-fraction formula lands
+	// measurably away from the per-layer value.
+	g := build(7, 3)
+	rep, err := Apply(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := int64(math.Round(float64(rep.MACsBefore) * (1 - rep.EffectiveSparsity())))
+	if rep.MACsEffective == old {
+		t.Fatalf("per-layer MACsEffective %d coincides with the global-fraction formula; test geometry lost its asymmetry", rep.MACsEffective)
+	}
+}
+
+// TestQuickselectMatchesSort pins the quickselect threshold against the
+// full-sort oracle across sizes, duplicates and orderings.
+func TestQuickselectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(500)
+		a := make([]float32, n)
+		switch iter % 3 {
+		case 0:
+			for i := range a {
+				a[i] = rng.Float32()
+			}
+		case 1: // heavy duplicates
+			for i := range a {
+				a[i] = float32(rng.Intn(4))
+			}
+		case 2: // sorted descending (adversarial for naive pivots)
+			for i := range a {
+				a[i] = float32(n - i)
+			}
+		}
+		sorted := append([]float32(nil), a...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		k := rng.Intn(n)
+		if got := quickselect(append([]float32(nil), a...), k); got != sorted[k] {
+			t.Fatalf("iter %d: quickselect(n=%d, k=%d) = %g, want %g", iter, n, k, got, sorted[k])
+		}
+	}
+}
+
+// TestApplyBlocksRealizesBlockSparsity checks that block pruning zeroes
+// whole skip blocks — the realized block sparsity the sparse kernel
+// skips matches the request — and keeps the strongest blocks.
+func TestApplyBlocksRealizesBlockSparsity(t *testing.T) {
+	const rows = 4
+	g := buildNet()
+	rep, err := ApplyBlocks(g, 0.5, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LayersPruned != 2 {
+		t.Fatalf("layers pruned = %d", rep.LayersPruned)
+	}
+	if math.Abs(rep.EffectiveSparsity()-0.5) > 0.05 {
+		t.Fatalf("weight sparsity = %.3f, want ≈0.5", rep.EffectiveSparsity())
+	}
+	if rep.MACsEffective != macsEffectiveOracle(g) {
+		t.Fatalf("MACsEffective = %d, want %d", rep.MACsEffective, macsEffectiveOracle(g))
+	}
+	// Every block is either fully zero or untouched, and the zeroed
+	// block fraction matches the request.
+	for _, n := range g.Nodes() {
+		var w []float32
+		var cols int
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			w, cols = op.Weights.Data(), op.InC*op.Kernel*op.Kernel
+		case *nn.Dense:
+			w, cols = op.Weights.Data(), op.In
+		default:
+			continue
+		}
+		m := len(w) / cols
+		groups := (m + rows - 1) / rows
+		zeroBlocks, total := 0, groups*cols
+		for r := 0; r < groups; r++ {
+			for p := 0; p < cols; p++ {
+				zeros, span := 0, 0
+				for q := r * rows; q < m && q < (r+1)*rows; q++ {
+					span++
+					if w[q*cols+p] == 0 {
+						zeros++
+					}
+				}
+				if zeros == span {
+					zeroBlocks++
+				}
+			}
+		}
+		frac := float64(zeroBlocks) / float64(total)
+		if math.Abs(frac-0.5) > 0.05 {
+			t.Fatalf("layer %q: realized block sparsity %.3f, want ≈0.5", n.Label, frac)
+		}
+	}
+	if _, err := ApplyBlocks(buildNet(), 0.5, 0); err == nil {
+		t.Fatal("block rows < 1 must fail")
+	}
+}
+
+// TestApplyBlocksModelStillInfers mirrors TestPrunedModelStillInfers for
+// the block-structured mode.
+func TestApplyBlocksModelStillInfers(t *testing.T) {
+	g := buildNet()
+	if _, err := ApplyBlocks(g, 0.75, 4); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 8, 8)
+	in.FillRandn(rand.New(rand.NewSource(3)), 1)
+	out, err := g.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 10 {
+		t.Fatal("block-pruned net broken")
+	}
+}
+
+// BenchmarkPruneSlice pins the quickselect rewrite's cost: one float32
+// scratch allocation per layer (4n bytes) instead of the former float64
+// magnitude copy plus full-sort copy (16n bytes, O(n log n)). Run with
+// -benchmem; the bytes/op figure is the contract.
+func BenchmarkPruneSlice(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	base := make([]float32, 1<<16)
+	for i := range base {
+		base[i] = rng.Float32() - 0.5
+	}
+	w := make([]float32, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(w, base)
+		pruneSlice(w, 0.5)
 	}
 }
 

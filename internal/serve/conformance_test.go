@@ -171,11 +171,30 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	for _, want := range []string{
 		"uvolt_build_info", "uvolt_uptime_seconds", "uvolt_http_responses_total",
 		"uvolt_events_total", "uvolt_stage_seconds", "uvolt_classify_latency_seconds",
-		"uvolt_infer_latency_seconds",
+		"uvolt_infer_latency_seconds", "uvolt_sparsity", "uvolt_backend_info",
 	} {
 		if typ[want] == "" {
 			t.Errorf("family %s missing from exposition", want)
 		}
+	}
+
+	// The backend info gauge carries the resolved backend as a label and
+	// is always 1.
+	backendSeen := false
+	for _, smp := range samples {
+		if smp.name != "uvolt_backend_info" {
+			continue
+		}
+		backendSeen = true
+		if smp.value != 1 {
+			t.Errorf("uvolt_backend_info value = %g, want 1", smp.value)
+		}
+		if be := smp.labels["backend"]; be != "dense" && be != "sparse" {
+			t.Errorf("uvolt_backend_info backend = %q, want dense or sparse", be)
+		}
+	}
+	if !backendSeen {
+		t.Error("no uvolt_backend_info sample in exposition")
 	}
 
 	// Histogram discipline per series: buckets monotone non-decreasing in

@@ -96,6 +96,10 @@ func (s *Server) renderMetrics() string {
 	counter("uvolt_fleet_shed_total", "Requests refused by admission control (HTTP 429).", st.Shed)
 	gauge("uvolt_fleet_throughput_gops", "Aggregate modeled throughput (GOPs).", fmt.Sprintf("%.2f", st.GOPs))
 	gauge("uvolt_gemm_workers", "Effective width of the shared GEMM tile worker pool.", st.GemmWorkers)
+	gauge("uvolt_sparsity", "Pruned-away weight fraction of the deployed kernels (0 = dense).",
+		fmt.Sprintf("%.4f", st.Sparsity))
+	fmt.Fprintf(&b, "# HELP uvolt_backend_info Compute backend the deployed kernels compiled for (value is always 1).\n# TYPE uvolt_backend_info gauge\n")
+	fmt.Fprintf(&b, "uvolt_backend_info{backend=%q} 1\n", st.Backend)
 	counter("uvolt_fleet_requests_total", "Classification requests admitted.", st.Requests)
 	counter("uvolt_fleet_served_total", "Classification requests completed.", st.Served)
 	counter("uvolt_fleet_eval_requests_total", "Evaluation-set passes admitted.", st.EvalRequests)
