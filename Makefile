@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs bench-cluster bench-gemm bench-sparse
+.PHONY: all build test race vet fmt bench bench-governed bench-ecc bench-json bench-obs bench-cluster bench-gemm bench-sparse bench-telemetry
 
 all: vet build test
 
@@ -96,6 +96,20 @@ bench-sparse:
 	$(GO) run ./cmd/benchjson -label BENCH_9 < BENCH_9.raw > BENCH_9.json
 	@rm -f BENCH_9.raw
 	@cat BENCH_9.json
+
+# Telemetry cost snapshot: one full-pool sample (every board plus the
+# aggregate, twelve series each — the allocs/op column pins the
+# zero-alloc steady-state contract), one digest ingest (the per-request
+# latency-observation cost), and the governed serving-throughput delta
+# with the sampler off versus running at 1 ms (20x the production
+# default) — the observability tax on the serving path. Emitted as
+# BENCH_10.json.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetrySample|BenchmarkDigestIngest|BenchmarkTelemetryFleet' \
+		-benchmem -benchtime 0.3s -count 1 . > BENCH_10.raw
+	$(GO) run ./cmd/benchjson -label BENCH_10 < BENCH_10.raw > BENCH_10.json
+	@rm -f BENCH_10.raw
+	@cat BENCH_10.json
 
 BENCH_NUM ?= 5
 bench-json:

@@ -1,0 +1,96 @@
+package fpgauv_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fpgauv"
+)
+
+// BenchmarkTelemetrySample measures one full-pool telemetry sample —
+// every board plus the pool aggregate, twelve series each — on a hot
+// 3-board fleet. Run with -benchmem: the contract is 0 allocs/op, so
+// the sampler can run at tight intervals forever without GC pressure.
+func BenchmarkTelemetrySample(b *testing.B) {
+	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+		Boards:      3,
+		Tiny:        true,
+		Images:      8,
+		CharRepeats: 1,
+		Telemetry:   fpgauv.TelemetryConfig{Interval: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	pool.SampleTelemetry() // prime counter baselines
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.SampleTelemetry()
+	}
+}
+
+// BenchmarkDigestIngest measures one latency observation into the
+// log-bucketed quantile digest — the per-request cost added to every
+// served endpoint. Contract: lock-free, 0 allocs/op.
+func BenchmarkDigestIngest(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		var d fpgauv.LatencyDigest
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Observe(0.0123)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		var d fpgauv.LatencyDigest
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				d.Observe(0.0123)
+			}
+		})
+	})
+}
+
+// BenchmarkTelemetryFleet compares serving throughput on a 3-board
+// fleet with telemetry disabled against the same fleet sampled every
+// millisecond (20x the production default rate) — the delta is the
+// observability tax on the serving path, which must stay marginal.
+func BenchmarkTelemetryFleet(b *testing.B) {
+	const images = 16
+	for _, sampled := range []bool{false, true} {
+		name := "off"
+		interval := time.Duration(-1)
+		if sampled {
+			name = "1ms"
+			interval = time.Millisecond
+		}
+		b.Run(name, func(b *testing.B) {
+			pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+				Boards:      3,
+				Tiny:        true,
+				Images:      images,
+				CharRepeats: 1,
+				Telemetry:   fpgauv.TelemetryConfig{Interval: interval},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := pool.Classify(context.Background(), fpgauv.FleetRequest{}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 && b.N > 0 {
+				b.ReportMetric(float64(b.N)*images/secs, "images/s")
+			}
+		})
+	}
+}

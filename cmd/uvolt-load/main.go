@@ -7,17 +7,21 @@
 // Usage:
 //
 //	uvolt-load [-addr http://localhost:8090] [-rate 50] [-n 500]
-//	           [-warmup 20] [-timeout 10s] [-pin]
+//	           [-warmup 20] [-timeout 10s] [-pin] [-json results.json]
 //
 // With -pin, each shot carries a pinned seed (its sequence number), so
 // against a cluster every shot exercises rendezvous affinity routing
 // and bypasses server-side batching; without it, shots ride the
-// batcher. Exit status is 1 when any shot fails outright (sheds are an
-// expected outcome, not a failure).
+// batcher. With -json, a machine-readable result summary (counts,
+// rates, latency percentiles in seconds) is written to the named file
+// alongside the text report, for CI threshold checks and dashboards.
+// Exit status is 1 when any shot fails outright (sheds are an expected
+// outcome, not a failure).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +35,36 @@ import (
 	"fpgauv/internal/load"
 )
 
+// jsonResult is the -json results file schema. Latencies are seconds so
+// downstream tooling never parses duration strings.
+type jsonResult struct {
+	Sent       int     `json:"sent"`
+	Served     int     `json:"served"`
+	Shed       int     `json:"shed"`
+	Failed     int     `json:"failed"`
+	ElapsedSec float64 `json:"elapsed_seconds"`
+	OfferedRPS float64 `json:"offered_rps"`
+	ServedRPS  float64 `json:"served_rps"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50Sec     float64 `json:"p50_seconds"`
+	P90Sec     float64 `json:"p90_seconds"`
+	P99Sec     float64 `json:"p99_seconds"`
+}
+
+func writeJSONResult(path string, res load.Result) error {
+	out := jsonResult{
+		Sent: res.Sent, Served: res.Served, Shed: res.Shed, Failed: res.Failed,
+		ElapsedSec: res.Elapsed.Seconds(),
+		OfferedRPS: res.OfferedRPS, ServedRPS: res.ServedRPS, ShedRate: res.ShedRate,
+		P50Sec: res.P50.Seconds(), P90Sec: res.P90.Seconds(), P99Sec: res.P99.Seconds(),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
 	addr := flag.String("addr", "http://localhost:8090", "base URL of the uvolt-serve instance")
 	rate := flag.Float64("rate", 50, "offered load in requests per second")
@@ -38,6 +72,7 @@ func main() {
 	warmup := flag.Int("warmup", 20, "leading shots excluded from latency percentiles")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request budget")
 	pin := flag.Bool("pin", false, "pin each shot's seed (exercises affinity routing, bypasses batching)")
+	jsonPath := flag.String("json", "", "also write a machine-readable result summary to this file")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,6 +117,13 @@ func main() {
 		res.OfferedRPS, res.ServedRPS, res.ShedRate)
 	fmt.Printf("latency p50=%s p90=%s p99=%s (from scheduled fire time)\n",
 		res.P50.Round(time.Microsecond), res.P90.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	if *jsonPath != "" {
+		if err := writeJSONResult(*jsonPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "uvolt-load: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "uvolt-load: wrote %s\n", *jsonPath)
+	}
 	if res.Failed > 0 {
 		os.Exit(1)
 	}

@@ -13,6 +13,8 @@
 //	            [-governor] [-governor-interval 25ms] [-governor-step 5]
 //	            [-governor-margin 5] [-governor-probe 12]
 //	            [-ecc] [-scrub-interval 250ms] [-governor-bram]
+//	            [-telemetry-interval 50ms] [-slo-availability 0.999]
+//	            [-slo-latency 250ms] [-slo-burn-threshold 4]
 //	            [-trace] [-trace-ring 256] [-debug-addr :6060] [-log-level info]
 //
 // Endpoints:
@@ -29,6 +31,10 @@
 //	POST /v1/fleet/governor {"enabled": true}     toggle / tune the governor
 //	GET  /v1/fleet/ecc                            SECDED + scrubbing state
 //	POST /v1/fleet/ecc     {"enabled": true}      toggle ECC / tune scrubbing
+//	GET  /v1/fleet/history?board=B&series=S       board telemetry time-series
+//	                      [&res=raw|10s|1m][&n=N]
+//	GET  /v1/fleet/health                         board health + SLO burn rates
+//	GET  /v1/fleet/postmortems[?limit=N]          crash flight-recorder records
 //	GET  /metrics                                 Prometheus text metrics
 //	GET  /healthz                                 liveness
 //
@@ -88,6 +94,11 @@ func main() {
 	eccOn := flag.Bool("ecc", false, "enable BRAM SECDED protection")
 	scrubInterval := flag.Duration("scrub-interval", 250*time.Millisecond, "frame-scrub period per board")
 	govBRAM := flag.Bool("governor-bram", false, "let the governor walk VCCBRAM down (ECC-aware when -ecc)")
+	telemetryInterval := flag.Duration("telemetry-interval", 50*time.Millisecond, "board telemetry sampling period (negative disables the sampler)")
+	sloAvailability := flag.Float64("slo-availability", 0.999, "availability objective (fraction of requests that must succeed)")
+	sloLatency := flag.Duration("slo-latency", 250*time.Millisecond, "latency objective threshold")
+	sloLatencyGoal := flag.Float64("slo-latency-goal", 0.99, "fraction of requests that must beat -slo-latency")
+	sloBurnThreshold := flag.Float64("slo-burn-threshold", 4, "burn-rate multiple that raises an slo_burn alert (both windows)")
 	trace := flag.Bool("trace", true, "record request traces (served by /v1/trace and /v1/traces)")
 	traceRing := flag.Int("trace-ring", 256, "recent traces retained")
 	debugAddr := flag.String("debug-addr", "", "optional separate listener for /debug/pprof (empty = off)")
@@ -127,6 +138,9 @@ func main() {
 		ECC: fpgauv.ECCConfig{
 			Enabled:       *eccOn,
 			ScrubInterval: *scrubInterval,
+		},
+		Telemetry: fpgauv.TelemetryConfig{
+			Interval: *telemetryInterval,
 		},
 	}
 	t0 := time.Now()
@@ -183,6 +197,12 @@ func main() {
 		BatchWindow: *window,
 		Trace:       *trace,
 		TraceRing:   *traceRing,
+		SLO: fpgauv.SLOConfig{
+			AvailabilityTarget: *sloAvailability,
+			LatencyTarget:      *sloLatency,
+			LatencyGoal:        *sloLatencyGoal,
+			BurnThreshold:      *sloBurnThreshold,
+		},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,153 @@
+// Fleet telemetry: the observability loop the paper's margin story
+// needs in production. A 2-board fleet serves classify traffic while
+// the per-board time-series recorder samples rails, temperature, power
+// and ECC rates into multi-resolution rings; then one board's margin is
+// degraded in place (Vmin drift + a corrected-ECC ramp) until the
+// health scorer flags it, and finally a crash is injected so the flight
+// recorder retains a postmortem — journal tail, pre-crash telemetry
+// window and the trace id that was on the board.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"time"
+
+	"fpgauv"
+)
+
+type historyPage struct {
+	Board  string                  `json:"board"`
+	Series string                  `json:"series"`
+	Res    string                  `json:"res"`
+	Points []fpgauv.TelemetryPoint `json:"points"`
+}
+
+type healthPage struct {
+	Boards   []fpgauv.BoardHealth `json:"boards"`
+	Degraded int                  `json:"degraded"`
+	Watch    int                  `json:"watch"`
+	SLO      fpgauv.SLOStatus     `json:"slo"`
+}
+
+type postmortemPage struct {
+	Total       int64               `json:"total"`
+	Postmortems []fpgauv.Postmortem `json:"postmortems"`
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	fmt.Println("bringing up a 2-board fleet with 5ms telemetry sampling...")
+	pool, err := fpgauv.NewFleet(fpgauv.FleetConfig{
+		Boards: 2, Tiny: true, Images: 16,
+		Telemetry: fpgauv.TelemetryConfig{Interval: 5 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := fpgauv.NewServer(pool, fpgauv.ServeConfig{Trace: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	defer pool.Close()
+
+	// Serve some traffic so the throughput/latency series have signal.
+	fmt.Println("serving 6 classify requests...")
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json",
+			bytes.NewReader([]byte(fmt.Sprintf(`{"seed":%d}`, i+1))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	time.Sleep(50 * time.Millisecond) // let the sampler cover the burst
+
+	// 1. Health before degradation: every board should grade ok. This
+	// also tells us the fleet's board ids.
+	var before healthPage
+	getJSON(ts.URL+"/v1/fleet/health", &before)
+	fmt.Println("\nhealth before margin regression:")
+	for _, b := range before.Boards {
+		fmt.Printf("  %-10s %-8s score=%.1f margin=%.1fmV\n", b.Board, b.State, b.Score, b.MarginMV)
+	}
+	board0, board1 := before.Boards[0].Board, before.Boards[1].Board
+
+	// 2. Time-series history: recent VCCINT samples for the first board.
+	var hist historyPage
+	getJSON(ts.URL+"/v1/fleet/history?board="+url.QueryEscape(board0)+"&series=vccint_mv&res=raw&n=5", &hist)
+	fmt.Printf("\n%s %s (%s resolution), last %d points:\n", hist.Board, hist.Series, hist.Res, len(hist.Points))
+	for _, p := range hist.Points {
+		fmt.Printf("  t=%-14d last=%.1f mV  (min %.1f / max %.1f over %d samples)\n",
+			p.AtNS, p.Last, p.Min, p.Max, p.Count)
+	}
+
+	// 3. Degrade the second board in place: bias its Vmin estimate up
+	// 12 mV and ramp corrected-ECC errors — the margin-regression
+	// signature the paper associates with aging and environmental drift.
+	fmt.Printf("\ninjecting margin drift on %s (+12 mV Vmin, 200 corrected ECC/s)...\n", board1)
+	if err := pool.InjectMarginDrift(1, 12, 200); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond) // sampler accumulates the ramp, scorer re-grades
+
+	var after healthPage
+	getJSON(ts.URL+"/v1/fleet/health", &after)
+	fmt.Println("health after margin regression:")
+	for _, b := range after.Boards {
+		fmt.Printf("  %-10s %-8s score=%.1f drift=%.1fmV ecc=%.0f/s reasons=%v\n",
+			b.Board, b.State, b.Score, b.VminDriftMV, b.CorrectedRate, b.Reasons)
+	}
+	fmt.Printf("degraded boards: %d (router now deprioritizes them)\n", after.Degraded)
+
+	// 4. Crash flight recorder: crash the first board under a traced
+	// request and read back the retained postmortem.
+	fmt.Printf("\ninjecting a crash on %s under a traced request...\n", board0)
+	if err := pool.InjectFailures(0, 2); err != nil {
+		log.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/classify",
+		bytes.NewReader([]byte(`{"seed":7}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Uvolt-Trace", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var pms postmortemPage
+	getJSON(ts.URL+"/v1/fleet/postmortems?limit=3", &pms)
+	fmt.Printf("flight recorder holds %d postmortem(s):\n", pms.Total)
+	for _, pm := range pms.Postmortems {
+		fmt.Printf("  #%d board=%s trace=%q vccint=%.1fmV temp=%.1fC crashes=%d\n",
+			pm.ID, pm.Board, pm.TraceID, pm.VCCINTmV, pm.TempC, pm.Crashes)
+		fmt.Printf("    journal tail: %d events, telemetry window: %d series\n",
+			len(pm.Events), len(pm.Window))
+		for i := len(pm.Events) - 3; i < len(pm.Events); i++ {
+			if i < 0 {
+				continue
+			}
+			ev := pm.Events[i]
+			fmt.Printf("      [%d] %-10s %s\n", ev.Seq, ev.Kind, ev.Detail)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fpgauv/internal/obs"
 	"fpgauv/internal/quant"
 	"fpgauv/internal/serve"
+	"fpgauv/internal/telemetry"
 )
 
 // Re-exported fleet types: the multi-board scheduling and crash-aware
@@ -74,6 +75,27 @@ type (
 	BoardECCStatus = fleet.BoardECCStatus
 	// ServeConfig parameterizes the HTTP front-end.
 	ServeConfig = serve.Config
+	// TelemetryConfig sizes the fleet's per-board time-series recorder,
+	// health scorer and crash flight recorder.
+	TelemetryConfig = telemetry.Config
+	// TelemetryPoint is one rollup bucket of a recorded board series.
+	TelemetryPoint = telemetry.Point
+	// SLOConfig declares the serving objectives the burn-rate tracker
+	// alerts on.
+	SLOConfig = telemetry.SLOConfig
+	// SLOStatus is the multi-window burn-rate snapshot served by
+	// /v1/fleet/health.
+	SLOStatus = telemetry.SLOStatus
+	// BoardHealth is one board's health score and state.
+	BoardHealth = telemetry.BoardHealth
+	// HealthConfig tunes the board health scorer's thresholds.
+	HealthConfig = telemetry.HealthConfig
+	// Postmortem is one retained crash record: pre-crash telemetry
+	// window, journal tail and active trace id.
+	Postmortem = telemetry.Postmortem
+	// LatencyDigest is a streaming log-bucketed quantile digest
+	// (p50/p99/p999 with bounded relative error).
+	LatencyDigest = telemetry.Digest
 	// Server is the HTTP inference front-end of a fleet.
 	Server = serve.Server
 	// FleetEvent is one structured fleet journal entry (crash, reboot,

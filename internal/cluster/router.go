@@ -99,16 +99,18 @@ type entry struct {
 	// refused here (router pre-check or the pool's own admission).
 	routes atomic.Int64
 	sheds  atomic.Int64
-	// Cached slow signals (quiescent boards, modeled power), refreshed
-	// at most once per SignalTTL. stampNS is the refresh time.
+	// Cached slow signals (quiescent boards, modeled power, degraded
+	// boards), refreshed at most once per SignalTTL. stampNS is the
+	// refresh time.
 	sigMu     sync.Mutex
 	stampNS   atomic.Int64
 	quiescent atomic.Int64
 	powerBits atomic.Uint64
+	degraded  atomic.Int64
 }
 
 // signals refreshes and returns the entry's slow routing signals.
-func (e *entry) signals(ttl time.Duration) (quiescent int, powerW float64) {
+func (e *entry) signals(ttl time.Duration) (quiescent int, powerW float64, degraded int) {
 	now := obs.NowNS()
 	if now-e.stampNS.Load() > int64(ttl) {
 		e.sigMu.Lock()
@@ -117,11 +119,12 @@ func (e *entry) signals(ttl time.Duration) (quiescent int, powerW float64) {
 			q, _ := e.pool.QuiescentBoards()
 			e.quiescent.Store(int64(q))
 			e.powerBits.Store(math.Float64bits(e.pool.OperatingPowerW()))
+			e.degraded.Store(int64(e.pool.DegradedBoards()))
 			e.stampNS.Store(now)
 		}
 		e.sigMu.Unlock()
 	}
-	return int(e.quiescent.Load()), math.Float64frombits(e.powerBits.Load())
+	return int(e.quiescent.Load()), math.Float64frombits(e.powerBits.Load()), int(e.degraded.Load())
 }
 
 // Router schedules requests across N pools behind the fleet.Scheduler
@@ -246,6 +249,11 @@ func (s *routeScratch) Swap(a, b int) { s.rk[a], s.rk[b] = s.rk[b], s.rk[a] }
 // loops never steal mid-request canary passes), then the shortest
 // backlog; unpinned bulk traffic prefers the cheapest pool by modeled
 // power — the pools settled deepest into the guardband — then backlog.
+// Both unpinned classes penalize pools with health-degraded boards
+// (margin regression precedes crashes, so a degraded pool is a crash
+// risk the router can route around before availability pays for it):
+// each degraded board fraction outweighs a fully quiescent pool on the
+// latency key and inflates the bulk power key proportionally.
 func (r *Router) candidates(class trafficClass, affinity int64, s *routeScratch) []*entry {
 	s.act = s.act[:0]
 	s.rk = s.rk[:0]
@@ -260,11 +268,12 @@ func (r *Router) candidates(class trafficClass, affinity int64, s *routeScratch)
 		case affinity != 0:
 			s.rk = append(s.rk, ranked{e, -rendezvousScore(affinity, e.name, e.pool.Size()), 0})
 		case class == classLatency:
-			q, _ := e.signals(r.cfg.SignalTTL)
-			s.rk = append(s.rk, ranked{e, -float64(q) / float64(e.pool.Size()), load})
+			q, _, d := e.signals(r.cfg.SignalTTL)
+			size := float64(e.pool.Size())
+			s.rk = append(s.rk, ranked{e, -float64(q)/size + 2*float64(d)/size, load})
 		default:
-			_, p := e.signals(r.cfg.SignalTTL)
-			s.rk = append(s.rk, ranked{e, p, load})
+			_, p, d := e.signals(r.cfg.SignalTTL)
+			s.rk = append(s.rk, ranked{e, p * (1 + float64(d)/float64(e.pool.Size())), load})
 		}
 	}
 	sort.Stable(s)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fpgauv/internal/fleet"
+	"fpgauv/internal/telemetry"
 )
 
 // Status aggregates every pool's snapshot into one fleet.Status: boards
@@ -73,6 +74,7 @@ func (r *Router) Status() fleet.Status {
 			Sheds:     e.sheds.Load() + st.Shed,
 			Quiescent: q,
 			PowerW:    e.pool.OperatingPowerW(),
+			Degraded:  e.pool.DegradedBoards(),
 		}
 		cl.Pools = append(cl.Pools, pr)
 		if active {
@@ -85,6 +87,27 @@ func (r *Router) Status() fleet.Status {
 	agg.ECC = ecc
 	agg.Cluster = cl
 	return agg
+}
+
+// Health concatenates every pool's board health scores in pool index
+// order (spares included — a degraded spare should not be promoted
+// blind).
+func (r *Router) Health() []telemetry.BoardHealth {
+	var out []telemetry.BoardHealth
+	for _, e := range r.entries {
+		out = append(out, e.pool.BoardHealth()...)
+	}
+	return out
+}
+
+// Postmortems merges every pool's retained crash postmortems newest
+// first (limit <= 0: all retained).
+func (r *Router) Postmortems(limit int) []telemetry.Postmortem {
+	sets := make([][]telemetry.Postmortem, 0, len(r.entries))
+	for _, e := range r.entries {
+		sets = append(sets, e.pool.Postmortems(0))
+	}
+	return telemetry.MergePostmortems(limit, sets...)
 }
 
 // mergeGovernor folds one pool's governor summary into the cluster

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fpgauv/internal/fleet"
+	"fpgauv/internal/telemetry"
+)
+
+// A pool with a health-degraded board must drop in candidate ordering
+// for both unpinned traffic classes, while affinity-pinned ordering
+// stays put; the degradation must also surface in the router's status
+// and health aggregation.
+func TestRouterDeprioritizesDegradedPool(t *testing.T) {
+	pc := testPoolCfg(1)
+	pc.Governor = fleet.GovernorConfig{Interval: -1}
+	pc.ECC = fleet.ECCConfig{ScrubInterval: -1}
+	pc.Telemetry = telemetry.Config{Interval: -1, HealthWindow: 4}
+	r := newTestRouter(t, Config{Pools: 2, Pool: pc, SignalTTL: time.Nanosecond})
+
+	pools := r.Pools()
+	samp := func() {
+		for _, p := range pools {
+			p.SampleTelemetry()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 6; i++ {
+		samp()
+	}
+
+	// Baseline winner for unpinned latency traffic.
+	first := r.candidates(classLatency, 0, new(routeScratch))[0]
+	victim := first.pool
+	var other *fleet.Pool
+	for _, p := range pools {
+		if p != victim {
+			other = p
+		}
+	}
+
+	// Degrade the baseline winner's board.
+	if err := victim.InjectMarginDrift(-1, 12, 500); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		samp()
+	}
+	if victim.DegradedBoards() != 1 {
+		t.Fatalf("victim degraded boards = %d, want 1", victim.DegradedBoards())
+	}
+
+	// Latency class: the degraded-board penalty (2 per degraded fraction)
+	// outweighs full quiescence, so the healthy pool must rank first.
+	if got := r.candidates(classLatency, 0, new(routeScratch))[0]; got.pool != other {
+		t.Error("latency class: degraded pool still ranks first")
+	}
+	// Bulk class: degradation inflates the power key proportionally —
+	// the ordering must match the documented key, whichever pool wins
+	// (a >2x cheaper pool legitimately keeps bulk traffic even degraded).
+	bulkKey := func(p *fleet.Pool) float64 {
+		return p.OperatingPowerW() * (1 + float64(p.DegradedBoards())/float64(p.Size()))
+	}
+	wantFirst := victim
+	if bulkKey(other) < bulkKey(victim) {
+		wantFirst = other
+	}
+	if got := r.candidates(classBulk, 0, new(routeScratch))[0]; got.pool != wantFirst {
+		t.Errorf("bulk class: first = %s, want %s (keys: victim %.3f, other %.3f)",
+			got.pool.Name(), wantFirst.Name(), bulkKey(victim), bulkKey(other))
+	}
+	// Affinity-pinned ordering ignores health: the same key keeps its
+	// rendezvous winner regardless of degradation.
+	pinnedBefore := r.candidates(classLatency, 42, new(routeScratch))[0]
+	if got := r.candidates(classLatency, 42, new(routeScratch))[0]; got != pinnedBefore {
+		t.Error("pinned ordering changed across calls")
+	}
+
+	// Degradation surfaces in the router's status and health views.
+	st := r.Status()
+	if st.Cluster == nil {
+		t.Fatal("no cluster status block")
+	}
+	degradedPools := 0
+	for _, pr := range st.Cluster.Pools {
+		degradedPools += pr.Degraded
+	}
+	if degradedPools != 1 {
+		t.Fatalf("status degraded boards = %d, want 1", degradedPools)
+	}
+	health := r.Health()
+	if len(health) != 2 {
+		t.Fatalf("router health boards = %d, want 2", len(health))
+	}
+	degraded := 0
+	for _, h := range health {
+		if h.State == telemetry.HealthDegraded {
+			degraded++
+		}
+	}
+	if degraded != 1 {
+		t.Fatalf("router health degraded = %d, want 1", degraded)
+	}
+
+	// Crash postmortems aggregate across pools through the router.
+	if err := other.InjectFailures(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Classify(context.Background(), fleet.Request{Seed: 5}); err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	pms := r.Postmortems(0)
+	if len(pms) != 1 {
+		t.Fatalf("router postmortems = %d, want 1", len(pms))
+	}
+	if pms[0].Board == "" {
+		t.Fatalf("postmortem board empty: %+v", pms[0])
+	}
+}

@@ -91,6 +91,23 @@ type member struct {
 	// driving the crash→reboot→redeploy→requeue machinery on demand
 	// without moving a rail. Armed by Pool.InjectFailures.
 	failInject atomic.Int64
+
+	// driftBits / injCorrBits are the margin-regression chaos knob
+	// (float bits): an injected upward bias on the board's Vmin estimate
+	// and a synthesized corrected-ECC rate (words/sec) folded into the
+	// telemetry sampler. Armed by Pool.InjectMarginDrift.
+	driftBits   atomic.Uint64
+	injCorrBits atomic.Uint64
+	// healthState is the health scorer's last grade (0 ok, 1 watch,
+	// 2 degraded) — the transition latch behind EvHealthDegraded.
+	healthState atomic.Int32
+	// onCrash is the pool's flight-recorder hook, invoked at the end of
+	// noteCrash (every noteCrash call site holds mu). Nil off-pool.
+	onCrash func(*member)
+	// activeTrace is the trace id of the job currently executing on the
+	// board (guarded by mu; empty when idle or untraced) — the crash
+	// postmortem's request attribution.
+	activeTrace string
 }
 
 // regionCache shares one measured characterization per (sample, workload)
@@ -262,10 +279,21 @@ func (m *member) event(kind string, mv float64, detail string) {
 
 // noteCrash is the single crash-accounting point: every detected hang —
 // serving path, monitor, governor — counts the crash and journals it.
+// The journal append precedes the flight-recorder hook so the
+// postmortem's journal tail includes this crash event.
 func (m *member) noteCrash() {
 	m.crashes.Add(1)
 	m.event(obs.EvCrash, m.brd.VCCINTmV(), "")
+	if m.onCrash != nil {
+		m.onCrash(m)
+	}
 }
+
+// vminDriftMV returns the injected Vmin drift bias in millivolts.
+func (m *member) vminDriftMV() float64 { return math.Float64frombits(m.driftBits.Load()) }
+
+// injCorrRate returns the injected corrected-ECC rate (words/sec).
+func (m *member) injCorrRate() float64 { return math.Float64frombits(m.injCorrBits.Load()) }
 
 // takeInjectedFailure consumes one armed chaos failure, if any.
 func (m *member) takeInjectedFailure() bool {

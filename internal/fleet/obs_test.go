@@ -91,7 +91,7 @@ func TestJournalAndTraceAcrossInjectedCrash(t *testing.T) {
 			b0 = append(b0, ev)
 		}
 	}
-	wantKinds := []string{obs.EvCrash, obs.EvReboot, obs.EvRedeploy, obs.EvRequeue}
+	wantKinds := []string{obs.EvCrash, obs.EvPostmortem, obs.EvReboot, obs.EvRedeploy, obs.EvRequeue}
 	if len(b0) < len(wantKinds) {
 		t.Fatalf("crashed board journal has %d events, want >= %d: %+v", len(b0), len(wantKinds), b0)
 	}

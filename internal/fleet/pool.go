@@ -26,6 +26,7 @@ import (
 	"fpgauv/internal/nn"
 	"fpgauv/internal/obs"
 	"fpgauv/internal/silicon"
+	"fpgauv/internal/telemetry"
 	"fpgauv/internal/tensor"
 )
 
@@ -123,6 +124,12 @@ type Config struct {
 	// always assembled — event emission is off the request hot path and
 	// costs nothing when nobody reads it.
 	EventCap int
+	// Telemetry sizes the per-board time-series recorder, the health
+	// scorer and the crash flight recorder (see telemetry.Config). The
+	// zero value samples every board at the default 50ms interval; set
+	// Telemetry.Interval negative to disable the background sampler
+	// (tests drive SampleTelemetry explicitly).
+	Telemetry telemetry.Config
 }
 
 // sanitize fills config defaults.
@@ -165,6 +172,7 @@ func (c Config) sanitize() Config {
 	}
 	c.Governor = c.Governor.sanitize()
 	c.ECC = c.ECC.sanitize()
+	c.Telemetry = c.Telemetry.Sanitize()
 	return c
 }
 
@@ -303,6 +311,18 @@ type Pool struct {
 	eccSt   eccState
 	journal *obs.Journal
 
+	// telem is the pool's time-series recorder (boards + pool aggregate
+	// pseudo-board), telemCfg its sanitized config. synthCorr and
+	// synthStampNS are sampler-owned state for the injected corrected-ECC
+	// ramp (single sampling goroutine; no lock). jobLatency is the pool's
+	// job-latency quantile digest (lock-free; workers observe, readers
+	// snapshot).
+	telem        *telemetry.Recorder
+	telemCfg     telemetry.Config
+	synthCorr    []float64
+	synthStampNS int64
+	jobLatency   telemetry.Digest
+
 	wg      sync.WaitGroup
 	stop    chan struct{}
 	closing atomic.Bool
@@ -370,6 +390,7 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p.startGovernor(cfg.Governor)
 	p.startScrubbers(cfg.ECC)
+	p.startTelemetry(cfg.Telemetry)
 	return p, nil
 }
 
@@ -577,6 +598,7 @@ func (p *Pool) worker(m *member) {
 			} else {
 				p.svcNS.Store(old + (dur-old)/8)
 			}
+			p.jobLatency.Observe(float64(dur) / 1e9)
 		}
 		if err == nil {
 			j.done <- out
@@ -629,6 +651,8 @@ func classifyRNG(seed, attempt int64) *rand.Rand {
 func (p *Pool) serveOn(m *member, j *job) (Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.activeTrace = j.span.TraceID()
+	defer func() { m.activeTrace = "" }()
 
 	if m.brd.Hung() {
 		m.noteCrash()
@@ -717,6 +741,8 @@ func inferSeed(seed int64, img int, attempt int64) int64 {
 func (p *Pool) serveInferOn(m *member, j *job) (InferResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.activeTrace = j.span.TraceID()
+	defer func() { m.activeTrace = "" }()
 
 	if m.brd.Hung() {
 		m.noteCrash()

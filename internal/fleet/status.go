@@ -127,6 +127,11 @@ type BoardStatus struct {
 	Crashes   int64 `json:"crashes"`
 	Reboots   int   `json:"reboots"`
 	Redeploys int64 `json:"redeploys"`
+	// Health is the scorer's grade ("ok", "watch" or "degraded") and
+	// HealthScore its 0-100 score — margin regression (Vmin drift,
+	// rising corrected-ECC, crash clusters) surfaces here first.
+	Health      string  `json:"health"`
+	HealthScore float64 `json:"health_score"`
 	// Governor is the board's adaptive-voltage control state (nil when
 	// the pool has no governor).
 	Governor *BoardGovernorStatus `json:"governor,omitempty"`
@@ -174,6 +179,9 @@ type PoolRouteStatus struct {
 	// present rails (the bulk-traffic cost signal).
 	Quiescent int     `json:"quiescent_boards"`
 	PowerW    float64 `json:"power_w"`
+	// Degraded is the pool's degraded-board count per the health scorer
+	// (the router's candidate-ordering penalty signal).
+	Degraded int `json:"degraded_boards"`
 }
 
 // Status is a whole-pool snapshot.
@@ -363,6 +371,11 @@ func (p *Pool) boardStatus(m *member) BoardStatus {
 	}
 	if pb.TotalW > 0 {
 		b.GOPsPerW = gops / pb.TotalW
+	}
+	if p.telem != nil {
+		h := p.boardHealth(m)
+		b.Health = h.State
+		b.HealthScore = h.Score
 	}
 	if m.gov != nil && p.gov != nil {
 		cfg := p.gov.config()

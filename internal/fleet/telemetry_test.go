@@ -1,0 +1,345 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"fpgauv/internal/obs"
+	"fpgauv/internal/telemetry"
+)
+
+// telemetryTestConfig disables every background loop so tests drive
+// sampling deterministically.
+func telemetryTestConfig(boards int) Config {
+	cfg := testConfig(boards)
+	cfg.MonitorInterval = -1
+	cfg.Governor = GovernorConfig{Interval: -1}
+	cfg.ECC = ECCConfig{ScrubInterval: -1}
+	cfg.Telemetry = telemetry.Config{Interval: -1, HealthWindow: 4}
+	return cfg
+}
+
+// SampleTelemetry is the forever-loop hot path: it must not allocate in
+// steady state.
+func TestSampleTelemetryZeroAlloc(t *testing.T) {
+	p := newTestPool(t, telemetryTestConfig(2))
+	// Prime: first samples establish counter baselines.
+	p.SampleTelemetry()
+	p.SampleTelemetry()
+	allocs := testing.AllocsPerRun(100, p.SampleTelemetry)
+	if allocs != 0 {
+		t.Fatalf("SampleTelemetry allocates %.1f per sample, want 0", allocs)
+	}
+}
+
+// The recorder's histories are reachable through the pool: rails land
+// in vccint_mv, the pool pseudo-board aggregates, and rollups populate.
+func TestPoolTelemetrySeries(t *testing.T) {
+	p := newTestPool(t, telemetryTestConfig(2))
+	for i := 0; i < 5; i++ {
+		p.SampleTelemetry()
+		time.Sleep(time.Millisecond)
+	}
+	rec := p.Telemetry()
+	boards := rec.Boards()
+	if len(boards) != 3 { // 2 boards + pool aggregate
+		t.Fatalf("recorded boards = %v, want 2 + pool", boards)
+	}
+	if boards[2] != p.Name() {
+		t.Fatalf("pseudo-board = %q, want pool name %q", boards[2], p.Name())
+	}
+	st := p.Status()
+	pts := rec.Points(boards[0], telemetry.SeriesVCCINT, telemetry.ResRaw, 0)
+	if len(pts) != 5 {
+		t.Fatalf("raw vccint points = %d, want 5", len(pts))
+	}
+	if !nearMV(pts[4].Last, st.Boards[0].OperatingMV) {
+		t.Fatalf("recorded vccint %.1f, board operating at %.1f", pts[4].Last, st.Boards[0].OperatingMV)
+	}
+	// The open 10s rollup bucket already digests the run.
+	ru := rec.Points(boards[0], telemetry.SeriesVCCINT, telemetry.Res10s, 0)
+	if len(ru) == 0 || ru[len(ru)-1].Count == 0 {
+		t.Fatalf("10s rollup = %+v, want a populated open bucket", ru)
+	}
+	// Margin series: positive (operating above estimated Vmin).
+	mg := rec.Points(boards[0], telemetry.SeriesVminMarginMV, telemetry.ResRaw, 1)
+	if len(mg) != 1 || mg[0].Last <= 0 {
+		t.Fatalf("margin series = %+v, want positive margin", mg)
+	}
+}
+
+// Injected Vmin drift plus a corrected-ECC ramp must flip the board to
+// degraded — the margin-regression regression test. Serving must be
+// unaffected (the injection never moves a rail).
+func TestInjectedMarginDriftFlipsDegraded(t *testing.T) {
+	p := newTestPool(t, telemetryTestConfig(2))
+
+	// Baseline: healthy history, everything grades ok.
+	for i := 0; i < 6; i++ {
+		p.SampleTelemetry()
+		time.Sleep(time.Millisecond)
+	}
+	for _, h := range p.BoardHealth() {
+		if h.State != telemetry.HealthOK {
+			t.Fatalf("%s baseline state = %s, want ok (%+v)", h.Board, h.State, h)
+		}
+	}
+	if p.DegradedBoards() != 0 {
+		t.Fatal("degraded count nonzero at baseline")
+	}
+	railBefore := p.Status().Boards[0].VCCINTmV
+
+	// Margin regression on board 0: +12 mV Vmin drift (past the 10 mV
+	// degraded threshold) and a 500/s corrected-ECC ramp.
+	if err := p.InjectMarginDrift(0, 12, 500); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.SampleTelemetry()
+		time.Sleep(2 * time.Millisecond)
+	}
+	health := p.BoardHealth()
+	h0 := health[0]
+	if h0.State != telemetry.HealthDegraded {
+		t.Fatalf("board 0 state = %s, want degraded (%+v)", h0.State, h0)
+	}
+	if h0.VminDriftMV != 12 {
+		t.Fatalf("drift = %.1f, want 12", h0.VminDriftMV)
+	}
+	if h0.CorrectedRate < 100 {
+		t.Fatalf("corrected rate = %.1f, want >= degraded threshold 100", h0.CorrectedRate)
+	}
+	if len(h0.Reasons) == 0 || h0.Score >= 60 {
+		t.Fatalf("degraded verdict missing reasons or score too high: %+v", h0)
+	}
+	if health[1].State != telemetry.HealthOK {
+		t.Fatalf("board 1 state = %s, want ok (injection must not leak)", health[1].State)
+	}
+	if p.DegradedBoards() != 1 {
+		t.Fatalf("degraded count = %d, want 1", p.DegradedBoards())
+	}
+
+	// The degraded transition was journaled exactly once.
+	evs, _, _ := p.Journal().Since(0, 0)
+	degradedEvents := 0
+	for _, ev := range evs {
+		if ev.Kind == obs.EvHealthDegraded {
+			degradedEvents++
+		}
+	}
+	if degradedEvents != 1 {
+		t.Fatalf("health_degraded events = %d, want 1 rising edge", degradedEvents)
+	}
+
+	// The injection is observational: rails untouched, serving works.
+	if railAfter := p.Status().Boards[0].VCCINTmV; !nearMV(railAfter, railBefore) {
+		t.Fatalf("rail moved %.1f -> %.1f; injection must not touch rails", railBefore, railAfter)
+	}
+	if _, err := p.Classify(context.Background(), Request{Seed: 1}); err != nil {
+		t.Fatalf("classify on degraded board: %v", err)
+	}
+	st := p.Status()
+	if st.Boards[0].Health != telemetry.HealthDegraded {
+		t.Fatalf("status health = %q, want degraded surfaced in BoardStatus", st.Boards[0].Health)
+	}
+
+	// Disarm: drift clears, health recovers (corrected-rate history
+	// drains out of the window after enough clean samples).
+	if err := p.InjectMarginDrift(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		p.SampleTelemetry()
+		time.Sleep(time.Millisecond)
+	}
+	if h := p.BoardHealth()[0]; h.State == telemetry.HealthDegraded {
+		t.Fatalf("board still degraded after disarm: %+v", h)
+	}
+}
+
+// An injected crash must leave a postmortem holding the pre-crash
+// telemetry window, the journal tail including the crash event, and the
+// trace id that was on the board.
+func TestCrashPostmortem(t *testing.T) {
+	cfg := telemetryTestConfig(1)
+	p := newTestPool(t, cfg)
+
+	// Build telemetry history for the window snapshot.
+	for i := 0; i < 8; i++ {
+		p.SampleTelemetry()
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := p.InjectFailures(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(8)
+	tracer.SetEnabled(true)
+	tr := tracer.Start("")
+	if _, err := p.Classify(context.Background(), Request{Seed: 42, Span: tr.Root()}); err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+
+	pms := p.Postmortems(0)
+	if len(pms) == 0 {
+		t.Fatal("no postmortem retained after injected crash")
+	}
+	pm := pms[0]
+	if pm.Board == "" || pm.ID == 0 || pm.AtNS == 0 {
+		t.Fatalf("postmortem incomplete: %+v", pm)
+	}
+	if pm.TraceID != tr.ID() {
+		t.Fatalf("postmortem trace = %q, want the active trace %q", pm.TraceID, tr.ID())
+	}
+	if pm.Crashes < 1 {
+		t.Fatalf("crash ordinal = %d, want >= 1", pm.Crashes)
+	}
+	// Journal tail must include the crash itself (journaled before the
+	// flight-recorder hook runs).
+	sawCrash := false
+	for _, ev := range pm.Events {
+		if ev.Kind == obs.EvCrash && ev.Board == pm.Board {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatalf("journal tail (%d events) missing the crash event", len(pm.Events))
+	}
+	// Pre-crash telemetry window: every series, with the history we
+	// built.
+	if len(pm.Window) != len(telemetry.SeriesNames) {
+		t.Fatalf("window series = %d, want %d", len(pm.Window), len(telemetry.SeriesNames))
+	}
+	if pts := pm.Window[telemetry.SeriesVCCINT]; len(pts) < 8 || pts[len(pts)-1].Last <= 0 {
+		t.Fatalf("vccint window = %d points, want the 8 pre-crash samples", len(pts))
+	}
+	if p.Telemetry().Flight().Total() != int64(len(pms)) {
+		t.Fatalf("flight total = %d, retained = %d", p.Telemetry().Flight().Total(), len(pms))
+	}
+	// The postmortem was journaled too.
+	evs, _, _ := p.Journal().Since(0, 0)
+	sawPM := false
+	for _, ev := range evs {
+		if ev.Kind == obs.EvPostmortem {
+			sawPM = true
+		}
+	}
+	if !sawPM {
+		t.Fatal("postmortem event not journaled")
+	}
+}
+
+// Untraced crashes leave postmortems with an empty trace id.
+func TestCrashPostmortemUntraced(t *testing.T) {
+	p := newTestPool(t, telemetryTestConfig(1))
+	if err := p.InjectFailures(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify(context.Background(), Request{Seed: 7}); err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	pms := p.Postmortems(1)
+	if len(pms) != 1 {
+		t.Fatalf("postmortems = %d, want 1", len(pms))
+	}
+	if pms[0].TraceID != "" {
+		t.Fatalf("untraced postmortem trace = %q, want empty", pms[0].TraceID)
+	}
+}
+
+// Concurrent telemetry sampling, governor rail moves, serving traffic
+// and crash recovery must be data-race-free (exercised under -race in
+// CI). The background sampler runs at a tight interval throughout.
+func TestTelemetryConcurrentWithGovernorAndCrashes(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MonitorInterval = -1
+	cfg.ECC = ECCConfig{ScrubInterval: -1}
+	cfg.Governor = GovernorConfig{Interval: -1} // ticked manually below
+	cfg.Telemetry = telemetry.Config{Interval: 200 * time.Microsecond, HealthWindow: 4}
+	p := newTestPool(t, cfg)
+	p.SetGovernorEnabled(true)
+
+	var chaos, workers sync.WaitGroup
+	stop := make(chan struct{})
+	// Governor rail moves.
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.GovernorTick()
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+	// Margin-drift injection armed and disarmed concurrently.
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.InjectMarginDrift(-1, float64(i%15), float64(100*(i%3)))
+				p.BoardHealth()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// Readers over histories and postmortems.
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		rec := p.Telemetry()
+		boards := rec.Boards()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, b := range boards {
+					rec.Points(b, telemetry.SeriesVCCINT, telemetry.Res10s, 8)
+				}
+				p.Postmortems(4)
+				p.LatencyDigest().Snapshot()
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+	// Serving traffic with injected crashes.
+	for w := 0; w < 2; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < 6; i++ {
+				if i%3 == 0 {
+					_ = p.InjectFailures(i%2, 2)
+				}
+				if _, err := p.Classify(context.Background(), Request{Seed: int64(w*100 + i)}); err != nil {
+					t.Errorf("classify: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Let the two serving workers finish, then stop the chaos loops.
+	done := make(chan struct{})
+	go func() { workers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent telemetry test wedged")
+	}
+	close(stop)
+	chaos.Wait()
+	// Final consistency: sampling kept working through the churn.
+	if pts := p.Telemetry().Points(p.Name(), telemetry.SeriesThroughput, telemetry.ResRaw, 0); len(pts) == 0 {
+		t.Fatal("pool aggregate series empty after concurrent run")
+	}
+}

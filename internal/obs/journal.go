@@ -43,6 +43,13 @@ const (
 	EvShed = "shed"
 	// EvSpareActivate: a warm-spare pool was promoted to active.
 	EvSpareActivate = "spare_activate"
+	// EvSLOBurn: an SLO error budget started burning past the alert
+	// threshold in both burn windows (rising edge only).
+	EvSLOBurn = "slo_burn"
+	// EvPostmortem: the crash flight recorder retained a postmortem.
+	EvPostmortem = "postmortem"
+	// EvHealthDegraded: the health scorer flagged a board degraded.
+	EvHealthDegraded = "health_degraded"
 )
 
 // Event is one structured fleet occurrence. Seq is a journal-global
@@ -135,7 +142,7 @@ func (j *Journal) Append(ev Event) Event {
 
 func eventLevel(kind string) slog.Level {
 	switch kind {
-	case EvCrash, EvECCUncorrectable:
+	case EvCrash, EvECCUncorrectable, EvSLOBurn, EvHealthDegraded:
 		return slog.LevelWarn
 	case EvReboot, EvRedeploy, EvRequeue, EvRailVCCINT, EvRailVCCBRAM,
 		EvShed, EvSpareActivate:
@@ -185,6 +192,29 @@ func (j *Journal) Since(cursor uint64, limit int) (evs []Event, next uint64, gap
 		next = total
 	}
 	return evs, next, gap
+}
+
+// Tail returns copies of the most recent n retained events in sequence
+// order (oldest first) — the flight recorder's journal snapshot.
+// Nil-safe.
+func (j *Journal) Tail(n int) []Event {
+	if j == nil || n <= 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n > len(j.buf) {
+		n = len(j.buf)
+	}
+	total := j.next
+	if uint64(n) > total {
+		n = int(total)
+	}
+	out := make([]Event, 0, n)
+	for seq := total - uint64(n) + 1; seq <= total; seq++ {
+		out = append(out, j.buf[(seq-1)%uint64(len(j.buf))])
+	}
+	return out
 }
 
 // Total returns the number of events ever appended (the newest Seq).

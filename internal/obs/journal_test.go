@@ -152,3 +152,80 @@ func TestJournalNilSafety(t *testing.T) {
 	}
 	j.SetLogger(nil)
 }
+
+// A paging reader that pauses mid-page while writers wrap the ring
+// must see the gap flag exactly once (on the page that skipped evicted
+// events) and per-board sequence numbers that stay strictly monotone
+// across everything it did receive.
+func TestJournalPagedReaderPausedAcrossWrap(t *testing.T) {
+	j := NewJournal(32)
+	appendBatch := func(n int) {
+		for i := 0; i < n; i++ {
+			j.Append(Event{Board: fmt.Sprintf("b%d", i%3), Kind: EvGovProbe})
+		}
+	}
+
+	appendBatch(20)
+
+	// Page 1: the reader keeps up — no gap.
+	var cursor uint64
+	gaps := 0
+	lastBoardSeq := map[string]uint64{}
+	page := func(limit int) []Event {
+		evs, next, gap := j.Since(cursor, limit)
+		if gap {
+			gaps++
+		}
+		cursor = next
+		for _, ev := range evs {
+			if prev, ok := lastBoardSeq[ev.Board]; ok && ev.BoardSeq <= prev {
+				t.Fatalf("board %s seq went %d -> %d", ev.Board, prev, ev.BoardSeq)
+			}
+			lastBoardSeq[ev.Board] = ev.BoardSeq
+		}
+		return evs
+	}
+	if got := page(8); len(got) != 8 || gaps != 0 {
+		t.Fatalf("page 1: %d events, %d gaps", len(got), gaps)
+	}
+
+	// Reader pauses mid-page; writers wrap the ring well past cursor 8.
+	appendBatch(60) // total 80, ring holds 49..80
+
+	// Page 2 lands after eviction: gap signaled, page starts at the
+	// oldest retained event.
+	p2 := page(8)
+	if gaps != 1 {
+		t.Fatalf("page 2: gaps = %d, want exactly 1", gaps)
+	}
+	if len(p2) != 8 || p2[0].Seq != 49 {
+		t.Fatalf("page 2: %d events starting seq %d, want 8 starting 49", len(p2), p2[0].Seq)
+	}
+
+	// Draining the rest: no further gaps, pages chain densely to the
+	// newest event.
+	lastSeq := p2[len(p2)-1].Seq
+	for {
+		evs := page(8)
+		if len(evs) == 0 {
+			break
+		}
+		if evs[0].Seq != lastSeq+1 {
+			t.Fatalf("page discontinuity: %d then %d", lastSeq, evs[0].Seq)
+		}
+		lastSeq = evs[len(evs)-1].Seq
+	}
+	if gaps != 1 {
+		t.Fatalf("drain: gaps = %d, want the one wraparound gap only", gaps)
+	}
+	if lastSeq != 80 {
+		t.Fatalf("drained to seq %d, want 80", lastSeq)
+	}
+
+	// A caught-up reader stays gap-free across another wrap only if it
+	// pages before eviction; Tail always serves the newest N regardless.
+	tail := j.Tail(5)
+	if len(tail) != 5 || tail[4].Seq != 80 || tail[0].Seq != 76 {
+		t.Fatalf("tail = %d events [%d..%d]", len(tail), tail[0].Seq, tail[len(tail)-1].Seq)
+	}
+}

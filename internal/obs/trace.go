@@ -136,6 +136,17 @@ func (s *Span) EndAt(ns int64) {
 // Name returns the span's stage name.
 func (s *Span) Name() string { return s.name }
 
+// TraceID returns the owning trace's id — how the fleet layer captures
+// the active request trace into a crash postmortem. Nil-safe (and empty
+// for the shared job buffers of coalesced batches, which have no
+// caller-facing id).
+func (s *Span) TraceID() string {
+	if s == nil || s.tr == nil {
+		return ""
+	}
+	return s.tr.ID()
+}
+
 // Parent returns the parent span's index in the trace (-1 for roots).
 func (s *Span) Parent() int { return int(s.parent) }
 

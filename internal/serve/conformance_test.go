@@ -172,6 +172,11 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"uvolt_build_info", "uvolt_uptime_seconds", "uvolt_http_responses_total",
 		"uvolt_events_total", "uvolt_stage_seconds", "uvolt_classify_latency_seconds",
 		"uvolt_infer_latency_seconds", "uvolt_sparsity", "uvolt_backend_info",
+		"uvolt_temperature_celsius", "uvolt_power_watts",
+		"uvolt_board_health_score", "uvolt_board_degraded", "uvolt_postmortems_total",
+		"uvolt_slo_availability_target", "uvolt_slo_latency_target_seconds",
+		"uvolt_slo_burn_rate", "uvolt_slo_burning", "uvolt_slo_burn_events_total",
+		"uvolt_endpoint_latency_seconds", "uvolt_pool_job_latency_seconds",
 	} {
 		if typ[want] == "" {
 			t.Errorf("family %s missing from exposition", want)
@@ -195,6 +200,37 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	}
 	if !backendSeen {
 		t.Error("no uvolt_backend_info sample in exposition")
+	}
+
+	// Per-board temperature and power gauges: one sample per board,
+	// keyed by the board label, with physically plausible values.
+	for _, fam := range []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"uvolt_temperature_celsius", 10, 120},
+		{"uvolt_power_watts", 0.01, 200},
+	} {
+		boards := map[string]bool{}
+		for _, smp := range samples {
+			if smp.name != fam.name {
+				continue
+			}
+			b := smp.labels["board"]
+			if b == "" {
+				t.Errorf("%s sample without board label", fam.name)
+			}
+			if boards[b] {
+				t.Errorf("%s duplicate sample for board %q", fam.name, b)
+			}
+			boards[b] = true
+			if smp.value < fam.lo || smp.value > fam.hi {
+				t.Errorf("%s{board=%q} = %g, outside [%g, %g]", fam.name, b, smp.value, fam.lo, fam.hi)
+			}
+		}
+		if len(boards) != 2 {
+			t.Errorf("%s covers %d boards, want 2", fam.name, len(boards))
+		}
 	}
 
 	// Histogram discipline per series: buckets monotone non-decreasing in

@@ -175,6 +175,30 @@ func auditEndpoints(t *testing.T, ts *httptest.Server) {
 		{"governor pool out of range", http.MethodGet, "/v1/fleet/governor?pool=9", "", http.StatusBadRequest},
 		{"ecc pool out of range", http.MethodGet, "/v1/fleet/ecc?pool=9", "", http.StatusBadRequest},
 		{"voltage pool out of range", http.MethodPost, "/v1/fleet/voltage?pool=9", `{"board":0,"mv":600}`, http.StatusBadRequest},
+		// Traces: limit must be a positive integer.
+		{"traces POST", http.MethodPost, "/v1/traces", "{}", http.StatusMethodNotAllowed},
+		{"traces bad limit", http.MethodGet, "/v1/traces?limit=x", "", http.StatusBadRequest},
+		{"traces zero limit", http.MethodGet, "/v1/traces?limit=0", "", http.StatusBadRequest},
+		{"traces negative limit", http.MethodGet, "/v1/traces?limit=-3", "", http.StatusBadRequest},
+		// Telemetry history: required params, series/res whitelists,
+		// positive n, unknown board 404.
+		{"history POST", http.MethodPost, "/v1/fleet/history", "{}", http.StatusMethodNotAllowed},
+		{"history no board", http.MethodGet, "/v1/fleet/history?series=vccint_mv", "", http.StatusBadRequest},
+		{"history no series", http.MethodGet, "/v1/fleet/history?board=b", "", http.StatusBadRequest},
+		{"history bad series", http.MethodGet, "/v1/fleet/history?board=b&series=nope", "", http.StatusBadRequest},
+		{"history bad res", http.MethodGet, "/v1/fleet/history?board=b&series=vccint_mv&res=2h", "", http.StatusBadRequest},
+		{"history bad n", http.MethodGet, "/v1/fleet/history?board=b&series=vccint_mv&n=x", "", http.StatusBadRequest},
+		{"history zero n", http.MethodGet, "/v1/fleet/history?board=b&series=vccint_mv&n=0", "", http.StatusBadRequest},
+		{"history unknown board", http.MethodGet, "/v1/fleet/history?board=nope&series=vccint_mv", "", http.StatusNotFound},
+		// Fleet health and postmortems.
+		{"health POST", http.MethodPost, "/v1/fleet/health", "{}", http.StatusMethodNotAllowed},
+		{"health pool out of range", http.MethodGet, "/v1/fleet/health?pool=9", "", http.StatusBadRequest},
+		{"health pool not int", http.MethodGet, "/v1/fleet/health?pool=x", "", http.StatusBadRequest},
+		{"postmortems POST", http.MethodPost, "/v1/fleet/postmortems", "{}", http.StatusMethodNotAllowed},
+		{"postmortems bad limit", http.MethodGet, "/v1/fleet/postmortems?limit=x", "", http.StatusBadRequest},
+		{"postmortems zero limit", http.MethodGet, "/v1/fleet/postmortems?limit=0", "", http.StatusBadRequest},
+		{"postmortems pool out of range", http.MethodGet, "/v1/fleet/postmortems?pool=9", "", http.StatusBadRequest},
+		{"history subpath not found", http.MethodGet, "/v1/fleet/history/extra", "", http.StatusNotFound},
 	}
 	for _, tc := range cases {
 		resp := do(tc.method, tc.path, tc.body)

@@ -293,6 +293,8 @@ func (s *Server) renderMetrics() string {
 		}
 	}
 
+	s.renderTelemetryMetrics(&b, st)
+
 	fmt.Fprintf(&b, "# HELP uvolt_batch_size Accelerator-pass batch sizes by traffic kind (classify: calls, infer: images).\n# TYPE uvolt_batch_size histogram\n")
 	s.batchSizes["classify"].render(&b, "uvolt_batch_size", `kind="classify",`)
 	s.batchSizes["infer"].render(&b, "uvolt_batch_size", `kind="infer",`)
@@ -339,6 +341,9 @@ func (s *Server) renderMetrics() string {
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/trace\"} %d\n", s.traceReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/traces\"} %d\n", s.tracesReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/events\"} %d\n", s.eventsReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/history\"} %d\n", s.historyReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/health\"} %d\n", s.healthReqs.Load())
+	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/v1/fleet/postmortems\"} %d\n", s.postmortemReqs.Load())
 	fmt.Fprintf(&b, "uvolt_http_requests_total{path=\"/metrics\"} %d\n", s.metricsReqs.Load())
 	fmt.Fprintf(&b, "# HELP uvolt_http_responses_total HTTP responses by status class.\n# TYPE uvolt_http_responses_total counter\n")
 	fmt.Fprintf(&b, "uvolt_http_responses_total{code=\"2xx\"} %d\n", s.resp2xx.Load())

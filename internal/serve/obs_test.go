@@ -127,7 +127,7 @@ func TestTracedInferAcrossCrash(t *testing.T) {
 			chain = append(chain, ev)
 		}
 	}
-	wantKinds := []string{obs.EvCrash, obs.EvReboot, obs.EvRedeploy, obs.EvRequeue}
+	wantKinds := []string{obs.EvCrash, obs.EvPostmortem, obs.EvReboot, obs.EvRedeploy, obs.EvRequeue}
 	if len(chain) < len(wantKinds) {
 		t.Fatalf("crashed board has %d events, want >= %d", len(chain), len(wantKinds))
 	}

@@ -21,6 +21,7 @@ import (
 
 	"fpgauv/internal/fleet"
 	"fpgauv/internal/obs"
+	"fpgauv/internal/telemetry"
 	"fpgauv/internal/tensor"
 )
 
@@ -40,6 +41,9 @@ type Config struct {
 	Trace bool
 	// TraceRing is how many recent traces are retained (default 256).
 	TraceRing int
+	// SLO declares the serving objectives the burn-rate tracker alerts
+	// on (zero value: 99.9% availability, 250ms latency goal at p99).
+	SLO telemetry.SLOConfig
 }
 
 // stageOrder fixes the exposition order of the per-stage latency
@@ -62,17 +66,20 @@ type Server struct {
 	tracer  *obs.Tracer
 	started time.Time
 
-	classifyReqs atomic.Int64
-	inferReqs    atomic.Int64
-	statusReqs   atomic.Int64
-	voltageReqs  atomic.Int64
-	governorReqs atomic.Int64
-	eccReqs      atomic.Int64
-	metricsReqs  atomic.Int64
-	traceReqs    atomic.Int64
-	tracesReqs   atomic.Int64
-	eventsReqs   atomic.Int64
-	errorResps   atomic.Int64
+	classifyReqs   atomic.Int64
+	inferReqs      atomic.Int64
+	statusReqs     atomic.Int64
+	voltageReqs    atomic.Int64
+	governorReqs   atomic.Int64
+	eccReqs        atomic.Int64
+	metricsReqs    atomic.Int64
+	traceReqs      atomic.Int64
+	tracesReqs     atomic.Int64
+	eventsReqs     atomic.Int64
+	historyReqs    atomic.Int64
+	healthReqs     atomic.Int64
+	postmortemReqs atomic.Int64
+	errorResps     atomic.Int64
 
 	// resp2xx/4xx/5xx count responses by status class (499 lands in 4xx).
 	resp2xx atomic.Int64
@@ -86,6 +93,14 @@ type Server struct {
 	inferLatency    *histogram
 	classifyLatency *histogram
 	stageHist       map[string]*histogram
+
+	// slo is the serving burn-rate tracker (journaling slo_burn to the
+	// scheduler journal); classifyDigest/inferDigest are the per-endpoint
+	// streaming latency quantile digests behind
+	// uvolt_endpoint_latency_seconds.
+	slo            *telemetry.SLOTracker
+	classifyDigest *telemetry.Digest
+	inferDigest    *telemetry.Digest
 }
 
 // New wires a server to a running scheduler: a *fleet.Pool or a
@@ -106,6 +121,9 @@ func New(sched fleet.Scheduler, cfg Config) *Server {
 		inferLatency:    newHistogram(latencyBounds...),
 		classifyLatency: newHistogram(latencyBounds...),
 		stageHist:       make(map[string]*histogram, len(stageOrder)),
+		slo:             telemetry.NewSLOTracker(cfg.SLO, sched.Journal()),
+		classifyDigest:  &telemetry.Digest{},
+		inferDigest:     &telemetry.Digest{},
 	}
 	for _, st := range stageOrder {
 		s.stageHist[st] = newHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
@@ -125,6 +143,9 @@ func New(sched fleet.Scheduler, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/fleet/governor", s.handleGovernor)
 	s.mux.HandleFunc("/v1/fleet/ecc", s.handleECC)
 	s.mux.HandleFunc("/v1/fleet/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/fleet/history", s.handleHistory)
+	s.mux.HandleFunc("/v1/fleet/health", s.handleFleetHealth)
+	s.mux.HandleFunc("/v1/fleet/postmortems", s.handlePostmortems)
 	// Unknown /v1/fleet/* paths get the API's JSON error shape, not the
 	// mux's plain-text 404.
 	s.mux.HandleFunc("/v1/fleet/", s.handleFleetNotFound)
@@ -272,7 +293,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	dec.End()
 	start := time.Now()
 	res, batchSize, err := s.batch.Submit(r.Context(), req.Seed, tr)
-	s.classifyLatency.Observe(time.Since(start).Seconds())
+	lat := time.Since(start)
+	s.classifyLatency.Observe(lat.Seconds())
+	s.recordSLO(s.classifyDigest, err, lat)
 	switch {
 	case err == nil:
 		rsp := tr.Root().Child(obs.StageRespond)
@@ -382,7 +405,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	outs, board, mv, batch, err := s.batch.SubmitInfer(r.Context(), []*tensor.Tensor{img}, req.Seed, tr)
-	s.inferLatency.Observe(time.Since(start).Seconds())
+	lat := time.Since(start)
+	s.inferLatency.Observe(lat.Seconds())
+	s.recordSLO(s.inferDigest, err, lat)
 	switch {
 	case err == nil:
 		rsp := tr.Root().Child(obs.StageRespond)

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpgauv/internal/fleet"
+	"fpgauv/internal/telemetry"
+)
+
+// recordSLO feeds one finished request into the endpoint's latency
+// digest and the server's SLO tracker. A caller that went away is
+// excluded entirely: the server did nothing wrong and the latency says
+// nothing about serving.
+func (s *Server) recordSLO(d *telemetry.Digest, err error, lat time.Duration) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	d.Observe(lat.Seconds())
+	s.slo.Record(err == nil, lat)
+}
+
+// historyResponse is the /v1/fleet/history payload.
+type historyResponse struct {
+	Board  string            `json:"board"`
+	Series string            `json:"series"`
+	Res    string            `json:"res"`
+	Points []telemetry.Point `json:"points"`
+}
+
+// handleHistory serves GET /v1/fleet/history?board=B&series=S[&res=R]
+// [&n=N]: the most recent N points of one board series at resolution R
+// ("raw", "10s" or "1m"; default raw, all retained points). The pool
+// aggregate is addressable as a pseudo-board named after the pool.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	s.historyReqs.Add(1)
+	if r.Method != http.MethodGet {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	board := q.Get("board")
+	if board == "" {
+		s.errorJSON(w, http.StatusBadRequest, "board parameter required")
+		return
+	}
+	series := q.Get("series")
+	if series == "" {
+		s.errorJSON(w, http.StatusBadRequest,
+			"series parameter required (one of: "+strings.Join(telemetry.SeriesNames, ", ")+")")
+		return
+	}
+	if !telemetry.ValidSeries(series) {
+		s.errorJSON(w, http.StatusBadRequest,
+			"unknown series "+strconv.Quote(series)+" (one of: "+strings.Join(telemetry.SeriesNames, ", ")+")")
+		return
+	}
+	res := q.Get("res")
+	if res == "" {
+		res = telemetry.ResRaw
+	}
+	if !telemetry.ValidRes(res) {
+		s.errorJSON(w, http.StatusBadRequest,
+			"res must be one of: "+strings.Join(telemetry.Resolutions, ", "))
+		return
+	}
+	n := 0
+	if v := q.Get("n"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			s.errorJSON(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = k
+	}
+	for _, p := range s.pools {
+		if _, ok := p.Telemetry().Lookup(board); ok {
+			pts := p.Telemetry().Points(board, series, res, n)
+			if pts == nil {
+				pts = []telemetry.Point{}
+			}
+			s.writeJSON(w, http.StatusOK, historyResponse{Board: board, Series: series, Res: res, Points: pts})
+			return
+		}
+	}
+	s.errorJSON(w, http.StatusNotFound, "unknown board "+strconv.Quote(board))
+}
+
+// healthResponse is the /v1/fleet/health payload.
+type healthResponse struct {
+	Boards   []telemetry.BoardHealth `json:"boards"`
+	Degraded int                     `json:"degraded"`
+	Watch    int                     `json:"watch"`
+	SLO      telemetry.SLOStatus     `json:"slo"`
+}
+
+// handleFleetHealth serves GET /v1/fleet/health[?pool=P]: every board's
+// health score and state (margin regression surfaces here before it
+// becomes crashes) plus the serving SLO burn-rate snapshot.
+func (s *Server) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
+	s.healthReqs.Add(1)
+	if r.Method != http.MethodGet {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	k, err := s.poolScope(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := healthResponse{Boards: []telemetry.BoardHealth{}, SLO: s.slo.Snapshot()}
+	for _, p := range s.scopedPools(k) {
+		for _, h := range p.BoardHealth() {
+			out.Boards = append(out.Boards, h)
+			switch h.State {
+			case telemetry.HealthDegraded:
+				out.Degraded++
+			case telemetry.HealthWatch:
+				out.Watch++
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// postmortemsResponse is the /v1/fleet/postmortems payload.
+type postmortemsResponse struct {
+	Total       int64                  `json:"total"`
+	Postmortems []telemetry.Postmortem `json:"postmortems"`
+}
+
+// handlePostmortems serves GET /v1/fleet/postmortems[?limit=N][&pool=P]:
+// retained crash postmortems, newest first (default 20 — each carries a
+// journal tail and a full telemetry window, so the payload is heavy).
+func (s *Server) handlePostmortems(w http.ResponseWriter, r *http.Request) {
+	s.postmortemReqs.Add(1)
+	if r.Method != http.MethodGet {
+		s.errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	k, err := s.poolScope(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit := 20
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.errorJSON(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	pools := s.scopedPools(k)
+	sets := make([][]telemetry.Postmortem, 0, len(pools))
+	out := postmortemsResponse{Postmortems: []telemetry.Postmortem{}}
+	for _, p := range pools {
+		sets = append(sets, p.Postmortems(0))
+		out.Total += p.Telemetry().Flight().Total()
+	}
+	if pms := telemetry.MergePostmortems(limit, sets...); pms != nil {
+		out.Postmortems = pms
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// renderTelemetryMetrics appends the telemetry, health and SLO metric
+// families to the Prometheus exposition.
+func (s *Server) renderTelemetryMetrics(b *strings.Builder, st fleet.Status) {
+	family := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	family("uvolt_temperature_celsius", "Die temperature by board.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(b, "uvolt_temperature_celsius{board=%q} %.2f\n", bd.Board, bd.TempC)
+	}
+	family("uvolt_power_watts", "Total on-chip power by board.", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(b, "uvolt_power_watts{board=%q} %.3f\n", bd.Board, bd.PowerW)
+	}
+	family("uvolt_board_health_score", "Health score (100 = pristine margin, 0 = failing).", "gauge")
+	for _, bd := range st.Boards {
+		fmt.Fprintf(b, "uvolt_board_health_score{board=%q} %.1f\n", bd.Board, bd.HealthScore)
+	}
+	family("uvolt_board_degraded", "Whether the health scorer grades the board degraded.", "gauge")
+	for _, bd := range st.Boards {
+		v := 0
+		if bd.Health == telemetry.HealthDegraded {
+			v = 1
+		}
+		fmt.Fprintf(b, "uvolt_board_degraded{board=%q} %d\n", bd.Board, v)
+	}
+
+	var pmTotal int64
+	for _, p := range s.pools {
+		pmTotal += p.Telemetry().Flight().Total()
+	}
+	fmt.Fprintf(b, "# HELP uvolt_postmortems_total Crash postmortems recorded by the flight recorder.\n# TYPE uvolt_postmortems_total counter\nuvolt_postmortems_total %d\n", pmTotal)
+
+	slo := s.slo.Snapshot()
+	fmt.Fprintf(b, "# HELP uvolt_slo_availability_target Availability objective (fraction of requests that must succeed).\n# TYPE uvolt_slo_availability_target gauge\nuvolt_slo_availability_target %g\n", slo.AvailabilityTarget)
+	fmt.Fprintf(b, "# HELP uvolt_slo_latency_target_seconds Latency objective threshold.\n# TYPE uvolt_slo_latency_target_seconds gauge\nuvolt_slo_latency_target_seconds %g\n", slo.LatencyTargetMS/1e3)
+	family("uvolt_slo_burn_rate", "Error-budget burn rate by objective and window (1 = budget consumed exactly at the sustainable rate).", "gauge")
+	for _, obj := range slo.Objectives {
+		for _, wn := range obj.Windows {
+			fmt.Fprintf(b, "uvolt_slo_burn_rate{objective=%q,window=%q} %.3f\n", obj.Objective, wn.Window, wn.BurnRate)
+		}
+	}
+	family("uvolt_slo_burning", "Whether both burn windows exceed the alert threshold.", "gauge")
+	for _, obj := range slo.Objectives {
+		v := 0
+		if obj.Burning {
+			v = 1
+		}
+		fmt.Fprintf(b, "uvolt_slo_burning{objective=%q} %d\n", obj.Objective, v)
+	}
+	family("uvolt_slo_burn_events_total", "Rising-edge burn alerts journaled by objective.", "counter")
+	for _, obj := range slo.Objectives {
+		fmt.Fprintf(b, "uvolt_slo_burn_events_total{objective=%q} %d\n", obj.Objective, obj.BurnEvents)
+	}
+
+	family("uvolt_endpoint_latency_seconds", "Streaming latency quantiles by endpoint (log-bucketed digest).", "gauge")
+	for _, ep := range []struct {
+		name string
+		d    *telemetry.Digest
+	}{{"classify", s.classifyDigest}, {"infer", s.inferDigest}} {
+		snap := ep.d.Snapshot()
+		fmt.Fprintf(b, "uvolt_endpoint_latency_seconds{endpoint=%q,q=\"0.5\"} %.6f\n", ep.name, snap.P50)
+		fmt.Fprintf(b, "uvolt_endpoint_latency_seconds{endpoint=%q,q=\"0.99\"} %.6f\n", ep.name, snap.P99)
+		fmt.Fprintf(b, "uvolt_endpoint_latency_seconds{endpoint=%q,q=\"0.999\"} %.6f\n", ep.name, snap.P999)
+	}
+	family("uvolt_pool_job_latency_seconds", "Streaming board-visit latency quantiles by pool.", "gauge")
+	for _, p := range s.pools {
+		snap := p.LatencyDigest().Snapshot()
+		fmt.Fprintf(b, "uvolt_pool_job_latency_seconds{pool=%q,q=\"0.5\"} %.6f\n", p.Name(), snap.P50)
+		fmt.Fprintf(b, "uvolt_pool_job_latency_seconds{pool=%q,q=\"0.99\"} %.6f\n", p.Name(), snap.P99)
+		fmt.Fprintf(b, "uvolt_pool_job_latency_seconds{pool=%q,q=\"0.999\"} %.6f\n", p.Name(), snap.P999)
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Digest bucket geometry. Values (seconds) from digestMin to digestMax
+// map onto digestBuckets log-spaced buckets; the growth factor g
+// satisfies g^digestBuckets = digestMax/digestMin, so the relative
+// quantile error is bounded by g-1 (~1.6%). Observations outside the
+// range clamp to the end buckets.
+const (
+	digestBuckets = 1408
+	digestMin     = 1e-6 // 1 µs
+	digestMax     = 4e3  // ~66 min
+)
+
+var (
+	digestLogG    = math.Log(digestMax/digestMin) / digestBuckets
+	digestInvLogG = 1 / digestLogG
+)
+
+// Digest is a streaming log-bucketed quantile sketch: lock-free
+// constant-memory ingest (one atomic add per observation, no heap), and
+// true-rank quantile reads with bounded relative error — unlike a
+// fixed-bound histogram, p999 falls out without choosing bounds up
+// front. The zero value is ready to use.
+type Digest struct {
+	counts  [digestBuckets + 1]atomic.Int64 // +1: overflow clamp
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// bucketOf maps a value in seconds to its bucket index.
+func bucketOf(v float64) int {
+	if v <= digestMin {
+		return 0
+	}
+	i := int(math.Log(v/digestMin) * digestInvLogG)
+	if i > digestBuckets {
+		i = digestBuckets
+	}
+	return i
+}
+
+// bucketUpper is the bucket's upper edge in seconds.
+func bucketUpper(i int) float64 {
+	return digestMin * math.Exp(float64(i+1)*digestLogG)
+}
+
+// Observe records one latency observation (seconds). Lock-free and
+// allocation-free.
+func (d *Digest) Observe(seconds float64) {
+	if d == nil || math.IsNaN(seconds) {
+		return
+	}
+	d.counts[bucketOf(seconds)].Add(1)
+	d.count.Add(1)
+	for {
+		old := d.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if d.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations ingested.
+func (d *Digest) Count() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.count.Load()
+}
+
+// Sum returns the running sum of observations (seconds).
+func (d *Digest) Sum() float64 {
+	if d == nil {
+		return 0
+	}
+	return math.Float64frombits(d.sumBits.Load())
+}
+
+// Quantile returns the value at rank q (0 < q <= 1) in seconds: the
+// upper edge of the bucket where the cumulative count crosses
+// ceil(q*total). Zero when the digest is empty. Reads race benignly
+// with concurrent ingest — a quantile over a moving population is
+// approximate by nature.
+func (d *Digest) Quantile(q float64) float64 {
+	if d == nil {
+		return 0
+	}
+	total := d.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range d.counts {
+		cum += d.counts[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(digestBuckets)
+}
+
+// DigestSnapshot is the rendered percentile view of a digest.
+type DigestSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	P999  float64 `json:"p999_seconds"`
+}
+
+// Snapshot renders the digest's count, sum and p50/p99/p999.
+func (d *Digest) Snapshot() DigestSnapshot {
+	return DigestSnapshot{
+		Count: d.Count(),
+		Sum:   d.Sum(),
+		P50:   d.Quantile(0.50),
+		P99:   d.Quantile(0.99),
+		P999:  d.Quantile(0.999),
+	}
+}

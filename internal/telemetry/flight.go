@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"fpgauv/internal/obs"
+)
+
+// Postmortem is one retained crash record: the board's pre-crash
+// telemetry window, the fleet journal tail, and the trace active on the
+// board at crash detection — everything needed to reconstruct the final
+// seconds without having been watching.
+type Postmortem struct {
+	// ID is a recorder-unique ordinal (1-based, monotone).
+	ID int64 `json:"id"`
+	// Board is the crashed board; At/AtNS stamp crash detection.
+	Board string    `json:"board"`
+	At    time.Time `json:"at"`
+	AtNS  int64     `json:"at_ns"`
+	// TraceID is the request trace that was executing on the board when
+	// the crash was detected (empty when untraced or idle).
+	TraceID string `json:"trace_id,omitempty"`
+	// VCCINTmV/VCCBRAMmV/TempC are the rails and die temperature read at
+	// detection; Crashes the board's lifetime crash ordinal.
+	VCCINTmV  float64 `json:"vccint_mv"`
+	VCCBRAMmV float64 `json:"vccbram_mv"`
+	TempC     float64 `json:"temp_c"`
+	Crashes   int64   `json:"crashes"`
+	// Events is the journal tail at detection (newest last).
+	Events []obs.Event `json:"events"`
+	// Window is the board's raw telemetry tail per series (oldest
+	// first).
+	Window map[string][]Point `json:"window"`
+}
+
+// FlightRecorder retains the most recent postmortems in a bounded ring.
+// Recording happens on the crash path — far off the request hot path —
+// so it allocates freely (the snapshots must outlive the rings they
+// were copied from).
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Postmortem
+	total int64
+}
+
+// NewFlightRecorder retains the most recent capacity postmortems
+// (default 32).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &FlightRecorder{buf: make([]Postmortem, 0, capacity)}
+}
+
+// Record retains one postmortem, stamping ID and At/AtNS, and returns
+// it. Nil-safe.
+func (f *FlightRecorder) Record(pm Postmortem) Postmortem {
+	if f == nil {
+		return pm
+	}
+	pm.At = time.Now()
+	pm.AtNS = obs.NowNS()
+	f.mu.Lock()
+	f.total++
+	pm.ID = f.total
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, pm)
+	} else {
+		f.buf[int((f.total-1))%cap(f.buf)] = pm
+	}
+	f.mu.Unlock()
+	return pm
+}
+
+// Recent returns up to limit retained postmortems, newest first
+// (limit <= 0: all retained).
+func (f *FlightRecorder) Recent(limit int) []Postmortem {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.buf)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Postmortem, 0, limit)
+	for i := 0; i < limit; i++ {
+		idx := int((f.total-1-int64(i))%int64(cap(f.buf))+int64(cap(f.buf))) % cap(f.buf)
+		if idx < len(f.buf) {
+			out = append(out, f.buf[idx])
+		}
+	}
+	return out
+}
+
+// Total counts postmortems ever recorded (retained or evicted).
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}

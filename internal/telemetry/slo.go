@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fpgauv/internal/obs"
+)
+
+// SLOConfig declares the serving objectives the tracker burns error
+// budget against.
+type SLOConfig struct {
+	// AvailabilityTarget is the success-fraction objective (default
+	// 0.999: at most 1 failed request per 1000).
+	AvailabilityTarget float64
+	// LatencyTarget is the per-request latency objective; LatencyGoal
+	// is the fraction of requests that must finish under it (default
+	// 250ms at 0.99).
+	LatencyTarget time.Duration
+	LatencyGoal   float64
+	// FastWindow and SlowWindow are the two burn-rate windows (default
+	// 1m and 10m). Google-SRE-style multi-window alerting: a burn event
+	// fires only when BOTH windows exceed BurnThreshold, so a short
+	// error spike (fast window only) and a long-ago incident still
+	// draining out of the slow window both stay quiet.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// BurnThreshold is the burn-rate multiple that journals an slo_burn
+	// event (default 4: budget consumed 4x faster than sustainable).
+	BurnThreshold float64
+}
+
+// sanitize fills defaults.
+func (c SLOConfig) sanitize() SLOConfig {
+	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
+		c.AvailabilityTarget = 0.999
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = 250 * time.Millisecond
+	}
+	if c.LatencyGoal <= 0 || c.LatencyGoal >= 1 {
+		c.LatencyGoal = 0.99
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow <= c.FastWindow {
+		c.SlowWindow = 10 * c.FastWindow
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 4
+	}
+	return c
+}
+
+// sloBuckets is the time-bucket count covering the slow window; the
+// fast window sums a suffix of them.
+const sloBuckets = 120
+
+// sloBucket is one time slice of request outcomes.
+type sloBucket struct {
+	ordinal int64 // bucket ordinal on the shared clock; -1 when empty
+	total   int64
+	errs    int64
+	slow    int64 // requests over the latency target
+}
+
+// WindowBurn is one (objective, window) burn-rate reading.
+type WindowBurn struct {
+	// Window names the config window ("fast"/"slow") and Seconds its
+	// span.
+	Window  string  `json:"window"`
+	Seconds float64 `json:"seconds"`
+	// Total/Bad are the window's request outcomes for this objective.
+	Total int64 `json:"total"`
+	Bad   int64 `json:"bad"`
+	// BurnRate is bad-fraction divided by the objective's error budget:
+	// 1.0 consumes the budget exactly at the sustainable rate.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// ObjectiveStatus is one objective's live burn view.
+type ObjectiveStatus struct {
+	// Objective is "availability" or "latency"; Target the configured
+	// goal fraction.
+	Objective string  `json:"objective"`
+	Target    float64 `json:"target"`
+	// Windows holds the fast and slow readings.
+	Windows []WindowBurn `json:"windows"`
+	// Burning reports the multi-window alert condition (both windows
+	// over the threshold) right now; BurnEvents counts its rising edges
+	// since startup (each one journaled as slo_burn).
+	Burning    bool  `json:"burning"`
+	BurnEvents int64 `json:"burn_events"`
+}
+
+// SLOStatus is the tracker's full snapshot.
+type SLOStatus struct {
+	AvailabilityTarget float64           `json:"availability_target"`
+	LatencyTargetMS    float64           `json:"latency_target_ms"`
+	LatencyGoal        float64           `json:"latency_goal"`
+	BurnThreshold      float64           `json:"burn_threshold"`
+	Objectives         []ObjectiveStatus `json:"objectives"`
+}
+
+// SLOTracker ingests request outcomes into a bucketed ring covering the
+// slow window and computes error-budget burn rates over both windows.
+// On the rising edge of the multi-window alert condition it journals an
+// slo_burn event; the alert re-arms once both windows drop back under
+// the threshold.
+type SLOTracker struct {
+	cfg      SLOConfig
+	widthNS  int64
+	fastN    int // buckets per fast window
+	jr       *obs.Journal
+	nowNS    func() int64
+	mu       sync.Mutex
+	buckets  [sloBuckets]sloBucket
+	burning  [2]bool // availability, latency
+	burnEvts [2]int64
+}
+
+// objective indices.
+const (
+	objAvailability = 0
+	objLatency      = 1
+)
+
+var objNames = [2]string{"availability", "latency"}
+
+// NewSLOTracker builds a tracker; journal (nil-safe) receives slo_burn
+// events.
+func NewSLOTracker(cfg SLOConfig, journal *obs.Journal) *SLOTracker {
+	cfg = cfg.sanitize()
+	t := &SLOTracker{
+		cfg:     cfg,
+		widthNS: cfg.SlowWindow.Nanoseconds() / sloBuckets,
+		jr:      journal,
+		nowNS:   obs.NowNS,
+	}
+	if t.widthNS <= 0 {
+		t.widthNS = 1
+	}
+	t.fastN = int(cfg.FastWindow.Nanoseconds() / t.widthNS)
+	if t.fastN < 1 {
+		t.fastN = 1
+	}
+	for i := range t.buckets {
+		t.buckets[i].ordinal = -1
+	}
+	return t
+}
+
+// Config returns the sanitized configuration.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+// Record ingests one request outcome. ok=false burns availability
+// budget; a latency at or over the target burns latency budget.
+// Nil-safe.
+func (t *SLOTracker) Record(ok bool, latency time.Duration) {
+	if t == nil {
+		return
+	}
+	now := t.nowNS()
+	ord := now / t.widthNS
+	t.mu.Lock()
+	b := &t.buckets[ord%sloBuckets]
+	if b.ordinal != ord {
+		*b = sloBucket{ordinal: ord}
+	}
+	b.total++
+	if !ok {
+		b.errs++
+	}
+	if latency >= t.cfg.LatencyTarget {
+		b.slow++
+	}
+	burn := t.burnLocked(now)
+	t.mu.Unlock()
+	t.journalEdges(burn)
+}
+
+// windowTotals sums outcomes over the most recent n buckets. Caller
+// holds mu.
+func (t *SLOTracker) windowTotals(nowOrd int64, n int) (total, errs, slow int64) {
+	lo := nowOrd - int64(n) + 1
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if b.ordinal >= lo && b.ordinal <= nowOrd {
+			total += b.total
+			errs += b.errs
+			slow += b.slow
+		}
+	}
+	return
+}
+
+// burnEdge describes one objective's alert transition computed under
+// the lock and journaled outside it.
+type burnEdge struct {
+	objective string
+	fast      float64
+	slow      float64
+	rising    bool
+}
+
+// burnLocked recomputes both objectives' multi-window condition and
+// returns any rising edges. Caller holds mu.
+func (t *SLOTracker) burnLocked(nowNS int64) []burnEdge {
+	nowOrd := nowNS / t.widthNS
+	var edges []burnEdge
+	for obj := 0; obj < 2; obj++ {
+		fast := t.windowBurn(nowOrd, t.fastN, obj)
+		slow := t.windowBurn(nowOrd, sloBuckets, obj)
+		burning := fast.BurnRate >= t.cfg.BurnThreshold && slow.BurnRate >= t.cfg.BurnThreshold &&
+			fast.Total > 0 && slow.Total > 0
+		if burning && !t.burning[obj] {
+			t.burnEvts[obj]++
+			edges = append(edges, burnEdge{objNames[obj], fast.BurnRate, slow.BurnRate, true})
+		}
+		t.burning[obj] = burning
+	}
+	return edges
+}
+
+// windowBurn computes one (objective, window) reading. Caller holds mu.
+func (t *SLOTracker) windowBurn(nowOrd int64, n, obj int) WindowBurn {
+	total, errs, slow := t.windowTotals(nowOrd, n)
+	bad := errs
+	budget := 1 - t.cfg.AvailabilityTarget
+	if obj == objLatency {
+		bad = slow
+		budget = 1 - t.cfg.LatencyGoal
+	}
+	wb := WindowBurn{
+		Window:  "slow",
+		Seconds: float64(int64(n)*t.widthNS) / 1e9,
+		Total:   total,
+		Bad:     bad,
+	}
+	if n == t.fastN {
+		wb.Window = "fast"
+	}
+	if total > 0 && budget > 0 {
+		wb.BurnRate = (float64(bad) / float64(total)) / budget
+	}
+	return wb
+}
+
+// journalEdges emits slo_burn events for rising alert edges.
+func (t *SLOTracker) journalEdges(edges []burnEdge) {
+	for _, e := range edges {
+		t.jr.Append(obs.Event{
+			Kind: obs.EvSLOBurn,
+			Detail: fmt.Sprintf("%s error budget burning %.1fx (fast) / %.1fx (slow), threshold %.1fx",
+				e.objective, e.fast, e.slow, t.cfg.BurnThreshold),
+		})
+	}
+}
+
+// Snapshot renders both objectives' burn state.
+func (t *SLOTracker) Snapshot() SLOStatus {
+	st := SLOStatus{}
+	if t == nil {
+		return st
+	}
+	st.AvailabilityTarget = t.cfg.AvailabilityTarget
+	st.LatencyTargetMS = float64(t.cfg.LatencyTarget.Microseconds()) / 1000
+	st.LatencyGoal = t.cfg.LatencyGoal
+	st.BurnThreshold = t.cfg.BurnThreshold
+	now := t.nowNS()
+	nowOrd := now / t.widthNS
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for obj := 0; obj < 2; obj++ {
+		target := t.cfg.AvailabilityTarget
+		if obj == objLatency {
+			target = t.cfg.LatencyGoal
+		}
+		st.Objectives = append(st.Objectives, ObjectiveStatus{
+			Objective: objNames[obj],
+			Target:    target,
+			Windows: []WindowBurn{
+				t.windowBurn(nowOrd, t.fastN, obj),
+				t.windowBurn(nowOrd, sloBuckets, obj),
+			},
+			Burning:    t.burning[obj],
+			BurnEvents: t.burnEvts[obj],
+		})
+	}
+	return st
+}
